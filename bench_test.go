@@ -1,0 +1,209 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (§5), plus micro-benchmarks for the load-bearing
+// substrates. The figure/table benchmarks run the experiment drivers in
+// quick mode and report domain metrics (peak CPS/BPS) alongside ns/op;
+// `go run ./cmd/dcwsexp` regenerates the full-scale versions.
+package dcws_test
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"dcws"
+	"dcws/internal/dataset"
+	"dcws/internal/experiments"
+	"dcws/internal/graph"
+	"dcws/internal/hypertext"
+	"dcws/internal/store"
+)
+
+// BenchmarkTable1Defaults verifies and times the Table 1 configuration
+// report.
+func BenchmarkTable1Defaults(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Table1(); len(r.Rows) != 9 {
+			b.Fatal("Table 1 malformed")
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6 (LOD throughput and connection rate
+// versus concurrent clients) in quick mode.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bps, cps := experiments.Fig6(true)
+		if len(bps.Rows) == 0 || len(cps.Rows) == 0 {
+			b.Fatal("empty Figure 6")
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7 (peak rates versus server count for
+// all four data sets) in quick mode.
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bps, cps := experiments.Fig7(true)
+		if len(bps.Rows) == 0 || len(cps.Rows) == 0 {
+			b.Fatal("empty Figure 7")
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8 (cold-start warm-up) in quick mode and
+// reports the warm-up ratio.
+func BenchmarkFig8(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig8(true)
+		first, _ := strconv.ParseFloat(r.Rows[1][1], 64)
+		last, _ := strconv.ParseFloat(r.Rows[len(r.Rows)-1][1], 64)
+		if first > 0 {
+			ratio = last / first
+		}
+	}
+	b.ReportMetric(ratio, "warmup-x")
+}
+
+// BenchmarkTable2 regenerates the parameter tuning sweep in quick mode.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Table2(true); len(r.Rows) != 15 {
+			b.Fatal("Table 2 malformed")
+		}
+	}
+}
+
+// BenchmarkAblations regenerates the baseline/replication/metric ablation
+// table in quick mode.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Ablations(true); len(r.Rows) == 0 {
+			b.Fatal("empty ablations")
+		}
+	}
+}
+
+// BenchmarkOverhead regenerates the §5.3 parse/reconstruct overhead table.
+func BenchmarkOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Overhead(); len(r.Rows) != 4 {
+			b.Fatal("overhead report malformed")
+		}
+	}
+}
+
+// mapugCorpus materializes the MAPUG documents once for the parser
+// micro-benchmarks (§5.3 measured parsing at ~3 ms and reconstruction at
+// ~20 ms per average document on a Pentium 200).
+func mapugCorpus(b *testing.B) []string {
+	b.Helper()
+	st := store.NewMem()
+	if err := dataset.MAPUG().Materialize(st, 1.0); err != nil {
+		b.Fatal(err)
+	}
+	names, _ := st.List()
+	var docs []string
+	for _, n := range names {
+		if graph.IsHTML(n) {
+			data, _ := st.Get(n)
+			docs = append(docs, string(data))
+		}
+	}
+	return docs
+}
+
+// BenchmarkParse measures hyperlink parsing per document (paper: ~3 ms).
+func BenchmarkParse(b *testing.B) {
+	docs := mapugCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hypertext.Parse(docs[i%len(docs)]).LinkURLs()
+	}
+}
+
+// BenchmarkReconstruct measures parse + rewrite + re-render per document
+// (paper: ~20 ms).
+func BenchmarkReconstruct(b *testing.B) {
+	docs := mapugCorpus(b)
+	mapping := map[string]string{"/threads.html": "http://coop:81/~migrate/home/80/threads.html"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doc := hypertext.Parse(docs[i%len(docs)])
+		doc.Rewrite(mapping)
+		_ = doc.Render()
+	}
+}
+
+// BenchmarkGraphBuild measures local-document-graph construction — the
+// server initialization cost of scanning and parsing an entire site (§3.3).
+func BenchmarkGraphBuild(b *testing.B) {
+	st := store.NewMem()
+	if err := dataset.LOD().Materialize(st, 1.0); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.Build(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHTTPRoundTrip measures one full request/response over the
+// in-memory fabric through the real DCWS server.
+func BenchmarkHTTPRoundTrip(b *testing.B) {
+	fabric := dcws.NewFabric()
+	st := dcws.NewMemStore()
+	st.Put("/index.html", []byte(`<html><a href="/a.html">a</a></html>`))
+	st.Put("/a.html", []byte(`<html>content body here</html>`))
+	srv, err := dcws.New(dcws.Config{
+		Origin:  dcws.Origin{Host: "bench", Port: 80},
+		Store:   st,
+		Network: fabric,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	stats := &dcws.ClientStats{}
+	cl, err := dcws.NewClient(dcws.ClientConfig{
+		Dialer:    fabric,
+		EntryURLs: []string{"http://bench:80/index.html"},
+		Seed:      1,
+		Stats:     stats,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl.ResetCache() // each iteration is a fresh transfer
+		if _, _, ok := cl.Fetch("http://bench:80/a.html"); !ok {
+			b.Fatal("fetch failed")
+		}
+	}
+}
+
+// BenchmarkSimThroughput measures raw simulator speed: simulated
+// connections per wall-clock second for a saturated 4-server LOD system.
+func BenchmarkSimThroughput(b *testing.B) {
+	var conns int64
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		res, err := dcws.Simulate(dcws.SimConfig{
+			Site: dcws.LOD(), Servers: 4, Clients: 120,
+			Duration: 30 * time.Second, Seed: int64(i + 1), WarmStart: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		conns += res.Connections
+	}
+	if wall := time.Since(start).Seconds(); wall > 0 {
+		b.ReportMetric(float64(conns)/wall, "simconns/s")
+	}
+}

@@ -1,0 +1,134 @@
+// Command dcwsbench drives the paper's custom client benchmark (§5.2,
+// Algorithm 2) against live DCWS servers over TCP: each simulated client
+// starts at a well-known entry point, follows 1-25 random hyperlinks,
+// fetches embedded images with four parallel helper threads, keeps a
+// per-sequence cache, and backs off exponentially on 503 drops.
+//
+//	dcwsbench -entry http://127.0.0.1:8080/index.html -clients 16 -duration 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"dcws"
+)
+
+func main() {
+	var (
+		entry    = flag.String("entry", "", "comma-separated entry point URLs")
+		clients  = flag.Int("clients", 8, "number of concurrent simulated clients")
+		duration = flag.Duration("duration", 30*time.Second, "benchmark duration")
+		think    = flag.Duration("think", 0, "user think time between steps (0 = paper's benchmark)")
+		replay   = flag.String("replay", "", "replay a Common Log Format access log instead of the random walk")
+		timed    = flag.Bool("timed", false, "with -replay: honor the logged inter-request timing")
+	)
+	flag.Parse()
+	urls := splitList(*entry)
+	if len(urls) == 0 {
+		log.Fatal("dcwsbench: -entry is required, e.g. -entry http://host:port/index.html")
+	}
+	if *replay != "" {
+		runReplay(*replay, urls[0], *timed)
+		return
+	}
+
+	stats := &dcws.ClientStats{}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < *clients; i++ {
+		cl, err := dcws.NewClient(dcws.ClientConfig{
+			Dialer:    dcws.TCPNetwork{},
+			EntryURLs: urls,
+			Seed:      int64(i + 1),
+			ThinkTime: *think,
+			Stats:     stats,
+		})
+		if err != nil {
+			log.Fatalf("dcwsbench: %v", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl.Run(stop)
+		}()
+	}
+
+	start := time.Now()
+	ticker := time.NewTicker(5 * time.Second)
+	deadline := time.After(*duration)
+	var lastConns, lastBytes int64
+loop:
+	for {
+		select {
+		case <-deadline:
+			break loop
+		case <-ticker.C:
+			conns, bytes := stats.Connections.Value(), stats.Bytes.Value()
+			fmt.Printf("t=%4.0fs  CPS=%7.1f  BPS=%10.0f  drops=%d redirects=%d errors=%d\n",
+				time.Since(start).Seconds(),
+				float64(conns-lastConns)/5, float64(bytes-lastBytes)/5,
+				stats.Drops.Value(), stats.Redirects.Value(), stats.Errors.Value())
+			lastConns, lastBytes = conns, bytes
+		}
+	}
+	ticker.Stop()
+	close(stop)
+	wg.Wait()
+
+	elapsed := time.Since(start).Seconds()
+	fmt.Println("---")
+	fmt.Printf("clients=%d duration=%.0fs\n", *clients, elapsed)
+	fmt.Printf("connections=%d (%.1f CPS)\n", stats.Connections.Value(),
+		float64(stats.Connections.Value())/elapsed)
+	fmt.Printf("bytes=%d (%.0f BPS)\n", stats.Bytes.Value(),
+		float64(stats.Bytes.Value())/elapsed)
+	fmt.Printf("sequences=%d drops=%d redirects=%d errors=%d\n",
+		stats.Sequences.Value(), stats.Drops.Value(),
+		stats.Redirects.Value(), stats.Errors.Value())
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// runReplay replays an access log against the first entry URL's server.
+func runReplay(path, baseURL string, timed bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatalf("dcwsbench: %v", err)
+	}
+	defer f.Close()
+	entries, err := dcws.ParseCommonLog(f)
+	if err != nil {
+		log.Fatalf("dcwsbench: parse %s: %v", path, err)
+	}
+	r, err := dcws.NewReplayer(dcws.ReplayConfig{
+		Dialer:  dcws.TCPNetwork{},
+		BaseURL: baseURL,
+		Timed:   timed,
+	})
+	if err != nil {
+		log.Fatalf("dcwsbench: %v", err)
+	}
+	start := time.Now()
+	ok := r.Replay(entries, nil)
+	elapsed := time.Since(start).Seconds()
+	fmt.Printf("replayed %d/%d requests in %.1fs (%.1f CPS)\n",
+		ok, len(entries), elapsed, float64(ok)/elapsed)
+	fmt.Println(r.Stats())
+}

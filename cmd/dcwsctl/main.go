@@ -1,0 +1,129 @@
+// Command dcwsctl inspects and administers live DCWS servers through their
+// operational HTTP endpoints:
+//
+//	dcwsctl status 127.0.0.1:8080           traffic counters + load table
+//	dcwsctl graph  127.0.0.1:8080           local document graph summary
+//	dcwsctl graph  -full 127.0.0.1:8080     every tuple
+//	dcwsctl recall 127.0.0.1:8080 127.0.0.1:8081
+//	                                        recall all docs migrated to the
+//	                                        second server (e.g. before
+//	                                        taking it down for maintenance)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"dcws"
+	idcws "dcws/internal/dcws"
+	"dcws/internal/httpx"
+)
+
+func main() {
+	full := flag.Bool("full", false, "graph: print every tuple instead of a summary")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
+		usage()
+	}
+	cmd, addr := args[0], args[1]
+	client := httpx.NewClient(httpx.DialerFunc(dcws.TCPNetwork{}.Dial))
+	switch cmd {
+	case "status":
+		var st idcws.Status
+		getJSON(client, addr, "/~dcws/status", &st)
+		fmt.Printf("server       %s\n", st.Addr)
+		fmt.Printf("documents    %d (%d migrated out, %d hosted for peers)\n",
+			st.Documents, len(st.MigratedOut), len(st.CoopHosted))
+		fmt.Printf("traffic      conns=%d bytes=%d cps=%.1f bps=%.0f\n",
+			st.Connections, st.Bytes, st.CPS, st.BPS)
+		fmt.Printf("maintenance  redirects=%d fetches=%d rebuilds=%d dropped=%d\n",
+			st.Redirects, st.Fetches, st.Rebuilds, st.Dropped)
+		fmt.Println("load table:")
+		servers := make([]string, 0, len(st.LoadTable))
+		for s := range st.LoadTable {
+			servers = append(servers, s)
+		}
+		sort.Strings(servers)
+		for _, s := range servers {
+			fmt.Printf("  %-24s %.2f\n", s, st.LoadTable[s])
+		}
+		for doc, coop := range st.MigratedOut {
+			fmt.Printf("migrated: %s -> %s\n", doc, coop)
+		}
+	case "graph":
+		var dump idcws.GraphDump
+		getJSON(client, addr, "/~dcws/graph", &dump)
+		if *full {
+			for _, d := range dump.Docs {
+				fmt.Printf("%-40s size=%-8d hits=%-7d loc=%-20s dirty=%-5v entry=%v\n",
+					d.Name, d.Size, d.Hits, orDash(d.Location), d.Dirty, d.EntryPoint)
+			}
+			return
+		}
+		var migrated, dirty, entries int
+		var hits int64
+		for _, d := range dump.Docs {
+			if d.Location != "" {
+				migrated++
+			}
+			if d.Dirty {
+				dirty++
+			}
+			if d.EntryPoint {
+				entries++
+			}
+			hits += d.Hits
+		}
+		fmt.Printf("server      %s\n", dump.Addr)
+		fmt.Printf("documents   %d (%d entry points)\n", len(dump.Docs), entries)
+		fmt.Printf("migrated    %d\n", migrated)
+		fmt.Printf("dirty       %d\n", dirty)
+		fmt.Printf("total hits  %d\n", hits)
+	case "recall":
+		if len(args) < 3 {
+			usage()
+		}
+		req := httpx.NewRequest("POST", "/~dcws/recall")
+		req.Header.Set("X-DCWS-Fetch", args[2])
+		resp, err := client.Do(addr, req)
+		if err != nil {
+			log.Fatalf("dcwsctl: %v", err)
+		}
+		fmt.Print(string(resp.Body))
+		if resp.Status != 200 {
+			os.Exit(1)
+		}
+	default:
+		usage()
+	}
+}
+
+func getJSON(client *httpx.Client, addr, path string, out interface{}) {
+	resp, err := client.Get(addr, path, nil)
+	if err != nil {
+		log.Fatalf("dcwsctl: %v", err)
+	}
+	if resp.Status != 200 {
+		log.Fatalf("dcwsctl: %s%s answered %d", addr, path, resp.Status)
+	}
+	if err := json.Unmarshal(resp.Body, out); err != nil {
+		log.Fatalf("dcwsctl: bad JSON from %s%s: %v", addr, path, err)
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dcwsctl status <addr> | graph [-full] <addr> | recall <home-addr> <coop-addr>")
+	os.Exit(2)
+}

@@ -1,0 +1,97 @@
+// Command dcwsd runs one DCWS server on real TCP. A server is a home
+// server for the documents under its -root directory and a co-op server
+// for any peer that migrates documents to it; an empty -root starts a pure
+// co-op node.
+//
+// Example: a two-node group on one machine.
+//
+//	dcwsgen -dataset lod -out ./site
+//	dcwsd -addr 127.0.0.1:8080 -root ./site -entry /index.html \
+//	      -peers 127.0.0.1:8081 &
+//	dcwsd -addr 127.0.0.1:8081 -root ./coopdata -peers 127.0.0.1:8080 &
+//
+// Operational state is served at http://<addr>/~dcws/status.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"dcws"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:8080", "host:port to listen on and announce to peers")
+		root   = flag.String("root", "", "document root directory (empty: pure co-op server)")
+		entry  = flag.String("entry", "", "comma-separated well-known entry points, e.g. /index.html")
+		peers  = flag.String("peers", "", "comma-separated peer servers (host:port)")
+		speed  = flag.Int("speedup", 1, "clock speed-up factor (compresses the Table 1 intervals for demos)")
+		useBPS = flag.Bool("bps-metric", false, "balance on bytes/s instead of connections/s")
+		repl   = flag.Bool("replicate", false, "enable the hot-spot replication extension")
+	)
+	flag.Parse()
+
+	origin, err := dcws.ParseOrigin(*addr)
+	if err != nil {
+		log.Fatalf("dcwsd: %v", err)
+	}
+	var st dcws.Store
+	if *root == "" {
+		st = dcws.NewMemStore()
+	} else {
+		st, err = dcws.NewDirStore(*root)
+		if err != nil {
+			log.Fatalf("dcwsd: %v", err)
+		}
+	}
+	var clk dcws.Clock = dcws.RealClock{}
+	if *speed > 1 {
+		clk = dcws.NewScaledClock(*speed)
+	}
+	params := dcws.DefaultParams()
+	params.UseBPSMetric = *useBPS
+	params.Replicate = *repl
+
+	srv, err := dcws.New(dcws.Config{
+		Origin:      origin,
+		Store:       st,
+		Network:     dcws.TCPNetwork{},
+		Clock:       clk,
+		EntryPoints: splitList(*entry),
+		Peers:       splitList(*peers),
+		Params:      params,
+		Logger:      log.New(os.Stderr, "", log.LstdFlags),
+	})
+	if err != nil {
+		log.Fatalf("dcwsd: %v", err)
+	}
+	if err := srv.Start(); err != nil {
+		log.Fatalf("dcwsd: %v", err)
+	}
+	fmt.Printf("dcwsd listening on %s (status: http://%s/~dcws/status)\n", *addr, *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("dcwsd: shutting down")
+	srv.Close()
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+// Command dcwsexp regenerates every table and figure of the paper's
+// evaluation (§5) plus the ablations documented in DESIGN.md, printing
+// text tables whose rows/series correspond to the paper's plots:
+//
+//	dcwsexp table1      Table 1  server parameter settings
+//	dcwsexp fig6        Figure 6 BPS & CPS vs concurrent clients (LOD)
+//	dcwsexp fig7        Figure 7 peak BPS & CPS vs servers (4 data sets)
+//	dcwsexp fig8        Figure 8 warm-up from cold start (30 min, 16 servers)
+//	dcwsexp table2      Table 2  parameter tuning trade-offs
+//	dcwsexp overhead    §5.3     parsing/reconstruction overhead
+//	dcwsexp ablate      DCWS vs RR-DNS vs central router; replication; metric
+//	dcwsexp latency     extension: request latency vs offered load
+//	dcwsexp federation  extension: federated departmental servers vs isolation
+//	dcwsexp all         everything above
+//
+// -quick shrinks the sweeps (used by the go test benchmarks); the full
+// versions run the paper's exact scales (16 servers, 400 clients, 30
+// virtual minutes) in a couple of minutes of real time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dcws/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sweeps for smoke runs")
+	flag.Parse()
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		cmd = "all"
+	}
+	start := time.Now()
+	switch cmd {
+	case "table1":
+		fmt.Println(experiments.Table1().Format())
+	case "fig6":
+		bps, cps := experiments.Fig6(*quick)
+		fmt.Println(bps.Format())
+		fmt.Println(cps.Format())
+	case "fig7":
+		bps, cps := experiments.Fig7(*quick)
+		fmt.Println(bps.Format())
+		fmt.Println(cps.Format())
+	case "fig8":
+		fmt.Println(experiments.Fig8(*quick).Format())
+	case "table2":
+		fmt.Println(experiments.Table2(*quick).Format())
+	case "overhead":
+		fmt.Println(experiments.Overhead().Format())
+	case "ablate":
+		fmt.Println(experiments.Ablations(*quick).Format())
+	case "latency":
+		fmt.Println(experiments.Latency(*quick).Format())
+	case "federation":
+		fmt.Println(experiments.Federation(*quick).Format())
+	case "all":
+		fmt.Println(experiments.Table1().Format())
+		bps6, cps6 := experiments.Fig6(*quick)
+		fmt.Println(bps6.Format())
+		fmt.Println(cps6.Format())
+		bps7, cps7 := experiments.Fig7(*quick)
+		fmt.Println(bps7.Format())
+		fmt.Println(cps7.Format())
+		fmt.Println(experiments.Fig8(*quick).Format())
+		fmt.Println(experiments.Table2(*quick).Format())
+		fmt.Println(experiments.Overhead().Format())
+		fmt.Println(experiments.Ablations(*quick).Format())
+		fmt.Println(experiments.Latency(*quick).Format())
+		fmt.Println(experiments.Federation(*quick).Format())
+	default:
+		fmt.Fprintf(os.Stderr, "dcwsexp: unknown experiment %q\n", cmd)
+		fmt.Fprintln(os.Stderr, "usage: dcwsexp [-quick] {table1|fig6|fig7|fig8|table2|overhead|ablate|latency|federation|all}")
+		os.Exit(2)
+	}
+	fmt.Printf("(regenerated in %v)\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,63 @@
+// Command dcwsgen materializes one of the paper's four synthetic data sets
+// (§5.2) into a directory for serving with dcwsd:
+//
+//	dcwsgen -dataset mapug -out ./site
+//	dcwsgen -dataset sequoia -out ./rasters -scale 0.01
+//
+// The generators reproduce the published statistics of each set: document
+// count, link count, aggregate size, and — decisive for the scalability
+// results — the hot-spot link topology.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dcws"
+)
+
+func main() {
+	var (
+		name     = flag.String("dataset", "lod", "data set: mapug, sblog, lod, or sequoia")
+		out      = flag.String("out", "./site", "output directory")
+		scale    = flag.Float64("scale", 1.0, "size multiplier (use <1 to shrink the 247 MB Sequoia set)")
+		logPath  = flag.String("log", "", "also synthesize a Common Log Format access log to this file")
+		requests = flag.Int("requests", 10000, "number of requests in the synthesized log")
+		seed     = flag.Int64("seed", 1, "random seed for the synthesized log")
+	)
+	flag.Parse()
+
+	gen := dcws.DatasetByName(*name)
+	if gen == nil {
+		log.Fatalf("dcwsgen: unknown data set %q (want mapug, sblog, lod, sequoia)", *name)
+	}
+	site := gen()
+	st, err := dcws.NewDirStore(*out)
+	if err != nil {
+		log.Fatalf("dcwsgen: %v", err)
+	}
+	if err := site.Materialize(st, *scale); err != nil {
+		log.Fatalf("dcwsgen: %v", err)
+	}
+	docs, links, bytes := site.Stats()
+	fmt.Printf("%s: wrote %d documents (%d links, %.1f KB nominal, scale %.3f) to %s\n",
+		site.Name, docs, links, float64(bytes)/1024, *scale, *out)
+	fmt.Printf("entry points: %v\n", site.EntryPoints)
+
+	if *logPath != "" {
+		entries := dcws.SynthesizeLog(site, *requests, *seed, time.Now().Add(-time.Hour), 250*time.Millisecond)
+		f, err := os.Create(*logPath)
+		if err != nil {
+			log.Fatalf("dcwsgen: %v", err)
+		}
+		defer f.Close()
+		if err := dcws.WriteCommonLog(f, entries, "10.0.0.1"); err != nil {
+			log.Fatalf("dcwsgen: %v", err)
+		}
+		fmt.Printf("synthesized %d-request access log: %s (replay with dcwsbench -replay)\n",
+			len(entries), *logPath)
+	}
+}

@@ -1,0 +1,113 @@
+package dcws_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"dcws"
+)
+
+// Example boots a home server and a co-op server on an in-memory network,
+// forces a migration, and shows the rewritten hyperlink — the whole DCWS
+// mechanism in one page.
+func Example() {
+	fabric := dcws.NewFabric()
+
+	st := dcws.NewMemStore()
+	st.Put("/index.html", []byte(`<html><a href="/article.html">article</a></html>`))
+	st.Put("/article.html", []byte(`<html>story</html>`))
+
+	params := dcws.DefaultParams()
+	params.MigrationThreshold = 1
+
+	home, err := dcws.New(dcws.Config{
+		Origin:      dcws.Origin{Host: "home", Port: 80},
+		Store:       st,
+		Network:     fabric,
+		EntryPoints: []string{"/index.html"},
+		Peers:       []string{"coop:81"},
+		Params:      params,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	home.Start()
+	defer home.Close()
+
+	coop, err := dcws.New(dcws.Config{
+		Origin:  dcws.Origin{Host: "coop", Port: 81},
+		Store:   dcws.NewMemStore(),
+		Network: fabric,
+		Peers:   []string{"home:80"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	coop.Start()
+	defer coop.Close()
+
+	// Drive load at the article, then run one statistics interval.
+	client, _ := dcws.NewClient(dcws.ClientConfig{
+		Dialer:    fabric,
+		EntryURLs: []string{"http://home:80/index.html"},
+		Seed:      1,
+		Stats:     &dcws.ClientStats{},
+	})
+	for i := 0; i < 20; i++ {
+		client.ResetCache()
+		client.Fetch("http://home:80/article.html")
+	}
+	home.TickStats()
+
+	// A fresh visitor sees the rewritten hyperlink.
+	client.ResetCache()
+	body, _, _ := client.Fetch("http://home:80/index.html")
+	fmt.Println(strings.Contains(string(body), "http://coop:81/~migrate/home/80/article.html"))
+	// Output: true
+}
+
+// ExampleSimulate runs the discrete-event simulator that regenerates the
+// paper's figures: here, a small warm-started group serving the LOD data
+// set.
+func ExampleSimulate() {
+	res, err := dcws.Simulate(dcws.SimConfig{
+		Site:      dcws.LOD(),
+		Servers:   2,
+		Clients:   32,
+		Duration:  30 * time.Second,
+		Seed:      1,
+		WarmStart: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Connections > 0, res.Errors == 0, len(res.PerServer))
+	// Output: true true 2
+}
+
+// ExampleParseCommonLog parses a web access log for replay against a DCWS
+// group — the evaluation-with-real-logs item from the paper's future work.
+func ExampleParseCommonLog() {
+	logData := `10.0.0.1 - - [06/Jul/1998:10:00:00 -0700] "GET /index.html HTTP/1.0" 200 512
+10.0.0.2 - - [06/Jul/1998:10:00:02 -0700] "GET /guide/p1.html HTTP/1.0" 200 1380`
+	entries, err := dcws.ParseCommonLog(strings.NewReader(logData))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range entries {
+		fmt.Println(e.Path)
+	}
+	// Output:
+	// /index.html
+	// /guide/p1.html
+}
+
+// ExampleSite_Stats shows that the synthetic data sets reproduce the
+// paper's published statistics.
+func ExampleSite_Stats() {
+	docs, links, _ := dcws.LOD().Stats()
+	fmt.Println(docs, links > 1300 && links < 1550)
+	// Output: 349 true
+}

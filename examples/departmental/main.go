@@ -1,0 +1,119 @@
+// Departmental servers: the fully-symmetric scenario of §1 and §3.3. Two
+// departments each run their own web server; "since the relative load may
+// be different on each departmental web server depending on the time of
+// year, project deadlines and so on, any of the lightly loaded servers can
+// be a co-op server for any of the heavily loaded servers."
+//
+// Phase 1 overloads the CS department (admissions season): its documents
+// migrate to the idle Math server. Phase 2 reverses the load (exam week at
+// Math): CS documents are recalled and Math offloads to CS — the same two
+// machines, each playing home and co-op in turn.
+//
+//	go run ./examples/departmental
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dcws"
+)
+
+func main() {
+	fabric := dcws.NewFabric()
+	clk := dcws.NewManualClock(time.Unix(0, 0))
+
+	params := dcws.DefaultParams()
+	params.MigrationThreshold = 1
+
+	boot := func(host string, site *dcws.Site) *dcws.Server {
+		st := dcws.NewMemStore()
+		if err := site.Materialize(st, 1.0); err != nil {
+			log.Fatal(err)
+		}
+		peer := "math:80"
+		if host == "math" {
+			peer = "cs:80"
+		}
+		srv, err := dcws.New(dcws.Config{
+			Origin:      dcws.Origin{Host: host, Port: 80},
+			Store:       st,
+			Network:     fabric,
+			Clock:       clk,
+			EntryPoints: site.EntryPoints,
+			Peers:       []string{peer},
+			Params:      params,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := srv.Start(); err != nil {
+			log.Fatal(err)
+		}
+		return srv
+	}
+
+	cs := boot("cs", dcws.LOD())       // CS serves the adventure guide
+	math := boot("math", dcws.MAPUG()) // Math serves the mailing-list archive
+	defer cs.Close()
+	defer math.Close()
+
+	stats := &dcws.ClientStats{}
+	drive := func(entry string, sequences int) {
+		for i := 0; i < sequences; i++ {
+			cl, err := dcws.NewClient(dcws.ClientConfig{
+				Dialer:    fabric,
+				EntryURLs: []string{entry},
+				Seed:      int64(i + 1),
+				Stats:     stats,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			cl.RunSequence(nil)
+		}
+	}
+	tick := func() {
+		cs.TickStats()
+		math.TickStats()
+		// Advance past T_coop so consecutive ticks may each migrate.
+		clk.Advance(61 * time.Second)
+	}
+	show := func(phase string) {
+		fmt.Printf("%-28s cs: served=%5d hosting=%2d migrated-out=%2d | math: served=%5d hosting=%2d migrated-out=%2d\n",
+			phase,
+			cs.Stats().Connections.Value(), cs.CoopDocCount(), len(cs.Graph().Migrated()),
+			math.Stats().Connections.Value(), math.CoopDocCount(), len(math.Graph().Migrated()))
+	}
+
+	show("boot")
+
+	fmt.Println("\n-- phase 1: admissions season, CS overloaded --")
+	for round := 0; round < 4; round++ {
+		drive("http://cs:80/index.html", 6)
+		tick()
+	}
+	show("after CS load")
+	if n := len(cs.Graph().Migrated()); n > 0 {
+		fmt.Printf("CS offloaded %d documents to Math (Math is the co-op)\n", n)
+	}
+
+	fmt.Println("\n-- phase 2: exam week, Math overloaded --")
+	// Let CS's placements age past T_home so they can be recalled once the
+	// load reverses.
+	clk.Advance(6 * time.Minute)
+	for round := 0; round < 4; round++ {
+		drive("http://math:80/index.html", 6)
+		tick()
+	}
+	show("after Math load")
+	if n := len(math.Graph().Migrated()); n > 0 {
+		fmt.Printf("Math offloaded %d documents to CS (CS is the co-op now)\n", n)
+	}
+	fmt.Printf("\nclient view: %s\n", stats)
+	if stats.Errors.Value() > 0 {
+		log.Fatal("navigation errors occurred")
+	}
+	fmt.Println("every hyperlink stayed navigable throughout both phases")
+}

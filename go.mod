@@ -1,0 +1,3 @@
+module dcws
+
+go 1.22

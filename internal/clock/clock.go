@@ -1,0 +1,177 @@
+// Package clock abstracts time so that the DCWS timers (statistics
+// recalculation, pinger activation, co-op validation, and the various
+// migration rate gates) can run against real time in production, compressed
+// time in live demos, and fully virtual time in tests and in the
+// discrete-event simulator.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the time source used by every DCWS component. The zero of a
+// Clock's epoch is implementation-defined; callers must only compare times
+// produced by the same Clock.
+type Clock interface {
+	// Now reports the current time.
+	Now() time.Time
+	// Sleep blocks the calling goroutine for d.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the clock's time after d.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is a Clock backed by the system wall clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Scaled is a Clock that runs faster than real time by an integer factor.
+// A Scaled clock with Factor 60 turns the paper's 120-second co-op
+// validation interval into two real seconds, which makes the live cluster
+// demos practical. Durations are divided by Factor when sleeping and
+// multiplied when reporting elapsed time.
+type Scaled struct {
+	base   time.Time
+	start  time.Time
+	Factor int
+}
+
+// NewScaled returns a clock that advances Factor times faster than the wall
+// clock. Factor must be >= 1.
+func NewScaled(factor int) *Scaled {
+	if factor < 1 {
+		factor = 1
+	}
+	now := time.Now()
+	return &Scaled{base: now, start: now, Factor: factor}
+}
+
+// Now implements Clock.
+func (s *Scaled) Now() time.Time {
+	elapsed := time.Since(s.start)
+	return s.base.Add(elapsed * time.Duration(s.Factor))
+}
+
+// Sleep implements Clock.
+func (s *Scaled) Sleep(d time.Duration) {
+	time.Sleep(s.compress(d))
+}
+
+// After implements Clock.
+func (s *Scaled) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	go func() {
+		time.Sleep(s.compress(d))
+		ch <- s.Now()
+	}()
+	return ch
+}
+
+func (s *Scaled) compress(d time.Duration) time.Duration {
+	c := d / time.Duration(s.Factor)
+	if c <= 0 && d > 0 {
+		c = time.Nanosecond
+	}
+	return c
+}
+
+// Manual is a Clock driven entirely by explicit Advance calls. It is the
+// clock used by unit tests and by the discrete-event simulator's adapters.
+// Sleepers and After-waiters are released when Advance moves the clock past
+// their deadlines.
+type Manual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*manualWaiter
+}
+
+type manualWaiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+// NewManual returns a Manual clock positioned at start.
+func NewManual(start time.Time) *Manual {
+	return &Manual{now: start}
+}
+
+// Now implements Clock.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Sleep implements Clock. It blocks until another goroutine advances the
+// clock past the deadline.
+func (m *Manual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-m.After(d)
+}
+
+// After implements Clock.
+func (m *Manual) After(d time.Duration) <-chan time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	deadline := m.now.Add(d)
+	if d <= 0 {
+		ch <- m.now
+		return ch
+	}
+	m.waiters = append(m.waiters, &manualWaiter{deadline: deadline, ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward by d, waking every sleeper whose deadline
+// has been reached.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	m.now = m.now.Add(d)
+	now := m.now
+	var remaining []*manualWaiter
+	var fire []*manualWaiter
+	for _, w := range m.waiters {
+		if !w.deadline.After(now) {
+			fire = append(fire, w)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	m.waiters = remaining
+	m.mu.Unlock()
+	for _, w := range fire {
+		w.ch <- now
+	}
+}
+
+// Set moves the clock to t, which must not be earlier than the current time,
+// waking sleepers as Advance does.
+func (m *Manual) Set(t time.Time) {
+	m.mu.Lock()
+	d := t.Sub(m.now)
+	m.mu.Unlock()
+	if d < 0 {
+		return
+	}
+	m.Advance(d)
+}
+
+// Waiters reports how many goroutines are currently blocked on the clock.
+// It exists so tests can synchronize with sleepers before advancing.
+func (m *Manual) Waiters() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.waiters)
+}

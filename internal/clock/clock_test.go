@@ -1,0 +1,164 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealNowMonotonic(t *testing.T) {
+	c := Real{}
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("Real clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestRealAfterFires(t *testing.T) {
+	c := Real{}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(2 * time.Second):
+		t.Fatal("Real.After(1ms) did not fire within 2s")
+	}
+}
+
+func TestScaledAdvancesFaster(t *testing.T) {
+	c := NewScaled(1000)
+	start := c.Now()
+	time.Sleep(5 * time.Millisecond)
+	elapsed := c.Now().Sub(start)
+	if elapsed < 1*time.Second {
+		t.Fatalf("scaled clock advanced only %v in 5ms real at factor 1000", elapsed)
+	}
+}
+
+func TestScaledSleepCompresses(t *testing.T) {
+	c := NewScaled(100)
+	realStart := time.Now()
+	c.Sleep(500 * time.Millisecond) // should take ~5ms real
+	if real := time.Since(realStart); real > 250*time.Millisecond {
+		t.Fatalf("scaled sleep of 500ms took %v real time at factor 100", real)
+	}
+}
+
+func TestScaledFactorClamped(t *testing.T) {
+	c := NewScaled(0)
+	if c.Factor != 1 {
+		t.Fatalf("factor 0 should clamp to 1, got %d", c.Factor)
+	}
+}
+
+func TestScaledAfterFires(t *testing.T) {
+	c := NewScaled(1000)
+	select {
+	case <-c.After(time.Second): // 1ms real
+	case <-time.After(2 * time.Second):
+		t.Fatal("Scaled.After did not fire")
+	}
+}
+
+func TestManualNowFixedUntilAdvance(t *testing.T) {
+	start := time.Unix(1000, 0)
+	c := NewManual(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now() = %v, want %v", c.Now(), start)
+	}
+	c.Advance(3 * time.Second)
+	want := start.Add(3 * time.Second)
+	if !c.Now().Equal(want) {
+		t.Fatalf("after Advance, Now() = %v, want %v", c.Now(), want)
+	}
+}
+
+func TestManualSleepWakesOnAdvance(t *testing.T) {
+	c := NewManual(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		c.Sleep(10 * time.Second)
+		close(done)
+	}()
+	// Wait until the sleeper has registered.
+	for c.Waiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-done:
+		t.Fatal("Sleep returned before clock advanced")
+	default:
+	}
+	c.Advance(10 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep did not wake after Advance")
+	}
+}
+
+func TestManualPartialAdvanceDoesNotWake(t *testing.T) {
+	c := NewManual(time.Unix(0, 0))
+	ch := c.After(10 * time.Second)
+	c.Advance(5 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired before deadline")
+	default:
+	}
+	c.Advance(5 * time.Second)
+	select {
+	case ts := <-ch:
+		if got := ts.Sub(time.Unix(0, 0)); got != 10*time.Second {
+			t.Fatalf("woke at +%v, want +10s", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("After did not fire at deadline")
+	}
+}
+
+func TestManualAfterZeroFiresImmediately(t *testing.T) {
+	c := NewManual(time.Unix(0, 0))
+	select {
+	case <-c.After(0):
+	default:
+		t.Fatal("After(0) should be immediately ready")
+	}
+}
+
+func TestManualSetBackwardIgnored(t *testing.T) {
+	start := time.Unix(100, 0)
+	c := NewManual(start)
+	c.Set(time.Unix(50, 0))
+	if !c.Now().Equal(start) {
+		t.Fatalf("Set backwards moved the clock to %v", c.Now())
+	}
+	c.Set(time.Unix(200, 0))
+	if !c.Now().Equal(time.Unix(200, 0)) {
+		t.Fatalf("Set forwards: got %v", c.Now())
+	}
+}
+
+func TestManualManySleepersAllWake(t *testing.T) {
+	c := NewManual(time.Unix(0, 0))
+	const n = 50
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		d := time.Duration(i+1) * time.Second
+		go func() {
+			defer wg.Done()
+			c.Sleep(d)
+		}()
+	}
+	for c.Waiters() < n {
+		time.Sleep(time.Millisecond)
+	}
+	c.Advance(time.Duration(n) * time.Second)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("only some sleepers woke; %d still waiting", c.Waiters())
+	}
+}

@@ -1,0 +1,228 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"dcws/internal/dataset"
+	"dcws/internal/dcws"
+	"dcws/internal/webclient"
+)
+
+// lodCluster boots one LOD home server plus n-1 empty co-op servers.
+func lodCluster(t *testing.T, n int, params dcws.Params) *Cluster {
+	t.Helper()
+	specs := []ServerSpec{{Host: "home", Port: 80, Site: dataset.LOD(), Params: params}}
+	for i := 1; i < n; i++ {
+		specs = append(specs, ServerSpec{Host: "coop" + string(rune('a'+i)), Port: 80 + i, Params: params})
+	}
+	c, err := New(Config{Servers: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestClusterBootsAndServes(t *testing.T) {
+	c := lodCluster(t, 2, dcws.Params{})
+	urls := c.EntryURLs()
+	if len(urls) != 1 || urls[0] != "http://home:80/index.html" {
+		t.Fatalf("entry URLs = %v", urls)
+	}
+	stats := &webclient.Stats{}
+	cl, err := webclient.New(webclient.Config{
+		Dialer:    c.Dialer(),
+		EntryURLs: urls,
+		Seed:      1,
+		Stats:     stats,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.RunSequence(nil)
+	if stats.Connections.Value() == 0 || stats.Errors.Value() > 0 {
+		t.Fatalf("walk failed: %s", stats)
+	}
+}
+
+func TestClusterMigratesUnderLoad(t *testing.T) {
+	c := lodCluster(t, 3, dcws.Params{MigrationThreshold: 1})
+	// Drive some traffic, then tick the statistics modules.
+	stats := &webclient.Stats{}
+	for seed := int64(1); seed <= 4; seed++ {
+		cl, err := webclient.New(webclient.Config{
+			Dialer:    c.Dialer(),
+			EntryURLs: c.EntryURLs(),
+			Seed:      seed,
+			Stats:     stats,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.RunSequence(nil)
+	}
+	c.TickStats()
+	if c.TotalMigrated() == 0 {
+		t.Fatal("no documents migrated despite load imbalance")
+	}
+	// Clients can still walk the whole site after migration, following the
+	// rewritten links and redirects.
+	after := &webclient.Stats{}
+	cl, _ := webclient.New(webclient.Config{
+		Dialer:    c.Dialer(),
+		EntryURLs: c.EntryURLs(),
+		Seed:      77,
+		Stats:     after,
+	})
+	for i := 0; i < 3; i++ {
+		cl.RunSequence(nil)
+	}
+	if after.Errors.Value() > 0 {
+		t.Fatalf("post-migration walk errored: %s", after)
+	}
+	if after.Connections.Value() == 0 {
+		t.Fatal("post-migration walk made no progress")
+	}
+}
+
+func TestClusterLoadSpreadsAcrossServers(t *testing.T) {
+	c := lodCluster(t, 3, dcws.Params{MigrationThreshold: 1})
+	drive := func(rounds int) {
+		stats := &webclient.Stats{}
+		for seed := int64(1); seed <= int64(rounds); seed++ {
+			cl, _ := webclient.New(webclient.Config{
+				Dialer:    c.Dialer(),
+				EntryURLs: c.EntryURLs(),
+				Seed:      seed,
+				Stats:     stats,
+			})
+			cl.RunSequence(nil)
+		}
+	}
+	// Alternate load and stats ticks so migrations accumulate.
+	for round := 0; round < 4; round++ {
+		drive(4)
+		c.TickStats()
+	}
+	drive(6)
+	// At least one co-op server must now be serving real traffic.
+	coopServed := int64(0)
+	for _, s := range c.Servers[1:] {
+		coopServed += s.Stats().Connections.Value()
+	}
+	if coopServed == 0 {
+		t.Fatal("co-op servers served nothing; load not spread")
+	}
+}
+
+func TestClusterBenchmarkHarness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed benchmark in -short mode")
+	}
+	c := lodCluster(t, 2, dcws.Params{MigrationThreshold: 1})
+	res, err := c.RunBenchmark(4, 300*time.Millisecond, 100*time.Millisecond, c.TickStats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Connections.Value() == 0 {
+		t.Fatal("benchmark made no connections")
+	}
+	if res.CPS <= 0 || res.BPS <= 0 {
+		t.Fatalf("rates = %v CPS, %v BPS", res.CPS, res.BPS)
+	}
+}
+
+func TestClusterValidationPropagation(t *testing.T) {
+	c := lodCluster(t, 2, dcws.Params{MigrationThreshold: 1})
+	home := c.Servers[0]
+	// Force a migration of a known page and materialize it at the coop.
+	stats := &webclient.Stats{}
+	cl, _ := webclient.New(webclient.Config{
+		Dialer: c.Dialer(), EntryURLs: c.EntryURLs(), Seed: 5, Stats: stats,
+	})
+	cl.RunSequence(nil)
+	c.TickStats()
+	migrated := home.Graph().Migrated()
+	if len(migrated) == 0 {
+		t.Skip("no migration occurred for this seed")
+	}
+	// Edit every migrated doc at home, tick validators, and confirm the
+	// coop copies refreshed (fetch counters move).
+	for doc := range migrated {
+		if err := home.UpdateDocument(doc, []byte("<html>edited</html>")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.TickValidators()
+	// After validation, a fresh client fetching the migrated doc must see
+	// the new content via redirect.
+	for doc := range migrated {
+		resp := fetchFollow(t, c, "http://home:80"+doc)
+		if string(resp) != "<html>edited</html>" {
+			t.Fatalf("migrated copy stale after validation: %q", resp)
+		}
+		break
+	}
+}
+
+func fetchFollow(t *testing.T, c *Cluster, url string) []byte {
+	t.Helper()
+	stats := &webclient.Stats{}
+	cl, err := webclient.New(webclient.Config{
+		Dialer: c.Dialer(), EntryURLs: []string{url}, Seed: 1, Stats: stats,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _, ok := cl.Fetch(url)
+	if !ok {
+		t.Fatalf("fetch %s failed: %s", url, stats)
+	}
+	return body
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty cluster config accepted")
+	}
+}
+
+func TestMultipleHomes(t *testing.T) {
+	// The fully symmetric deployment of §3.3: two departments, each a home
+	// for its own site and a potential coop for the other.
+	c, err := New(Config{Servers: []ServerSpec{
+		{Host: "east", Port: 80, Site: dataset.LOD()},
+		{Host: "west", Port: 80, Site: dataset.MAPUG()},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if len(c.EntryURLs()) != 2 {
+		t.Fatalf("entry URLs = %v", c.EntryURLs())
+	}
+	for _, url := range c.EntryURLs() {
+		if body := fetchFollow(t, c, url); len(body) == 0 {
+			t.Fatalf("entry %s unreachable", url)
+		}
+	}
+}
+
+func TestClusterPingersExchangeLoadTables(t *testing.T) {
+	c := lodCluster(t, 3, dcws.Params{})
+	// Fresh peers have never communicated: their load-table entries are
+	// stale, so one pinger round must refresh them via artificial
+	// requests (§4.5).
+	c.TickPingers()
+	for _, s := range c.Servers {
+		for _, other := range c.Servers {
+			if s == other {
+				continue
+			}
+			if _, ok := s.LoadTable().Get(other.Addr()); !ok {
+				t.Fatalf("%s does not know %s after pinger round", s.Addr(), other.Addr())
+			}
+		}
+	}
+}

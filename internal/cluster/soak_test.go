@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dcws/internal/clock"
+	"dcws/internal/dataset"
+	"dcws/internal/dcws"
+	"dcws/internal/memnet"
+	"dcws/internal/webclient"
+)
+
+// TestSoakLiveClusterConsistency runs a three-server group under continuous
+// Algorithm 2 load with all maintenance driven by a heavily compressed real
+// clock (statistics, pinger, and validation loops all firing many times),
+// then verifies the global invariant the whole design rests on: every
+// document of the site remains reachable from the entry point by a fresh
+// client, wherever migration has scattered it.
+func TestSoakLiveClusterConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	site := dataset.LOD()
+	params := dcws.Params{MigrationThreshold: 1}
+	clk := clock.NewScaled(500) // T_st=10s fires every 20ms real
+	fabric := memnet.NewFabric()
+	c, err := New(Config{
+		Servers: []ServerSpec{
+			{Host: "home", Port: 80, Site: site, Params: params},
+			{Host: "coopa", Port: 81, Params: params},
+			{Host: "coopb", Port: 82, Params: params},
+		},
+		Clock:   clk,
+		Network: fabric,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Continuous load from eight clients for three real seconds (~25
+	// virtual minutes of maintenance activity).
+	stats := &webclient.Stats{}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		cl, err := webclient.New(webclient.Config{
+			Dialer:    c.Dialer(),
+			EntryURLs: c.EntryURLs(),
+			Seed:      int64(i + 1),
+			Stats:     stats,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl.Run(stop)
+		}()
+	}
+	time.Sleep(3 * time.Second)
+	close(stop)
+	wg.Wait()
+
+	if stats.Errors.Value() > 0 {
+		t.Fatalf("navigation errors during soak: %s", stats)
+	}
+	if stats.Connections.Value() == 0 {
+		t.Fatal("soak produced no traffic")
+	}
+	migrated := c.TotalMigrated()
+	if migrated == 0 {
+		t.Fatal("no migrations during soak despite compressed timers")
+	}
+	t.Logf("soak: %s; %d documents migrated", stats, migrated)
+
+	// Reachability sweep: a fresh client fetches every document by its
+	// canonical home URL; redirects must resolve everything.
+	sweep := &webclient.Stats{}
+	cl, err := webclient.New(webclient.Config{
+		Dialer:    c.Dialer(),
+		EntryURLs: c.EntryURLs(),
+		Seed:      999,
+		Stats:     sweep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range site.Docs {
+		cl.ResetCache()
+		name := site.Docs[i].Name
+		body, _, ok := cl.Fetch("http://home:80" + name)
+		if !ok || len(body) == 0 {
+			t.Fatalf("document %s unreachable after soak (%s)", name, sweep)
+		}
+	}
+	if sweep.Errors.Value() > 0 {
+		t.Fatalf("sweep errors: %s", sweep)
+	}
+}

@@ -1,0 +1,218 @@
+// Package dataset synthesizes the four real-life data sets of §5.2. The
+// originals (MAPUG mailing-list archive, SBLog web statistics, LOD
+// role-playing guide, Sequoia 2000 raster data) are no longer retrievable,
+// so each generator reproduces every statistic the paper publishes —
+// document count, link count, aggregate bytes — and, critically, the link
+// topology that drives the scaling behaviour of Figure 7: MAPUG's shared
+// navigation buttons and SBLog's single wildly popular JPEG are the hot
+// spots that cap DCWS scalability, while LOD and Sequoia spread load evenly.
+package dataset
+
+import (
+	"fmt"
+	"strings"
+
+	"dcws/internal/store"
+)
+
+// Link is one outgoing reference of a document.
+type Link struct {
+	// URL is the rooted target path.
+	URL string
+	// Image marks embedded image references (fetched automatically by
+	// clients) as opposed to navigational anchors.
+	Image bool
+}
+
+// Doc describes one document of a data set.
+type Doc struct {
+	// Name is the rooted document path.
+	Name string
+	// Size is the document's size in bytes in the original data set.
+	Size int64
+	// Links are the document's outgoing references in order.
+	Links []Link
+}
+
+// IsHTML reports whether the document is a hypertext page.
+func (d *Doc) IsHTML() bool {
+	return strings.HasSuffix(d.Name, ".html") || strings.HasSuffix(d.Name, ".htm")
+}
+
+// Site is a complete synthetic data set.
+type Site struct {
+	// Name identifies the data set ("MAPUG", "SBLog", "LOD", "Sequoia").
+	Name string
+	// Docs holds every document.
+	Docs []Doc
+	// EntryPoints are the well-known entry points (§3.1); they stay on the
+	// home server.
+	EntryPoints []string
+}
+
+// Stats reports the document count, total link count, and aggregate size.
+func (s *Site) Stats() (docs, links int, bytes int64) {
+	for i := range s.Docs {
+		links += len(s.Docs[i].Links)
+		bytes += s.Docs[i].Size
+	}
+	return len(s.Docs), links, bytes
+}
+
+// Doc returns the named document, or nil.
+func (s *Site) Doc(name string) *Doc {
+	for i := range s.Docs {
+		if s.Docs[i].Name == name {
+			return &s.Docs[i]
+		}
+	}
+	return nil
+}
+
+// Validate checks internal consistency: unique names, links targeting
+// existing documents, entry points present.
+func (s *Site) Validate() error {
+	names := make(map[string]bool, len(s.Docs))
+	for i := range s.Docs {
+		n := s.Docs[i].Name
+		if names[n] {
+			return fmt.Errorf("dataset %s: duplicate document %s", s.Name, n)
+		}
+		names[n] = true
+	}
+	for i := range s.Docs {
+		for _, l := range s.Docs[i].Links {
+			if !names[l.URL] {
+				return fmt.Errorf("dataset %s: %s links to missing %s", s.Name, s.Docs[i].Name, l.URL)
+			}
+		}
+	}
+	for _, ep := range s.EntryPoints {
+		if !names[ep] {
+			return fmt.Errorf("dataset %s: entry point %s missing", s.Name, ep)
+		}
+	}
+	return nil
+}
+
+// Materialize writes the data set into a store as real HTML pages and
+// binary image files. Sizes are multiplied by scale (use scale < 1 to keep
+// the 247 MB Sequoia set manageable in memory); each document is padded or
+// truncated toward its scaled target size, but never below the bytes needed
+// to carry its links.
+func (s *Site) Materialize(st store.Store, scale float64) error {
+	if scale <= 0 {
+		scale = 1
+	}
+	for i := range s.Docs {
+		d := &s.Docs[i]
+		target := int(float64(d.Size) * scale)
+		var data []byte
+		if d.IsHTML() {
+			data = renderHTML(d, target)
+		} else {
+			data = renderBinary(d.Name, target)
+		}
+		if err := st.Put(d.Name, data); err != nil {
+			return fmt.Errorf("dataset %s: materialize %s: %w", s.Name, d.Name, err)
+		}
+	}
+	return nil
+}
+
+// renderHTML builds a page containing the document's links, padded with
+// filler text toward the target size.
+func renderHTML(d *Doc, target int) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html>\n<head><title>%s</title></head>\n<body>\n", d.Name)
+	for _, l := range d.Links {
+		if l.Image {
+			fmt.Fprintf(&b, "<img src=\"%s\">\n", l.URL)
+		} else {
+			fmt.Fprintf(&b, "<a href=\"%s\">%s</a>\n", l.URL, linkText(l.URL))
+		}
+	}
+	const filler = "Lorem ipsum dolor sit amet consectetur adipiscing elit sed do eiusmod tempor. "
+	b.WriteString("<p>\n")
+	for b.Len() < target-len("</p>\n</body>\n</html>\n") {
+		remaining := target - b.Len() - len("</p>\n</body>\n</html>\n")
+		if remaining <= 0 {
+			break
+		}
+		chunk := filler
+		if remaining < len(filler) {
+			chunk = filler[:remaining]
+		}
+		b.WriteString(chunk)
+	}
+	b.WriteString("</p>\n</body>\n</html>\n")
+	return []byte(b.String())
+}
+
+// linkText derives a short human-looking label from a path.
+func linkText(url string) string {
+	base := url
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	if i := strings.IndexByte(base, '.'); i > 0 {
+		base = base[:i]
+	}
+	if base == "" {
+		base = "link"
+	}
+	return base
+}
+
+// renderBinary produces deterministic pseudo-random bytes of the given size
+// with a recognizable magic prefix by extension.
+func renderBinary(name string, size int) []byte {
+	if size < 8 {
+		size = 8
+	}
+	out := make([]byte, size)
+	magic := "BIN0"
+	switch {
+	case strings.HasSuffix(name, ".gif"):
+		magic = "GIF8"
+	case strings.HasSuffix(name, ".jpg"), strings.HasSuffix(name, ".jpeg"):
+		magic = "\xff\xd8\xff\xe0"
+	case strings.HasSuffix(name, ".z"), strings.HasSuffix(name, ".Z"):
+		magic = "\x1f\x9d\x90A"
+	}
+	copy(out, magic)
+	// xorshift keyed by the name so content is stable per document.
+	var seed uint64 = 0x9e3779b97f4a7c15
+	for _, c := range name {
+		seed = seed*31 + uint64(c)
+	}
+	x := seed
+	for i := 4; i < size; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out[i] = byte(x)
+	}
+	return out
+}
+
+// ByName returns the generator for a data set name, or nil.
+func ByName(name string) func() *Site {
+	switch strings.ToLower(name) {
+	case "mapug":
+		return MAPUG
+	case "sblog":
+		return SBLog
+	case "lod":
+		return LOD
+	case "sequoia":
+		return Sequoia
+	default:
+		return nil
+	}
+}
+
+// All returns the four generators in the paper's order.
+func All() []func() *Site {
+	return []func() *Site{MAPUG, SBLog, LOD, Sequoia}
+}

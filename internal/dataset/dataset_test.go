@@ -1,0 +1,277 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dcws/internal/graph"
+	"dcws/internal/store"
+)
+
+// paper records the published statistics of §5.2.
+var paper = map[string]struct {
+	docs  int
+	links int
+	bytes int64
+}{
+	"MAPUG":   {1534, 28998, 5918 * 1024},
+	"SBLog":   {402, 57531, 8468 * 1024},
+	"LOD":     {349, 1433, 750 * 1024},
+	"Sequoia": {131, 130, 0}, // 130 images + the front page; bytes checked separately
+}
+
+func within(got, want, tolerance float64) bool {
+	if want == 0 {
+		return true
+	}
+	return math.Abs(got-want)/want <= tolerance
+}
+
+func TestStatsMatchPaper(t *testing.T) {
+	for _, gen := range All() {
+		site := gen()
+		want := paper[site.Name]
+		docs, links, bytes := site.Stats()
+		if site.Name == "Sequoia" {
+			if docs != 131 || links != 130 {
+				t.Errorf("Sequoia: docs=%d links=%d, want 131/130", docs, links)
+			}
+			// 130 images in the 1-2.8 MB range.
+			if bytes < 130*1_000_000 || bytes > 130*2_800_000 {
+				t.Errorf("Sequoia aggregate = %d bytes", bytes)
+			}
+			continue
+		}
+		if docs != want.docs {
+			t.Errorf("%s: docs = %d, want %d exactly", site.Name, docs, want.docs)
+		}
+		if !within(float64(links), float64(want.links), 0.10) {
+			t.Errorf("%s: links = %d, want %d +/-10%%", site.Name, links, want.links)
+		}
+		if !within(float64(bytes), float64(want.bytes), 0.15) {
+			t.Errorf("%s: bytes = %d, want %d +/-15%%", site.Name, bytes, want.bytes)
+		}
+	}
+}
+
+func TestSitesValidate(t *testing.T) {
+	for _, gen := range All() {
+		site := gen()
+		if err := site.Validate(); err != nil {
+			t.Errorf("%s: %v", site.Name, err)
+		}
+		if len(site.EntryPoints) == 0 {
+			t.Errorf("%s: no entry points", site.Name)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, b := MAPUG(), MAPUG()
+	if len(a.Docs) != len(b.Docs) {
+		t.Fatal("non-deterministic doc count")
+	}
+	for i := range a.Docs {
+		if a.Docs[i].Name != b.Docs[i].Name || a.Docs[i].Size != b.Docs[i].Size ||
+			len(a.Docs[i].Links) != len(b.Docs[i].Links) {
+			t.Fatalf("doc %d differs between runs", i)
+		}
+	}
+}
+
+func TestSBLogHotSpotStructure(t *testing.T) {
+	site := SBLog()
+	// Count references to the bar JPEG: it must dominate the link graph.
+	refs := 0
+	for i := range site.Docs {
+		for _, l := range site.Docs[i].Links {
+			if l.URL == "/graphs/bar.jpg" {
+				refs++
+			}
+		}
+	}
+	_, links, _ := site.Stats()
+	if refs < links/2 {
+		t.Fatalf("bar.jpg referenced %d of %d links; hot spot structure missing", refs, links)
+	}
+}
+
+func TestMAPUGButtonsShared(t *testing.T) {
+	site := MAPUG()
+	refs := map[string]int{}
+	for i := range site.Docs {
+		for _, l := range site.Docs[i].Links {
+			if l.Image {
+				refs[l.URL]++
+			}
+		}
+	}
+	for _, btn := range []string{"/buttons/next.gif", "/buttons/index.gif"} {
+		if refs[btn] < 1000 {
+			t.Errorf("%s referenced %d times; buttons should be site-wide hot spots", btn, refs[btn])
+		}
+	}
+}
+
+func TestLODBimodalImages(t *testing.T) {
+	site := LOD()
+	var small, large, html int
+	for i := range site.Docs {
+		d := &site.Docs[i]
+		switch {
+		case d.IsHTML():
+			html++
+		case d.Size < 2500:
+			small++
+		default:
+			large++
+		}
+	}
+	if small+large != 240 {
+		t.Fatalf("images = %d, want 240", small+large)
+	}
+	if html != 109 {
+		t.Fatalf("html pages = %d, want 109", html)
+	}
+	if small != 120 || large != 120 {
+		t.Fatalf("bimodal split = %d/%d, want 120/120", small, large)
+	}
+}
+
+func TestSequoiaSizeRange(t *testing.T) {
+	site := Sequoia()
+	for i := range site.Docs {
+		d := &site.Docs[i]
+		if d.IsHTML() {
+			continue
+		}
+		if d.Size < 1_000_000 || d.Size > 2_800_000 {
+			t.Fatalf("%s size %d outside 1-2.8MB", d.Name, d.Size)
+		}
+	}
+}
+
+func TestMaterializeAndGraphBuild(t *testing.T) {
+	site := LOD()
+	st := store.NewMem()
+	if err := site.Materialize(st, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := st.List()
+	if len(names) != len(site.Docs) {
+		t.Fatalf("materialized %d docs, want %d", len(names), len(site.Docs))
+	}
+	// The LDG built from materialized HTML must reproduce the spec's links.
+	g, err := graph.Build(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range site.Docs {
+		d := &site.Docs[i]
+		if !d.IsHTML() {
+			continue
+		}
+		node, err := g.Get(d.Name)
+		if err != nil {
+			t.Fatalf("graph missing %s: %v", d.Name, err)
+		}
+		want := map[string]bool{}
+		for _, l := range d.Links {
+			if l.URL != d.Name {
+				want[l.URL] = true
+			}
+		}
+		if len(node.LinkTo) != len(want) {
+			t.Fatalf("%s: graph LinkTo = %d, spec = %d", d.Name, len(node.LinkTo), len(want))
+		}
+	}
+}
+
+func TestMaterializeSizesApproximate(t *testing.T) {
+	site := MAPUG()
+	st := store.NewMem()
+	if err := site.Materialize(st, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for i := range site.Docs {
+		sz, err := st.Size(site.Docs[i].Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += sz
+	}
+	_, _, want := site.Stats()
+	if !within(float64(total), float64(want), 0.10) {
+		t.Fatalf("materialized bytes = %d, spec = %d", total, want)
+	}
+}
+
+func TestMaterializeScaled(t *testing.T) {
+	site := Sequoia()
+	st := store.NewMem()
+	if err := site.Materialize(st, 0.001); err != nil {
+		t.Fatal(err)
+	}
+	total, err := store.TotalBytes(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total > 2_000_000 {
+		t.Fatalf("scaled Sequoia uses %d bytes; scaling failed", total)
+	}
+}
+
+func TestMaterializedImagesHaveMagic(t *testing.T) {
+	site := LOD()
+	st := store.NewMem()
+	site.Materialize(st, 1.0)
+	data, err := st.Get("/img/s000.gif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "GIF8") {
+		t.Fatalf("gif magic = %q", data[:4])
+	}
+	data, _ = st.Get("/img/l001.jpg")
+	if data[0] != 0xff || data[1] != 0xd8 {
+		t.Fatalf("jpeg magic = %x", data[:4])
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"mapug", "SBLog", "LOD", "sequoia"} {
+		if ByName(name) == nil {
+			t.Errorf("ByName(%q) = nil", name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName(nope) != nil")
+	}
+}
+
+func TestAverageDocSizeOrdering(t *testing.T) {
+	// §5.3: Sequoia has the largest average document size, then SBLog,
+	// MAPUG, and LOD the smallest — this ordering drives the BPS/CPS
+	// inversion in Figure 7.
+	avg := map[string]float64{}
+	for _, gen := range All() {
+		site := gen()
+		docs, _, bytes := site.Stats()
+		avg[site.Name] = float64(bytes) / float64(docs)
+	}
+	if !(avg["Sequoia"] > avg["SBLog"] && avg["SBLog"] > avg["MAPUG"] && avg["MAPUG"] > avg["LOD"]) {
+		t.Fatalf("average size ordering wrong: %v", avg)
+	}
+}
+
+func TestDocLookup(t *testing.T) {
+	site := LOD()
+	if site.Doc("/index.html") == nil {
+		t.Fatal("Doc lookup failed")
+	}
+	if site.Doc("/missing") != nil {
+		t.Fatal("Doc lookup of missing name succeeded")
+	}
+}

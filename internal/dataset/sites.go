@@ -1,0 +1,283 @@
+package dataset
+
+import "fmt"
+
+// MAPUG reproduces the MAPUG Mailing List Archive: 1,534 documents, 28,998
+// links, 5,918 KB. "The data set is mostly text, each with 4-6 bit-mapped
+// images, which are buttons for links to the next, previous, next_thread,
+// previous_thread, and several index pages. The bit-mapped buttons have a
+// high request rate and are among the first pages migrated by the server."
+func MAPUG() *Site {
+	const (
+		threads    = 75
+		perThread  = 20
+		dateIdx    = 26
+		msgSize    = 3780 // bytes per message page
+		idxSize    = 4200
+		buttonSize = 620
+	)
+	buttons := []string{
+		"/buttons/next.gif", "/buttons/prev.gif",
+		"/buttons/next_thread.gif", "/buttons/prev_thread.gif",
+		"/buttons/index.gif", "/buttons/home.gif",
+	}
+	var docs []Doc
+	for _, b := range buttons {
+		docs = append(docs, Doc{Name: b, Size: buttonSize})
+	}
+
+	msgName := func(t, m int) string { return fmt.Sprintf("/msg/t%03d/m%02d.html", t, m) }
+	dateName := func(d int) string { return fmt.Sprintf("/bydate/d%02d.html", d) }
+	total := threads * perThread
+
+	// Messages: navigation anchors plus the 6 shared buttons — the shared
+	// buttons are MAPUG's hot spot.
+	for t := 0; t < threads; t++ {
+		for m := 0; m < perThread; m++ {
+			var links []Link
+			seq := t*perThread + m
+			add := func(url string) { links = append(links, Link{URL: url}) }
+			if m+1 < perThread {
+				add(msgName(t, m+1)) // next
+			} else if t+1 < threads {
+				add(msgName(t+1, 0))
+			}
+			if m > 0 {
+				add(msgName(t, m-1)) // previous
+			} else if t > 0 {
+				add(msgName(t-1, perThread-1))
+			}
+			if t+1 < threads {
+				add(msgName(t+1, 0)) // next thread
+			}
+			if t > 0 {
+				add(msgName(t-1, 0)) // previous thread
+			}
+			add(msgName(t, 0))           // thread start
+			add("/threads.html")         // thread index
+			add(dateName(seq % dateIdx)) // date index
+			// Nearby-message sidebar (±3 within the thread).
+			for _, d := range []int{-3, -2, -1, 1, 2, 3} {
+				if n := m + d; n >= 0 && n < perThread && n != m {
+					add(msgName(t, n))
+				}
+			}
+			for _, b := range buttons {
+				links = append(links, Link{URL: b, Image: true})
+			}
+			docs = append(docs, Doc{Name: msgName(t, m), Size: msgSize, Links: links})
+		}
+	}
+
+	// Thread index: first message of every thread.
+	var threadLinks []Link
+	for t := 0; t < threads; t++ {
+		threadLinks = append(threadLinks, Link{URL: msgName(t, 0)})
+	}
+	for _, b := range buttons {
+		threadLinks = append(threadLinks, Link{URL: b, Image: true})
+	}
+	docs = append(docs, Doc{Name: "/threads.html", Size: idxSize, Links: threadLinks})
+
+	// Date indexes: messages bucketed round-robin by sequence number.
+	for d := 0; d < dateIdx; d++ {
+		var links []Link
+		for seq := d; seq < total; seq += dateIdx {
+			links = append(links, Link{URL: msgName(seq/perThread, seq%perThread)})
+		}
+		for _, b := range buttons {
+			links = append(links, Link{URL: b, Image: true})
+		}
+		docs = append(docs, Doc{Name: dateName(d), Size: idxSize, Links: links})
+	}
+
+	// Archive home: the well-known entry point.
+	var homeLinks []Link
+	homeLinks = append(homeLinks, Link{URL: "/threads.html"})
+	for d := 0; d < dateIdx; d++ {
+		homeLinks = append(homeLinks, Link{URL: dateName(d)})
+	}
+	for _, b := range buttons {
+		homeLinks = append(homeLinks, Link{URL: b, Image: true})
+	}
+	docs = append(docs, Doc{Name: "/index.html", Size: idxSize, Links: homeLinks})
+
+	return &Site{Name: "MAPUG", Docs: docs, EntryPoints: []string{"/index.html"}}
+}
+
+// SBLog reproduces the SBLog Web Statistics set: 402 documents, 57,531
+// links, 8,468 KB. "The data set is entirely text, except for one JPEG
+// image, which is used to display bar graphs. This JPEG image file is
+// extremely popular." Every table row on every page stretches that single
+// JPEG as its bar, producing the pathological hot spot of Figure 7.
+func SBLog() *Site {
+	const (
+		detailPages = 397
+		detailRows  = 67 // days shown per file detail page (2 bars per row)
+		jpegSize    = 12 * 1024
+		detailSize  = 20900
+		idxSize     = 24000
+	)
+	const bar = "/graphs/bar.jpg"
+	var docs []Doc
+	docs = append(docs, Doc{Name: bar, Size: jpegSize})
+
+	detailName := func(i int) string { return fmt.Sprintf("/files/f%03d.html", i) }
+	overviews := []string{"/bydate.html", "/byip.html", "/bydir.html"}
+
+	for i := 0; i < detailPages; i++ {
+		var links []Link
+		for r := 0; r < detailRows; r++ {
+			// Hits bar and bytes bar for one day.
+			links = append(links, Link{URL: bar, Image: true}, Link{URL: bar, Image: true})
+		}
+		for _, ov := range overviews {
+			links = append(links, Link{URL: ov})
+		}
+		links = append(links, Link{URL: "/index.html"})
+		if i+1 < detailPages {
+			links = append(links, Link{URL: detailName(i + 1)})
+		}
+		if i > 0 {
+			links = append(links, Link{URL: detailName(i - 1)})
+		}
+		docs = append(docs, Doc{Name: detailName(i), Size: detailSize, Links: links})
+	}
+
+	// Overview indexes: rows of bars plus links into the detail pages.
+	for oi, ov := range overviews {
+		var links []Link
+		rows := []int{365, 200, 50}[oi]
+		for r := 0; r < rows; r++ {
+			links = append(links, Link{URL: bar, Image: true})
+		}
+		for i := oi; i < detailPages; i += len(overviews) {
+			links = append(links, Link{URL: detailName(i)})
+		}
+		links = append(links, Link{URL: "/index.html"})
+		docs = append(docs, Doc{Name: ov, Size: idxSize, Links: links})
+	}
+
+	// Front page: the entry point, linking everything.
+	var homeLinks []Link
+	for _, ov := range overviews {
+		homeLinks = append(homeLinks, Link{URL: ov})
+	}
+	for i := 0; i < detailPages; i++ {
+		homeLinks = append(homeLinks, Link{URL: detailName(i)})
+	}
+	homeLinks = append(homeLinks, Link{URL: bar, Image: true})
+	docs = append(docs, Doc{Name: "/index.html", Size: idxSize, Links: homeLinks})
+
+	return &Site{Name: "SBLog", Docs: docs, EntryPoints: []string{"/index.html"}}
+}
+
+// LOD reproduces the LOD Role-Playing Adventure Guide: 349 documents (240
+// of them images), 1,433 links, 750 KB. "About a half dozen pages consist
+// of large tables of characters or data items with about 50 thumbnail
+// images in each page ... Images follow a bimodal distribution with
+// approximately half of the images averaging 1.5 Kbytes and the remainder
+// averaging 3.5 Kbytes." No hot spots develop: every image is referenced
+// from only a couple of pages.
+func LOD() *Site {
+	const (
+		tables     = 6
+		rowsPer    = 40 // 6*40 = 240 rows, one image each
+		itemPages  = 102
+		smallImage = 1536
+		largeImage = 3584
+		htmlSize   = 1380
+	)
+	// Bimodal images (§5.2): 120 small ~1.5 KB thumbnails and 120 large
+	// ~3.5 KB item images.
+	smallName := func(i int) string { return fmt.Sprintf("/img/s%03d.gif", i%120) }
+	largeName := func(i int) string { return fmt.Sprintf("/img/l%03d.jpg", i%120) }
+	itemName := func(i int) string { return fmt.Sprintf("/items/p%03d.html", i) }
+	tableName := func(i int) string { return fmt.Sprintf("/tables/t%d.html", i) }
+
+	var docs []Doc
+	for i := 0; i < 120; i++ {
+		docs = append(docs, Doc{Name: smallName(i), Size: smallImage})
+		docs = append(docs, Doc{Name: largeName(i), Size: largeImage})
+	}
+
+	// Table pages: ~40 rows of thumbnail + link to an item page.
+	for t := 0; t < tables; t++ {
+		var links []Link
+		for r := 0; r < rowsPer; r++ {
+			links = append(links, Link{URL: smallName(t*rowsPer + r), Image: true})
+			links = append(links, Link{URL: itemName((t*rowsPer + r) % itemPages)})
+		}
+		links = append(links, Link{URL: "/index.html"})
+		docs = append(docs, Doc{Name: tableName(t), Size: htmlSize * 3, Links: links})
+	}
+
+	// Item pages: one full-size image, a four-thumbnail related strip, and
+	// navigation links.
+	for i := 0; i < itemPages; i++ {
+		var links []Link
+		links = append(links, Link{URL: largeName(i), Image: true})
+		for k := 1; k <= 4; k++ {
+			links = append(links, Link{URL: smallName(i*3 + k*17), Image: true})
+		}
+		links = append(links, Link{URL: itemName((i + 1) % itemPages)})
+		links = append(links, Link{URL: itemName((i + itemPages - 1) % itemPages)})
+		links = append(links, Link{URL: tableName(i % tables)})
+		links = append(links, Link{URL: "/index.html"})
+		docs = append(docs, Doc{Name: itemName(i), Size: htmlSize, Links: links})
+	}
+
+	// Index: the entry point.
+	var homeLinks []Link
+	for t := 0; t < tables; t++ {
+		homeLinks = append(homeLinks, Link{URL: tableName(t)})
+	}
+	for i := 0; i < 12; i++ {
+		homeLinks = append(homeLinks, Link{URL: itemName(i * 8 % itemPages)})
+	}
+	docs = append(docs, Doc{Name: "/index.html", Size: htmlSize, Links: homeLinks})
+
+	return &Site{Name: "LOD", Docs: docs, EntryPoints: []string{"/index.html"}}
+}
+
+// Sequoia reproduces the Sequoia 2000 storage benchmark raster front end:
+// 130 compressed AVHRR satellite images of 1-2.8 MB behind a single HTML
+// page with one hyperlink per image.
+func Sequoia() *Site {
+	const images = 130
+	var docs []Doc
+	var homeLinks []Link
+	for i := 0; i < images; i++ {
+		name := fmt.Sprintf("/raster/avhrr%03d.z", i)
+		// Sizes sweep the 1-2.8 MB range deterministically.
+		size := int64(1_000_000 + (i*1_800_000)/(images-1))
+		docs = append(docs, Doc{Name: name, Size: size})
+		homeLinks = append(homeLinks, Link{URL: name})
+	}
+	docs = append(docs, Doc{Name: "/index.html", Size: 9000, Links: homeLinks})
+	return &Site{Name: "Sequoia", Docs: docs, EntryPoints: []string{"/index.html"}}
+}
+
+// HotImage is a synthetic workload used by the replication ablation: one
+// large, extremely popular image — embedded by every page but, unlike an
+// entry point, free to migrate — so a single co-op server saturates unless
+// the §6 replication extension spreads it. It is not one of the paper's
+// data sets; it isolates the situation replication targets.
+func HotImage() *Site {
+	const pages = 30
+	var docs []Doc
+	docs = append(docs, Doc{Name: "/big.jpg", Size: 100 * 1024})
+	var idxLinks []Link
+	for i := 0; i < pages; i++ {
+		name := fmt.Sprintf("/pages/p%02d.html", i)
+		links := []Link{
+			{URL: "/big.jpg", Image: true},
+			{URL: fmt.Sprintf("/pages/p%02d.html", (i+1)%pages)},
+			{URL: "/index.html"},
+		}
+		docs = append(docs, Doc{Name: name, Size: 2048, Links: links})
+		idxLinks = append(idxLinks, Link{URL: name})
+	}
+	docs = append(docs, Doc{Name: "/index.html", Size: 2048, Links: idxLinks})
+	return &Site{Name: "HotImage", Docs: docs, EntryPoints: []string{"/index.html"}}
+}

@@ -1,0 +1,378 @@
+package dcws
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"dcws/internal/glt"
+	"dcws/internal/httpx"
+	"dcws/internal/naming"
+)
+
+// TestHomeCrashCoopKeepsServing covers §4.5 case 4: "a co-op server should
+// not throw away any data until absolutely necessary ... in order to make
+// that data available in case of a home server crash."
+func TestHomeCrashCoopKeepsServing(t *testing.T) {
+	w := newWorld(t)
+	home, coop := migrateAndServe(t, w)
+	// Materialize the copy at the coop.
+	if resp := w.get("coop:81", "/~migrate/home/80/page.html"); resp.Status != 200 {
+		t.Fatalf("pre-crash fetch = %d", resp.Status)
+	}
+	// Home crashes.
+	home.Close()
+	delete(w.servers, "home:80")
+
+	// The coop still serves the hosted copy.
+	resp := w.get("coop:81", "/~migrate/home/80/page.html")
+	if resp.Status != 200 || !strings.Contains(string(resp.Body), "pic.gif") {
+		t.Fatalf("post-crash coop serve = %d %q", resp.Status, resp.Body)
+	}
+	// A validation pass cannot reach the home, but must NOT drop the copy.
+	coop.runValidatorTick()
+	resp = w.get("coop:81", "/~migrate/home/80/page.html")
+	if resp.Status != 200 {
+		t.Fatalf("copy discarded after failed validation: %d", resp.Status)
+	}
+	if coop.CoopDocCount() != 1 {
+		t.Fatalf("coop dropped the crashed home's document: %d", coop.CoopDocCount())
+	}
+}
+
+// TestCoopCrashMidFetch: a request for a logically-migrated document whose
+// coop cannot reach the home is answered 503, and the client can retry.
+func TestCoopUnreachableHomeGives503(t *testing.T) {
+	w := newWorld(t)
+	w.addServer("coop", 81, nil, nil, Params{})
+	// The home was never started: the coop's lazy fetch fails.
+	resp := w.get("coop:81", "/~migrate/ghost/80/doc.html")
+	if resp.Status != 503 {
+		t.Fatalf("status = %d, want 503 when home unreachable", resp.Status)
+	}
+}
+
+// TestRevokeUnreachableCoopStillRestoresHome: revocation must succeed
+// locally even when the coop cannot be told (it will age out at
+// validation).
+func TestRevokeUnreachableCoopStillRestoresHome(t *testing.T) {
+	w := newWorld(t)
+	home, coop := migrateAndServe(t, w)
+	w.get("coop:81", "/~migrate/home/80/page.html")
+	coop.Close()
+	delete(w.servers, "coop:81")
+
+	home.revoke("/page.html")
+	if loc, _ := home.Graph().Location("/page.html"); loc != "" {
+		t.Fatalf("location after revoke = %q", loc)
+	}
+	resp := w.get("home:80", "/page.html")
+	if resp.Status != 200 {
+		t.Fatalf("home serve after revoke = %d", resp.Status)
+	}
+}
+
+// TestOrphanedCoopCopyDroppedAtValidation: when the home re-migrates a
+// document elsewhere behind the coop's back, the coop discards its copy at
+// the next validation pass.
+func TestOrphanedCoopCopyDroppedAtValidation(t *testing.T) {
+	w := newWorld(t)
+	home, _ := migrateAndServe(t, w)
+	coop := w.servers["coop:81"]
+	w.addServer("coop2", 82, nil, nil, Params{})
+	w.get("coop:81", "/~migrate/home/80/page.html")
+	if coop.CoopDocCount() != 1 {
+		t.Fatal("setup: coop has no copy")
+	}
+	// Home reassigns the document to coop2 directly (simulating a
+	// re-migration the first coop never heard about).
+	home.revoke("/page.html")
+	// revoke() notified coop; force the copy back to simulate a missed
+	// revocation instead.
+	home.migrate("/page.html", "coop2:82")
+	w.get("coop:81", "/~migrate/home/80/page.html") // refetch attempt
+	// The fetch relays a redirect since coop:81 is no longer authorized;
+	// any remaining state is cleared by validation.
+	coop.runValidatorTick()
+	if n := coop.CoopDocCount(); n != 0 {
+		t.Fatalf("orphaned copy still hosted: %d", n)
+	}
+	// And the document remains reachable end to end via coop2.
+	final := w.follow("home:80", "/page.html")
+	if final.Status != 200 {
+		t.Fatalf("document unreachable after reassignment: %d", final.Status)
+	}
+}
+
+// TestPingerRecoversFromTransientFailure: failures below the threshold must
+// not trigger a recall.
+func TestPingerTransientFailureTolerated(t *testing.T) {
+	w := newWorld(t)
+	home, coop := migrateAndServe(t, w)
+	w.get("coop:81", "/~migrate/home/80/page.html")
+	// One failed pinger round (coop briefly unreachable).
+	l := w.fabric // close and reopen the coop listener is not supported;
+	_ = l
+	// Instead simulate by making the entry stale and failing fewer than
+	// MaxPingFailures times against a live server — pings succeed, so
+	// failures reset.
+	w.clock.Advance(time.Hour)
+	home.runPingerTick()
+	if loc, _ := home.Graph().Location("/page.html"); loc != "coop:81" {
+		t.Fatalf("healthy coop lost its document: %q", loc)
+	}
+	if coop.CoopDocCount() != 1 {
+		t.Fatal("copy vanished")
+	}
+}
+
+// TestPiggybackSurvivesForeignHeaders: unknown extension headers from other
+// implementations must be ignored gracefully.
+func TestForeignExtensionHeadersIgnored(t *testing.T) {
+	w := newWorld(t)
+	w.addServer("home", 80, siteAB(), nil, Params{})
+	extra := make(httpx.Header)
+	extra.Set("X-Whatever-Else", "surprise")
+	extra.Set(glt.HeaderName, "not,a,valid=header@@@")
+	resp, err := w.client.Get("home:80", "/index.html", extra)
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("request with junk headers failed: %v %v", err, resp)
+	}
+}
+
+// TestConcurrentCoopFetchSingleFlight: many simultaneous first requests for
+// the same migrated document must not produce duplicate stored copies or
+// errors.
+func TestConcurrentCoopFetch(t *testing.T) {
+	w := newWorld(t)
+	home, coop := migrateAndServe(t, w)
+	done := make(chan int, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			resp, err := w.client.Get("coop:81", "/~migrate/home/80/page.html", nil)
+			if err != nil {
+				done <- 0
+				return
+			}
+			done <- resp.Status
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if status := <-done; status != 200 {
+			t.Fatalf("concurrent fetch %d returned %d", i, status)
+		}
+	}
+	if coop.CoopDocCount() != 1 {
+		t.Fatalf("coop doc count = %d", coop.CoopDocCount())
+	}
+	if home.Stats().Fetches.Value() > 8 {
+		t.Fatalf("excessive refetching: %d", home.Stats().Fetches.Value())
+	}
+}
+
+// TestStatusJSONServesOverHTTP verifies the operational endpoint is valid
+// JSON with the expected fields after real traffic.
+func TestStatusReflectsMigrations(t *testing.T) {
+	w := newWorld(t)
+	home, _ := migrateAndServe(t, w)
+	w.get("coop:81", "/~migrate/home/80/page.html")
+	st := home.Status()
+	if st.MigratedOut["/page.html"] != "coop:81" {
+		t.Fatalf("status migrated_out = %v", st.MigratedOut)
+	}
+	if st.Fetches == 0 {
+		t.Fatal("status fetches = 0")
+	}
+	coopStatus := w.servers["coop:81"].Status()
+	if len(coopStatus.CoopHosted) != 1 {
+		t.Fatalf("coop status hosted = %v", coopStatus.CoopHosted)
+	}
+}
+
+// TestRestartPreservesGraphAfterRegeneration: a server restarted over a
+// store whose documents were regenerated (and therefore contain absolute
+// ~migrate hyperlinks) must rebuild the same link graph, so later
+// revocations still dirty the right documents.
+func TestRestartPreservesGraphAfterRegeneration(t *testing.T) {
+	w := newWorld(t)
+	home, _ := migrateAndServe(t, w)
+	// Regenerate /index.html: its stored source now holds an absolute
+	// coop URL for /page.html.
+	w.get("home:80", "/index.html")
+	data, err := home.cfg.Store.Get("/index.html")
+	if err != nil || !strings.Contains(string(data), "~migrate") {
+		t.Fatalf("setup: stored index not regenerated: %q %v", data, err)
+	}
+	st := home.cfg.Store
+	home.Close()
+	delete(w.servers, "home:80")
+
+	// Boot a fresh server over the same store.
+	restarted, err := New(Config{
+		Origin:      naming.Origin{Host: "home", Port: 80},
+		Store:       st,
+		Network:     w.fabric,
+		Clock:       w.clock,
+		EntryPoints: []string{"/index.html"},
+		Peers:       []string{"coop:81"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restarted.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer restarted.Close()
+	w.servers["home:80"] = restarted
+
+	// The edge index.html -> page.html must have survived the absolute
+	// ~migrate form.
+	doc, err := restarted.Graph().Get("/index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, to := range doc.LinkTo {
+		if to == "/page.html" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("restart lost the rewritten edge: LinkTo = %v", doc.LinkTo)
+	}
+	// The restarted server does not know about the old migration (that
+	// state was in memory), so it serves /page.html locally; regenerating
+	// index must restore the plain link.
+	resp := w.get("home:80", "/page.html")
+	if resp.Status != 200 {
+		t.Fatalf("restarted home serves %d for /page.html", resp.Status)
+	}
+	// Force regeneration by marking dirty (a restart conservatively
+	// treats recovered absolute links as current; an admin edit or
+	// revocation would dirty it).
+	restarted.Graph().MarkMigrated("/page.html", "coop:81")
+	restarted.Graph().MarkRevoked("/page.html")
+	resp = w.get("home:80", "/index.html")
+	if strings.Contains(string(resp.Body), "~migrate") {
+		t.Fatalf("restarted server could not restore the link: %s", resp.Body)
+	}
+}
+
+// TestRecallEndpoint exercises the operator-facing recall: all documents
+// migrated to the named co-op return home over HTTP.
+func TestRecallEndpoint(t *testing.T) {
+	w := newWorld(t)
+	home, coop := migrateAndServe(t, w)
+	w.get("coop:81", "/~migrate/home/80/page.html")
+	req := httpx.NewRequest("POST", "/~dcws/recall")
+	req.Header.Set("X-DCWS-Fetch", "coop:81")
+	resp, err := w.client.Do("home:80", req)
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("recall = %v %v", err, resp)
+	}
+	if !strings.Contains(string(resp.Body), "recalled 1") {
+		t.Fatalf("recall body = %q", resp.Body)
+	}
+	if loc, _ := home.Graph().Location("/page.html"); loc != "" {
+		t.Fatalf("doc still migrated after recall: %q", loc)
+	}
+	if coop.CoopDocCount() != 0 {
+		t.Fatal("coop kept its copy after recall")
+	}
+	// GET is rejected, missing header is rejected.
+	if resp := w.get("home:80", "/~dcws/recall"); resp.Status != 405 {
+		t.Fatalf("GET recall = %d", resp.Status)
+	}
+	bad := httpx.NewRequest("POST", "/~dcws/recall")
+	resp, _ = w.client.Do("home:80", bad)
+	if resp.Status != 400 {
+		t.Fatalf("recall without header = %d", resp.Status)
+	}
+}
+
+// TestGraphEndpoint serves the LDG as JSON.
+func TestGraphEndpoint(t *testing.T) {
+	w := newWorld(t)
+	home, _ := migrateAndServe(t, w)
+	_ = home
+	resp := w.get("home:80", "/~dcws/graph")
+	if resp.Status != 200 {
+		t.Fatalf("graph endpoint = %d", resp.Status)
+	}
+	var dump GraphDump
+	if err := json.Unmarshal(resp.Body, &dump); err != nil {
+		t.Fatalf("graph not JSON: %v", err)
+	}
+	if dump.Addr != "home:80" || len(dump.Docs) != 3 {
+		t.Fatalf("dump = %+v", dump)
+	}
+	var sawMigrated bool
+	for _, d := range dump.Docs {
+		if d.Name == "/page.html" && d.Location == "coop:81" {
+			sawMigrated = true
+		}
+	}
+	if !sawMigrated {
+		t.Fatal("graph dump missing migration state")
+	}
+}
+
+// TestCoopCacheEviction: with a tight co-op disk budget, the
+// least-recently-used hosted copy is evicted and transparently re-fetched
+// on its next request (§4.5 "lack of disk space").
+func TestCoopCacheEviction(t *testing.T) {
+	w := newWorld(t)
+	home := w.addServer("home", 80, map[string]string{
+		"/index.html": `<a href="/a.html">a</a><a href="/b.html">b</a>`,
+		"/a.html":     "<html>" + strings.Repeat("a", 400) + "</html>",
+		"/b.html":     "<html>" + strings.Repeat("b", 400) + "</html>",
+	}, []string{"/index.html"}, Params{})
+	// Budget fits one migrated copy but not two.
+	coop := w.addServer("coop", 81, nil, nil, Params{CoopCacheBytes: 600})
+	home.migrate("/a.html", "coop:81")
+	home.migrate("/b.html", "coop:81")
+
+	// Fetch a, then b: a is LRU and must be evicted.
+	if resp := w.get("coop:81", "/~migrate/home/80/a.html"); resp.Status != 200 {
+		t.Fatalf("a = %d", resp.Status)
+	}
+	w.clock.Advance(time.Second)
+	if resp := w.get("coop:81", "/~migrate/home/80/b.html"); resp.Status != 200 {
+		t.Fatalf("b = %d", resp.Status)
+	}
+	if coop.cfg.Store.Has("/~migrate/home/80/a.html") {
+		t.Fatal("LRU copy not evicted")
+	}
+	if !coop.cfg.Store.Has("/~migrate/home/80/b.html") {
+		t.Fatal("most recent copy evicted instead of LRU")
+	}
+	// The evicted document is still served — lazily re-fetched.
+	fetchesBefore := home.Stats().Fetches.Value()
+	resp := w.get("coop:81", "/~migrate/home/80/a.html")
+	if resp.Status != 200 || !strings.Contains(string(resp.Body), "aaa") {
+		t.Fatalf("evicted doc not re-served: %d", resp.Status)
+	}
+	if home.Stats().Fetches.Value() == fetchesBefore {
+		t.Fatal("re-serve did not re-fetch from home")
+	}
+}
+
+// TestCoopCacheUnlimitedByDefault: without a budget nothing is evicted.
+func TestCoopCacheUnlimitedByDefault(t *testing.T) {
+	w := newWorld(t)
+	home := w.addServer("home", 80, map[string]string{
+		"/index.html": `<a href="/a.html">a</a><a href="/b.html">b</a>`,
+		"/a.html":     "<html>" + strings.Repeat("a", 400) + "</html>",
+		"/b.html":     "<html>" + strings.Repeat("b", 400) + "</html>",
+	}, []string{"/index.html"}, Params{})
+	coop := w.addServer("coop", 81, nil, nil, Params{})
+	home.migrate("/a.html", "coop:81")
+	home.migrate("/b.html", "coop:81")
+	w.get("coop:81", "/~migrate/home/80/a.html")
+	w.get("coop:81", "/~migrate/home/80/b.html")
+	if !coop.cfg.Store.Has("/~migrate/home/80/a.html") ||
+		!coop.cfg.Store.Has("/~migrate/home/80/b.html") {
+		t.Fatal("copies evicted without a budget")
+	}
+}

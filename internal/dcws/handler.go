@@ -1,0 +1,371 @@
+package dcws
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"dcws/internal/httpx"
+	"dcws/internal/naming"
+	"dcws/internal/store"
+)
+
+// handle is the worker-thread entry point implementing the request matrix
+// of §4.2 and §4.4.
+func (s *Server) handle(req *httpx.Request) *httpx.Response {
+	s.absorb(req.Header)
+	var resp *httpx.Response
+	switch {
+	case req.Path == pingPath:
+		resp = s.handlePing()
+	case req.Path == statusPath:
+		resp = s.handleStatus()
+	case strings.HasPrefix(req.Path, revokePath):
+		resp = s.handleRevoke(req)
+	case req.Path == recallPath:
+		resp = s.handleRecall(req)
+	case req.Path == graphPath:
+		resp = s.handleGraph()
+	case naming.IsMigrated(req.Path):
+		resp = s.serveAsCoop(req)
+	default:
+		resp = s.serveAsHome(req)
+	}
+	s.piggyback(resp.Header)
+	return resp
+}
+
+func (s *Server) handlePing() *httpx.Response {
+	resp := httpx.NewResponse(200)
+	resp.Header.Set("Content-Type", "text/plain")
+	resp.Body = []byte("pong\n")
+	return resp
+}
+
+// handleRevoke is the co-op side of revocation (§4.5): the home server asks
+// us to stop hosting one of its documents.
+func (s *Server) handleRevoke(req *httpx.Request) *httpx.Response {
+	if req.Method != "POST" {
+		return status(405, "revoke requires POST")
+	}
+	key := req.Header.Get(headerRevokeDoc)
+	if key == "" || !naming.IsMigrated(key) {
+		return status(400, "missing or invalid "+headerRevokeDoc+" header")
+	}
+	cleaned, err := store.CleanName(key)
+	if err != nil {
+		return status(400, err.Error())
+	}
+	s.mu.Lock()
+	_, hosted := s.coopDocs[cleaned]
+	delete(s.coopDocs, cleaned)
+	s.mu.Unlock()
+	if hosted {
+		if err := s.cfg.Store.Delete(cleaned); err != nil {
+			s.log.Printf("dcws %s: delete revoked copy %s: %v", s.Addr(), cleaned, err)
+		}
+	}
+	s.log.Printf("dcws %s: revoked %s", s.Addr(), cleaned)
+	return status(200, "revoked")
+}
+
+// handleRecall is the operator-facing recall endpoint: the home server
+// revokes every document currently migrated to the named co-op (§4.5 crash
+// recovery, triggered manually, e.g. before taking a co-op down for
+// maintenance).
+func (s *Server) handleRecall(req *httpx.Request) *httpx.Response {
+	if req.Method != "POST" {
+		return status(405, "recall requires POST")
+	}
+	coop := req.Header.Get(headerFetch)
+	if coop == "" {
+		return status(400, "missing "+headerFetch+" header naming the co-op")
+	}
+	n := s.RecallFrom(coop)
+	return status(200, fmt.Sprintf("recalled %d documents from %s", n, coop))
+}
+
+// serveAsHome handles requests for this server's own documents: serve them
+// (regenerating first when dirty), or redirect with 301 when the document
+// has been migrated away (§4.4).
+func (s *Server) serveAsHome(req *httpx.Request) *httpx.Response {
+	if req.Method != "GET" && req.Method != "HEAD" {
+		return status(405, "only GET and HEAD are supported")
+	}
+	name, err := store.CleanName(req.Path)
+	if err != nil {
+		return status(400, err.Error())
+	}
+	if name == "/" {
+		name = "/index.html"
+	}
+	loc, known := s.ldg.Location(name)
+	if !known || !s.cfg.Store.Has(name) {
+		return status(404, "no such document: "+name)
+	}
+
+	if req.Header.Get(headerFetch) != "" {
+		return s.serveFetch(req, name)
+	}
+
+	if loc != "" {
+		// Migrated away: answer with a small 301; all the information is
+		// in the local document graph, no disk access needed (§4.4).
+		target := s.pickReplica(name)
+		coop, err := naming.ParseOrigin(target)
+		if err != nil {
+			s.log.Printf("dcws %s: bad coop address %q for %s", s.Addr(), target, name)
+			return status(500, "bad migration target")
+		}
+		url, err := naming.MigratedURL(coop, s.cfg.Origin, name)
+		if err != nil {
+			return status(500, err.Error())
+		}
+		resp := httpx.NewResponse(301)
+		resp.Header.Set("Location", url)
+		resp.Body = []byte("moved to " + url + "\n")
+		s.stats.Redirects.Inc()
+		s.stats.ObserveRequest(s.now(), int64(len(resp.Body)))
+		return resp
+	}
+
+	data, err := s.loadLocal(name)
+	if err != nil {
+		return status(500, err.Error())
+	}
+	s.ldg.RecordHit(name)
+	resp := httpx.NewResponse(200)
+	resp.Header.Set("Content-Type", httpx.ContentTypeFor(name))
+	resp.Header.Set("Content-Length", strconv.Itoa(len(data)))
+	if req.Method != "HEAD" {
+		resp.Body = data
+	}
+	s.stats.ObserveRequest(s.now(), int64(len(data)))
+	return resp
+}
+
+// loadLocal returns a home document's bytes, regenerating its hyperlinks
+// first if the Dirty bit is set (§4.3: regeneration is postponed until the
+// latest possible time).
+func (s *Server) loadLocal(name string) ([]byte, error) {
+	if s.ldg.IsDirty(name) {
+		if data, err := s.regenerate(name); err == nil {
+			return data, nil
+		} else {
+			s.log.Printf("dcws %s: regenerate %s: %v", s.Addr(), name, err)
+			// Fall through to the stored copy; stale links still work via
+			// 301 redirects.
+		}
+	}
+	return s.cfg.Store.Get(name)
+}
+
+// serveFetch is the home side of a co-op server's internal document fetch
+// (lazy physical migration, §4.2, and validation re-requests, §4.5).
+func (s *Server) serveFetch(req *httpx.Request, name string) *httpx.Response {
+	coopAddr := req.Header.Get(headerFetch)
+	authorized := false
+	if mig, ok := s.ledger.Get(name); ok && mig.Coop == coopAddr {
+		authorized = true
+	} else {
+		s.mu.Lock()
+		for _, r := range s.replicas[name] {
+			if r == coopAddr {
+				authorized = true
+				break
+			}
+		}
+		s.mu.Unlock()
+	}
+	if !authorized {
+		// The document is not (or no longer) assigned to this co-op; point
+		// at its authoritative location so the coop can relay the redirect.
+		resp := httpx.NewResponse(301)
+		resp.Header.Set("Location", naming.HomeURL(s.cfg.Origin, name))
+		return resp
+	}
+	data, err := s.prepareForMigration(name)
+	if err != nil {
+		return status(500, err.Error())
+	}
+	h := contentHash(data)
+	if v := req.Header.Get(headerValidate); v != "" {
+		if want, err := strconv.ParseUint(v, 16, 64); err == nil && want == h {
+			resp := httpx.NewResponse(304)
+			return resp
+		}
+	}
+	s.stats.Fetches.Inc()
+	resp := httpx.NewResponse(200)
+	resp.Header.Set("Content-Type", httpx.ContentTypeFor(name))
+	resp.Header.Set(headerValidate, strconv.FormatUint(h, 16))
+	resp.Body = data
+	return resp
+}
+
+// serveAsCoop handles /~migrate requests: serve the local copy, or perform
+// the lazy physical migration by fetching from the home server first
+// (§4.2).
+func (s *Server) serveAsCoop(req *httpx.Request) *httpx.Response {
+	if req.Method != "GET" && req.Method != "HEAD" {
+		return status(405, "only GET and HEAD are supported")
+	}
+	key, err := store.CleanName(req.Path)
+	if err != nil {
+		return status(400, err.Error())
+	}
+	home, docName, err := naming.Decode(key)
+	if err != nil {
+		return status(400, err.Error())
+	}
+	if home == s.cfg.Origin {
+		// A ~migrate URL naming ourselves as home: the client followed a
+		// stale link; the canonical copy is served under its plain name.
+		resp := httpx.NewResponse(301)
+		resp.Header.Set("Location", naming.HomeURL(s.cfg.Origin, docName))
+		s.stats.Redirects.Inc()
+		return resp
+	}
+
+	s.mu.Lock()
+	cd, ok := s.coopDocs[key]
+	if !ok {
+		cd = &coopDoc{home: home, name: docName}
+		s.coopDocs[key] = cd
+	}
+	present := cd.present
+	s.mu.Unlock()
+
+	if !present {
+		if resp := s.fetchFromHome(key, cd); resp != nil {
+			return resp // relay of a redirect or an error
+		}
+	}
+
+	data, err := s.cfg.Store.Get(key)
+	if err != nil {
+		// Copy vanished (e.g. revoked between check and read): refetch once.
+		s.mu.Lock()
+		cd.present = false
+		s.mu.Unlock()
+		if resp := s.fetchFromHome(key, cd); resp != nil {
+			return resp
+		}
+		if data, err = s.cfg.Store.Get(key); err != nil {
+			return status(500, err.Error())
+		}
+	}
+	s.mu.Lock()
+	cd.windowHit++
+	cd.lastUsed = s.now()
+	s.mu.Unlock()
+	resp := httpx.NewResponse(200)
+	resp.Header.Set("Content-Type", httpx.ContentTypeFor(cd.name))
+	resp.Header.Set("Content-Length", strconv.Itoa(len(data)))
+	if req.Method != "HEAD" {
+		resp.Body = data
+	}
+	s.stats.ObserveRequest(s.now(), int64(len(data)))
+	return resp
+}
+
+// fetchFromHome performs the physical half of a lazy migration. It returns
+// nil on success (the copy is now in the store), or a response to relay to
+// the client on failure.
+func (s *Server) fetchFromHome(key string, cd *coopDoc) *httpx.Response {
+	extra := make(httpx.Header)
+	extra.Set(headerFetch, s.Addr())
+	s.piggyback(extra)
+	s.attachHotReport(extra, cd.home.Addr())
+	resp, err := s.client.Get(cd.home.Addr(), cd.name, extra)
+	if err != nil {
+		s.log.Printf("dcws %s: fetch %s from %s: %v", s.Addr(), cd.name, cd.home.Addr(), err)
+		return status(503, "home server unreachable")
+	}
+	s.absorb(resp.Header)
+	switch resp.Status {
+	case 200:
+		if err := s.cfg.Store.Put(key, resp.Body); err != nil {
+			return status(500, err.Error())
+		}
+		var h uint64
+		if v := resp.Header.Get(headerValidate); v != "" {
+			h, _ = strconv.ParseUint(v, 16, 64)
+		} else {
+			h = contentHash(resp.Body)
+		}
+		s.mu.Lock()
+		cd.present = true
+		cd.hash = h
+		cd.fetched = s.now()
+		cd.lastUsed = s.now()
+		cd.size = int64(len(resp.Body))
+		s.mu.Unlock()
+		s.stats.Fetches.Inc()
+		s.enforceCoopBudget(key)
+		return nil
+	case 301:
+		// Not assigned to us (revoked or re-migrated): relay the redirect
+		// and forget the document.
+		s.mu.Lock()
+		delete(s.coopDocs, key)
+		s.mu.Unlock()
+		out := httpx.NewResponse(301)
+		out.Header.Set("Location", resp.Header.Get("Location"))
+		s.stats.Redirects.Inc()
+		return out
+	default:
+		return status(502, fmt.Sprintf("home server answered %d", resp.Status))
+	}
+}
+
+// enforceCoopBudget evicts least-recently-used hosted copies until the
+// co-op cache fits within Params.CoopCacheBytes (§4.5: data is kept until
+// disk space forces it out). The copy named by keep — typically the one
+// just fetched — is never evicted, and evicted documents remain logically
+// hosted: the next request lazily re-fetches them.
+func (s *Server) enforceCoopBudget(keep string) {
+	budget := s.params.CoopCacheBytes
+	if budget <= 0 {
+		return
+	}
+	for {
+		s.mu.Lock()
+		var total int64
+		lruKey := ""
+		var lruAt time.Time
+		for k, cd := range s.coopDocs {
+			if !cd.present {
+				continue
+			}
+			total += cd.size
+			if k == keep {
+				continue
+			}
+			if lruKey == "" || cd.lastUsed.Before(lruAt) {
+				lruKey, lruAt = k, cd.lastUsed
+			}
+		}
+		if total <= budget || lruKey == "" {
+			s.mu.Unlock()
+			return
+		}
+		cd := s.coopDocs[lruKey]
+		cd.present = false
+		cd.size = 0
+		s.mu.Unlock()
+		if err := s.cfg.Store.Delete(lruKey); err != nil {
+			s.log.Printf("dcws %s: evict %s: %v", s.Addr(), lruKey, err)
+		}
+		s.log.Printf("dcws %s: evicted %s (co-op cache over %d bytes)", s.Addr(), lruKey, budget)
+	}
+}
+
+// status builds a small plain-text response.
+func status(code int, msg string) *httpx.Response {
+	resp := httpx.NewResponse(code)
+	resp.Header.Set("Content-Type", "text/plain")
+	resp.Body = []byte(msg + "\n")
+	return resp
+}

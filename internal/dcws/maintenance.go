@@ -1,0 +1,464 @@
+package dcws
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dcws/internal/httpx"
+	"dcws/internal/naming"
+	"dcws/internal/policy"
+)
+
+// statsLoop is the statistics module (§5.1): every T_st it refreshes this
+// server's load entry, evaluates the migration policy, handles expired
+// migrations, applies the replication extension, and rolls the hit window.
+func (s *Server) statsLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stopped:
+			return
+		case <-s.cfg.Clock.After(s.params.StatsInterval):
+		}
+		s.runStatsTick()
+	}
+}
+
+// runStatsTick performs one statistics interval's work. Exposed internally
+// so tests and the cluster harness can drive it deterministically.
+func (s *Server) runStatsTick() {
+	now := s.now()
+	load := s.stats.LoadMetric(now, s.params.UseBPSMetric)
+	s.table.UpdateSelf(load, now)
+
+	s.maybeRevokeExpired(load)
+	if s.params.Replicate {
+		s.maybeReplicate()
+	}
+	s.maybeMigrate(load)
+	s.ldg.RollWindow()
+	s.rollCoopWindows()
+}
+
+// maybeMigrate implements the lazy migration trigger of §4.2: when this
+// server's load exceeds the least-loaded peer's by the imbalance ratio,
+// select a document with Algorithm 1 and migrate it (logically).
+func (s *Server) maybeMigrate(selfLoad float64) {
+	coop, ok := s.chooseCoop(selfLoad)
+	if !ok {
+		return
+	}
+	candidates := s.buildCandidates()
+	doc, ok := policy.SelectForMigration(candidates, s.params.MigrationThreshold)
+	if !ok {
+		return
+	}
+	if !s.gate.Allow(coop, s.now()) {
+		return
+	}
+	s.migrate(doc, coop)
+}
+
+// chooseCoop picks the least-loaded eligible peer, honoring the per-coop
+// rate gate, and reports whether migrating is justified at all.
+func (s *Server) chooseCoop(selfLoad float64) (string, bool) {
+	exclude := map[string]bool{s.Addr(): true}
+	for {
+		e, ok := s.table.LeastLoaded(exclude)
+		if !ok {
+			return "", false
+		}
+		// Trigger condition: we are meaningfully busier than the target.
+		if selfLoad <= e.Load*s.params.ImbalanceRatio || selfLoad <= 0 {
+			return "", false
+		}
+		if s.gate.Eligible(e.Server, s.now()) {
+			return e.Server, true
+		}
+		exclude[e.Server] = true
+	}
+}
+
+// buildCandidates converts the LDG snapshot into Algorithm 1 candidates.
+func (s *Server) buildCandidates() []policy.Candidate {
+	docs := s.ldg.Snapshot()
+	migrated := make(map[string]bool, len(docs))
+	for _, d := range docs {
+		if d.Location != "" {
+			migrated[d.Name] = true
+		}
+	}
+	out := make([]policy.Candidate, 0, len(docs))
+	for _, d := range docs {
+		remote := 0
+		for _, from := range d.LinkFrom {
+			if migrated[from] {
+				remote++
+			}
+		}
+		out = append(out, policy.Candidate{
+			Name:           d.Name,
+			Load:           d.WindowHits,
+			EntryPoint:     d.EntryPoint,
+			Migrated:       d.Location != "",
+			RemoteLinkFrom: remote,
+			LinkTo:         len(d.LinkTo),
+		})
+	}
+	return out
+}
+
+// migrate performs the logical migration of §4.2: update the tuple's
+// Location, dirty the LinkFrom documents, and record the migration. The
+// physical copy moves lazily when the co-op server first needs it.
+func (s *Server) migrate(doc, coop string) {
+	dirtied, err := s.ldg.MarkMigrated(doc, coop)
+	if err != nil {
+		s.log.Printf("dcws %s: migrate %s: %v", s.Addr(), doc, err)
+		return
+	}
+	s.ledger.Record(doc, coop, s.now())
+	s.mu.Lock()
+	s.replicas[doc] = []string{coop}
+	s.mu.Unlock()
+	s.log.Printf("dcws %s: migrated %s -> %s (dirtied %d)", s.Addr(), doc, coop, len(dirtied))
+}
+
+// maybeRevokeExpired walks migrations older than T_home and recalls any
+// whose co-op is now substantially busier than we are (§4.5 case 2: the
+// workload shifted and the placement no longer helps).
+func (s *Server) maybeRevokeExpired(selfLoad float64) {
+	for _, mig := range s.ledger.Expired(s.now(), s.params.HomeReMigrateInterval) {
+		e, ok := s.table.Get(mig.Coop)
+		if !ok {
+			continue
+		}
+		if e.Load > selfLoad*s.params.ImbalanceRatio {
+			s.revoke(mig.Doc)
+		}
+	}
+}
+
+// revoke returns a document to this home server: the LDG is updated (the
+// LinkFrom documents become dirty and will be regenerated pointing home),
+// the ledger entry is dropped, and each hosting co-op is asked to discard
+// its copy.
+func (s *Server) revoke(doc string) {
+	s.mu.Lock()
+	hosts := append([]string(nil), s.replicas[doc]...)
+	delete(s.replicas, doc)
+	delete(s.rrCounter, doc)
+	s.mu.Unlock()
+	if len(hosts) == 0 {
+		if mig, ok := s.ledger.Get(doc); ok {
+			hosts = []string{mig.Coop}
+		}
+	}
+	if _, err := s.ldg.MarkRevoked(doc); err != nil {
+		s.log.Printf("dcws %s: revoke %s: %v", s.Addr(), doc, err)
+	}
+	s.ledger.Forget(doc)
+	s.hotMu.Lock()
+	delete(s.hotHints, doc)
+	s.hotMu.Unlock()
+	for _, coop := range hosts {
+		s.sendRevoke(coop, doc)
+	}
+	s.log.Printf("dcws %s: revoked %s from %v", s.Addr(), doc, hosts)
+}
+
+// sendRevoke tells one co-op server to discard its copy of doc. Failure is
+// tolerable: the copy simply ages out at the next validation.
+func (s *Server) sendRevoke(coop, doc string) {
+	key, err := naming.Encode(s.cfg.Origin, doc)
+	if err != nil {
+		return
+	}
+	req := httpx.NewRequest("POST", revokePath)
+	req.Header.Set(headerRevokeDoc, key)
+	s.piggyback(req.Header)
+	resp, err := s.client.Do(coop, req)
+	if err != nil {
+		s.log.Printf("dcws %s: revoke %s at %s: %v", s.Addr(), doc, coop, err)
+		return
+	}
+	s.absorb(resp.Header)
+}
+
+// RecallFrom revokes every document currently migrated to the given co-op
+// server (crash recovery, §4.5 case 3). Exposed for operational tooling.
+func (s *Server) RecallFrom(coop string) int {
+	migs := s.ledger.HostedBy(coop)
+	for _, mig := range migs {
+		s.revoke(mig.Doc)
+	}
+	return len(migs)
+}
+
+// maybeReplicate applies the hot-spot replication extension: any migrated
+// document whose hosting co-op reports more window hits than the threshold
+// gains another replica on the least-loaded server not already hosting it.
+func (s *Server) maybeReplicate() {
+	s.hotMu.Lock()
+	hints := make(map[string]int64, len(s.hotHints))
+	for k, v := range s.hotHints {
+		hints[k] = v
+	}
+	s.hotHints = make(map[string]int64)
+	s.hotMu.Unlock()
+
+	type hot struct {
+		doc  string
+		hits int64
+	}
+	var hots []hot
+	for doc, hits := range hints {
+		if hits >= s.params.ReplicateThreshold {
+			hots = append(hots, hot{doc, hits})
+		}
+	}
+	sort.Slice(hots, func(i, j int) bool {
+		if hots[i].hits != hots[j].hits {
+			return hots[i].hits > hots[j].hits
+		}
+		return hots[i].doc < hots[j].doc
+	})
+	for _, h := range hots {
+		s.addReplica(h.doc)
+	}
+}
+
+// addReplica extends a hot document's replica set by one co-op server and
+// dirties the LinkFrom documents so regenerated hyperlinks rotate across
+// the enlarged set.
+func (s *Server) addReplica(doc string) {
+	loc, ok := s.ldg.Location(doc)
+	if !ok || loc == "" {
+		return
+	}
+	s.mu.Lock()
+	reps := s.replicas[doc]
+	if len(reps) == 0 {
+		reps = []string{loc}
+	}
+	if len(reps) >= s.params.MaxReplicas {
+		s.mu.Unlock()
+		return
+	}
+	exclude := map[string]bool{s.Addr(): true}
+	for _, r := range reps {
+		exclude[r] = true
+	}
+	s.mu.Unlock()
+	e, found := s.table.LeastLoaded(exclude)
+	if !found {
+		return
+	}
+	s.mu.Lock()
+	s.replicas[doc] = append(reps, e.Server)
+	s.mu.Unlock()
+	// Re-dirty the LinkFrom set so future regenerations rotate links.
+	if _, err := s.ldg.MarkMigrated(doc, loc); err != nil {
+		s.log.Printf("dcws %s: replicate %s: %v", s.Addr(), doc, err)
+		return
+	}
+	s.log.Printf("dcws %s: replicated %s -> %s (now %d hosts)", s.Addr(), doc, e.Server, len(reps)+1)
+}
+
+// Replicas reports the replica set of a migrated document (primary co-op
+// first). Empty when the document is at home.
+func (s *Server) Replicas(doc string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.replicas[doc]...)
+}
+
+// pingerLoop is the pinger thread of §4.5: it wakes every T_pi, probes
+// servers whose load entries have gone stale, and declares a peer down
+// after repeated failures, recalling its documents.
+func (s *Server) pingerLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stopped:
+			return
+		case <-s.cfg.Clock.After(s.params.PingerInterval):
+		}
+		s.runPingerTick()
+	}
+}
+
+// runPingerTick performs one pinger activation.
+func (s *Server) runPingerTick() {
+	now := s.now()
+	for _, peer := range s.table.StaleServers(now, s.params.PingerInterval) {
+		extra := make(httpx.Header)
+		s.piggyback(extra)
+		resp, err := s.client.Get(peer, pingPath, extra)
+		if err != nil || resp.Status != 200 {
+			s.mu.Lock()
+			s.pingFail[peer]++
+			failures := s.pingFail[peer]
+			s.mu.Unlock()
+			s.log.Printf("dcws %s: ping %s failed (%d): %v", s.Addr(), peer, failures, err)
+			if failures >= s.params.MaxPingFailures {
+				s.declareDown(peer)
+			}
+			continue
+		}
+		s.mu.Lock()
+		s.pingFail[peer] = 0
+		s.mu.Unlock()
+		s.absorb(resp.Header)
+	}
+}
+
+// declareDown marks a peer dead: its documents are recalled and its load
+// table entry removed so it is never chosen as a migration target.
+func (s *Server) declareDown(peer string) {
+	n := s.RecallFrom(peer)
+	s.table.Remove(peer)
+	s.mu.Lock()
+	delete(s.pingFail, peer)
+	s.mu.Unlock()
+	s.log.Printf("dcws %s: declared %s down, recalled %d documents", s.Addr(), peer, n)
+}
+
+// validatorLoop is the co-op consistency thread of §4.5: every T_val it
+// re-requests each hosted document from its home server so content changes
+// propagate within the validation interval.
+func (s *Server) validatorLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stopped:
+			return
+		case <-s.cfg.Clock.After(s.params.ValidateInterval):
+		}
+		s.runValidatorTick()
+	}
+}
+
+// runValidatorTick revalidates every physically present co-op copy.
+func (s *Server) runValidatorTick() {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.coopDocs))
+	for k, cd := range s.coopDocs {
+		if cd.present {
+			keys = append(keys, k)
+		}
+	}
+	s.mu.Unlock()
+	sort.Strings(keys)
+	for _, key := range keys {
+		s.validateOne(key)
+	}
+}
+
+// validateOne re-requests one hosted document conditionally.
+func (s *Server) validateOne(key string) {
+	s.mu.Lock()
+	cd, ok := s.coopDocs[key]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	home := cd.home
+	name := cd.name
+	hash := cd.hash
+	s.mu.Unlock()
+
+	extra := make(httpx.Header)
+	extra.Set(headerFetch, s.Addr())
+	extra.Set(headerValidate, strconv.FormatUint(hash, 16))
+	s.piggyback(extra)
+	s.attachHotReport(extra, home.Addr())
+	resp, err := s.client.Get(home.Addr(), name, extra)
+	if err != nil {
+		s.log.Printf("dcws %s: validate %s: %v", s.Addr(), name, err)
+		return
+	}
+	s.absorb(resp.Header)
+	switch resp.Status {
+	case 304:
+		// Copy is current.
+	case 200:
+		if err := s.cfg.Store.Put(key, resp.Body); err != nil {
+			s.log.Printf("dcws %s: refresh %s: %v", s.Addr(), key, err)
+			return
+		}
+		var h uint64
+		if v := resp.Header.Get(headerValidate); v != "" {
+			h, _ = strconv.ParseUint(v, 16, 64)
+		} else {
+			h = contentHash(resp.Body)
+		}
+		s.mu.Lock()
+		cd.hash = h
+		cd.fetched = s.now()
+		cd.size = int64(len(resp.Body))
+		s.mu.Unlock()
+		s.enforceCoopBudget(key)
+	default:
+		// Revoked or re-migrated behind our back: stop hosting.
+		s.mu.Lock()
+		delete(s.coopDocs, key)
+		s.mu.Unlock()
+		s.cfg.Store.Delete(key)
+	}
+}
+
+// rollCoopWindows snapshots and resets the per-document hit counters of
+// hosted co-op copies; the snapshot feeds the hot-spot reports piggybacked
+// to home servers.
+func (s *Server) rollCoopWindows() {
+	s.mu.Lock()
+	for _, cd := range s.coopDocs {
+		cd.windowHit = 0
+	}
+	s.mu.Unlock()
+}
+
+// attachHotReport piggybacks this coop's hottest hosted documents for the
+// given home server onto an outgoing request (replication extension).
+func (s *Server) attachHotReport(h httpx.Header, homeAddr string) {
+	s.mu.Lock()
+	var parts []string
+	for _, cd := range s.coopDocs {
+		if cd.home.Addr() == homeAddr && cd.windowHit > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", cd.name, cd.windowHit))
+		}
+	}
+	s.mu.Unlock()
+	if len(parts) > 0 {
+		sort.Strings(parts)
+		h.Set(headerHot, strings.Join(parts, ","))
+	}
+}
+
+// absorbHot merges a piggybacked hot-document report into the home-side
+// hint table consumed by maybeReplicate.
+func (s *Server) absorbHot(h httpx.Header) {
+	v := h.Get(headerHot)
+	if v == "" {
+		return
+	}
+	s.hotMu.Lock()
+	defer s.hotMu.Unlock()
+	for _, part := range strings.Split(v, ",") {
+		eq := strings.LastIndexByte(part, '=')
+		if eq <= 0 {
+			continue
+		}
+		hits, err := strconv.ParseInt(part[eq+1:], 10, 64)
+		if err != nil || hits < 0 {
+			continue
+		}
+		doc := part[:eq]
+		if hits > s.hotHints[doc] {
+			s.hotHints[doc] = hits
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package dcws implements the Distributed Cooperative Web Server — the
+// paper's primary contribution. A Server is simultaneously a home server
+// for its own documents and a potential co-op server for any peer (§3.3:
+// "fully symmetric"). Load balancing is achieved by migrating documents
+// between servers and dynamically rewriting the hyperlinks that reach
+// them; no router, DNS trick, or shared filesystem is involved.
+package dcws
+
+import "time"
+
+// Params collects every tunable of the system. Defaults reproduce Table 1
+// of the paper exactly.
+type Params struct {
+	// Workers is the number of worker threads, N_wk.
+	Workers int
+	// QueueLength is the socket queue length for backlogged requests,
+	// L_sq. Overflow is dropped gracefully with 503.
+	QueueLength int
+	// StatsInterval is the statistics re-calculation interval, T_st. It
+	// also paces migrations: at most one document leaves a home server
+	// per statistics interval.
+	StatsInterval time.Duration
+	// PingerInterval is the pinger thread activation interval, T_pi.
+	PingerInterval time.Duration
+	// ValidateInterval is the co-op document validation interval, T_val.
+	ValidateInterval time.Duration
+	// HomeReMigrateInterval is the home server document re-migration
+	// interval, T_home: how old a migration must be before the home
+	// server may abandon it and re-migrate the document elsewhere.
+	HomeReMigrateInterval time.Duration
+	// CoopMigrateInterval is the minimum time between migrations into the
+	// same co-op server, T_coop.
+	CoopMigrateInterval time.Duration
+
+	// MigrationThreshold is Algorithm 1's load threshold T: the minimum
+	// window hit count that justifies migrating a document.
+	MigrationThreshold int64
+	// ImbalanceRatio triggers migration: the home server migrates only
+	// while its load exceeds the least-loaded peer's load by this factor.
+	ImbalanceRatio float64
+	// UseBPSMetric selects bytes-per-second as the load metric instead of
+	// connections-per-second (recommended by §5.3 for large-file data
+	// sets such as Sequoia).
+	UseBPSMetric bool
+	// MaxPingFailures is how many consecutive failed pinger probes mark a
+	// co-op server down, triggering recall of its documents.
+	MaxPingFailures int
+	// RateWindow is the sliding window for the CPS/BPS load metrics.
+	RateWindow time.Duration
+
+	// Replicate enables the hot-spot replication extension (§6 future
+	// work): documents whose observed load exceeds ReplicateThreshold
+	// window hits are replicated to additional co-op servers, and
+	// regenerated hyperlinks rotate across the replicas.
+	Replicate bool
+	// ReplicateThreshold is the per-window hit count above which a
+	// migrated document is considered a hot spot.
+	ReplicateThreshold int64
+	// MaxReplicas caps how many co-op servers may host one document.
+	MaxReplicas int
+
+	// CoopCacheBytes bounds the disk space this server devotes to hosting
+	// other servers' documents. 0 means unlimited. When the budget is
+	// exceeded the least-recently-used hosted copy is discarded — §4.5:
+	// "a co-op server should not throw away any data until absolutely
+	// necessary (i.e. lack of disk space)". An evicted document is simply
+	// re-fetched lazily on its next request.
+	CoopCacheBytes int64
+}
+
+// DefaultParams returns the configuration of Table 1: 12 worker threads, a
+// socket queue of 100, statistics every 10 s, pinger every 20 s, validation
+// every 120 s, re-migration after 300 s, and at most one migration into a
+// co-op server per 60 s.
+func DefaultParams() Params {
+	return Params{
+		Workers:               12,
+		QueueLength:           100,
+		StatsInterval:         10 * time.Second,
+		PingerInterval:        20 * time.Second,
+		ValidateInterval:      120 * time.Second,
+		HomeReMigrateInterval: 300 * time.Second,
+		CoopMigrateInterval:   60 * time.Second,
+		MigrationThreshold:    10,
+		ImbalanceRatio:        1.2,
+		MaxPingFailures:       3,
+		RateWindow:            10 * time.Second,
+		ReplicateThreshold:    200,
+		MaxReplicas:           4,
+	}
+}
+
+// withDefaults fills any zero field with its Table 1 default.
+func (p Params) withDefaults() Params {
+	d := DefaultParams()
+	if p.Workers <= 0 {
+		p.Workers = d.Workers
+	}
+	if p.QueueLength <= 0 {
+		p.QueueLength = d.QueueLength
+	}
+	if p.StatsInterval <= 0 {
+		p.StatsInterval = d.StatsInterval
+	}
+	if p.PingerInterval <= 0 {
+		p.PingerInterval = d.PingerInterval
+	}
+	if p.ValidateInterval <= 0 {
+		p.ValidateInterval = d.ValidateInterval
+	}
+	if p.HomeReMigrateInterval <= 0 {
+		p.HomeReMigrateInterval = d.HomeReMigrateInterval
+	}
+	if p.CoopMigrateInterval <= 0 {
+		p.CoopMigrateInterval = d.CoopMigrateInterval
+	}
+	if p.MigrationThreshold <= 0 {
+		p.MigrationThreshold = d.MigrationThreshold
+	}
+	if p.ImbalanceRatio <= 0 {
+		p.ImbalanceRatio = d.ImbalanceRatio
+	}
+	if p.MaxPingFailures <= 0 {
+		p.MaxPingFailures = d.MaxPingFailures
+	}
+	if p.RateWindow <= 0 {
+		p.RateWindow = d.RateWindow
+	}
+	if p.ReplicateThreshold <= 0 {
+		p.ReplicateThreshold = d.ReplicateThreshold
+	}
+	if p.MaxReplicas <= 0 {
+		p.MaxReplicas = d.MaxReplicas
+	}
+	return p
+}

@@ -1,0 +1,109 @@
+package dcws
+
+import (
+	"encoding/json"
+
+	"dcws/internal/httpx"
+)
+
+// Status is the operational snapshot served at /~dcws/status and returned
+// by Server.Status, for dashboards, tests, and the dcwsctl-style tooling.
+type Status struct {
+	Addr        string             `json:"addr"`
+	Documents   int                `json:"documents"`
+	MigratedOut map[string]string  `json:"migrated_out"`
+	CoopHosted  []string           `json:"coop_hosted"`
+	Connections int64              `json:"connections"`
+	Bytes       int64              `json:"bytes"`
+	Dropped     int64              `json:"dropped"`
+	Redirects   int64              `json:"redirects"`
+	Fetches     int64              `json:"fetches"`
+	Rebuilds    int64              `json:"rebuilds"`
+	CPS         float64            `json:"cps"`
+	BPS         float64            `json:"bps"`
+	LoadTable   map[string]float64 `json:"load_table"`
+}
+
+// Status returns the server's current operational snapshot.
+func (s *Server) Status() Status {
+	now := s.now()
+	st := Status{
+		Addr:        s.Addr(),
+		Documents:   s.ldg.Len(),
+		MigratedOut: s.ldg.Migrated(),
+		Connections: s.stats.Connections.Value(),
+		Bytes:       s.stats.Bytes.Value(),
+		Dropped:     s.Dropped(),
+		Redirects:   s.stats.Redirects.Value(),
+		Fetches:     s.stats.Fetches.Value(),
+		Rebuilds:    s.stats.Rebuilds.Value(),
+		CPS:         s.stats.CPS(now),
+		BPS:         s.stats.BPS(now),
+		LoadTable:   make(map[string]float64),
+	}
+	for _, e := range s.table.Snapshot() {
+		st.LoadTable[e.Server] = e.Load
+	}
+	s.mu.Lock()
+	for key := range s.coopDocs {
+		st.CoopHosted = append(st.CoopHosted, key)
+	}
+	s.mu.Unlock()
+	return st
+}
+
+// handleStatus serves the status snapshot as JSON.
+func (s *Server) handleStatus() *httpx.Response {
+	data, err := json.MarshalIndent(s.Status(), "", "  ")
+	if err != nil {
+		return status(500, err.Error())
+	}
+	resp := httpx.NewResponse(200)
+	resp.Header.Set("Content-Type", "application/json")
+	resp.Body = append(data, '\n')
+	return resp
+}
+
+// GraphDump is the JSON form of the local document graph served at
+// /~dcws/graph for operational inspection.
+type GraphDump struct {
+	Addr string      `json:"addr"`
+	Docs []GraphNode `json:"docs"`
+}
+
+// GraphNode is one LDG tuple in a GraphDump.
+type GraphNode struct {
+	Name       string   `json:"name"`
+	Location   string   `json:"location,omitempty"`
+	Size       int64    `json:"size"`
+	Hits       int64    `json:"hits"`
+	LinkTo     []string `json:"link_to,omitempty"`
+	LinkFrom   []string `json:"link_from,omitempty"`
+	Dirty      bool     `json:"dirty,omitempty"`
+	EntryPoint bool     `json:"entry_point,omitempty"`
+}
+
+// handleGraph serves the local document graph as JSON.
+func (s *Server) handleGraph() *httpx.Response {
+	dump := GraphDump{Addr: s.Addr()}
+	for _, d := range s.ldg.Snapshot() {
+		dump.Docs = append(dump.Docs, GraphNode{
+			Name:       d.Name,
+			Location:   d.Location,
+			Size:       d.Size,
+			Hits:       d.Hits,
+			LinkTo:     d.LinkTo,
+			LinkFrom:   d.LinkFrom,
+			Dirty:      d.Dirty,
+			EntryPoint: d.EntryPoint,
+		})
+	}
+	data, err := json.MarshalIndent(dump, "", "  ")
+	if err != nil {
+		return status(500, err.Error())
+	}
+	resp := httpx.NewResponse(200)
+	resp.Header.Set("Content-Type", "application/json")
+	resp.Body = append(data, '\n')
+	return resp
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dcws/internal/dataset"
+	"dcws/internal/graph"
+	"dcws/internal/hypertext"
+	"dcws/internal/store"
+)
+
+// Overhead reproduces the §5.3 parsing/reconstruction measurements: the
+// paper reports ~3 ms to parse hyperlinks and ~20 ms to reconstruct an
+// average 6.5 KB document on a Pentium-200. This driver materializes the
+// MAPUG corpus (closest to that average size), measures the real parser on
+// modern hardware, and reports per-document times — absolute numbers are
+// far smaller on 2020s CPUs, the point is that reconstruction is a small
+// constant multiple of parsing and both are negligible per request.
+func Overhead() *Report {
+	site := dataset.MAPUG()
+	st := store.NewMem()
+	if err := site.Materialize(st, 1.0); err != nil {
+		panic(err)
+	}
+	names, _ := st.List()
+	var htmlDocs []string
+	var totalBytes int64
+	for _, n := range names {
+		if graph.IsHTML(n) {
+			htmlDocs = append(htmlDocs, n)
+			sz, _ := st.Size(n)
+			totalBytes += sz
+		}
+	}
+	// Parse-only pass.
+	parseStart := time.Now()
+	parsed := 0
+	for _, n := range htmlDocs {
+		data, _ := st.Get(n)
+		hypertext.Parse(string(data)).LinkURLs()
+		parsed++
+	}
+	parseElapsed := time.Since(parseStart)
+
+	// Reconstruction pass: rewrite one link per document and re-render.
+	reconStart := time.Now()
+	recon := 0
+	for _, n := range htmlDocs {
+		data, _ := st.Get(n)
+		doc := hypertext.Parse(string(data))
+		urls := doc.LinkURLs()
+		if len(urls) == 0 {
+			continue
+		}
+		doc.Rewrite(map[string]string{urls[0]: "/~migrate/home/80" + urls[0]})
+		_ = doc.Render()
+		recon++
+	}
+	reconElapsed := time.Since(reconStart)
+
+	avgSize := float64(totalBytes) / float64(len(htmlDocs)) / 1024
+	r := &Report{
+		Title:  "§5.3 overhead: document parsing and reconstruction",
+		Header: []string{"measurement", "paper (P200)", "measured"},
+	}
+	r.AddRow("average HTML document size (KB)", "6.5",
+		f1(avgSize))
+	r.AddRow("parse hyperlinks, ms/doc", "3",
+		fmt.Sprintf("%.3f", float64(parseElapsed.Microseconds())/float64(parsed)/1000))
+	r.AddRow("reconstruct document, ms/doc", "20",
+		fmt.Sprintf("%.3f", float64(reconElapsed.Microseconds())/float64(recon)/1000))
+	r.AddRow("reconstruct / parse ratio", "6.7",
+		f1(float64(reconElapsed)/float64(parseElapsed)))
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("corpus: %d HTML documents from the synthetic MAPUG set", len(htmlDocs)),
+		"absolute times shrink with CPU generation; the paper's conclusion — reconstruction does not dominate request service — holds a fortiori")
+	return r
+}

@@ -1,0 +1,83 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5), plus the ablations called out in DESIGN.md. Each driver
+// returns a Report that prints the same rows/series the paper plots;
+// EXPERIMENTS.md records paper-vs-measured for each.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is one table of results with a title and footnotes.
+type Report struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// Format renders the report as an aligned text table.
+func (r *Report) Format() string {
+	var b strings.Builder
+	b.WriteString(r.Title)
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("=", len(r.Title)))
+	b.WriteString("\n")
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			b.WriteString(strings.Repeat(" ", pad))
+			b.WriteString(c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(r.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// f0 formats a float with no decimals.
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+// f1 formats a float with one decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// mb formats bytes/second as MB/s with one decimal.
+func mb(v float64) string { return fmt.Sprintf("%.1f", v/1e6) }

@@ -1,0 +1,216 @@
+// Package glt implements the Global Load Table of §3.3: each server's
+// best-effort local view of every cooperating server's load. Entries are
+// piggybacked on ordinary HTTP transfers as the X-DCWS-Load extension
+// header, so communicating load costs no extra connections; a freshest-
+// timestamp-wins merge keeps the views convergent without coordination.
+package glt
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// HeaderName is the HTTP extension header carrying piggybacked load
+// entries.
+const HeaderName = "X-DCWS-Load"
+
+// Entry is one (Server, LoadMetric) tuple with the freshness timestamp used
+// for best-effort merging.
+type Entry struct {
+	// Server is the server's address ("host:port").
+	Server string
+	// Load is the server's load metric (CPS by default; see §5.3).
+	Load float64
+	// Updated is when the load figure was measured, by the measuring
+	// server's clock.
+	Updated time.Time
+}
+
+// Table is one server's local copy of the global load information.
+type Table struct {
+	mu      sync.RWMutex
+	self    string
+	entries map[string]Entry
+}
+
+// NewTable returns a table for the server with the given address. The
+// server itself starts present with zero load so it is immediately
+// eligible as a migration target for peers.
+func NewTable(self string) *Table {
+	t := &Table{self: self, entries: make(map[string]Entry)}
+	t.entries[self] = Entry{Server: self, Load: 0, Updated: time.Time{}}
+	return t
+}
+
+// Self returns the owning server's address.
+func (t *Table) Self() string { return t.self }
+
+// UpdateSelf records the owning server's own load measurement.
+func (t *Table) UpdateSelf(load float64, at time.Time) {
+	t.mu.Lock()
+	t.entries[t.self] = Entry{Server: t.self, Load: load, Updated: at}
+	t.mu.Unlock()
+}
+
+// Observe merges one entry, keeping whichever of the existing and new
+// entries is fresher. The server's own entry is never overwritten by a
+// peer's stale echo.
+func (t *Table) Observe(e Entry) {
+	if e.Server == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur, ok := t.entries[e.Server]
+	if ok && !e.Updated.After(cur.Updated) {
+		return
+	}
+	if e.Server == t.self && ok {
+		// Our own measurement is authoritative; a peer echoing an old
+		// value must not move it forward artificially.
+		if !e.Updated.After(cur.Updated) {
+			return
+		}
+	}
+	t.entries[e.Server] = e
+}
+
+// Merge merges every entry in the list (e.g. a decoded piggyback header).
+func (t *Table) Merge(entries []Entry) {
+	for _, e := range entries {
+		t.Observe(e)
+	}
+}
+
+// Get returns the entry for server and whether it is known.
+func (t *Table) Get(server string) (Entry, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	e, ok := t.entries[server]
+	return e, ok
+}
+
+// Snapshot returns all entries sorted by server address.
+func (t *Table) Snapshot() []Entry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Entry, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Server < out[j].Server })
+	return out
+}
+
+// Servers returns every known server address, sorted.
+func (t *Table) Servers() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.entries))
+	for s := range t.entries {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LeastLoaded returns the known server with the lowest load metric,
+// skipping the excluded addresses (§4.2: "the server with the lowest
+// LoadMetric value is selected from the global load table"). Ties break by
+// address for determinism. ok is false when no eligible server exists.
+func (t *Table) LeastLoaded(exclude map[string]bool) (Entry, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var best Entry
+	found := false
+	for _, e := range t.entries {
+		if exclude[e.Server] {
+			continue
+		}
+		if !found || e.Load < best.Load || (e.Load == best.Load && e.Server < best.Server) {
+			best = e
+			found = true
+		}
+	}
+	return best, found
+}
+
+// StaleServers returns servers whose entries are older than maxAge as of
+// now — the servers the pinger thread must contact artificially (§4.5).
+// The owning server itself is never reported stale.
+func (t *Table) StaleServers(now time.Time, maxAge time.Duration) []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []string
+	for s, e := range t.entries {
+		if s == t.self {
+			continue
+		}
+		if now.Sub(e.Updated) > maxAge {
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Remove deletes a server's entry (e.g. after it is declared down).
+func (t *Table) Remove(server string) {
+	if server == t.self {
+		return
+	}
+	t.mu.Lock()
+	delete(t.entries, server)
+	t.mu.Unlock()
+}
+
+// EncodeHeader serializes the table for piggybacking:
+//
+//	server=load@unixMilli,server=load@unixMilli,...
+//
+// Addresses contain no '=' ',' or '@' so the encoding needs no escaping.
+func (t *Table) EncodeHeader() string {
+	entries := t.Snapshot()
+	parts := make([]string, 0, len(entries))
+	for _, e := range entries {
+		parts = append(parts, fmt.Sprintf("%s=%s@%d",
+			e.Server, strconv.FormatFloat(e.Load, 'g', -1, 64), e.Updated.UnixMilli()))
+	}
+	return strings.Join(parts, ",")
+}
+
+// DecodeHeader parses a piggyback header value. Malformed items are
+// skipped — extension headers from foreign implementations must never wedge
+// the server.
+func DecodeHeader(v string) []Entry {
+	if v == "" {
+		return nil
+	}
+	var out []Entry
+	for _, part := range strings.Split(v, ",") {
+		part = strings.TrimSpace(part)
+		eq := strings.LastIndexByte(part, '=')
+		at := strings.LastIndexByte(part, '@')
+		if eq <= 0 || at <= eq+1 || at == len(part)-1 {
+			continue
+		}
+		load, err := strconv.ParseFloat(part[eq+1:at], 64)
+		if err != nil || load < 0 {
+			continue
+		}
+		ms, err := strconv.ParseInt(part[at+1:], 10, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, Entry{
+			Server:  part[:eq],
+			Load:    load,
+			Updated: time.UnixMilli(ms),
+		})
+	}
+	return out
+}

@@ -1,0 +1,398 @@
+// Package graph implements the Local Document Graph (LDG) of §3.3: one
+// tuple (Name, Location, Size, Hits, LinkTo, LinkFrom, Dirty) per document,
+// hash-indexed by name because the tuple is consulted on every request the
+// server processes. The graph is built at server initialization by scanning
+// the store and parsing every HTML document, and mutated afterwards by
+// migrations, revocations, and content updates.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+
+	"dcws/internal/hypertext"
+	"dcws/internal/store"
+)
+
+// ErrUnknownDoc is returned for operations on documents not in the graph.
+var ErrUnknownDoc = errors.New("graph: unknown document")
+
+// Doc is a read-only snapshot of one LDG tuple.
+type Doc struct {
+	// Name is the rooted document path, e.g. "/dir/foo.html".
+	Name string
+	// Location is the co-op server currently hosting the document, or ""
+	// while the document is at home.
+	Location string
+	// Size is the document's byte size.
+	Size int64
+	// Hits is the cumulative request count.
+	Hits int64
+	// WindowHits is the request count since the last RollWindow — the load
+	// figure Algorithm 1 thresholds on.
+	WindowHits int64
+	// LinkTo lists documents this document references.
+	LinkTo []string
+	// LinkFrom lists documents referencing this document.
+	LinkFrom []string
+	// Dirty marks documents whose hyperlinks must be regenerated because a
+	// LinkTo target moved.
+	Dirty bool
+	// EntryPoint marks well-known entry points, which never migrate (§3.1).
+	EntryPoint bool
+}
+
+// entry is the mutable tuple behind the lock.
+type entry struct {
+	name       string
+	location   string
+	size       int64
+	hits       int64
+	windowHits int64
+	linkTo     map[string]bool
+	linkFrom   map[string]bool
+	dirty      bool
+	entryPoint bool
+}
+
+// LDG is the local document graph. All methods are safe for concurrent use.
+type LDG struct {
+	mu   sync.RWMutex
+	docs map[string]*entry
+}
+
+// New returns an empty graph.
+func New() *LDG {
+	return &LDG{docs: make(map[string]*entry)}
+}
+
+// IsHTML reports whether a document name looks like an HTML page (the only
+// kind that carries hyperlinks).
+func IsHTML(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.HasSuffix(lower, ".html") || strings.HasSuffix(lower, ".htm")
+}
+
+// ResolveLink resolves a raw link URL found in document base to a rooted
+// document name on the same server. It returns "" for off-site absolute
+// URLs, fragments, mailto links, and already-migrated (~migrate) URLs.
+func ResolveLink(base, raw string) string {
+	if raw == "" || strings.HasPrefix(raw, "#") {
+		return ""
+	}
+	if strings.Contains(raw, "://") || strings.HasPrefix(raw, "mailto:") {
+		return ""
+	}
+	if i := strings.IndexAny(raw, "#?"); i >= 0 {
+		raw = raw[:i]
+		if raw == "" {
+			return ""
+		}
+	}
+	var resolved string
+	if strings.HasPrefix(raw, "/") {
+		resolved = raw
+	} else {
+		resolved = path.Join(path.Dir(base), raw)
+	}
+	cleaned, err := store.CleanName(resolved)
+	if err != nil {
+		return ""
+	}
+	if strings.HasPrefix(cleaned, "/~migrate/") {
+		return ""
+	}
+	return cleaned
+}
+
+// Build scans st, parses every HTML document, and constructs the graph.
+// Non-HTML documents become leaf nodes. Dangling links (to documents not in
+// the store) are recorded in LinkTo but create no node.
+func Build(st store.Store) (*LDG, error) {
+	return BuildWithResolver(st, ResolveLink)
+}
+
+// BuildWithResolver is Build with a custom link resolver. The DCWS server
+// supplies a resolver that also recognizes absolute URLs naming itself and
+// ~migrate URLs whose home component is this server, so a graph rebuilt
+// from regenerated documents (whose hyperlinks may be absolute) is
+// identical to one built from pristine sources.
+func BuildWithResolver(st store.Store, resolve func(base, raw string) string) (*LDG, error) {
+	g := New()
+	names, err := st.List()
+	if err != nil {
+		return nil, fmt.Errorf("graph: list store: %w", err)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, name := range names {
+		size, err := st.Size(name)
+		if err != nil {
+			return nil, err
+		}
+		g.ensureLocked(name).size = size
+	}
+	for _, name := range names {
+		if !IsHTML(name) {
+			continue
+		}
+		data, err := st.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, raw := range hypertext.ExtractLinks(string(data)) {
+			target := resolve(name, raw)
+			if target == "" || target == name {
+				continue
+			}
+			g.linkLocked(name, target)
+		}
+	}
+	return g, nil
+}
+
+// ensureLocked returns the entry for name, creating it if absent.
+func (g *LDG) ensureLocked(name string) *entry {
+	e, ok := g.docs[name]
+	if !ok {
+		e = &entry{
+			name:     name,
+			linkTo:   make(map[string]bool),
+			linkFrom: make(map[string]bool),
+		}
+		g.docs[name] = e
+	}
+	return e
+}
+
+// linkLocked records a hyperlink from -> to, keeping LinkTo and LinkFrom
+// mutually consistent.
+func (g *LDG) linkLocked(from, to string) {
+	fe := g.ensureLocked(from)
+	te := g.ensureLocked(to)
+	fe.linkTo[to] = true
+	te.linkFrom[from] = true
+}
+
+// AddDoc inserts or refreshes a document node, reparsing its links from
+// content when it is HTML. Existing outgoing links are replaced; incoming
+// links are preserved. Used when an administrator changes page content.
+func (g *LDG) AddDoc(name string, size int64, content []byte) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e := g.ensureLocked(name)
+	e.size = size
+	// Drop old outgoing links.
+	for to := range e.linkTo {
+		if te, ok := g.docs[to]; ok {
+			delete(te.linkFrom, name)
+		}
+	}
+	e.linkTo = make(map[string]bool)
+	if IsHTML(name) && content != nil {
+		for _, raw := range hypertext.ExtractLinks(string(content)) {
+			target := ResolveLink(name, raw)
+			if target == "" || target == name {
+				continue
+			}
+			g.linkLocked(name, target)
+		}
+	}
+}
+
+// Has reports whether the graph contains a tuple for name.
+func (g *LDG) Has(name string) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	_, ok := g.docs[name]
+	return ok
+}
+
+// Get returns a snapshot of the tuple for name.
+func (g *LDG) Get(name string) (Doc, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	e, ok := g.docs[name]
+	if !ok {
+		return Doc{}, fmt.Errorf("%w: %s", ErrUnknownDoc, name)
+	}
+	return e.snapshot(), nil
+}
+
+func (e *entry) snapshot() Doc {
+	return Doc{
+		Name:       e.name,
+		Location:   e.location,
+		Size:       e.size,
+		Hits:       e.hits,
+		WindowHits: e.windowHits,
+		LinkTo:     sortedKeys(e.linkTo),
+		LinkFrom:   sortedKeys(e.linkFrom),
+		Dirty:      e.dirty,
+		EntryPoint: e.entryPoint,
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RecordHit counts one request for name, creating the tuple if needed so
+// hit accounting is never lost for dynamically added content.
+func (g *LDG) RecordHit(name string) {
+	g.mu.Lock()
+	e := g.ensureLocked(name)
+	e.hits++
+	e.windowHits++
+	g.mu.Unlock()
+}
+
+// RollWindow zeroes every document's WindowHits, starting a fresh
+// measurement interval (called by the statistics module every T_st).
+func (g *LDG) RollWindow() {
+	g.mu.Lock()
+	for _, e := range g.docs {
+		e.windowHits = 0
+	}
+	g.mu.Unlock()
+}
+
+// SetEntryPoint marks name as a well-known entry point.
+func (g *LDG) SetEntryPoint(name string, isEntry bool) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e, ok := g.docs[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownDoc, name)
+	}
+	e.entryPoint = isEntry
+	return nil
+}
+
+// MarkMigrated records that name now lives on coop, and sets the Dirty bit
+// on every document in name's LinkFrom list so their hyperlinks are
+// regenerated on next request (§4.2). It returns the dirtied names.
+func (g *LDG) MarkMigrated(name, coop string) ([]string, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e, ok := g.docs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownDoc, name)
+	}
+	e.location = coop
+	dirtied := make([]string, 0, len(e.linkFrom))
+	for from := range e.linkFrom {
+		if fe, ok := g.docs[from]; ok {
+			fe.dirty = true
+			dirtied = append(dirtied, from)
+		}
+	}
+	sort.Strings(dirtied)
+	return dirtied, nil
+}
+
+// MarkRevoked returns name to its home server, dirtying LinkFrom documents
+// so their hyperlinks point home again (§4.5).
+func (g *LDG) MarkRevoked(name string) ([]string, error) {
+	return g.MarkMigrated(name, "")
+}
+
+// Location returns the co-op hosting name ("" if local) and whether the
+// document exists.
+func (g *LDG) Location(name string) (string, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	e, ok := g.docs[name]
+	if !ok {
+		return "", false
+	}
+	return e.location, true
+}
+
+// IsDirty reports the Dirty bit for name.
+func (g *LDG) IsDirty(name string) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	e, ok := g.docs[name]
+	return ok && e.dirty
+}
+
+// ClearDirty resets the Dirty bit after a document has been regenerated.
+func (g *LDG) ClearDirty(name string) {
+	g.mu.Lock()
+	if e, ok := g.docs[name]; ok {
+		e.dirty = false
+	}
+	g.mu.Unlock()
+}
+
+// SetSize updates the recorded size of name (after regeneration changes
+// the document's length).
+func (g *LDG) SetSize(name string, size int64) {
+	g.mu.Lock()
+	if e, ok := g.docs[name]; ok {
+		e.size = size
+	}
+	g.mu.Unlock()
+}
+
+// Snapshot returns every tuple, sorted by name.
+func (g *LDG) Snapshot() []Doc {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]Doc, 0, len(g.docs))
+	for _, e := range g.docs {
+		out = append(out, e.snapshot())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Migrated returns the names of all documents currently hosted by co-op
+// servers, with their locations.
+func (g *LDG) Migrated() map[string]string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make(map[string]string)
+	for name, e := range g.docs {
+		if e.location != "" {
+			out[name] = e.location
+		}
+	}
+	return out
+}
+
+// Len reports the number of documents in the graph.
+func (g *LDG) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.docs)
+}
+
+// RemoteLinkFromCount counts LinkFrom documents of name that do not reside
+// on the home server (i.e. have a non-empty Location) — the quantity
+// Algorithm 1 step 4 minimizes to avoid remote hyperlink updates.
+func (g *LDG) RemoteLinkFromCount(name string) (int, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	e, ok := g.docs[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownDoc, name)
+	}
+	n := 0
+	for from := range e.linkFrom {
+		if fe, ok := g.docs[from]; ok && fe.location != "" {
+			n++
+		}
+	}
+	return n, nil
+}

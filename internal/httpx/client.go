@@ -1,0 +1,73 @@
+package httpx
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Dialer is the subset of memnet.Network a client needs.
+type Dialer interface {
+	Dial(addr string) (net.Conn, error)
+}
+
+// DialerFunc adapts a function to the Dialer interface.
+type DialerFunc func(addr string) (net.Conn, error)
+
+// Dial implements Dialer.
+func (f DialerFunc) Dial(addr string) (net.Conn, error) { return f(addr) }
+
+// Client issues HTTP requests over a Dialer. Matching the HTTP/1.0 era the
+// paper targets, the default is one connection per request; both ends still
+// understand keep-alive if enabled server-side.
+type Client struct {
+	Dialer  Dialer
+	Timeout time.Duration
+}
+
+// NewClient returns a client dialing through d with a 30-second default
+// timeout.
+func NewClient(d Dialer) *Client {
+	return &Client{Dialer: d, Timeout: 30 * time.Second}
+}
+
+// Do sends req to addr and returns the parsed response.
+func (c *Client) Do(addr string, req *Request) (*Response, error) {
+	conn, err := c.Dialer.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("httpx: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	conn.SetDeadline(time.Now().Add(timeout))
+	if req.Header == nil {
+		req.Header = make(Header)
+	}
+	if req.Header.Get("Host") == "" {
+		req.Header.Set("Host", addr)
+	}
+	if err := WriteRequest(conn, req); err != nil {
+		return nil, fmt.Errorf("httpx: write to %s: %w", addr, err)
+	}
+	resp, err := ReadResponseFor(bufio.NewReader(conn), req.Method)
+	if err != nil {
+		return nil, fmt.Errorf("httpx: read from %s: %w", addr, err)
+	}
+	return resp, nil
+}
+
+// Get issues a GET for path at addr with the given extra headers (may be
+// nil).
+func (c *Client) Get(addr, path string, extra Header) (*Response, error) {
+	req := NewRequest("GET", path)
+	for k, vs := range extra {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	return c.Do(addr, req)
+}

@@ -1,0 +1,55 @@
+package httpx
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// FuzzReadRequest feeds arbitrary bytes to the request parser. Accepted
+// requests must be internally consistent; everything else must be rejected
+// without panicking. Run with `go test -fuzz FuzzReadRequest ./internal/httpx`.
+func FuzzReadRequest(f *testing.F) {
+	f.Add([]byte("GET / HTTP/1.0\r\n\r\n"))
+	f.Add([]byte("GET /a/b.html HTTP/1.1\r\nHost: h\r\nX-DCWS-Load: a=1@2\r\n\r\n"))
+	f.Add([]byte("POST /x HTTP/1.0\r\nContent-Length: 3\r\n\r\nabc"))
+	f.Add([]byte("GET /x HTTP/1.0\r\nContent-Length: 99999999999999999999\r\n\r\n"))
+	f.Add([]byte("\r\n\r\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ReadRequest(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		if req.Method == "" || len(req.Path) == 0 || req.Path[0] != '/' {
+			t.Fatalf("accepted inconsistent request %+v from %q", req, data)
+		}
+		// Accepted requests re-serialize and re-parse to the same shape.
+		var buf bytes.Buffer
+		if err := WriteRequest(&buf, req); err != nil {
+			t.Fatalf("cannot re-serialize accepted request: %v", err)
+		}
+		again, err := ReadRequest(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatalf("re-parse of serialized request failed: %v", err)
+		}
+		if again.Method != req.Method || again.Path != req.Path {
+			t.Fatalf("round trip changed request: %+v vs %+v", req, again)
+		}
+	})
+}
+
+// FuzzReadResponse is the response-side analogue.
+func FuzzReadResponse(f *testing.F) {
+	f.Add([]byte("HTTP/1.0 200 OK\r\nContent-Length: 2\r\n\r\nhi"))
+	f.Add([]byte("HTTP/1.0 301 Moved Permanently\r\nLocation: http://x/~migrate/h/80/d\r\n\r\n"))
+	f.Add([]byte("HTTP/1.0 503 Service Unavailable\r\n\r\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := ReadResponse(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		if resp.Status < 100 || resp.Status > 599 {
+			t.Fatalf("accepted out-of-range status %d from %q", resp.Status, data)
+		}
+	})
+}

@@ -1,0 +1,174 @@
+// Package httpx is DCWS's own HTTP/1.x implementation. The paper's design
+// depends on two properties that motivated a from-scratch stack rather than
+// a stock server: (1) arbitrary extension headers must ride on every request
+// and response so servers can piggyback global-load-table entries (§3.3),
+// and (2) the server front-end must expose a bounded socket queue whose
+// overflow is answered with a graceful 503 (§5.2). The wire format follows
+// HTTP/1.0 with optional keep-alive, which matches the protocol generation
+// the paper targeted.
+package httpx
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Header is a case-insensitive header map. Keys are stored canonicalized
+// (Word-Word). Extension headers (the paper's piggybacking channel) are
+// ordinary entries; per RFC guidance they are ignored by implementations
+// that do not understand them.
+type Header map[string][]string
+
+// CanonicalKey converts a header name to its canonical form: the first
+// letter and every letter after '-' upper-cased, the rest lower-cased.
+func CanonicalKey(k string) string {
+	var b strings.Builder
+	b.Grow(len(k))
+	upper := true
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		switch {
+		case upper && 'a' <= c && c <= 'z':
+			c -= 'a' - 'A'
+		case !upper && 'A' <= c && c <= 'Z':
+			c += 'a' - 'A'
+		}
+		b.WriteByte(c)
+		upper = c == '-'
+	}
+	return b.String()
+}
+
+// Set replaces the value of a header field.
+func (h Header) Set(key, value string) {
+	h[CanonicalKey(key)] = []string{value}
+}
+
+// Add appends a value to a header field.
+func (h Header) Add(key, value string) {
+	k := CanonicalKey(key)
+	h[k] = append(h[k], value)
+}
+
+// Get returns the first value of a header field, or "".
+func (h Header) Get(key string) string {
+	v := h[CanonicalKey(key)]
+	if len(v) == 0 {
+		return ""
+	}
+	return v[0]
+}
+
+// Values returns all values of a header field.
+func (h Header) Values(key string) []string {
+	return h[CanonicalKey(key)]
+}
+
+// Del removes a header field.
+func (h Header) Del(key string) {
+	delete(h, CanonicalKey(key))
+}
+
+// Clone returns a deep copy.
+func (h Header) Clone() Header {
+	out := make(Header, len(h))
+	for k, v := range h {
+		vv := make([]string, len(v))
+		copy(vv, v)
+		out[k] = vv
+	}
+	return out
+}
+
+// sortedKeys returns header names in deterministic order for serialization.
+func (h Header) sortedKeys() []string {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Request is an HTTP request.
+type Request struct {
+	Method string // GET, HEAD, POST
+	Path   string // absolute path, e.g. /dir/foo.html
+	Proto  string // "HTTP/1.0" or "HTTP/1.1"
+	Header Header
+	Body   []byte
+	// RemoteAddr is filled in by the server for handler use.
+	RemoteAddr string
+}
+
+// NewRequest returns a GET request for path with an empty header map.
+func NewRequest(method, path string) *Request {
+	return &Request{Method: method, Path: path, Proto: "HTTP/1.0", Header: make(Header)}
+}
+
+// Response is an HTTP response.
+type Response struct {
+	Status int // e.g. 200
+	Proto  string
+	Header Header
+	Body   []byte
+}
+
+// NewResponse returns a response with the given status and an empty header
+// map.
+func NewResponse(status int) *Response {
+	return &Response{Status: status, Proto: "HTTP/1.0", Header: make(Header)}
+}
+
+// StatusText returns the reason phrase for the status codes DCWS uses.
+func StatusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 301:
+		return "Moved Permanently"
+	case 302:
+		return "Found"
+	case 304:
+		return "Not Modified"
+	case 400:
+		return "Bad Request"
+	case 404:
+		return "Not Found"
+	case 405:
+		return "Method Not Allowed"
+	case 500:
+		return "Internal Server Error"
+	case 503:
+		return "Service Unavailable"
+	default:
+		return "Status " + fmt.Sprint(code)
+	}
+}
+
+// ContentTypeFor guesses a Content-Type from a path's extension, covering
+// the file types in the paper's four data sets (HTML, GIF buttons, JPEG
+// graphs and thumbnails, compressed AVHRR raster images).
+func ContentTypeFor(path string) string {
+	dot := strings.LastIndexByte(path, '.')
+	if dot < 0 {
+		return "application/octet-stream"
+	}
+	switch strings.ToLower(path[dot+1:]) {
+	case "html", "htm":
+		return "text/html"
+	case "txt":
+		return "text/plain"
+	case "gif":
+		return "image/gif"
+	case "jpg", "jpeg":
+		return "image/jpeg"
+	case "png":
+		return "image/png"
+	case "z", "gz":
+		return "application/x-compressed"
+	default:
+		return "application/octet-stream"
+	}
+}

@@ -1,0 +1,225 @@
+package httpx
+
+import (
+	"bufio"
+	"errors"
+	"log"
+	"net"
+	"sync"
+	"time"
+)
+
+// Handler processes one request and returns the response to send. Handlers
+// must be safe for concurrent use by multiple worker goroutines.
+type Handler interface {
+	Serve(req *Request) *Response
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(req *Request) *Response
+
+// Serve implements Handler.
+func (f HandlerFunc) Serve(req *Request) *Response { return f(req) }
+
+// ServerConfig mirrors the thread and queue parameters of the paper's
+// Table 1.
+type ServerConfig struct {
+	// Workers is the number of worker goroutines (N_wk, default 12).
+	Workers int
+	// QueueLength is the socket queue capacity for backlogged requests
+	// (L_sq, default 100). When the queue is full new connections are
+	// dropped gracefully with a 503 response.
+	QueueLength int
+	// ReadTimeout bounds how long a worker waits for a request on an
+	// accepted connection.
+	ReadTimeout time.Duration
+	// KeepAlive allows multiple requests per connection when the client
+	// asks for it.
+	KeepAlive bool
+	// ErrorLog receives accept and protocol errors; nil discards them.
+	ErrorLog *log.Logger
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Workers <= 0 {
+		c.Workers = 12
+	}
+	if c.QueueLength <= 0 {
+		c.QueueLength = 100
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Server is the multithreaded HTTP front-end of §5.1: one accept loop (the
+// "front-end thread"), a bounded pending-connection queue, and a pool of
+// worker goroutines. Connections that arrive while the queue is full are
+// answered 503 and closed, the paper's graceful drop behaviour.
+type Server struct {
+	cfg     ServerConfig
+	handler Handler
+
+	mu       sync.Mutex
+	listener net.Listener
+	closed   bool
+	queue    chan net.Conn
+	wg       sync.WaitGroup
+
+	// Dropped counts connections refused with 503 due to a full queue.
+	droppedMu sync.Mutex
+	dropped   int64
+}
+
+// NewServer returns a server that dispatches to handler.
+func NewServer(cfg ServerConfig, handler Handler) *Server {
+	return &Server{cfg: cfg.withDefaults(), handler: handler}
+}
+
+// Serve accepts connections from l until Close is called. It blocks; run it
+// in its own goroutine. The listener is closed when Serve returns.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return errors.New("httpx: server closed")
+	}
+	s.listener = l
+	s.queue = make(chan net.Conn, s.cfg.QueueLength)
+	queue := s.queue
+	s.mu.Unlock()
+
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker(queue)
+	}
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			close(queue)
+			s.wg.Wait()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		select {
+		case queue <- conn:
+		default:
+			// Socket queue full: graceful 503 drop (§5.2).
+			s.droppedMu.Lock()
+			s.dropped++
+			s.droppedMu.Unlock()
+			go dropConn(conn)
+		}
+	}
+}
+
+// dropConn answers a queued-out connection with 503 and closes it.
+func dropConn(conn net.Conn) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	resp := NewResponse(503)
+	resp.Header.Set("Retry-After", "1")
+	resp.Header.Set("Content-Type", "text/plain")
+	resp.Body = []byte("503 server busy\n")
+	WriteResponse(conn, resp)
+}
+
+func (s *Server) worker(queue chan net.Conn) {
+	defer s.wg.Done()
+	for conn := range queue {
+		s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	for {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		req, err := ReadRequest(br)
+		if err != nil {
+			if errors.Is(err, ErrMalformed) || errors.Is(err, ErrLineTooLong) {
+				WriteResponse(conn, errorResponse(400))
+			}
+			return
+		}
+		req.RemoteAddr = conn.RemoteAddr().String()
+		resp := s.dispatch(req)
+		keep := s.cfg.KeepAlive && wantsKeepAlive(req)
+		if keep {
+			resp.Header.Set("Connection", "keep-alive")
+		} else {
+			resp.Header.Set("Connection", "close")
+		}
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		if err := WriteResponse(conn, resp); err != nil {
+			return
+		}
+		if !keep {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req *Request) (resp *Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			if s.cfg.ErrorLog != nil {
+				s.cfg.ErrorLog.Printf("httpx: handler panic: %v", r)
+			}
+			resp = errorResponse(500)
+		}
+	}()
+	resp = s.handler.Serve(req)
+	if resp == nil {
+		resp = errorResponse(500)
+	}
+	return resp
+}
+
+func wantsKeepAlive(req *Request) bool {
+	c := req.Header.Get("Connection")
+	if req.Proto == "HTTP/1.1" {
+		return c != "close"
+	}
+	return c == "keep-alive" || c == "Keep-Alive"
+}
+
+func errorResponse(status int) *Response {
+	resp := NewResponse(status)
+	resp.Header.Set("Content-Type", "text/plain")
+	resp.Body = []byte(StatusText(status) + "\n")
+	return resp
+}
+
+// Dropped reports how many connections were answered 503 because the socket
+// queue was full.
+func (s *Server) Dropped() int64 {
+	s.droppedMu.Lock()
+	defer s.droppedMu.Unlock()
+	return s.dropped
+}
+
+// Close stops accepting connections and waits for in-flight requests.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package httpx
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Wire-format limits. Oversized messages are rejected rather than buffered
+// without bound.
+const (
+	maxLineBytes   = 16 * 1024
+	maxHeaderCount = 256
+	// MaxBodyBytes bounds request/response bodies. The largest object in
+	// the paper's data sets is a 2.8 MB Sequoia raster image; 64 MB leaves
+	// ample headroom.
+	MaxBodyBytes = 64 << 20
+)
+
+// ErrLineTooLong is returned when a start line or header line exceeds the
+// wire limit.
+var ErrLineTooLong = errors.New("httpx: header line too long")
+
+// ErrMalformed is returned for requests or responses that do not parse.
+var ErrMalformed = errors.New("httpx: malformed message")
+
+// readLine reads a CRLF- (or bare-LF-) terminated line without the ending.
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		if err == io.EOF && line != "" {
+			return "", fmt.Errorf("%w: truncated line", ErrMalformed)
+		}
+		return "", err
+	}
+	if len(line) > maxLineBytes {
+		return "", ErrLineTooLong
+	}
+	line = strings.TrimSuffix(line, "\n")
+	line = strings.TrimSuffix(line, "\r")
+	return line, nil
+}
+
+// readHeader reads header lines up to the blank separator line.
+func readHeader(r *bufio.Reader) (Header, error) {
+	h := make(Header)
+	fields := 0
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			return nil, err
+		}
+		if line == "" {
+			return h, nil
+		}
+		fields++
+		if fields > maxHeaderCount {
+			return nil, fmt.Errorf("%w: too many header fields", ErrMalformed)
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon <= 0 {
+			return nil, fmt.Errorf("%w: header line %q", ErrMalformed, line)
+		}
+		key := strings.TrimSpace(line[:colon])
+		val := strings.TrimSpace(line[colon+1:])
+		if key == "" {
+			return nil, fmt.Errorf("%w: empty header name", ErrMalformed)
+		}
+		h.Add(key, val)
+	}
+}
+
+// readBody reads a message body delimited by Content-Length, or (for
+// responses with no length, HTTP/1.0 style) until EOF.
+func readBody(r *bufio.Reader, h Header, toEOF bool) ([]byte, error) {
+	if cl := h.Get("Content-Length"); cl != "" {
+		n, err := strconv.ParseInt(cl, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("%w: bad Content-Length %q", ErrMalformed, cl)
+		}
+		if n > MaxBodyBytes {
+			return nil, fmt.Errorf("%w: body of %d bytes exceeds limit", ErrMalformed, n)
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil, fmt.Errorf("%w: short body: %v", ErrMalformed, err)
+		}
+		return body, nil
+	}
+	if !toEOF {
+		return nil, nil
+	}
+	body, err := io.ReadAll(io.LimitReader(r, MaxBodyBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > MaxBodyBytes {
+		return nil, fmt.Errorf("%w: body exceeds limit", ErrMalformed)
+	}
+	return body, nil
+}
+
+// ReadRequest parses one request from r.
+func ReadRequest(r *bufio.Reader) (*Request, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.Split(line, " ")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("%w: request line %q", ErrMalformed, line)
+	}
+	method, path, proto := parts[0], parts[1], parts[2]
+	if method == "" || path == "" || path[0] != '/' {
+		return nil, fmt.Errorf("%w: request line %q", ErrMalformed, line)
+	}
+	if proto != "HTTP/1.0" && proto != "HTTP/1.1" {
+		return nil, fmt.Errorf("%w: unsupported protocol %q", ErrMalformed, proto)
+	}
+	h, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	body, err := readBody(r, h, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Request{Method: method, Path: path, Proto: proto, Header: h, Body: body}, nil
+}
+
+// WriteRequest serializes req to w. A Content-Length header is emitted
+// whenever a body is present.
+func WriteRequest(w io.Writer, req *Request) error {
+	var b strings.Builder
+	proto := req.Proto
+	if proto == "" {
+		proto = "HTTP/1.0"
+	}
+	fmt.Fprintf(&b, "%s %s %s\r\n", req.Method, req.Path, proto)
+	writeHeader(&b, req.Header, len(req.Body))
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	if len(req.Body) > 0 {
+		if _, err := w.Write(req.Body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadResponse parses one response from r, assuming it answers a GET.
+func ReadResponse(r *bufio.Reader) (*Response, error) {
+	return ReadResponseFor(r, "GET")
+}
+
+// ReadResponseFor parses one response from r for a request of the given
+// method. Responses to HEAD carry headers (including Content-Length) but no
+// body.
+func ReadResponseFor(r *bufio.Reader, method string) (*Response, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/1.") {
+		return nil, fmt.Errorf("%w: status line %q", ErrMalformed, line)
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil || status < 100 || status > 599 {
+		return nil, fmt.Errorf("%w: status %q", ErrMalformed, parts[1])
+	}
+	h, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	if method == "HEAD" || status == 304 || status == 204 {
+		return &Response{Status: status, Proto: parts[0], Header: h}, nil
+	}
+	toEOF := h.Get("Content-Length") == ""
+	body, err := readBody(r, h, toEOF)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{Status: status, Proto: parts[0], Header: h, Body: body}, nil
+}
+
+// WriteResponse serializes resp to w, always emitting Content-Length so
+// connections can be kept alive.
+func WriteResponse(w io.Writer, resp *Response) error {
+	var b strings.Builder
+	proto := resp.Proto
+	if proto == "" {
+		proto = "HTTP/1.0"
+	}
+	fmt.Fprintf(&b, "%s %d %s\r\n", proto, resp.Status, StatusText(resp.Status))
+	writeHeader(&b, resp.Header, len(resp.Body))
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	if len(resp.Body) > 0 {
+		if _, err := w.Write(resp.Body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHeader(b *strings.Builder, h Header, bodyLen int) {
+	wroteCL := false
+	for _, k := range h.sortedKeys() {
+		if k == "Content-Length" {
+			wroteCL = true
+		}
+		for _, v := range h[k] {
+			fmt.Fprintf(b, "%s: %s\r\n", k, v)
+		}
+	}
+	if !wroteCL {
+		fmt.Fprintf(b, "Content-Length: %d\r\n", bodyLen)
+	}
+	b.WriteString("\r\n")
+}

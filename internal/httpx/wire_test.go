@@ -1,0 +1,288 @@
+package httpx
+
+import (
+	"bufio"
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCanonicalKey(t *testing.T) {
+	cases := map[string]string{
+		"content-type":    "Content-Type",
+		"CONTENT-LENGTH":  "Content-Length",
+		"x-dcws-load":     "X-Dcws-Load",
+		"Host":            "Host",
+		"a":               "A",
+		"x--y":            "X--Y",
+		"connection":      "Connection",
+		"x-dcws-validate": "X-Dcws-Validate",
+	}
+	for in, want := range cases {
+		if got := CanonicalKey(in); got != want {
+			t.Errorf("CanonicalKey(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHeaderSetGetAddDel(t *testing.T) {
+	h := make(Header)
+	h.Set("x-test", "1")
+	if h.Get("X-Test") != "1" {
+		t.Fatal("case-insensitive Get failed")
+	}
+	h.Add("x-test", "2")
+	if got := h.Values("X-TEST"); len(got) != 2 || got[1] != "2" {
+		t.Fatalf("Values = %v", got)
+	}
+	h.Del("X-Test")
+	if h.Get("x-test") != "" {
+		t.Fatal("Del did not remove the field")
+	}
+	if h.Get("missing") != "" {
+		t.Fatal("Get of missing key should be empty")
+	}
+}
+
+func TestHeaderClone(t *testing.T) {
+	h := make(Header)
+	h.Set("a", "1")
+	c := h.Clone()
+	c.Set("a", "2")
+	c.Add("b", "3")
+	if h.Get("a") != "1" || h.Get("b") != "" {
+		t.Fatal("Clone is not independent")
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	req := NewRequest("GET", "/dir1/dir2/foo.html")
+	req.Header.Set("Host", "home:80")
+	req.Header.Set("X-DCWS-Load", "home:80=12.5@1000")
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRequest(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Method != "GET" || got.Path != "/dir1/dir2/foo.html" || got.Proto != "HTTP/1.0" {
+		t.Fatalf("parsed %+v", got)
+	}
+	if got.Header.Get("X-Dcws-Load") != "home:80=12.5@1000" {
+		t.Fatalf("extension header lost: %v", got.Header)
+	}
+}
+
+func TestRequestBodyRoundTrip(t *testing.T) {
+	req := NewRequest("POST", "/submit")
+	req.Body = []byte("hello body")
+	var buf bytes.Buffer
+	WriteRequest(&buf, req)
+	got, err := ReadRequest(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Body) != "hello body" {
+		t.Fatalf("body = %q", got.Body)
+	}
+	if got.Header.Get("Content-Length") != "10" {
+		t.Fatalf("Content-Length = %q", got.Header.Get("Content-Length"))
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resp := NewResponse(301)
+	resp.Header.Set("Location", "http://coop:81/~migrate/home/80/d.html")
+	var buf bytes.Buffer
+	if err := WriteResponse(&buf, resp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResponse(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != 301 {
+		t.Fatalf("status = %d", got.Status)
+	}
+	if got.Header.Get("Location") != "http://coop:81/~migrate/home/80/d.html" {
+		t.Fatalf("Location = %q", got.Header.Get("Location"))
+	}
+}
+
+func TestResponseBodyWithoutContentLengthReadsToEOF(t *testing.T) {
+	raw := "HTTP/1.0 200 OK\r\nContent-Type: text/html\r\n\r\n<html>old style</html>"
+	got, err := ReadResponse(bufio.NewReader(strings.NewReader(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Body) != "<html>old style</html>" {
+		t.Fatalf("body = %q", got.Body)
+	}
+}
+
+func TestReadRequestBareLF(t *testing.T) {
+	raw := "GET /x HTTP/1.0\nHost: h\n\n"
+	got, err := ReadRequest(bufio.NewReader(strings.NewReader(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Path != "/x" || got.Header.Get("Host") != "h" {
+		t.Fatalf("parsed %+v", got)
+	}
+}
+
+func TestReadRequestMalformed(t *testing.T) {
+	bad := []string{
+		"GET\r\n\r\n",
+		"GET /x\r\n\r\n",
+		"GET /x HTTP/2.0\r\n\r\n",
+		"GET x HTTP/1.0\r\n\r\n",
+		" /x HTTP/1.0\r\n\r\n",
+		"GET /x HTTP/1.0\r\nBadHeaderNoColon\r\n\r\n",
+		"GET /x HTTP/1.0\r\n: novalue\r\n\r\n",
+		"GET /x HTTP/1.0\r\nContent-Length: -5\r\n\r\n",
+		"GET /x HTTP/1.0\r\nContent-Length: abc\r\n\r\n",
+	}
+	for _, raw := range bad {
+		if _, err := ReadRequest(bufio.NewReader(strings.NewReader(raw))); err == nil {
+			t.Errorf("ReadRequest(%q) succeeded, want error", raw)
+		}
+	}
+}
+
+func TestReadResponseMalformed(t *testing.T) {
+	bad := []string{
+		"HTTP/1.0\r\n\r\n",
+		"SPDY/3 200 OK\r\n\r\n",
+		"HTTP/1.0 abc OK\r\n\r\n",
+		"HTTP/1.0 99 Low\r\n\r\n",
+		"HTTP/1.0 600 High\r\n\r\n",
+	}
+	for _, raw := range bad {
+		if _, err := ReadResponse(bufio.NewReader(strings.NewReader(raw))); err == nil {
+			t.Errorf("ReadResponse(%q) succeeded, want error", raw)
+		}
+	}
+}
+
+func TestReadRequestLineTooLong(t *testing.T) {
+	raw := "GET /" + strings.Repeat("a", maxLineBytes) + " HTTP/1.0\r\n\r\n"
+	if _, err := ReadRequest(bufio.NewReader(strings.NewReader(raw))); err == nil {
+		t.Fatal("oversized request line accepted")
+	}
+}
+
+func TestReadHeaderTooManyFields(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("GET /x HTTP/1.0\r\n")
+	for i := 0; i < maxHeaderCount+1; i++ {
+		b.WriteString("X-Filler: v\r\n")
+	}
+	b.WriteString("\r\n")
+	if _, err := ReadRequest(bufio.NewReader(strings.NewReader(b.String()))); err == nil {
+		t.Fatal("header bomb accepted")
+	}
+}
+
+func TestShortBodyRejected(t *testing.T) {
+	raw := "HTTP/1.0 200 OK\r\nContent-Length: 100\r\n\r\nonly a few bytes"
+	if _, err := ReadResponse(bufio.NewReader(strings.NewReader(raw))); err == nil {
+		t.Fatal("short body accepted")
+	}
+}
+
+func TestStatusText(t *testing.T) {
+	for code, want := range map[int]string{
+		200: "OK", 301: "Moved Permanently", 404: "Not Found",
+		503: "Service Unavailable", 418: "Status 418",
+	} {
+		if got := StatusText(code); got != want {
+			t.Errorf("StatusText(%d) = %q, want %q", code, got, want)
+		}
+	}
+}
+
+func TestContentTypeFor(t *testing.T) {
+	for path, want := range map[string]string{
+		"/a/b.html":    "text/html",
+		"/a/b.HTM":     "text/html",
+		"/button.gif":  "image/gif",
+		"/graph.jpg":   "image/jpeg",
+		"/graph.jpeg":  "image/jpeg",
+		"/raster.Z":    "application/x-compressed",
+		"/noext":       "application/octet-stream",
+		"/weird.xyz":   "application/octet-stream",
+		"/notes.txt":   "text/plain",
+		"/shiny.png":   "image/png",
+		"/arch.tar.gz": "application/x-compressed",
+	} {
+		if got := ContentTypeFor(path); got != want {
+			t.Errorf("ContentTypeFor(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+// Property: any request built from printable path segments and header pairs
+// round-trips through Write+Read unchanged.
+func TestRequestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		req := NewRequest("GET", randomPath(rng))
+		n := rng.Intn(5)
+		for i := 0; i < n; i++ {
+			req.Header.Set(randomToken(rng, "X-P"), randomToken(rng, "v"))
+		}
+		if rng.Intn(2) == 0 {
+			req.Body = []byte(randomToken(rng, "body"))
+		}
+		var buf bytes.Buffer
+		if err := WriteRequest(&buf, req); err != nil {
+			return false
+		}
+		got, err := ReadRequest(bufio.NewReader(&buf))
+		if err != nil {
+			return false
+		}
+		got.Header.Del("Content-Length")
+		if got.Method != req.Method || got.Path != req.Path {
+			return false
+		}
+		if !bytes.Equal(got.Body, req.Body) && !(len(got.Body) == 0 && len(req.Body) == 0) {
+			return false
+		}
+		want := req.Header.Clone()
+		want.Del("Content-Length")
+		return reflect.DeepEqual(mapOf(got.Header), mapOf(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mapOf(h Header) map[string][]string { return map[string][]string(h) }
+
+func randomPath(rng *rand.Rand) string {
+	depth := 1 + rng.Intn(4)
+	var b strings.Builder
+	for i := 0; i < depth; i++ {
+		b.WriteByte('/')
+		b.WriteString(randomToken(rng, "seg"))
+	}
+	return b.String()
+}
+
+func randomToken(rng *rand.Rand, prefix string) string {
+	const alpha = "abcdefghijklmnopqrstuvwxyz0123456789"
+	n := 1 + rng.Intn(8)
+	var b strings.Builder
+	b.WriteString(prefix)
+	for i := 0; i < n; i++ {
+		b.WriteByte(alpha[rng.Intn(len(alpha))])
+	}
+	return b.String()
+}

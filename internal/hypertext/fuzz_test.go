@@ -1,0 +1,58 @@
+package hypertext
+
+import "testing"
+
+// FuzzRoundTrip asserts the central hypertext invariant under fuzzing:
+// rendering a parsed document reproduces the input byte for byte, no
+// matter how broken the HTML. Run with
+// `go test -fuzz FuzzRoundTrip ./internal/hypertext`.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add("<html><a href=\"/x.html\">x</a></html>")
+	f.Add("<a href='/s'><img src=q.gif></a>")
+	f.Add("<script>if (a<b) {}</script><frame src=\"/f\">")
+	f.Add("<!-- comment --><!DOCTYPE html>")
+	f.Add("text < > & garbage \x00\xff")
+	f.Add("<a href=")
+	f.Fuzz(func(t *testing.T, src string) {
+		d := Parse(src)
+		if got := d.Render(); got != src {
+			t.Fatalf("Render(Parse(x)) != x\n in: %q\nout: %q", src, got)
+		}
+		// The link set must be stable under a second parse.
+		again := Parse(d.Render())
+		a, b := d.LinkURLs(), again.LinkURLs()
+		if len(a) != len(b) {
+			t.Fatalf("link set changed on reparse: %v vs %v", a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("link %d changed: %q vs %q", i, a[i], b[i])
+			}
+		}
+	})
+}
+
+// FuzzRewrite asserts that rewriting is confined to the mapped URLs: after
+// rewriting every extracted link to a fixed target, re-extracting yields
+// only that target (for documents whose links were all mapped).
+func FuzzRewrite(f *testing.F) {
+	f.Add("<a href=\"/a.html\">a</a><img src=\"/b.gif\">")
+	f.Add("<frame src='/f.html'>")
+	f.Fuzz(func(t *testing.T, src string) {
+		d := Parse(src)
+		urls := d.LinkURLs()
+		if len(urls) == 0 {
+			return
+		}
+		mapping := make(map[string]string, len(urls))
+		for _, u := range urls {
+			mapping[u] = "/rewritten.html"
+		}
+		out, _ := RewriteHTML(src, mapping)
+		for _, u := range Parse(out).LinkURLs() {
+			if u != "/rewritten.html" {
+				t.Fatalf("unmapped link survived: %q in %q -> %q", u, src, out)
+			}
+		}
+	})
+}

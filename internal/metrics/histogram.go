@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Histogram records durations in exponentially sized buckets (powers of
+// two, microsecond base), bounded memory regardless of volume. The paper
+// names round-trip time the third canonical web-server metric (§5.3) but
+// declines to measure it on the grounds that it is hard to isolate
+// operationally; the simulator has no such difficulty, so client-observed
+// request latency is recorded with this type.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [40]int64 // bucket i counts d with 2^i <= d/µs < 2^(i+1)
+	count   int64
+	sum     time.Duration
+	max     time.Duration
+}
+
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 1 {
+		return 0
+	}
+	b := int(math.Log2(float64(us)))
+	if b >= 40 {
+		b = 39
+	}
+	return b
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	h.buckets[bucketOf(d)]++
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	h.mu.Unlock()
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean reports the average observed duration (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Max reports the largest observed duration.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) as the upper bound of the
+// bucket containing it; resolution is a factor of two.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= target {
+			upper := time.Duration(1) << uint(i+1) * time.Microsecond
+			if upper > h.max && h.max > 0 {
+				return h.max
+			}
+			return upper
+		}
+	}
+	return h.max
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v max=%v",
+		h.Count(), h.Mean().Round(time.Microsecond),
+		h.Quantile(0.50).Round(time.Microsecond),
+		h.Quantile(0.95).Round(time.Microsecond),
+		h.Max().Round(time.Microsecond))
+}

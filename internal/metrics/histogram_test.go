@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond,
+		4 * time.Millisecond, 100 * time.Millisecond,
+	} {
+		h.Observe(d)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 22*time.Millisecond {
+		t.Fatalf("Mean = %v", got)
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Fatalf("Max = %v", h.Max())
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	h.Observe(5 * time.Second)
+	p50 := h.Quantile(0.5)
+	// Bucketed estimate: within a factor of two of the true value.
+	if p50 < 10*time.Millisecond || p50 > 20*time.Millisecond {
+		t.Fatalf("p50 = %v, want within [10ms, 20ms]", p50)
+	}
+	p100 := h.Quantile(1.0)
+	if p100 != 5*time.Second {
+		t.Fatalf("p100 = %v, want max", p100)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	if h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative observation mishandled: %s", h.String())
+	}
+}
+
+func TestHistogramQuantileMonotonicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var h Histogram
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			h.Observe(time.Duration(rng.Int63n(int64(10 * time.Second))))
+		}
+		last := time.Duration(0)
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+			v := h.Quantile(q)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return h.Quantile(1.0) <= h.Max() || h.Max() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	h.Observe(3 * time.Millisecond)
+	s := h.String()
+	if s == "" || h.Count() != 1 {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,235 @@
+// Package metrics provides the performance counters used throughout DCWS:
+// monotone counters, sliding-window rate estimators for the paper's two
+// headline measures (connections per second and bytes per second), and time
+// series samplers for the warm-up experiment (Figure 8).
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Counter is a concurrency-safe monotone counter.
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Add increments the counter by delta, which must be non-negative.
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("metrics: negative Counter.Add")
+	}
+	c.mu.Lock()
+	c.n += delta
+	c.mu.Unlock()
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reports the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Rate estimates events per second over a sliding window. The paper's load
+// metric ("total number of requests per minute could be used as a
+// satisfactory load metric", §3.3) is a Rate with a one-minute window.
+//
+// Events are bucketed by time so memory stays bounded regardless of event
+// volume.
+type Rate struct {
+	mu      sync.Mutex
+	window  time.Duration
+	bucket  time.Duration
+	buckets []rateBucket
+}
+
+type rateBucket struct {
+	start time.Time
+	sum   float64
+}
+
+// NewRate returns a rate estimator over the given window. The window is
+// divided into 60 buckets (minimum bucket 1ms).
+func NewRate(window time.Duration) *Rate {
+	if window <= 0 {
+		window = time.Minute
+	}
+	bucket := window / 60
+	if bucket < time.Millisecond {
+		bucket = time.Millisecond
+	}
+	return &Rate{window: window, bucket: bucket}
+}
+
+// Observe records weight events at time now.
+func (r *Rate) Observe(now time.Time, weight float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	start := now.Truncate(r.bucket)
+	n := len(r.buckets)
+	if n > 0 && r.buckets[n-1].start.Equal(start) {
+		r.buckets[n-1].sum += weight
+	} else {
+		r.buckets = append(r.buckets, rateBucket{start: start, sum: weight})
+	}
+	r.evict(now)
+}
+
+// PerSecond reports the estimated events per second as of now.
+func (r *Rate) PerSecond(now time.Time) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.evict(now)
+	var sum float64
+	for _, b := range r.buckets {
+		sum += b.sum
+	}
+	return sum / r.window.Seconds()
+}
+
+// Total reports the sum of weights currently inside the window.
+func (r *Rate) Total(now time.Time) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.evict(now)
+	var sum float64
+	for _, b := range r.buckets {
+		sum += b.sum
+	}
+	return sum
+}
+
+func (r *Rate) evict(now time.Time) {
+	cutoff := now.Add(-r.window)
+	i := 0
+	for i < len(r.buckets) && !r.buckets[i].start.After(cutoff) {
+		i++
+	}
+	if i > 0 {
+		r.buckets = append(r.buckets[:0], r.buckets[i:]...)
+	}
+}
+
+// Sample is one point in a time series.
+type Sample struct {
+	At    time.Time
+	Value float64
+}
+
+// Series collects timestamped samples, e.g. CPS sampled every ten seconds
+// for the Figure 8 warm-up curve.
+type Series struct {
+	mu      sync.Mutex
+	Name    string
+	samples []Sample
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Record appends a sample.
+func (s *Series) Record(at time.Time, v float64) {
+	s.mu.Lock()
+	s.samples = append(s.samples, Sample{At: at, Value: v})
+	s.mu.Unlock()
+}
+
+// Samples returns a copy of the collected samples in record order.
+func (s *Series) Samples() []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Sample, len(s.samples))
+	copy(out, s.samples)
+	return out
+}
+
+// Len reports the number of samples.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.samples)
+}
+
+// Max reports the largest sample value, or 0 for an empty series.
+func (s *Series) Max() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var max float64
+	for _, p := range s.samples {
+		if p.Value > max {
+			max = p.Value
+		}
+	}
+	return max
+}
+
+// Mean reports the arithmetic mean of sample values, or 0 for an empty
+// series.
+func (s *Series) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s.samples {
+		sum += p.Value
+	}
+	return sum / float64(len(s.samples))
+}
+
+// ServerStats aggregates a DCWS server's traffic counters. It is the source
+// of the LoadMetric published in the global load table.
+type ServerStats struct {
+	Connections Counter // completed request/response exchanges
+	Bytes       Counter // response body bytes sent
+	Dropped     Counter // connections answered 503 due to a full queue
+	Redirects   Counter // 301 responses for migrated documents
+	Fetches     Counter // internal home-to-coop document fetches
+	Rebuilds    Counter // documents reparsed and reconstructed (dirty bit)
+
+	cps *Rate
+	bps *Rate
+}
+
+// NewServerStats returns stats with rate windows of the given width.
+func NewServerStats(window time.Duration) *ServerStats {
+	return &ServerStats{cps: NewRate(window), bps: NewRate(window)}
+}
+
+// ObserveRequest records one served request of size bytes at time now.
+func (s *ServerStats) ObserveRequest(now time.Time, bytes int64) {
+	s.Connections.Inc()
+	s.Bytes.Add(bytes)
+	s.cps.Observe(now, 1)
+	s.bps.Observe(now, float64(bytes))
+}
+
+// CPS reports connections per second over the sliding window.
+func (s *ServerStats) CPS(now time.Time) float64 { return s.cps.PerSecond(now) }
+
+// BPS reports bytes per second over the sliding window.
+func (s *ServerStats) BPS(now time.Time) float64 { return s.bps.PerSecond(now) }
+
+// LoadMetric reports the server's current load for the global load table.
+// Per the paper's discussion (§5.3) the default metric is CPS; BPS can be
+// selected for large-file workloads such as Sequoia.
+func (s *ServerStats) LoadMetric(now time.Time, useBPS bool) float64 {
+	if useBPS {
+		return s.BPS(now)
+	}
+	return s.CPS(now)
+}
+
+// String summarizes the counters for logs and the dcwsctl-style dumps.
+func (s *ServerStats) String() string {
+	return fmt.Sprintf("conns=%d bytes=%d dropped=%d redirects=%d fetches=%d rebuilds=%d",
+		s.Connections.Value(), s.Bytes.Value(), s.Dropped.Value(),
+		s.Redirects.Value(), s.Fetches.Value(), s.Rebuilds.Value())
+}

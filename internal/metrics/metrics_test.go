@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounterAddAndValue(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 20000 {
+		t.Fatalf("Value = %d, want 20000", got)
+	}
+}
+
+func TestRatePerSecond(t *testing.T) {
+	r := NewRate(10 * time.Second)
+	base := time.Unix(1000, 0)
+	// 100 events spread over the full 10s window -> 10 events/sec.
+	for i := 0; i < 100; i++ {
+		r.Observe(base.Add(time.Duration(i)*100*time.Millisecond), 1)
+	}
+	got := r.PerSecond(base.Add(10 * time.Second))
+	if got < 9 || got > 11 {
+		t.Fatalf("PerSecond = %v, want ~10", got)
+	}
+}
+
+func TestRateEvictsOldEvents(t *testing.T) {
+	r := NewRate(time.Second)
+	base := time.Unix(0, 0)
+	r.Observe(base, 100)
+	if got := r.Total(base.Add(10 * time.Second)); got != 0 {
+		t.Fatalf("events not evicted after window: Total = %v", got)
+	}
+}
+
+func TestRateWeights(t *testing.T) {
+	r := NewRate(time.Second)
+	base := time.Unix(0, 0)
+	r.Observe(base.Add(500*time.Millisecond), 2048)
+	if got := r.Total(base.Add(900 * time.Millisecond)); got != 2048 {
+		t.Fatalf("Total = %v, want 2048", got)
+	}
+}
+
+func TestRateDefaultWindow(t *testing.T) {
+	r := NewRate(0)
+	if r.window != time.Minute {
+		t.Fatalf("default window = %v, want 1m", r.window)
+	}
+}
+
+func TestRateTotalNeverNegative(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		r := NewRate(time.Second)
+		base := time.Unix(0, 0)
+		last := base
+		for _, o := range offsets {
+			at := base.Add(time.Duration(o) * time.Millisecond)
+			if at.After(last) {
+				last = at
+			}
+			r.Observe(at, 1)
+		}
+		return r.Total(last) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesRecordAndStats(t *testing.T) {
+	s := NewSeries("cps")
+	base := time.Unix(0, 0)
+	for i, v := range []float64{1, 5, 3} {
+		s.Record(base.Add(time.Duration(i)*time.Second), v)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if s.Max() != 5 {
+		t.Fatalf("Max = %v, want 5", s.Max())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("Mean = %v, want 3", s.Mean())
+	}
+	if got := s.Samples(); len(got) != 3 || got[1].Value != 5 {
+		t.Fatalf("Samples = %+v", got)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	s := NewSeries("empty")
+	if s.Max() != 0 || s.Mean() != 0 || s.Len() != 0 {
+		t.Fatal("empty series should report zeros")
+	}
+}
+
+func TestSeriesSamplesIsCopy(t *testing.T) {
+	s := NewSeries("x")
+	s.Record(time.Unix(0, 0), 1)
+	got := s.Samples()
+	got[0].Value = 99
+	if s.Samples()[0].Value != 1 {
+		t.Fatal("Samples exposed internal storage")
+	}
+}
+
+func TestServerStatsObserve(t *testing.T) {
+	st := NewServerStats(10 * time.Second)
+	base := time.Unix(0, 0)
+	for i := 0; i < 50; i++ {
+		st.ObserveRequest(base.Add(time.Duration(i)*100*time.Millisecond), 1000)
+	}
+	now := base.Add(5 * time.Second)
+	if cps := st.CPS(now); cps < 4 || cps > 6 {
+		t.Fatalf("CPS = %v, want ~5", cps)
+	}
+	if bps := st.BPS(now); bps < 4000 || bps > 6000 {
+		t.Fatalf("BPS = %v, want ~5000", bps)
+	}
+	if st.Connections.Value() != 50 {
+		t.Fatalf("Connections = %d", st.Connections.Value())
+	}
+	if st.Bytes.Value() != 50000 {
+		t.Fatalf("Bytes = %d", st.Bytes.Value())
+	}
+}
+
+func TestServerStatsLoadMetricSelection(t *testing.T) {
+	st := NewServerStats(time.Second)
+	now := time.Unix(0, 0)
+	st.ObserveRequest(now, 5000)
+	at := now.Add(500 * time.Millisecond)
+	cps := st.LoadMetric(at, false)
+	bps := st.LoadMetric(at, true)
+	if bps <= cps {
+		t.Fatalf("BPS metric (%v) should exceed CPS metric (%v) for a 5KB doc", bps, cps)
+	}
+}
+
+func TestServerStatsString(t *testing.T) {
+	st := NewServerStats(time.Second)
+	st.Dropped.Inc()
+	if s := st.String(); !strings.Contains(s, "dropped=1") {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,257 @@
+// Package policy implements the migration decision machinery of §4: the
+// document-selection procedure of Algorithm 1, the migration rate gates
+// from the experimental configuration (Table 1), and the ledger that tracks
+// outstanding migrations for re-migration and revocation (§4.5).
+package policy
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Candidate is one document as seen by Algorithm 1. It is derived from an
+// LDG tuple by the statistics module.
+type Candidate struct {
+	// Name is the document path.
+	Name string
+	// Load is the document's hit count over the current measurement
+	// window (the Hits value Algorithm 1 thresholds on).
+	Load int64
+	// EntryPoint marks well-known entry points, excluded in step 2.
+	EntryPoint bool
+	// Migrated marks documents already hosted by a co-op server; they are
+	// not candidates for another migration from the home server.
+	Migrated bool
+	// RemoteLinkFrom counts LinkFrom documents that do not reside on the
+	// home server (minimized in step 4).
+	RemoteLinkFrom int
+	// LinkTo counts outgoing links (tie-break minimized in step 5).
+	LinkTo int
+}
+
+// SelectForMigration implements Algorithm 1 (Figure 4). Given the candidate
+// view of a home server's local document graph and the load threshold T, it
+// returns the document to migrate, or ok=false when no document should move.
+//
+// Following the paper: step 2 removes well-known entry points; step 3
+// removes documents below the threshold, halving the threshold and
+// retrying if that empties the set; step 4 keeps the documents with the
+// fewest remote LinkFrom references; step 5 breaks ties by fewest LinkTo
+// links. A final tie is broken by name so the procedure is deterministic.
+//
+// One guard beyond the paper's text: if every remaining document has zero
+// load even at the minimum threshold, nothing is selected — migrating a
+// document that receives no hits "does not do much good for load
+// balancing" (§4.1).
+func SelectForMigration(docs []Candidate, threshold int64) (string, bool) {
+	// Step 1: candidate set = all local documents.
+	c := make([]Candidate, 0, len(docs))
+	for _, d := range docs {
+		if d.Migrated {
+			continue
+		}
+		c = append(c, d)
+	}
+	// Step 2: remove well-known entry points.
+	c = filter(c, func(d Candidate) bool { return !d.EntryPoint })
+	if len(c) == 0 {
+		return "", false
+	}
+	// Step 3: threshold on load, reducing T until non-empty.
+	t := threshold
+	if t < 1 {
+		t = 1
+	}
+	for {
+		kept := filter(c, func(d Candidate) bool { return d.Load >= t })
+		if len(kept) > 0 {
+			c = kept
+			break
+		}
+		if t <= 1 {
+			// Every candidate has zero load; nothing worth migrating.
+			return "", false
+		}
+		t /= 2
+	}
+	// Step 4: minimal number of remote LinkFrom documents.
+	minRemote := c[0].RemoteLinkFrom
+	for _, d := range c[1:] {
+		if d.RemoteLinkFrom < minRemote {
+			minRemote = d.RemoteLinkFrom
+		}
+	}
+	c = filter(c, func(d Candidate) bool { return d.RemoteLinkFrom == minRemote })
+	// Step 5: minimal number of LinkTo documents; then highest load, then
+	// name, for determinism.
+	sort.Slice(c, func(i, j int) bool {
+		if c[i].LinkTo != c[j].LinkTo {
+			return c[i].LinkTo < c[j].LinkTo
+		}
+		if c[i].Load != c[j].Load {
+			return c[i].Load > c[j].Load
+		}
+		return c[i].Name < c[j].Name
+	})
+	return c[0].Name, true
+}
+
+func filter(in []Candidate, keep func(Candidate) bool) []Candidate {
+	out := make([]Candidate, 0, len(in))
+	for _, d := range in {
+		if keep(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// RateGate enforces the migration pacing of Table 1: a home server migrates
+// at most one file per HomeInterval, and no single co-op server accepts
+// more than one migrated file per CoopInterval ("necessary to avoid
+// overloading a co-op server by migrating documents too quickly, before it
+// has a chance to adjust and recalculate its load statistics", §5.2).
+type RateGate struct {
+	// HomeInterval is the minimum spacing between migrations out of this
+	// home server (paper setting: 10 s).
+	HomeInterval time.Duration
+	// CoopInterval is the minimum spacing between migrations into any one
+	// co-op server (paper setting: 60 s).
+	CoopInterval time.Duration
+
+	mu          sync.Mutex
+	lastHome    time.Time
+	lastCoop    map[string]time.Time
+	homeEverSet bool
+}
+
+// NewRateGate returns a gate with the given intervals.
+func NewRateGate(home, coop time.Duration) *RateGate {
+	return &RateGate{
+		HomeInterval: home,
+		CoopInterval: coop,
+		lastCoop:     make(map[string]time.Time),
+	}
+}
+
+// Allow reports whether a migration to coop may proceed at time now, and
+// records it if allowed.
+func (r *RateGate) Allow(coop string, now time.Time) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.homeEverSet && now.Sub(r.lastHome) < r.HomeInterval {
+		return false
+	}
+	if last, ok := r.lastCoop[coop]; ok && now.Sub(last) < r.CoopInterval {
+		return false
+	}
+	r.lastHome = now
+	r.homeEverSet = true
+	r.lastCoop[coop] = now
+	return true
+}
+
+// Eligible reports, without recording anything, whether coop could accept a
+// migration at time now. Used to pre-filter co-op choices.
+func (r *RateGate) Eligible(coop string, now time.Time) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.homeEverSet && now.Sub(r.lastHome) < r.HomeInterval {
+		return false
+	}
+	last, ok := r.lastCoop[coop]
+	return !ok || now.Sub(last) >= r.CoopInterval
+}
+
+// Migration is one outstanding document migration tracked by the home
+// server.
+type Migration struct {
+	Doc  string
+	Coop string
+	At   time.Time
+}
+
+// Ledger records outstanding migrations so the home server can re-migrate
+// a document after T_home (§4.5 case 2) and recall everything hosted by a
+// crashed co-op server (§4.5 case 3).
+type Ledger struct {
+	mu sync.Mutex
+	m  map[string]Migration
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{m: make(map[string]Migration)}
+}
+
+// Record notes that doc migrated to coop at time at.
+func (l *Ledger) Record(doc, coop string, at time.Time) {
+	l.mu.Lock()
+	l.m[doc] = Migration{Doc: doc, Coop: coop, At: at}
+	l.mu.Unlock()
+}
+
+// Forget removes doc from the ledger (after revocation).
+func (l *Ledger) Forget(doc string) {
+	l.mu.Lock()
+	delete(l.m, doc)
+	l.mu.Unlock()
+}
+
+// Get returns the outstanding migration for doc, if any.
+func (l *Ledger) Get(doc string) (Migration, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	mig, ok := l.m[doc]
+	return mig, ok
+}
+
+// Expired returns migrations older than maxAge as of now — documents the
+// home server may abandon and re-migrate elsewhere.
+func (l *Ledger) Expired(now time.Time, maxAge time.Duration) []Migration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Migration
+	for _, mig := range l.m {
+		if now.Sub(mig.At) > maxAge {
+			out = append(out, mig)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Doc < out[j].Doc })
+	return out
+}
+
+// HostedBy returns every document currently migrated to coop, for crash
+// recovery recalls.
+func (l *Ledger) HostedBy(coop string) []Migration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Migration
+	for _, mig := range l.m {
+		if mig.Coop == coop {
+			out = append(out, mig)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Doc < out[j].Doc })
+	return out
+}
+
+// Len reports the number of outstanding migrations.
+func (l *Ledger) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.m)
+}
+
+// Snapshot returns all outstanding migrations sorted by document name.
+func (l *Ledger) Snapshot() []Migration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Migration, 0, len(l.m))
+	for _, mig := range l.m {
+		out = append(out, mig)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Doc < out[j].Doc })
+	return out
+}

@@ -1,0 +1,263 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func at(sec int64) time.Time { return time.Unix(sec, 0) }
+
+func TestSelectPrefersHotDocuments(t *testing.T) {
+	docs := []Candidate{
+		{Name: "/index.html", Load: 500, EntryPoint: true},
+		{Name: "/cold.html", Load: 2},
+		{Name: "/hot.html", Load: 300},
+	}
+	got, ok := SelectForMigration(docs, 100)
+	if !ok || got != "/hot.html" {
+		t.Fatalf("selected %q, %v", got, ok)
+	}
+}
+
+func TestSelectNeverPicksEntryPoint(t *testing.T) {
+	docs := []Candidate{
+		{Name: "/index.html", Load: 10000, EntryPoint: true},
+		{Name: "/page.html", Load: 5},
+	}
+	got, ok := SelectForMigration(docs, 100)
+	if !ok || got != "/page.html" {
+		t.Fatalf("selected %q, %v", got, ok)
+	}
+}
+
+func TestSelectAllEntryPointsReturnsNone(t *testing.T) {
+	docs := []Candidate{
+		{Name: "/a.html", Load: 100, EntryPoint: true},
+		{Name: "/b.html", Load: 200, EntryPoint: true},
+	}
+	if _, ok := SelectForMigration(docs, 10); ok {
+		t.Fatal("selected an entry point")
+	}
+}
+
+func TestSelectSkipsAlreadyMigrated(t *testing.T) {
+	docs := []Candidate{
+		{Name: "/gone.html", Load: 900, Migrated: true},
+		{Name: "/here.html", Load: 100},
+	}
+	got, ok := SelectForMigration(docs, 50)
+	if !ok || got != "/here.html" {
+		t.Fatalf("selected %q, %v", got, ok)
+	}
+}
+
+func TestSelectThresholdReduction(t *testing.T) {
+	// All docs below the initial threshold: step 3 halves T until the set
+	// is non-empty.
+	docs := []Candidate{
+		{Name: "/a.html", Load: 3},
+		{Name: "/b.html", Load: 7},
+	}
+	got, ok := SelectForMigration(docs, 1000)
+	if !ok || got != "/b.html" {
+		t.Fatalf("selected %q, %v; want /b.html (higher load after reduction)", got, ok)
+	}
+}
+
+func TestSelectZeroLoadReturnsNone(t *testing.T) {
+	docs := []Candidate{
+		{Name: "/a.html", Load: 0},
+		{Name: "/b.html", Load: 0},
+	}
+	if got, ok := SelectForMigration(docs, 100); ok {
+		t.Fatalf("selected zero-load doc %q", got)
+	}
+}
+
+func TestSelectMinimizesRemoteLinkFrom(t *testing.T) {
+	docs := []Candidate{
+		{Name: "/a.html", Load: 100, RemoteLinkFrom: 3, LinkTo: 0},
+		{Name: "/b.html", Load: 100, RemoteLinkFrom: 1, LinkTo: 9},
+	}
+	got, ok := SelectForMigration(docs, 10)
+	if !ok || got != "/b.html" {
+		t.Fatalf("selected %q; step 4 should dominate step 5", got)
+	}
+}
+
+func TestSelectTieBreaksByLinkTo(t *testing.T) {
+	docs := []Candidate{
+		{Name: "/a.html", Load: 100, RemoteLinkFrom: 1, LinkTo: 5},
+		{Name: "/b.html", Load: 100, RemoteLinkFrom: 1, LinkTo: 2},
+	}
+	got, ok := SelectForMigration(docs, 10)
+	if !ok || got != "/b.html" {
+		t.Fatalf("selected %q; want min LinkTo", got)
+	}
+}
+
+func TestSelectFullTieBreaksByName(t *testing.T) {
+	docs := []Candidate{
+		{Name: "/z.html", Load: 100, RemoteLinkFrom: 1, LinkTo: 2},
+		{Name: "/a.html", Load: 100, RemoteLinkFrom: 1, LinkTo: 2},
+	}
+	got, ok := SelectForMigration(docs, 10)
+	if !ok || got != "/a.html" {
+		t.Fatalf("selected %q; want deterministic name order", got)
+	}
+}
+
+func TestSelectEmptyInput(t *testing.T) {
+	if _, ok := SelectForMigration(nil, 10); ok {
+		t.Fatal("selected from empty set")
+	}
+}
+
+// Property: the selection never returns an entry point or a migrated
+// document, and when any candidate meets the threshold, the selected
+// document's load is at least the final (possibly reduced) threshold.
+func TestSelectInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20)
+		docs := make([]Candidate, n)
+		for i := range docs {
+			docs[i] = Candidate{
+				Name:           "/doc" + string(rune('a'+i%26)) + ".html",
+				Load:           int64(rng.Intn(100)),
+				EntryPoint:     rng.Intn(5) == 0,
+				Migrated:       rng.Intn(5) == 0,
+				RemoteLinkFrom: rng.Intn(4),
+				LinkTo:         rng.Intn(6),
+			}
+		}
+		name, ok := SelectForMigration(docs, int64(rng.Intn(50)))
+		if !ok {
+			// Must mean there is no eligible doc with positive load.
+			for _, d := range docs {
+				if !d.EntryPoint && !d.Migrated && d.Load > 0 {
+					return false
+				}
+			}
+			return true
+		}
+		for _, d := range docs {
+			if d.Name == name && d.Load > 0 && !d.EntryPoint && !d.Migrated {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateGateHomeInterval(t *testing.T) {
+	g := NewRateGate(10*time.Second, 60*time.Second)
+	if !g.Allow("c1", at(0)) {
+		t.Fatal("first migration blocked")
+	}
+	if g.Allow("c2", at(5)) {
+		t.Fatal("second migration allowed within home interval")
+	}
+	if !g.Allow("c2", at(10)) {
+		t.Fatal("migration blocked after home interval elapsed")
+	}
+}
+
+func TestRateGateCoopInterval(t *testing.T) {
+	g := NewRateGate(10*time.Second, 60*time.Second)
+	g.Allow("c1", at(0))
+	// Home interval has passed but c1 is still cooling down.
+	if g.Allow("c1", at(30)) {
+		t.Fatal("same coop accepted twice within coop interval")
+	}
+	if !g.Allow("c2", at(30)) {
+		t.Fatal("different coop blocked")
+	}
+	if !g.Allow("c1", at(60)) {
+		t.Fatal("coop blocked after its interval elapsed")
+	}
+}
+
+func TestRateGateEligibleDoesNotRecord(t *testing.T) {
+	g := NewRateGate(10*time.Second, 60*time.Second)
+	if !g.Eligible("c1", at(0)) {
+		t.Fatal("fresh gate not eligible")
+	}
+	if !g.Allow("c1", at(0)) {
+		t.Fatal("Allow failed after Eligible check")
+	}
+	if g.Eligible("c1", at(5)) {
+		t.Fatal("eligible within home interval")
+	}
+	if !g.Eligible("c2", at(15)) {
+		t.Fatal("other coop not eligible after home interval")
+	}
+	if g.Eligible("c1", at(15)) {
+		t.Fatal("c1 eligible within coop interval")
+	}
+}
+
+func TestLedgerRecordGetForget(t *testing.T) {
+	l := NewLedger()
+	l.Record("/d.html", "c1:80", at(100))
+	mig, ok := l.Get("/d.html")
+	if !ok || mig.Coop != "c1:80" || !mig.At.Equal(at(100)) {
+		t.Fatalf("Get = %+v, %v", mig, ok)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	l.Forget("/d.html")
+	if _, ok := l.Get("/d.html"); ok {
+		t.Fatal("entry survives Forget")
+	}
+}
+
+func TestLedgerExpired(t *testing.T) {
+	l := NewLedger()
+	l.Record("/old.html", "c1:80", at(0))
+	l.Record("/new.html", "c1:80", at(250))
+	exp := l.Expired(at(301), 300*time.Second)
+	if len(exp) != 1 || exp[0].Doc != "/old.html" {
+		t.Fatalf("Expired = %+v", exp)
+	}
+}
+
+func TestLedgerHostedBy(t *testing.T) {
+	l := NewLedger()
+	l.Record("/a.html", "c1:80", at(0))
+	l.Record("/b.html", "c2:80", at(0))
+	l.Record("/c.html", "c1:80", at(0))
+	got := l.HostedBy("c1:80")
+	if len(got) != 2 || got[0].Doc != "/a.html" || got[1].Doc != "/c.html" {
+		t.Fatalf("HostedBy = %+v", got)
+	}
+}
+
+func TestLedgerSnapshotSorted(t *testing.T) {
+	l := NewLedger()
+	l.Record("/z.html", "c", at(0))
+	l.Record("/a.html", "c", at(0))
+	snap := l.Snapshot()
+	if len(snap) != 2 || snap[0].Doc != "/a.html" {
+		t.Fatalf("Snapshot = %+v", snap)
+	}
+}
+
+func TestLedgerRecordOverwrites(t *testing.T) {
+	l := NewLedger()
+	l.Record("/d.html", "c1:80", at(0))
+	l.Record("/d.html", "c2:80", at(50))
+	mig, _ := l.Get("/d.html")
+	if mig.Coop != "c2:80" || !mig.At.Equal(at(50)) {
+		t.Fatalf("overwrite failed: %+v", mig)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite", l.Len())
+	}
+}

@@ -1,0 +1,357 @@
+package sim
+
+import (
+	"sort"
+
+	"dcws/internal/glt"
+	"dcws/internal/policy"
+)
+
+// internalFetch performs a home-to-coop document transfer: the co-op server
+// requests the prepared copy from the document's home server. Load-table
+// entries travel piggybacked on the exchange, in both directions, exactly
+// as the extension headers do in the live system (§3.3).
+func (w *World) internalFetch(coop *simServer, t target, done func(reply)) {
+	home := w.servers[t.Home]
+	if home == nil {
+		w.schedule(coop.cost.RTT, func() { done(reply{status: 404}) })
+		return
+	}
+	w.schedule(coop.cost.RTT/2, func() {
+		// Piggyback: both tables merge (the request carried the coop's
+		// view; the response will carry the home's).
+		exchangeTables(home, coop)
+		home.absorbHotReport(coop)
+
+		d, ok := home.docs[t.Name]
+		authorized := false
+		if ok && d.location != "" {
+			if d.location == coop.addr {
+				authorized = true
+			}
+			for _, r := range home.replicas[t.Name] {
+				if r == coop.addr {
+					authorized = true
+				}
+			}
+		}
+		if !authorized {
+			home.finish(reply{status: 301, bytes: home.cost.RedirectBytes}, 0, done)
+			return
+		}
+		if d.snapshot == nil || d.dirty {
+			home.rebuildSnapshot(d)
+		}
+		home.fetches++
+		home.finish(reply{status: 200, bytes: d.spec.Size, doc: d.snapshot}, home.cost.ParseCost, done)
+	})
+}
+
+// exchangeTables merges two servers' global load tables both ways —
+// the simulated form of the X-DCWS-Load piggyback headers.
+func exchangeTables(a, b *simServer) {
+	a.table.Merge(b.table.Snapshot())
+	b.table.Merge(a.table.Snapshot())
+}
+
+// absorbHotReport pulls the coop's per-document window hits for documents
+// this home owns into the replication hint table (X-DCWS-Hot equivalent).
+func (home *simServer) absorbHotReport(coop *simServer) {
+	for key, h := range coop.hosted {
+		if !h.present || h.windowHits == 0 {
+			continue
+		}
+		// key = home|name
+		if len(key) <= len(home.addr)+1 || key[:len(home.addr)] != home.addr {
+			continue
+		}
+		name := key[len(home.addr)+1:]
+		if h.windowHits > home.hotHints[name] {
+			home.hotHints[name] = h.windowHits
+		}
+	}
+}
+
+// statsTick is one statistics interval (T_st) on one server: refresh the
+// load entry, revoke expired placements, replicate hot spots, attempt one
+// migration, and roll the hit windows. It mirrors dcws.Server.runStatsTick.
+func (s *simServer) statsTick() {
+	w := s.w
+	// The published load metric is CPS by default; BPS suits large-file
+	// workloads (§5.3).
+	load := float64(s.windowConns) / w.params.StatsInterval.Seconds()
+	if w.params.UseBPSMetric {
+		load = float64(s.windowBytes) / w.params.StatsInterval.Seconds()
+	}
+	s.table.UpdateSelf(load, w.now)
+
+	s.revokeExpired(load)
+	if w.params.Replicate {
+		s.replicateHot()
+	}
+	s.maybeMigrate(load)
+
+	s.windowConns = 0
+	s.windowBytes = 0
+	for _, d := range s.docs {
+		d.windowHits = 0
+	}
+	for _, h := range s.hosted {
+		h.windowHits = 0
+	}
+}
+
+// maybeMigrate runs the migration trigger and Algorithm 1 (via the
+// production policy package).
+func (s *simServer) maybeMigrate(selfLoad float64) {
+	w := s.w
+	coop, ok := s.chooseCoop(selfLoad)
+	if !ok {
+		return
+	}
+	candidates := make([]policy.Candidate, 0, len(s.docNames))
+	for _, name := range s.docNames {
+		d := s.docs[name]
+		remote := 0
+		for _, from := range d.linkFrom {
+			if fd, ok := s.docs[from]; ok && fd.location != "" {
+				remote++
+			}
+		}
+		candidates = append(candidates, policy.Candidate{
+			Name:           name,
+			Load:           d.windowHits,
+			EntryPoint:     d.entry,
+			Migrated:       d.location != "",
+			RemoteLinkFrom: remote,
+			LinkTo:         len(d.spec.Links),
+		})
+	}
+	doc, ok := policy.SelectForMigration(candidates, w.params.MigrationThreshold)
+	if !ok {
+		return
+	}
+	if !s.gate.Allow(coop, w.now) {
+		return
+	}
+	s.migrate(doc, coop)
+}
+
+// chooseCoop picks the least-loaded eligible peer under the imbalance
+// trigger (identical logic to dcws.Server.chooseCoop).
+func (s *simServer) chooseCoop(selfLoad float64) (string, bool) {
+	exclude := map[string]bool{s.addr: true}
+	for {
+		e, ok := s.table.LeastLoaded(exclude)
+		if !ok {
+			return "", false
+		}
+		if selfLoad <= e.Load*s.w.params.ImbalanceRatio || selfLoad <= 0 {
+			return "", false
+		}
+		if s.gate.Eligible(e.Server, s.w.now) {
+			return e.Server, true
+		}
+		exclude[e.Server] = true
+	}
+}
+
+// migrate performs the logical migration: location update, dirty
+// propagation over LinkFrom, ledger entry.
+func (s *simServer) migrate(name, coop string) {
+	d, ok := s.docs[name]
+	if !ok {
+		return
+	}
+	d.location = coop
+	d.version++
+	for _, from := range d.linkFrom {
+		if fd, ok := s.docs[from]; ok {
+			fd.dirty = true
+		}
+	}
+	s.ledger.Record(name, coop, s.w.now)
+	s.replicas[name] = []string{coop}
+	s.migrations++
+}
+
+// revoke returns a document home and tells its hosts to drop their copies.
+func (s *simServer) revoke(name string) {
+	d, ok := s.docs[name]
+	if !ok {
+		return
+	}
+	hosts := s.replicas[name]
+	if len(hosts) == 0 && d.location != "" {
+		hosts = []string{d.location}
+	}
+	d.location = ""
+	d.version++
+	for _, from := range d.linkFrom {
+		if fd, ok := s.docs[from]; ok {
+			fd.dirty = true
+		}
+	}
+	s.ledger.Forget(name)
+	delete(s.replicas, name)
+	delete(s.rr, name)
+	delete(s.hotHints, name)
+	for _, hAddr := range hosts {
+		if host := s.w.servers[hAddr]; host != nil {
+			host.dropHosted(s.addr, name)
+		}
+	}
+	s.revocations++
+}
+
+// revokeExpired recalls placements older than T_home whose co-op is now
+// substantially busier than the home (§4.5 case 2).
+func (s *simServer) revokeExpired(selfLoad float64) {
+	for _, mig := range s.ledger.Expired(s.w.now, s.w.params.HomeReMigrateInterval) {
+		e, ok := s.table.Get(mig.Coop)
+		if !ok {
+			continue
+		}
+		if e.Load > selfLoad*s.w.params.ImbalanceRatio {
+			s.revoke(mig.Doc)
+		}
+	}
+}
+
+// replicateHot extends the replica set of hot migrated documents (the §6
+// replication extension).
+func (s *simServer) replicateHot() {
+	w := s.w
+	names := make([]string, 0, len(s.hotHints))
+	for name := range s.hotHints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		hits := s.hotHints[name]
+		if hits < w.params.ReplicateThreshold {
+			continue
+		}
+		d, ok := s.docs[name]
+		if !ok || d.location == "" {
+			continue
+		}
+		reps := s.replicas[name]
+		if len(reps) == 0 {
+			reps = []string{d.location}
+		}
+		if len(reps) >= w.params.MaxReplicas {
+			continue
+		}
+		exclude := map[string]bool{s.addr: true}
+		for _, r := range reps {
+			exclude[r] = true
+		}
+		e, found := s.table.LeastLoaded(exclude)
+		if !found {
+			continue
+		}
+		s.replicas[name] = append(reps, e.Server)
+		d.version++
+		for _, from := range d.linkFrom {
+			if fd, ok := s.docs[from]; ok {
+				fd.dirty = true
+			}
+		}
+	}
+	s.hotHints = make(map[string]int64)
+}
+
+// pingerTick refreshes stale load-table entries by probing peers — a tiny
+// request charged to the peer, with tables exchanged on success (§4.5).
+func (s *simServer) pingerTick() {
+	w := s.w
+	for _, peer := range s.table.StaleServers(w.now, w.params.PingerInterval) {
+		p := w.servers[peer]
+		if p == nil {
+			s.table.Remove(peer)
+			continue
+		}
+		// Charge the ping to the peer's worker pool.
+		p.finish(reply{status: 200, bytes: 64}, 0, func(reply) {
+			exchangeTables(s, p)
+			p.absorbHotReport(s)
+		})
+	}
+}
+
+// validatorTick re-requests every hosted copy from its home (T_val): a
+// cheap conditional exchange when unchanged, a full transfer when the home
+// copy moved on (§4.5 case 1).
+func (s *simServer) validatorTick() {
+	w := s.w
+	keys := make([]string, 0, len(s.hosted))
+	for key := range s.hosted {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		h := s.hosted[key]
+		if !h.present {
+			continue
+		}
+		sep := -1
+		for i := 0; i < len(key); i++ {
+			if key[i] == '|' {
+				sep = i
+				break
+			}
+		}
+		if sep < 0 {
+			continue
+		}
+		homeAddr, name := key[:sep], key[sep+1:]
+		home := w.servers[homeAddr]
+		if home == nil {
+			continue
+		}
+		d, ok := home.docs[name]
+		if !ok {
+			continue
+		}
+		exchangeTables(home, s)
+		home.absorbHotReport(s)
+		stillOurs := d.location == s.addr
+		for _, r := range home.replicas[name] {
+			if r == s.addr {
+				stillOurs = true
+			}
+		}
+		if !stillOurs {
+			s.dropHosted(homeAddr, name)
+			continue
+		}
+		if d.version == h.version {
+			// 304: conditional check only.
+			home.finish(reply{status: 200, bytes: 256}, 0, func(reply) {})
+			continue
+		}
+		// Full refresh.
+		if d.snapshot == nil || d.dirty {
+			home.rebuildSnapshot(d)
+		}
+		hh := h
+		doc := d.snapshot
+		home.finish(reply{status: 200, bytes: d.spec.Size, doc: doc}, 0, func(rep reply) {
+			hh.doc = rep.doc
+			hh.version = rep.doc.version
+		})
+	}
+}
+
+// seedPeers initializes every server's load table with every other server,
+// matching the Peers configuration of the live system.
+func (w *World) seedPeers() {
+	for _, a := range w.order {
+		for _, b := range w.order {
+			if a != b {
+				w.servers[a].table.Observe(glt.Entry{Server: b})
+			}
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// event is one scheduled action in virtual time. seq breaks timestamp ties
+// in scheduling order, keeping runs deterministic.
+type event struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// schedule runs fn after d of virtual time.
+func (w *World) schedule(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	w.scheduleAt(w.now.Add(d), fn)
+}
+
+// scheduleAt runs fn at the given virtual time (clamped to now).
+func (w *World) scheduleAt(at time.Time, fn func()) {
+	if at.Before(w.now) {
+		at = w.now
+	}
+	w.seq++
+	heap.Push(&w.queue, &event{at: at, seq: w.seq, fn: fn})
+}
+
+// drain executes events in order until the stop time is reached or the
+// queue empties.
+func (w *World) drain(stopAt time.Time) {
+	for w.queue.Len() > 0 {
+		e := heap.Pop(&w.queue).(*event)
+		if e.at.After(stopAt) {
+			// Past the horizon: the run is over.
+			return
+		}
+		w.now = e.at
+		e.fn()
+	}
+}

@@ -1,0 +1,300 @@
+// Package store abstracts a DCWS server's local document storage — the
+// "server's local disk" of the paper. Two implementations are provided: a
+// memory-backed store used by tests, the simulator, and single-process
+// clusters, and a directory-backed store for standalone dcwsd deployments.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNotFound is returned when a document does not exist in the store.
+var ErrNotFound = errors.New("store: document not found")
+
+// Store is the document storage interface. Document names are
+// slash-separated absolute paths like "/dir1/foo.html".
+type Store interface {
+	// Get returns the contents of the named document.
+	Get(name string) ([]byte, error)
+	// Put creates or replaces the named document.
+	Put(name string, data []byte) error
+	// Delete removes the named document. Deleting a missing document is
+	// not an error.
+	Delete(name string) error
+	// Has reports whether the named document exists.
+	Has(name string) bool
+	// List returns every document name in lexicographic order.
+	List() ([]string, error)
+	// Size returns the byte size of the named document.
+	Size(name string) (int64, error)
+}
+
+// CleanName normalizes a document name to a rooted, slash-separated path
+// with no dot segments. It returns an error for names that escape the root.
+func CleanName(name string) (string, error) {
+	if name == "" {
+		return "", fmt.Errorf("store: empty document name")
+	}
+	for _, seg := range strings.Split(name, "/") {
+		if seg == ".." {
+			return "", fmt.Errorf("store: name %q escapes root", name)
+		}
+	}
+	if !strings.HasPrefix(name, "/") {
+		name = "/" + name
+	}
+	return filepath.ToSlash(filepath.Clean(name)), nil
+}
+
+// Mem is an in-memory Store safe for concurrent use.
+type Mem struct {
+	mu   sync.RWMutex
+	docs map[string][]byte
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{docs: make(map[string][]byte)}
+}
+
+// Get implements Store.
+func (m *Mem) Get(name string) ([]byte, error) {
+	name, err := CleanName(name)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.docs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// Put implements Store.
+func (m *Mem) Put(name string, data []byte) error {
+	name, err := CleanName(name)
+	if err != nil {
+		return err
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.mu.Lock()
+	m.docs[name] = cp
+	m.mu.Unlock()
+	return nil
+}
+
+// Delete implements Store.
+func (m *Mem) Delete(name string) error {
+	name, err := CleanName(name)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	delete(m.docs, name)
+	m.mu.Unlock()
+	return nil
+}
+
+// Has implements Store.
+func (m *Mem) Has(name string) bool {
+	name, err := CleanName(name)
+	if err != nil {
+		return false
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, ok := m.docs[name]
+	return ok
+}
+
+// List implements Store.
+func (m *Mem) List() ([]string, error) {
+	m.mu.RLock()
+	names := make([]string, 0, len(m.docs))
+	for n := range m.docs {
+		names = append(names, n)
+	}
+	m.mu.RUnlock()
+	sort.Strings(names)
+	return names, nil
+}
+
+// Size implements Store.
+func (m *Mem) Size(name string) (int64, error) {
+	name, err := CleanName(name)
+	if err != nil {
+		return 0, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.docs[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return int64(len(data)), nil
+}
+
+// Dir is a Store backed by a directory tree on the real filesystem.
+type Dir struct {
+	root string
+}
+
+// NewDir returns a store rooted at dir, creating it if necessary.
+func NewDir(dir string) (*Dir, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create root: %w", err)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Dir{root: abs}, nil
+}
+
+func (d *Dir) path(name string) (string, error) {
+	name, err := CleanName(name)
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(d.root, filepath.FromSlash(name)), nil
+}
+
+// Get implements Store.
+func (d *Dir) Get(name string) ([]byte, error) {
+	p, err := d.path(name)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(p)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return data, err
+}
+
+// Put implements Store.
+func (d *Dir) Put(name string, data []byte) error {
+	p, err := d.path(name)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	// Write-then-rename so readers never observe a torn document.
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, p)
+}
+
+// Delete implements Store.
+func (d *Dir) Delete(name string) error {
+	p, err := d.path(name)
+	if err != nil {
+		return err
+	}
+	err = os.Remove(p)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// Has implements Store.
+func (d *Dir) Has(name string) bool {
+	p, err := d.path(name)
+	if err != nil {
+		return false
+	}
+	info, err := os.Stat(p)
+	return err == nil && !info.IsDir()
+}
+
+// List implements Store.
+func (d *Dir) List() ([]string, error) {
+	var names []string
+	err := filepath.WalkDir(d.root, func(p string, entry fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if entry.IsDir() || strings.HasSuffix(p, ".tmp") {
+			return nil
+		}
+		rel, err := filepath.Rel(d.root, p)
+		if err != nil {
+			return err
+		}
+		names = append(names, "/"+filepath.ToSlash(rel))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Size implements Store.
+func (d *Dir) Size(name string) (int64, error) {
+	p, err := d.path(name)
+	if err != nil {
+		return 0, err
+	}
+	info, err := os.Stat(p)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// Copy copies every document from src to dst.
+func Copy(dst, src Store) error {
+	names, err := src.List()
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		data, err := src.Get(n)
+		if err != nil {
+			return err
+		}
+		if err := dst.Put(n, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TotalBytes sums the sizes of all documents in s.
+func TotalBytes(s Store) (int64, error) {
+	names, err := s.List()
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, n := range names {
+		sz, err := s.Size(n)
+		if err != nil {
+			return 0, err
+		}
+		total += sz
+	}
+	return total, nil
+}

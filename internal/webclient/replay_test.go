@@ -1,0 +1,295 @@
+package webclient
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dcws/internal/clock"
+	"dcws/internal/dataset"
+	"dcws/internal/httpx"
+	"dcws/internal/memnet"
+	"dcws/internal/store"
+)
+
+const sampleLog = `10.0.0.1 - - [06/Jul/1998:10:00:00 -0700] "GET /index.html HTTP/1.0" 200 512
+10.0.0.2 - - [06/Jul/1998:10:00:02 -0700] "GET /a.html HTTP/1.0" 200 312
+bad line without quotes
+10.0.0.3 - - [06/Jul/1998:10:00:03 -0700] "POST /form HTTP/1.0" 200 10
+10.0.0.1 - - [06/Jul/1998:10:00:05 -0700] "GET /b.html?q=1 HTTP/1.0" 200 99
+10.0.0.1 - - [broken ts] "GET /a.html HTTP/1.0" 304 0
+10.0.0.9 - - [06/Jul/1998:10:00:09 -0700] "GET relative.html HTTP/1.0" 404 0
+`
+
+func TestParseCommonLog(t *testing.T) {
+	entries, err := ParseCommonLog(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Valid GETs: /index.html, /a.html, /b.html (query stripped), /a.html
+	// (broken timestamp but valid request).
+	if len(entries) != 4 {
+		t.Fatalf("parsed %d entries: %+v", len(entries), entries)
+	}
+	if entries[0].Path != "/index.html" || entries[0].At.IsZero() {
+		t.Fatalf("entry 0 = %+v", entries[0])
+	}
+	if entries[2].Path != "/b.html" {
+		t.Fatalf("query string not stripped: %+v", entries[2])
+	}
+	if !entries[3].At.IsZero() {
+		t.Fatalf("broken timestamp should parse as zero: %+v", entries[3])
+	}
+	gap := entries[1].At.Sub(entries[0].At)
+	if gap != 2*time.Second {
+		t.Fatalf("timestamp gap = %v", gap)
+	}
+}
+
+func TestReplayAgainstServer(t *testing.T) {
+	fabric, served := miniSite(t)
+	stats := &Stats{}
+	r, err := NewReplayer(ReplayConfig{
+		Dialer:  httpx.DialerFunc(fabric.Dial),
+		BaseURL: "http://site:80/index.html",
+		Stats:   stats,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := []LogEntry{
+		{Path: "/index.html"},
+		{Path: "/a.html"},
+		{Path: "/a.html"}, // repeated: replay bypasses the cache
+		{Path: "/missing.html"},
+	}
+	ok := r.Replay(entries, nil)
+	if ok != 3 {
+		t.Fatalf("succeeded = %d, want 3", ok)
+	}
+	if got := r.Stats().Connections.Value(); got != 3 {
+		t.Fatalf("connections = %d, want 3 (cache must be bypassed)", got)
+	}
+	if *served < 4 {
+		t.Fatalf("server saw %d requests, want >= 4", *served)
+	}
+	if r.Stats().Errors.Value() != 1 {
+		t.Fatalf("errors = %d (the 404)", r.Stats().Errors.Value())
+	}
+}
+
+func TestReplayTimedHonorsGaps(t *testing.T) {
+	fabric, _ := miniSite(t)
+	manual := clock.NewManual(time.Unix(0, 0))
+	r, err := NewReplayer(ReplayConfig{
+		Dialer:  httpx.DialerFunc(fabric.Dial),
+		BaseURL: "http://site:80/index.html",
+		Clock:   manual,
+		Timed:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(1998, 7, 6, 10, 0, 0, 0, time.UTC)
+	entries := []LogEntry{
+		{Path: "/index.html", At: base},
+		{Path: "/a.html", At: base.Add(3 * time.Second)},
+	}
+	done := make(chan int, 1)
+	go func() { done <- r.Replay(entries, nil) }()
+	// The replayer must block on the 3 s gap until the clock advances.
+	waitWaiters(t, manual, 1)
+	select {
+	case <-done:
+		t.Fatal("replay finished without honoring the gap")
+	default:
+	}
+	manual.Advance(3 * time.Second)
+	select {
+	case n := <-done:
+		if n != 2 {
+			t.Fatalf("succeeded = %d", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("replay did not finish")
+	}
+}
+
+func TestReplayStops(t *testing.T) {
+	fabric, _ := miniSite(t)
+	r, _ := NewReplayer(ReplayConfig{
+		Dialer:  httpx.DialerFunc(fabric.Dial),
+		BaseURL: "http://site:80/index.html",
+	})
+	stop := make(chan struct{})
+	close(stop)
+	entries := make([]LogEntry, 100)
+	for i := range entries {
+		entries[i] = LogEntry{Path: "/index.html"}
+	}
+	if n := r.Replay(entries, stop); n != 0 {
+		t.Fatalf("replay ran %d entries after stop", n)
+	}
+}
+
+func TestNewReplayerValidation(t *testing.T) {
+	fabric := memnet.NewFabric()
+	if _, err := NewReplayer(ReplayConfig{BaseURL: "http://x:80/"}); err == nil {
+		t.Fatal("missing dialer accepted")
+	}
+	if _, err := NewReplayer(ReplayConfig{
+		Dialer:  httpx.DialerFunc(fabric.Dial),
+		BaseURL: "not-a-url",
+	}); err == nil {
+		t.Fatal("bad base URL accepted")
+	}
+}
+
+func TestReplayFollowsMigrationRedirects(t *testing.T) {
+	// A server that 301s /old.html to /new.html: the replayer must follow
+	// and count a success, as browsers replaying old logs would.
+	fabric := memnet.NewFabric()
+	l, _ := fabric.Listen("r:80")
+	srv := httpx.NewServer(httpx.ServerConfig{}, httpx.HandlerFunc(func(req *httpx.Request) *httpx.Response {
+		if req.Path == "/old.html" {
+			resp := httpx.NewResponse(301)
+			resp.Header.Set("Location", "http://r:80/new.html")
+			return resp
+		}
+		resp := httpx.NewResponse(200)
+		resp.Body = []byte("<html>n</html>")
+		return resp
+	}))
+	go srv.Serve(l)
+	defer srv.Close()
+	r, err := NewReplayer(ReplayConfig{
+		Dialer:  httpx.DialerFunc(fabric.Dial),
+		BaseURL: "http://r:80/",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Replay([]LogEntry{{Path: "/old.html"}}, nil); n != 1 {
+		t.Fatalf("redirected replay failed: %d", n)
+	}
+	if r.Stats().Redirects.Value() != 1 {
+		t.Fatalf("redirects = %d", r.Stats().Redirects.Value())
+	}
+}
+
+func TestSynthesizeLogRoundTrip(t *testing.T) {
+	site := dataset.LOD()
+	start := time.Date(1998, 7, 6, 10, 0, 0, 0, time.UTC)
+	entries := SynthesizeLog(site, 200, 7, start, time.Second)
+	if len(entries) != 200 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	// Every path exists in the data set and timestamps advance uniformly.
+	valid := map[string]bool{}
+	for i := range site.Docs {
+		valid[site.Docs[i].Name] = true
+	}
+	for i, e := range entries {
+		if !valid[e.Path] {
+			t.Fatalf("entry %d references unknown path %q", i, e.Path)
+		}
+		if want := start.Add(time.Duration(i) * time.Second); !e.At.Equal(want) {
+			t.Fatalf("entry %d at %v, want %v", i, e.At, want)
+		}
+	}
+	// The first request of the log is an entry point.
+	if entries[0].Path != "/index.html" {
+		t.Fatalf("log starts at %q", entries[0].Path)
+	}
+	// Write -> parse round trip.
+	var buf strings.Builder
+	if err := WriteCommonLog(&buf, entries, "192.168.0.1"); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseCommonLog(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(entries) {
+		t.Fatalf("parsed %d of %d", len(parsed), len(entries))
+	}
+	for i := range parsed {
+		if parsed[i].Path != entries[i].Path || !parsed[i].At.Equal(entries[i].At) {
+			t.Fatalf("entry %d round trip: %+v vs %+v", i, parsed[i], entries[i])
+		}
+	}
+}
+
+func TestSynthesizeLogDeterministic(t *testing.T) {
+	site := dataset.MAPUG()
+	start := time.Unix(0, 0)
+	a := SynthesizeLog(site, 100, 3, start, time.Second)
+	b := SynthesizeLog(site, 100, 3, start, time.Second)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func TestSynthesizeLogEdgeCases(t *testing.T) {
+	if SynthesizeLog(nil, 10, 1, time.Unix(0, 0), time.Second) != nil {
+		t.Fatal("nil site produced entries")
+	}
+	if SynthesizeLog(dataset.LOD(), 0, 1, time.Unix(0, 0), time.Second) != nil {
+		t.Fatal("zero requests produced entries")
+	}
+}
+
+func TestSynthesizedLogReplaysAgainstLiveServer(t *testing.T) {
+	// End-to-end: generate a log from the LOD spec, materialize the same
+	// site on a live server, and replay the log against it.
+	site := dataset.LOD()
+	fabric := memnet.NewFabric()
+	l, err := fabric.Listen("live:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages := map[string][]byte{}
+	{
+		st := newMaterialized(t, site)
+		names, _ := st.List()
+		for _, n := range names {
+			data, _ := st.Get(n)
+			pages[n] = data
+		}
+	}
+	srv := httpx.NewServer(httpx.ServerConfig{}, httpx.HandlerFunc(func(req *httpx.Request) *httpx.Response {
+		body, ok := pages[req.Path]
+		if !ok {
+			return httpx.NewResponse(404)
+		}
+		resp := httpx.NewResponse(200)
+		resp.Body = body
+		return resp
+	}))
+	go srv.Serve(l)
+	defer srv.Close()
+
+	entries := SynthesizeLog(site, 150, 11, time.Unix(0, 0), 0)
+	r, err := NewReplayer(ReplayConfig{
+		Dialer:  httpx.DialerFunc(fabric.Dial),
+		BaseURL: "http://live:80/index.html",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok := r.Replay(entries, nil); ok != 150 {
+		t.Fatalf("replayed %d/150; errors: %s", ok, r.Stats())
+	}
+}
+
+// newMaterialized materializes a site into a fresh store.
+func newMaterialized(t *testing.T, site *dataset.Site) store.Store {
+	t.Helper()
+	st := store.NewMem()
+	if err := site.Materialize(st, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}

@@ -1,0 +1,92 @@
+package webclient
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"dcws/internal/dataset"
+)
+
+// SynthesizeLog produces a Common Log Format access log by dry-running the
+// Algorithm 2 client behaviour over a data set specification: entry-point
+// start, random link walk, per-sequence caching, images fetched on first
+// reference. Together with Replayer it closes the loop the paper's future
+// work asks for ("we have not used actual access logs for the
+// experiments"): generate a log offline, replay it against a live group.
+//
+// requests bounds the number of emitted entries; timestamps advance by
+// gap between consecutive requests starting at start.
+func SynthesizeLog(site *dataset.Site, requests int, seed int64, start time.Time, gap time.Duration) []LogEntry {
+	if requests <= 0 || site == nil || len(site.EntryPoints) == 0 {
+		return nil
+	}
+	byName := make(map[string]*dataset.Doc, len(site.Docs))
+	for i := range site.Docs {
+		byName[site.Docs[i].Name] = &site.Docs[i]
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []LogEntry
+	at := start
+	emit := func(path string) bool {
+		out = append(out, LogEntry{Path: path, At: at})
+		at = at.Add(gap)
+		return len(out) >= requests
+	}
+	for len(out) < requests {
+		cached := make(map[string]bool)
+		cur := site.EntryPoints[rng.Intn(len(site.EntryPoints))]
+		steps := 1 + rng.Intn(25)
+		for i := 0; i < steps; i++ {
+			doc := byName[cur]
+			if doc == nil {
+				break
+			}
+			if !cached[cur] {
+				cached[cur] = true
+				if emit(cur) {
+					return out
+				}
+			}
+			var anchors []string
+			for _, l := range doc.Links {
+				if l.Image {
+					if !cached[l.URL] {
+						cached[l.URL] = true
+						if emit(l.URL) {
+							return out
+						}
+					}
+					continue
+				}
+				anchors = append(anchors, l.URL)
+			}
+			if len(anchors) == 0 {
+				break
+			}
+			cur = anchors[rng.Intn(len(anchors))]
+		}
+	}
+	return out
+}
+
+// WriteCommonLog writes entries in Common Log Format, the inverse of
+// ParseCommonLog.
+func WriteCommonLog(w io.Writer, entries []LogEntry, host string) error {
+	if host == "" {
+		host = "10.0.0.1"
+	}
+	for _, e := range entries {
+		at := e.At
+		if at.IsZero() {
+			at = time.Unix(0, 0).UTC()
+		}
+		_, err := fmt.Fprintf(w, "%s - - [%s] \"GET %s HTTP/1.0\" 200 -\n",
+			host, at.Format(commonLogTime), e.Path)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
