@@ -92,10 +92,16 @@ func New(cfg Config) (*Cluster, error) {
 				peers = append(peers, a)
 			}
 		}
+		// Over an in-memory fabric, each server dials as itself so that
+		// per-link latency and injected faults apply to its traffic.
+		srvNet := cfg.Network
+		if fab, ok := cfg.Network.(*memnet.Fabric); ok {
+			srvNet = fab.Named(addrs[i])
+		}
 		srv, err := dcws.New(dcws.Config{
 			Origin:      naming.Origin{Host: spec.Host, Port: spec.Port},
 			Store:       st,
-			Network:     cfg.Network,
+			Network:     srvNet,
 			Clock:       cfg.Clock,
 			EntryPoints: entryPoints,
 			Peers:       peers,
@@ -135,6 +141,14 @@ func (c *Cluster) EntryURLs() []string {
 // Dialer returns a dialer for benchmark clients.
 func (c *Cluster) Dialer() httpx.Dialer {
 	return httpx.DialerFunc(c.network.Dial)
+}
+
+// Fabric returns the underlying in-memory fabric when the cluster runs on
+// one, or nil over real TCP. Chaos experiments use it to inject link
+// faults and partitions while a benchmark is running.
+func (c *Cluster) Fabric() *memnet.Fabric {
+	f, _ := c.network.(*memnet.Fabric)
+	return f
 }
 
 // TickStats runs one statistics interval on every server (deterministic

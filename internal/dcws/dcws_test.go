@@ -46,10 +46,16 @@ func (w *testWorld) addServer(host string, port int, docs map[string]string, ent
 	for addr := range w.servers {
 		peers = append(peers, addr)
 	}
+	if params.RetryBaseDelay == 0 {
+		// The world runs on a manual clock: a real backoff sleep would
+		// block forever. Negative means "retry immediately".
+		params.RetryBaseDelay = -1
+	}
+	addr := naming.Origin{Host: host, Port: port}.Addr()
 	srv, err := New(Config{
 		Origin:      naming.Origin{Host: host, Port: port},
 		Store:       st,
-		Network:     w.fabric,
+		Network:     w.fabric.Named(addr),
 		Clock:       w.clock,
 		EntryPoints: entryPoints,
 		Peers:       peers,

@@ -2,6 +2,7 @@ package dcws
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"dcws/internal/glt"
 	"dcws/internal/httpx"
 	"dcws/internal/naming"
+	"dcws/internal/resilience"
 )
 
 // TestHomeCrashCoopKeepsServing covers §4.5 case 4: "a co-op server should
@@ -355,6 +357,254 @@ func TestCoopCacheEviction(t *testing.T) {
 	}
 	if home.Stats().Fetches.Value() == fetchesBefore {
 		t.Fatal("re-serve did not re-fetch from home")
+	}
+}
+
+// flakySite builds an index linking to n leaf documents, giving chaos
+// tests plenty of independent lazy-migration fetches.
+func flakySite(n int) map[string]string {
+	docs := make(map[string]string, n+1)
+	var links strings.Builder
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("/doc%d.html", i)
+		docs[name] = fmt.Sprintf("<html>leaf %d</html>", i)
+		fmt.Fprintf(&links, `<a href="%s">%d</a>`, name, i)
+	}
+	docs["/index.html"] = "<html>" + links.String() + "</html>"
+	return docs
+}
+
+// TestFlakyLinkFetchesSurviveRetries: with a 30%% injected dial-failure
+// rate on the home<->coop link, every lazy-migration fetch must still
+// succeed (zero false 503s) and repeated pinger rounds must not declare
+// the live peer down. The fabric's fault schedule is seeded, so the run
+// reproduces.
+func TestFlakyLinkFetchesSurviveRetries(t *testing.T) {
+	const nDocs = 16
+	w := newWorld(t)
+	params := Params{FetchAttempts: 8, ProbeAttempts: 3, BreakerThreshold: 20}
+	home := w.addServer("home", 80, flakySite(nDocs), []string{"/index.html"}, params)
+	coop := w.addServer("coop", 81, nil, nil, params)
+	w.fabric.SetSeed(42)
+	w.fabric.SetDialFailRate("home:80", "coop:81", 0.3)
+
+	for i := 0; i < nDocs; i++ {
+		home.migrate(fmt.Sprintf("/doc%d.html", i), "coop:81")
+	}
+	for i := 0; i < nDocs; i++ {
+		path := fmt.Sprintf("/~migrate/home/80/doc%d.html", i)
+		if resp := w.get("coop:81", path); resp.Status != 200 {
+			t.Fatalf("fetch %s over flaky link = %d (false 503)", path, resp.Status)
+		}
+	}
+	// Several pinger rounds across the same flaky link: transient probe
+	// failures are retried inside the round and must never accumulate into
+	// a down declaration against a live peer.
+	for round := 0; round < 4; round++ {
+		w.clock.Advance(time.Hour)
+		home.runPingerTick()
+	}
+	if st := home.Status(); st.PeerHealth["coop:81"] == "down" {
+		t.Fatal("live peer declared down over a flaky link")
+	}
+	if !home.LoadTable().Known("coop:81") {
+		t.Fatal("live peer dropped from the load table")
+	}
+	retries := coop.Resilience().Stats().Retries.Value() +
+		home.Resilience().Stats().Retries.Value()
+	if retries == 0 {
+		t.Fatal("no retries recorded — the fault injection did not bite")
+	}
+}
+
+// TestPartitionSuspectDownThenRecovery walks the full §4.5 failure
+// lifecycle across a network partition: suspect (no new migrations) →
+// down (documents recalled, entry removed) → heal → recovery via
+// piggybacked load (re-admitted, breaker reset) → migrations resume.
+func TestPartitionSuspectDownThenRecovery(t *testing.T) {
+	w := newWorld(t)
+	home, coop := migrateAndServe(t, w)
+	w.get("coop:81", "/~migrate/home/80/page.html")
+
+	w.fabric.Partition("home:80", "coop:81")
+
+	// Phase 1 — suspect: the first failed probe round marks the peer
+	// suspect, which blocks new migrations before any down declaration.
+	w.clock.Advance(30 * time.Second)
+	home.runPingerTick()
+	if !home.peerSuspect("coop:81") {
+		t.Fatal("failing peer not marked suspect")
+	}
+	if st := home.Status(); st.PeerHealth["coop:81"] == "ok" {
+		t.Fatalf("peer health = %q, want suspect", st.PeerHealth["coop:81"])
+	}
+	for i := 0; i < 30; i++ {
+		w.get("home:80", "/pic.gif")
+	}
+	home.runStatsTick()
+	if loc, _ := home.Graph().Location("/pic.gif"); loc != "" {
+		t.Fatalf("migrated to a suspect peer: %q", loc)
+	}
+
+	// Phase 2 — down: repeated failed rounds cross MaxPingFailures.
+	for i := 0; i < 5; i++ {
+		w.clock.Advance(30 * time.Second)
+		home.runPingerTick()
+	}
+	if loc, _ := home.Graph().Location("/page.html"); loc != "" {
+		t.Fatalf("document still assigned to downed peer: %q", loc)
+	}
+	if home.LoadTable().Known("coop:81") {
+		t.Fatal("downed peer still in load table")
+	}
+	if st := home.Status(); st.PeerHealth["coop:81"] != "down" {
+		t.Fatalf("peer health = %q, want down", st.PeerHealth["coop:81"])
+	}
+	// The recalled document is served from home: graceful degradation.
+	if resp := w.get("home:80", "/page.html"); resp.Status != 200 {
+		t.Fatalf("recalled document = %d at home", resp.Status)
+	}
+
+	// Phase 3 — heal and recover: the coop's next validation pass reaches
+	// home again; its piggybacked load entry is fresher than the down
+	// declaration, so home re-admits it with failure trackers reset.
+	w.fabric.Heal("home:80", "coop:81")
+	w.clock.Advance(time.Minute)
+	coop.runValidatorTick()
+	if !home.LoadTable().Known("coop:81") {
+		t.Fatal("recovered peer not re-admitted")
+	}
+	if st := home.Status(); st.PeerHealth["coop:81"] != "ok" {
+		t.Fatalf("peer health after recovery = %q, want ok", st.PeerHealth["coop:81"])
+	}
+	if home.Resilience().StateOf("coop:81") != resilience.Closed {
+		t.Fatal("breaker not reset on recovery")
+	}
+
+	// Phase 4 — migrations resume to the recovered peer.
+	for i := 0; i < 30; i++ {
+		w.get("home:80", "/pic.gif")
+	}
+	home.runStatsTick()
+	if loc, _ := home.Graph().Location("/pic.gif"); loc != "coop:81" {
+		t.Fatalf("migration did not resume after recovery: %q", loc)
+	}
+}
+
+// TestStaleEchoDoesNotResurrectDownPeer guards the re-admission rule:
+// only a load entry measured AFTER the down declaration re-admits a
+// peer; old entries relayed by third parties are scrubbed.
+func TestStaleEchoDoesNotResurrectDownPeer(t *testing.T) {
+	w := newWorld(t)
+	home, _ := migrateAndServe(t, w)
+	w.fabric.Partition("home:80", "coop:81")
+	before := w.clock.Now()
+	for i := 0; i < 5; i++ {
+		w.clock.Advance(30 * time.Second)
+		home.runPingerTick()
+	}
+	if home.LoadTable().Known("coop:81") {
+		t.Fatal("setup: peer not declared down")
+	}
+
+	// A pre-crash entry echoed by some other server must not resurrect
+	// the dead peer.
+	stale := make(httpx.Header)
+	stale.Set(glt.HeaderName, fmt.Sprintf("coop:81=0.5@%d", before.UnixMilli()))
+	if _, err := w.client.Get("home:80", "/index.html", stale); err != nil {
+		t.Fatal(err)
+	}
+	if home.LoadTable().Known("coop:81") {
+		t.Fatal("stale echo resurrected a down peer")
+	}
+
+	// A load entry measured after the declaration proves recovery — even
+	// with the partition still up (re-admission rides on piggybacked
+	// load, not on probing).
+	w.clock.Advance(time.Minute)
+	fresh := make(httpx.Header)
+	fresh.Set(glt.HeaderName, fmt.Sprintf("coop:81=0.5@%d", w.clock.Now().UnixMilli()))
+	if _, err := w.client.Get("home:80", "/index.html", fresh); err != nil {
+		t.Fatal(err)
+	}
+	if !home.LoadTable().Known("coop:81") {
+		t.Fatal("fresh entry did not re-admit the recovered peer")
+	}
+	if home.peerSuspect("coop:81") {
+		t.Fatal("re-admitted peer still suspect (pingFail/breaker not reset)")
+	}
+}
+
+// TestMaintenanceTimeoutBoundsStalledProbe: a peer that accepts
+// connections but never answers must cost one MaintenanceTimeout, not
+// the 30-second client default (which would exceed T_pi).
+func TestMaintenanceTimeoutBoundsStalledProbe(t *testing.T) {
+	w := newWorld(t)
+	home := w.addServer("home", 80, siteAB(), nil,
+		Params{MaintenanceTimeout: 100 * time.Millisecond, ProbeAttempts: 1})
+	// A black hole: the listener queues connections but never serves them.
+	if _, err := w.fabric.Listen("hole:80"); err != nil {
+		t.Fatal(err)
+	}
+	home.LoadTable().Observe(glt.Entry{Server: "hole:80"})
+
+	start := time.Now()
+	home.runPingerTick()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stalled probe took %v; maintenance timeout not applied", elapsed)
+	}
+	if !home.peerSuspect("hole:80") {
+		t.Fatal("unresponsive peer not marked suspect")
+	}
+}
+
+// TestPingerProbesRunConcurrently: three stalled peers must cost roughly
+// one probe timeout per tick, not three (the probes fan out).
+func TestPingerProbesRunConcurrently(t *testing.T) {
+	w := newWorld(t)
+	home := w.addServer("home", 80, siteAB(), nil,
+		Params{MaintenanceTimeout: 400 * time.Millisecond, ProbeAttempts: 1})
+	for _, peer := range []string{"h1:80", "h2:80", "h3:80"} {
+		if _, err := w.fabric.Listen(peer); err != nil {
+			t.Fatal(err)
+		}
+		home.LoadTable().Observe(glt.Entry{Server: peer})
+	}
+	start := time.Now()
+	home.runPingerTick()
+	elapsed := time.Since(start)
+	// Serial probing would take at least 3 x 400ms.
+	if elapsed > 1100*time.Millisecond {
+		t.Fatalf("pinger tick took %v; probes are not concurrent", elapsed)
+	}
+}
+
+// TestBreakerOpensAndFetchDegradesFast: once enough consecutive fetch
+// failures accumulate against one home, the circuit opens and further
+// fetches answer 503 immediately instead of dialing a dead peer.
+func TestBreakerOpensAndFetchDegradesFast(t *testing.T) {
+	w := newWorld(t)
+	coop := w.addServer("coop", 81, nil, nil,
+		Params{FetchAttempts: 1, BreakerThreshold: 2})
+	// The home server never existed; every fetch attempt fails.
+	for i := 0; i < 2; i++ {
+		if resp := w.get("coop:81", "/~migrate/ghost/80/doc.html"); resp.Status != 503 {
+			t.Fatalf("fetch %d = %d, want 503", i, resp.Status)
+		}
+	}
+	if got := coop.Resilience().StateOf("ghost:80"); got != resilience.Open {
+		t.Fatalf("breaker state = %v, want open", got)
+	}
+	resp := w.get("coop:81", "/~migrate/ghost/80/doc.html")
+	if resp.Status != 503 || !strings.Contains(string(resp.Body), "circuit open") {
+		t.Fatalf("open-circuit fetch = %d %q, want fast 503", resp.Status, resp.Body)
+	}
+	st := coop.Status()
+	if st.Breakers["ghost:80"] != "open" {
+		t.Fatalf("status breakers = %v", st.Breakers)
+	}
+	if st.BreakerTrips == 0 {
+		t.Fatal("breaker trip not counted")
 	}
 }
 

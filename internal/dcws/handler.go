@@ -1,6 +1,7 @@
 package dcws
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -8,6 +9,7 @@ import (
 
 	"dcws/internal/httpx"
 	"dcws/internal/naming"
+	"dcws/internal/resilience"
 	"dcws/internal/store"
 )
 
@@ -272,15 +274,32 @@ func (s *Server) serveAsCoop(req *httpx.Request) *httpx.Response {
 
 // fetchFromHome performs the physical half of a lazy migration. It returns
 // nil on success (the copy is now in the store), or a response to relay to
-// the client on failure.
+// the client on failure. Transient failures are retried with backoff
+// through the home's circuit breaker before the 503 is admitted; while
+// the breaker is open the fetch degrades to an immediate 503 without
+// tying a worker up in doomed connection attempts.
 func (s *Server) fetchFromHome(key string, cd *coopDoc) *httpx.Response {
-	extra := make(httpx.Header)
-	extra.Set(headerFetch, s.Addr())
-	s.piggyback(extra)
-	s.attachHotReport(extra, cd.home.Addr())
-	resp, err := s.client.Get(cd.home.Addr(), cd.name, extra)
+	home := cd.home.Addr()
+	var resp *httpx.Response
+	err := s.res.Execute(s.fetchPolicy, home, func() error {
+		// Headers are rebuilt per attempt so every retry piggybacks the
+		// freshest load view.
+		extra := make(httpx.Header)
+		extra.Set(headerFetch, s.Addr())
+		s.piggyback(extra)
+		s.attachHotReport(extra, home)
+		r, err := s.client.GetTimeout(home, cd.name, extra, s.params.FetchTimeout)
+		if err != nil {
+			return err
+		}
+		resp = r
+		return nil
+	})
 	if err != nil {
-		s.log.Printf("dcws %s: fetch %s from %s: %v", s.Addr(), cd.name, cd.home.Addr(), err)
+		if errors.Is(err, resilience.ErrOpen) {
+			return status(503, "home server unreachable (circuit open)")
+		}
+		s.log.Printf("dcws %s: fetch %s from %s: %v", s.Addr(), cd.name, home, err)
 		return status(503, "home server unreachable")
 	}
 	s.absorb(resp.Header)

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"dcws/internal/httpx"
 	"dcws/internal/naming"
@@ -62,7 +63,9 @@ func (s *Server) maybeMigrate(selfLoad float64) {
 }
 
 // chooseCoop picks the least-loaded eligible peer, honoring the per-coop
-// rate gate, and reports whether migrating is justified at all.
+// rate gate, and reports whether migrating is justified at all. Suspect
+// peers — failing probes or a tripped breaker — are skipped: migrating a
+// document to a server we may be about to declare down would strand it.
 func (s *Server) chooseCoop(selfLoad float64) (string, bool) {
 	exclude := map[string]bool{s.Addr(): true}
 	for {
@@ -74,7 +77,7 @@ func (s *Server) chooseCoop(selfLoad float64) (string, bool) {
 		if selfLoad <= e.Load*s.params.ImbalanceRatio || selfLoad <= 0 {
 			return "", false
 		}
-		if s.gate.Eligible(e.Server, s.now()) {
+		if !s.peerSuspect(e.Server) && s.gate.Eligible(e.Server, s.now()) {
 			return e.Server, true
 		}
 		exclude[e.Server] = true
@@ -179,7 +182,7 @@ func (s *Server) sendRevoke(coop, doc string) {
 	req := httpx.NewRequest("POST", revokePath)
 	req.Header.Set(headerRevokeDoc, key)
 	s.piggyback(req.Header)
-	resp, err := s.client.Do(coop, req)
+	resp, err := s.client.DoTimeout(coop, req, s.params.MaintenanceTimeout)
 	if err != nil {
 		s.log.Printf("dcws %s: revoke %s at %s: %v", s.Addr(), doc, coop, err)
 		return
@@ -252,19 +255,30 @@ func (s *Server) addReplica(doc string) {
 		exclude[r] = true
 	}
 	s.mu.Unlock()
-	e, found := s.table.LeastLoaded(exclude)
-	if !found {
-		return
+	var target string
+	for {
+		e, found := s.table.LeastLoaded(exclude)
+		if !found {
+			return
+		}
+		if s.peerSuspect(e.Server) {
+			// Same rule as chooseCoop: never place a replica on a peer
+			// that is wobbling toward a down declaration.
+			exclude[e.Server] = true
+			continue
+		}
+		target = e.Server
+		break
 	}
 	s.mu.Lock()
-	s.replicas[doc] = append(reps, e.Server)
+	s.replicas[doc] = append(reps, target)
 	s.mu.Unlock()
 	// Re-dirty the LinkFrom set so future regenerations rotate links.
 	if _, err := s.ldg.MarkMigrated(doc, loc); err != nil {
 		s.log.Printf("dcws %s: replicate %s: %v", s.Addr(), doc, err)
 		return
 	}
-	s.log.Printf("dcws %s: replicated %s -> %s (now %d hosts)", s.Addr(), doc, e.Server, len(reps)+1)
+	s.log.Printf("dcws %s: replicated %s -> %s (now %d hosts)", s.Addr(), doc, target, len(reps)+1)
 }
 
 // Replicas reports the replica set of a migrated document (primary co-op
@@ -290,39 +304,81 @@ func (s *Server) pingerLoop() {
 	}
 }
 
-// runPingerTick performs one pinger activation.
+// runPingerTick performs one pinger activation. Probes fan out
+// concurrently, each bounded by MaintenanceTimeout and retried up to
+// ProbeAttempts times, so one stalled peer can no longer consume the
+// whole pinger interval serially. Results are folded in sequentially
+// after every probe returns, keeping declare-down decisions
+// deterministic. Probes bypass the circuit-breaker gate (the pinger IS
+// the failure detector) but still record outcomes, so a recovering
+// peer's first successful probe closes its breaker.
 func (s *Server) runPingerTick() {
 	now := s.now()
-	for _, peer := range s.table.StaleServers(now, s.params.PingerInterval) {
-		extra := make(httpx.Header)
-		s.piggyback(extra)
-		resp, err := s.client.Get(peer, pingPath, extra)
-		if err != nil || resp.Status != 200 {
+	stale := s.table.StaleServers(now, s.params.PingerInterval)
+	if len(stale) == 0 {
+		return
+	}
+	type probeResult struct {
+		resp *httpx.Response
+		err  error
+	}
+	results := make([]probeResult, len(stale))
+	var wg sync.WaitGroup
+	for i, peer := range stale {
+		wg.Add(1)
+		go func(i int, peer string) {
+			defer wg.Done()
+			var resp *httpx.Response
+			err := s.res.Probe(s.probePolicy, peer, func() error {
+				extra := make(httpx.Header)
+				s.piggyback(extra)
+				r, err := s.client.GetTimeout(peer, pingPath, extra, s.params.MaintenanceTimeout)
+				if err != nil {
+					return err
+				}
+				if r.Status != 200 {
+					return fmt.Errorf("ping status %d", r.Status)
+				}
+				resp = r
+				return nil
+			})
+			results[i] = probeResult{resp: resp, err: err}
+		}(i, peer)
+	}
+	wg.Wait()
+	for i, peer := range stale {
+		pr := results[i]
+		if pr.err != nil {
 			s.mu.Lock()
 			s.pingFail[peer]++
 			failures := s.pingFail[peer]
 			s.mu.Unlock()
-			s.log.Printf("dcws %s: ping %s failed (%d): %v", s.Addr(), peer, failures, err)
+			s.log.Printf("dcws %s: ping %s failed (%d): %v", s.Addr(), peer, failures, pr.err)
 			if failures >= s.params.MaxPingFailures {
 				s.declareDown(peer)
 			}
 			continue
 		}
-		s.mu.Lock()
-		s.pingFail[peer] = 0
-		s.mu.Unlock()
-		s.absorb(resp.Header)
+		s.recoverPeer(peer)
+		s.absorb(pr.resp.Header)
 	}
 }
 
 // declareDown marks a peer dead: its documents are recalled and its load
-// table entry removed so it is never chosen as a migration target.
+// table entry removed so it is never chosen as a migration target. The
+// declaration time is recorded; only a load entry measured after it can
+// re-admit the peer (see reconcileDownPeers).
 func (s *Server) declareDown(peer string) {
-	n := s.RecallFrom(peer)
-	s.table.Remove(peer)
 	s.mu.Lock()
+	if _, already := s.downAt[peer]; already {
+		s.mu.Unlock()
+		return
+	}
+	s.downAt[peer] = s.now()
 	delete(s.pingFail, peer)
 	s.mu.Unlock()
+	n := s.RecallFrom(peer)
+	s.table.Remove(peer)
 	s.log.Printf("dcws %s: declared %s down, recalled %d documents", s.Addr(), peer, n)
 }
 
@@ -375,7 +431,7 @@ func (s *Server) validateOne(key string) {
 	extra.Set(headerValidate, strconv.FormatUint(hash, 16))
 	s.piggyback(extra)
 	s.attachHotReport(extra, home.Addr())
-	resp, err := s.client.Get(home.Addr(), name, extra)
+	resp, err := s.client.GetTimeout(home.Addr(), name, extra, s.params.MaintenanceTimeout)
 	if err != nil {
 		s.log.Printf("dcws %s: validate %s: %v", s.Addr(), name, err)
 		return

@@ -66,6 +66,37 @@ type Params struct {
 	// necessary (i.e. lack of disk space)". An evicted document is simply
 	// re-fetched lazily on its next request.
 	CoopCacheBytes int64
+
+	// MaintenanceTimeout bounds each maintenance RPC (pinger probe,
+	// validation re-request). It must be well below PingerInterval so a
+	// slow peer cannot stall a whole pinger round; the default is 5 s
+	// against the Table 1 T_pi of 20 s.
+	MaintenanceTimeout time.Duration
+	// FetchTimeout bounds each individual attempt of a lazy-migration
+	// fetch from a home server (default 10 s).
+	FetchTimeout time.Duration
+	// FetchAttempts is the total number of tries for a lazy-migration
+	// fetch before the co-op answers 503 (default 3). Retries back off
+	// exponentially from RetryBaseDelay.
+	FetchAttempts int
+	// ProbeAttempts is the number of tries per pinger probe inside one
+	// pinger tick (default 2): a single dropped SYN must not count as a
+	// failed round toward MaxPingFailures.
+	ProbeAttempts int
+	// RetryBaseDelay is the backoff after the first failed attempt of a
+	// retried RPC; subsequent attempts double it up to RetryMaxDelay,
+	// with deterministic per-peer jitter. A negative value disables
+	// inter-attempt delays (deterministic tests on manual clocks).
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the exponential backoff (default 2 s).
+	RetryMaxDelay time.Duration
+	// BreakerThreshold is how many consecutive RPC failures against one
+	// peer trip its circuit breaker (default 5). While the breaker is
+	// open, fetches degrade to fast 503s instead of tying up workers.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before admitting
+	// a half-open trial call (default 30 s).
+	BreakerCooldown time.Duration
 }
 
 // DefaultParams returns the configuration of Table 1: 12 worker threads, a
@@ -87,6 +118,14 @@ func DefaultParams() Params {
 		RateWindow:            10 * time.Second,
 		ReplicateThreshold:    200,
 		MaxReplicas:           4,
+		MaintenanceTimeout:    5 * time.Second,
+		FetchTimeout:          10 * time.Second,
+		FetchAttempts:         3,
+		ProbeAttempts:         2,
+		RetryBaseDelay:        50 * time.Millisecond,
+		RetryMaxDelay:         2 * time.Second,
+		BreakerThreshold:      5,
+		BreakerCooldown:       30 * time.Second,
 	}
 }
 
@@ -131,6 +170,32 @@ func (p Params) withDefaults() Params {
 	}
 	if p.MaxReplicas <= 0 {
 		p.MaxReplicas = d.MaxReplicas
+	}
+	if p.MaintenanceTimeout <= 0 {
+		p.MaintenanceTimeout = d.MaintenanceTimeout
+	}
+	if p.FetchTimeout <= 0 {
+		p.FetchTimeout = d.FetchTimeout
+	}
+	if p.FetchAttempts <= 0 {
+		p.FetchAttempts = d.FetchAttempts
+	}
+	if p.ProbeAttempts <= 0 {
+		p.ProbeAttempts = d.ProbeAttempts
+	}
+	// RetryBaseDelay keeps negative values: they mean "retry with no
+	// delay", which manual-clock harnesses depend on.
+	if p.RetryBaseDelay == 0 {
+		p.RetryBaseDelay = d.RetryBaseDelay
+	}
+	if p.RetryMaxDelay <= 0 {
+		p.RetryMaxDelay = d.RetryMaxDelay
+	}
+	if p.BreakerThreshold <= 0 {
+		p.BreakerThreshold = d.BreakerThreshold
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = d.BreakerCooldown
 	}
 	return p
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 
 	"dcws/internal/httpx"
+	"dcws/internal/resilience"
 )
 
 // Status is the operational snapshot served at /~dcws/status and returned
@@ -22,6 +23,18 @@ type Status struct {
 	CPS         float64            `json:"cps"`
 	BPS         float64            `json:"bps"`
 	LoadTable   map[string]float64 `json:"load_table"`
+
+	// PeerHealth classifies every tracked peer: "ok", "suspect" (failing
+	// probes or a non-closed breaker; excluded from new migrations), or
+	// "down" (declared down, documents recalled).
+	PeerHealth map[string]string `json:"peer_health,omitempty"`
+	// Breakers lists peers whose circuit breaker is not closed, with the
+	// breaker state ("open" or "half-open").
+	Breakers map[string]string `json:"breakers,omitempty"`
+	// Retries counts inter-server RPC attempts beyond the first.
+	Retries int64 `json:"retries"`
+	// BreakerTrips counts closed-to-open breaker transitions.
+	BreakerTrips int64 `json:"breaker_trips"`
 }
 
 // Status returns the server's current operational snapshot.
@@ -44,7 +57,33 @@ func (s *Server) Status() Status {
 	for _, e := range s.table.Snapshot() {
 		st.LoadTable[e.Server] = e.Load
 	}
+	rs := s.res.Stats()
+	st.Retries = rs.Retries.Value()
+	st.BreakerTrips = rs.Trips.Value()
+	st.PeerHealth = make(map[string]string)
+	for _, p := range s.table.Servers() {
+		if p == s.Addr() {
+			continue
+		}
+		if s.peerSuspect(p) {
+			st.PeerHealth[p] = "suspect"
+		} else {
+			st.PeerHealth[p] = "ok"
+		}
+	}
+	for p, state := range s.res.States() {
+		if state == resilience.Closed {
+			continue
+		}
+		if st.Breakers == nil {
+			st.Breakers = make(map[string]string)
+		}
+		st.Breakers[p] = state.String()
+	}
 	s.mu.Lock()
+	for p := range s.downAt {
+		st.PeerHealth[p] = "down"
+	}
 	for key := range s.coopDocs {
 		st.CoopHosted = append(st.CoopHosted, key)
 	}

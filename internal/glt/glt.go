@@ -94,6 +94,16 @@ func (t *Table) Get(server string) (Entry, bool) {
 	return e, ok
 }
 
+// Known reports whether the table currently holds an entry for server.
+// The pinger's recovery path uses it to detect a declared-down peer that
+// re-entered the table through piggybacked load (§4.5).
+func (t *Table) Known(server string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.entries[server]
+	return ok
+}
+
 // Snapshot returns all entries sorted by server address.
 func (t *Table) Snapshot() []Entry {
 	t.mu.RLock()

@@ -32,14 +32,21 @@ func NewClient(d Dialer) *Client {
 	return &Client{Dialer: d, Timeout: 30 * time.Second}
 }
 
-// Do sends req to addr and returns the parsed response.
+// Do sends req to addr and returns the parsed response, using the
+// client's default timeout.
 func (c *Client) Do(addr string, req *Request) (*Response, error) {
+	return c.DoTimeout(addr, req, c.Timeout)
+}
+
+// DoTimeout sends req to addr with a per-request deadline overriding the
+// client default — retrying callers use it to bound each attempt
+// separately instead of sharing one long deadline across all attempts.
+func (c *Client) DoTimeout(addr string, req *Request, timeout time.Duration) (*Response, error) {
 	conn, err := c.Dialer.Dial(addr)
 	if err != nil {
 		return nil, fmt.Errorf("httpx: dial %s: %w", addr, err)
 	}
 	defer conn.Close()
-	timeout := c.Timeout
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
@@ -63,11 +70,16 @@ func (c *Client) Do(addr string, req *Request) (*Response, error) {
 // Get issues a GET for path at addr with the given extra headers (may be
 // nil).
 func (c *Client) Get(addr, path string, extra Header) (*Response, error) {
+	return c.GetTimeout(addr, path, extra, c.Timeout)
+}
+
+// GetTimeout is Get with a per-request deadline.
+func (c *Client) GetTimeout(addr, path string, extra Header, timeout time.Duration) (*Response, error) {
 	req := NewRequest("GET", path)
 	for k, vs := range extra {
 		for _, v := range vs {
 			req.Header.Add(k, v)
 		}
 	}
-	return c.Do(addr, req)
+	return c.DoTimeout(addr, req, timeout)
 }

@@ -10,6 +10,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -157,12 +158,14 @@ func (b *pipeBuffer) setWriteDeadline(t time.Time) {
 
 // Conn is one endpoint of an in-memory connection.
 type Conn struct {
-	readBuf   *pipeBuffer // data flowing toward this endpoint
-	writeBuf  *pipeBuffer // data flowing away from this endpoint
-	local     net.Addr
-	remote    net.Addr
-	latency   time.Duration
-	closeOnce sync.Once
+	readBuf     *pipeBuffer // data flowing toward this endpoint
+	writeBuf    *pipeBuffer // data flowing away from this endpoint
+	local       net.Addr
+	remote      net.Addr
+	latency     time.Duration
+	stall       time.Duration // injected per-write delay (fault fabric)
+	resetBudget *int64        // shared byte budget; exhaustion resets the conn
+	closeOnce   sync.Once
 }
 
 var _ net.Conn = (*Conn)(nil)
@@ -189,12 +192,36 @@ func (c *Conn) Read(p []byte) (int, error) { return c.readBuf.read(p) }
 
 // Write implements net.Conn. If the connection was created with injected
 // latency, the first byte of every Write is delayed by that amount,
-// simulating propagation delay on a wide-area link.
+// simulating propagation delay on a wide-area link. An injected stall
+// delays writes the same way, and an exhausted reset budget hard-closes
+// the connection mid-stream (both ends observe a reset).
 func (c *Conn) Write(p []byte) (int, error) {
 	if c.latency > 0 {
 		time.Sleep(c.latency)
 	}
-	return c.writeBuf.write(p)
+	if c.stall > 0 {
+		time.Sleep(c.stall)
+	}
+	if c.resetBudget != nil && atomic.LoadInt64(c.resetBudget) <= 0 {
+		c.reset()
+		return 0, ErrClosed
+	}
+	n, err := c.writeBuf.write(p)
+	if c.resetBudget != nil && n > 0 {
+		if atomic.AddInt64(c.resetBudget, -int64(n)) <= 0 {
+			c.reset()
+			return n, ErrClosed
+		}
+	}
+	return n, err
+}
+
+// reset simulates a mid-stream connection reset: both directions are
+// hard-closed, so the peer's reads fail immediately even with buffered
+// data pending — exactly what a TCP RST does to an application.
+func (c *Conn) reset() {
+	c.readBuf.breakPipe()
+	c.writeBuf.breakPipe()
 }
 
 // Close implements net.Conn. The peer sees EOF after draining buffered data.

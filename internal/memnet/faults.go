@@ -1,0 +1,164 @@
+package memnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// linkFaults is the injectable failure configuration of one fabric link.
+type linkFaults struct {
+	// dialFailRate is the probability in [0, 1] that a dial attempt on
+	// this link fails with a connection-refused error.
+	dialFailRate float64
+	// resetAfter, when > 0, hard-closes the connection in both directions
+	// after that many payload bytes have crossed it (mid-stream reset).
+	resetAfter int64
+	// stall adds a fixed delay to every write on the link, on top of any
+	// configured latency — a congested or lossy path whose retransmits
+	// make progress glacial.
+	stall time.Duration
+}
+
+// Wildcard matches any endpoint in the fault-injection link selectors.
+// Plain Dial calls originate from a synthetic "client->addr" address, so
+// faults meant for external clients are declared with a Wildcard origin.
+const Wildcard = "*"
+
+// SetSeed reseeds the fabric's fault randomness. The fabric starts with a
+// fixed seed, so fault schedules are deterministic unless reseeded.
+func (f *Fabric) SetSeed(seed int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rng = rand.New(rand.NewSource(seed))
+}
+
+// SetDialFailRate makes a fraction of dial attempts between a and b (in
+// either direction) fail with a connection-refused error. Either endpoint
+// may be the Wildcard. A rate of 0 removes the fault.
+func (f *Fabric) SetDialFailRate(a, b string, rate float64) {
+	f.mutateFaults(a, b, func(lf *linkFaults) { lf.dialFailRate = rate })
+}
+
+// SetResetAfterBytes breaks connections between a and b after n payload
+// bytes have crossed them (in either direction): both ends see a hard
+// connection reset mid-stream. n <= 0 removes the fault.
+func (f *Fabric) SetResetAfterBytes(a, b string, n int64) {
+	f.mutateFaults(a, b, func(lf *linkFaults) { lf.resetAfter = n })
+}
+
+// SetStall adds d of delay to every write between a and b, simulating a
+// path that drops packets and crawls through retransmissions. Combined
+// with the callers' deadlines this produces timeouts rather than errors.
+// d <= 0 removes the fault.
+func (f *Fabric) SetStall(a, b string, d time.Duration) {
+	f.mutateFaults(a, b, func(lf *linkFaults) { lf.stall = d })
+}
+
+func (f *Fabric) mutateFaults(a, b string, apply func(*linkFaults)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.faults == nil {
+		f.faults = make(map[[2]string]*linkFaults)
+	}
+	for _, key := range [][2]string{{a, b}, {b, a}} {
+		lf, ok := f.faults[key]
+		if !ok {
+			lf = &linkFaults{}
+			f.faults[key] = lf
+		}
+		apply(lf)
+		if *lf == (linkFaults{}) {
+			delete(f.faults, key)
+		}
+	}
+}
+
+// Partition cuts the link between a and b: every dial attempt between the
+// two (in either direction) is refused until Heal is called. Either
+// endpoint may be the Wildcard. Established connections are not touched —
+// use SetResetAfterBytes to kill those.
+func (f *Fabric) Partition(a, b string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.partitions == nil {
+		f.partitions = make(map[[2]string]bool)
+	}
+	f.partitions[[2]string{a, b}] = true
+	f.partitions[[2]string{b, a}] = true
+}
+
+// Heal removes the partition between a and b.
+func (f *Fabric) Heal(a, b string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.partitions, [2]string{a, b})
+	delete(f.partitions, [2]string{b, a})
+}
+
+// HealAll removes every partition and every injected link fault.
+func (f *Fabric) HealAll() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.partitions = nil
+	f.faults = nil
+}
+
+// checkDialFaults decides whether a dial from -> to is refused by an
+// injected fault, and returns the connection-level faults to attach.
+// Callers hold f.mu.
+func (f *Fabric) checkDialFaults(from, to string) (lf linkFaults, err error) {
+	lookup := func(m map[[2]string]*linkFaults, a, b string) *linkFaults {
+		if v, ok := m[[2]string{a, b}]; ok {
+			return v
+		}
+		return nil
+	}
+	if f.partitions != nil {
+		for _, key := range [][2]string{{from, to}, {Wildcard, to}, {from, Wildcard}} {
+			if f.partitions[key] {
+				return lf, fmt.Errorf("memnet: connection refused: partition between %s and %s", from, to)
+			}
+		}
+	}
+	if f.faults != nil {
+		var found *linkFaults
+		for _, key := range [][2]string{{from, to}, {Wildcard, to}, {from, Wildcard}} {
+			if v := lookup(f.faults, key[0], key[1]); v != nil {
+				found = v
+				break
+			}
+		}
+		if found != nil {
+			lf = *found
+			if lf.dialFailRate > 0 && f.rand() < lf.dialFailRate {
+				return lf, fmt.Errorf("memnet: connection refused: injected dial failure %s -> %s", from, to)
+			}
+		}
+	}
+	return lf, nil
+}
+
+// rand returns the next fault-schedule random number. Callers hold f.mu.
+func (f *Fabric) rand() float64 {
+	if f.rng == nil {
+		f.rng = rand.New(rand.NewSource(1))
+	}
+	return f.rng.Float64()
+}
+
+// applyConnFaults arms connection-level faults (reset budget, stall) on a
+// freshly created pipe pair.
+func applyConnFaults(a, b *Conn, lf linkFaults) {
+	if lf.resetAfter > 0 {
+		budget := new(int64)
+		atomic.StoreInt64(budget, lf.resetAfter)
+		a.resetBudget = budget
+		b.resetBudget = budget
+	}
+	if lf.stall > 0 {
+		a.stall = lf.stall
+		b.stall = lf.stall
+	}
+}

@@ -1,0 +1,200 @@
+package memnet
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoListener accepts connections and echoes everything it reads.
+func echoListener(t *testing.T, f *Fabric, addr string) net.Listener {
+	t.Helper()
+	l, err := f.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 1024)
+				for {
+					n, err := c.Read(buf)
+					if err != nil {
+						return
+					}
+					if _, err := c.Write(buf[:n]); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func TestPartitionRefusesDialsUntilHealed(t *testing.T) {
+	f := NewFabric()
+	echoListener(t, f, "b:80")
+
+	f.Partition("a:80", "b:80")
+	if _, err := f.DialFrom("a:80", "b:80"); err == nil || !strings.Contains(err.Error(), "partition") {
+		t.Fatalf("dial through partition: %v", err)
+	}
+	// The partition is directionless.
+	echoListener(t, f, "a:80")
+	if _, err := f.DialFrom("b:80", "a:80"); err == nil {
+		t.Fatal("reverse direction not partitioned")
+	}
+	// Unrelated hosts are unaffected.
+	if c, err := f.DialFrom("c:80", "b:80"); err != nil {
+		t.Fatalf("unrelated dial refused: %v", err)
+	} else {
+		c.Close()
+	}
+	f.Heal("b:80", "a:80") // argument order must not matter
+	c, err := f.DialFrom("a:80", "b:80")
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	c.Close()
+}
+
+func TestPartitionWildcardIsolatesHost(t *testing.T) {
+	f := NewFabric()
+	echoListener(t, f, "b:80")
+	f.Partition(Wildcard, "b:80")
+	if _, err := f.Dial("b:80"); err == nil {
+		t.Fatal("wildcard partition did not block a plain client dial")
+	}
+	if _, err := f.DialFrom("a:80", "b:80"); err == nil {
+		t.Fatal("wildcard partition did not block a named dial")
+	}
+	f.HealAll()
+	if c, err := f.Dial("b:80"); err != nil {
+		t.Fatalf("dial after HealAll: %v", err)
+	} else {
+		c.Close()
+	}
+}
+
+func TestDialFailRate(t *testing.T) {
+	f := NewFabric()
+	echoListener(t, f, "b:80")
+	f.SetSeed(7)
+
+	// Rate 1: every dial fails.
+	f.SetDialFailRate("a:80", "b:80", 1.0)
+	for i := 0; i < 5; i++ {
+		if _, err := f.DialFrom("a:80", "b:80"); err == nil {
+			t.Fatal("dial succeeded at fail rate 1.0")
+		}
+	}
+	// Rate 0 removes the fault.
+	f.SetDialFailRate("a:80", "b:80", 0)
+	if c, err := f.DialFrom("a:80", "b:80"); err != nil {
+		t.Fatalf("dial at rate 0: %v", err)
+	} else {
+		c.Close()
+	}
+	// A partial rate fails some dials and passes others, deterministically
+	// for a fixed seed.
+	f.SetSeed(7)
+	f.SetDialFailRate("a:80", "b:80", 0.5)
+	fails := 0
+	for i := 0; i < 100; i++ {
+		if c, err := f.DialFrom("a:80", "b:80"); err != nil {
+			fails++
+		} else {
+			c.Close()
+		}
+	}
+	if fails == 0 || fails == 100 {
+		t.Fatalf("fail rate 0.5 produced %d/100 failures", fails)
+	}
+	// Determinism: same seed, same schedule.
+	f.SetSeed(7)
+	fails2 := 0
+	for i := 0; i < 100; i++ {
+		if c, err := f.DialFrom("a:80", "b:80"); err != nil {
+			fails2++
+		} else {
+			c.Close()
+		}
+	}
+	if fails != fails2 {
+		t.Fatalf("fault schedule not deterministic: %d vs %d", fails, fails2)
+	}
+}
+
+func TestResetAfterBytesBreaksMidStream(t *testing.T) {
+	f := NewFabric()
+	echoListener(t, f, "b:80")
+	f.SetResetAfterBytes("a:80", "b:80", 64)
+
+	c, err := f.DialFrom("a:80", "b:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Writing past the budget must eventually fail with a reset, and the
+	// connection must be dead afterwards.
+	payload := make([]byte, 32)
+	var wErr error
+	for i := 0; i < 10; i++ {
+		if _, wErr = c.Write(payload); wErr != nil {
+			break
+		}
+	}
+	if wErr == nil {
+		t.Fatal("connection survived writing past the reset budget")
+	}
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read succeeded on a reset connection")
+	}
+	// New connections on the link get a fresh budget.
+	c2, err := f.DialFrom("a:80", "b:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Write(payload); err != nil {
+		t.Fatalf("fresh connection write: %v", err)
+	}
+}
+
+func TestStallDelaysWrites(t *testing.T) {
+	f := NewFabric()
+	echoListener(t, f, "b:80")
+	f.SetStall("a:80", "b:80", 30*time.Millisecond)
+	c, err := f.DialFrom("a:80", "b:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("stalled write returned in %v", elapsed)
+	}
+	// A stalled link plus a write deadline yields a timeout, which is how
+	// callers with per-attempt deadlines experience packet loss.
+	f.SetStall("a:80", "b:80", 200*time.Millisecond)
+	c2, err := f.DialFrom("a:80", "b:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c2.SetWriteDeadline(time.Now().Add(10 * time.Millisecond))
+	if _, err := c2.Write([]byte("y")); err == nil {
+		t.Fatal("stalled write beat its deadline")
+	}
+}

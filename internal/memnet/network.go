@@ -2,6 +2,7 @@ package memnet
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -32,13 +33,21 @@ func (TCP) Dial(a string) (net.Conn, error) {
 // Fabric is an in-memory Network. Addresses are arbitrary strings
 // ("east:80", "server3"); each Listen registers the address, each Dial
 // creates a buffered pipe pair and hands one end to the listener.
+//
+// Beyond plain connectivity the fabric injects faults for resilience
+// testing: per-link dial failure rates, mid-stream connection resets,
+// write stalls, and named partitions (see faults.go). Fault schedules are
+// driven by a deterministic seeded source so chaos tests reproduce.
 type Fabric struct {
-	mu        sync.Mutex
-	listeners map[string]*listener
-	latency   map[[2]string]time.Duration
-	defaultRT time.Duration
-	bufSize   int
-	backlog   int
+	mu         sync.Mutex
+	listeners  map[string]*listener
+	latency    map[[2]string]time.Duration
+	defaultRT  time.Duration
+	bufSize    int
+	backlog    int
+	faults     map[[2]string]*linkFaults
+	partitions map[[2]string]bool
+	rng        *rand.Rand
 }
 
 // NewFabric returns an empty in-memory network. Connections have 64 KiB
@@ -96,38 +105,15 @@ func (f *Fabric) Listen(a string) (net.Listener, error) {
 	return l, nil
 }
 
-// Dial implements Network.
+// Dial implements Network. Calls originate from a synthetic
+// "client->addr" address; use DialFrom (or Named) to dial as a specific
+// host so pair-specific latency and faults apply.
 func (f *Fabric) Dial(a string) (net.Conn, error) {
-	f.mu.Lock()
-	l, ok := f.listeners[a]
-	lat := f.defaultRT
-	bufSize := f.bufSize
-	f.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("memnet: connection refused: no listener at %s", a)
-	}
-	clientAddr := addr("client->" + a)
-	f.mu.Lock()
-	if d, ok := f.latency[[2]string{clientAddr.String(), a}]; ok {
-		lat = d
-	}
-	f.mu.Unlock()
-	client, server := pipeWithAddrs(bufSize, clientAddr, addr(a), lat)
-	select {
-	case l.pending <- server:
-		return client, nil
-	case <-l.done:
-		return nil, fmt.Errorf("memnet: connection refused: listener at %s closed", a)
-	default:
-		// Backlog full: the OS would drop the SYN; we refuse outright.
-		client.Close()
-		server.Close()
-		return nil, fmt.Errorf("memnet: connection refused: backlog full at %s", a)
-	}
+	return f.DialFrom("client->"+a, a)
 }
 
 // DialFrom is like Dial but names the originating host, so pair-specific
-// latency (e.g. "east" <-> "west") applies.
+// latency (e.g. "east" <-> "west") and injected link faults apply.
 func (f *Fabric) DialFrom(from, to string) (net.Conn, error) {
 	f.mu.Lock()
 	l, ok := f.listeners[to]
@@ -136,17 +122,23 @@ func (f *Fabric) DialFrom(from, to string) (net.Conn, error) {
 		lat = d
 	}
 	bufSize := f.bufSize
+	lf, faultErr := f.checkDialFaults(from, to)
 	f.mu.Unlock()
+	if faultErr != nil {
+		return nil, faultErr
+	}
 	if !ok {
 		return nil, fmt.Errorf("memnet: connection refused: no listener at %s", to)
 	}
 	client, server := pipeWithAddrs(bufSize, addr(from), addr(to), lat)
+	applyConnFaults(client, server, lf)
 	select {
 	case l.pending <- server:
 		return client, nil
 	case <-l.done:
 		return nil, fmt.Errorf("memnet: connection refused: listener at %s closed", to)
 	default:
+		// Backlog full: the OS would drop the SYN; we refuse outright.
 		client.Close()
 		server.Close()
 		return nil, fmt.Errorf("memnet: connection refused: backlog full at %s", to)

@@ -233,3 +233,20 @@ func (s *ServerStats) String() string {
 		s.Connections.Value(), s.Bytes.Value(), s.Dropped.Value(),
 		s.Redirects.Value(), s.Fetches.Value(), s.Rebuilds.Value())
 }
+
+// ResilienceStats aggregates the retry and circuit-breaker counters of the
+// inter-server RPC layer (internal/resilience).
+type ResilienceStats struct {
+	Retries    Counter // attempts re-issued after a transient failure
+	Trips      Counter // breaker transitions into the open state
+	Rejections Counter // calls refused while a breaker was open
+	Probes     Counter // half-open trial calls admitted
+	Recoveries Counter // breakers that closed again after tripping
+}
+
+// String summarizes the counters for logs.
+func (s *ResilienceStats) String() string {
+	return fmt.Sprintf("retries=%d trips=%d rejections=%d probes=%d recoveries=%d",
+		s.Retries.Value(), s.Trips.Value(), s.Rejections.Value(),
+		s.Probes.Value(), s.Recoveries.Value())
+}

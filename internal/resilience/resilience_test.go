@@ -1,0 +1,247 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dcws/internal/clock"
+)
+
+func TestBackoffScheduleNoJitter(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Multiplier: 2}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		time.Second,
+		time.Second,
+	}
+	for i, w := range want {
+		if got := p.Backoff("peer", i+1); got != w {
+			t.Errorf("Backoff(attempt %d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterDeterministicAndBounded(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Multiplier: 2, Jitter: 0.5}
+	for attempt := 1; attempt <= 5; attempt++ {
+		a := p.Backoff("peerA", attempt)
+		b := p.Backoff("peerA", attempt)
+		if a != b {
+			t.Fatalf("jitter not deterministic: %v vs %v", a, b)
+		}
+		nominal := Policy{BaseDelay: p.BaseDelay, MaxDelay: p.MaxDelay, Multiplier: p.Multiplier}.Backoff("peerA", attempt)
+		if a < nominal/2 || a > nominal {
+			t.Fatalf("attempt %d: jittered %v outside [%v, %v]", attempt, a, nominal/2, nominal)
+		}
+	}
+	// Distinct peers desynchronize.
+	if p.Backoff("peerA", 1) == p.Backoff("peerB", 1) && p.Backoff("peerA", 2) == p.Backoff("peerB", 2) {
+		t.Fatal("jitter identical across peers on every attempt")
+	}
+}
+
+func TestBackoffDisabled(t *testing.T) {
+	p := Policy{BaseDelay: -1, MaxAttempts: 5}
+	if d := p.Backoff("peer", 3); d != 0 {
+		t.Fatalf("negative BaseDelay produced delay %v", d)
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	clk := clock.NewManual(time.Unix(0, 0))
+	b := NewBreaker(clk, BreakerConfig{FailureThreshold: 3, Cooldown: 10 * time.Second}, nil)
+
+	if b.State() != Closed || !b.Allow() {
+		t.Fatal("fresh breaker not closed")
+	}
+	// Two failures: still closed.
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatalf("state after 2 failures = %v", b.State())
+	}
+	// A success resets the consecutive count.
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatal("success did not reset the failure count")
+	}
+	// Third consecutive failure trips it.
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state after threshold = %v", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a call")
+	}
+	// Cooldown elapses: half-open admits exactly one probe.
+	clk.Advance(10 * time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the trial call")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state after cooldown Allow = %v", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent half-open probe admitted")
+	}
+	// Trial fails: open again for a fresh cooldown.
+	b.Failure()
+	if b.State() != Open || b.Allow() {
+		t.Fatal("failed trial did not re-open the circuit")
+	}
+	clk.Advance(10 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second half-open refused")
+	}
+	b.Success()
+	if b.State() != Closed || !b.Allow() {
+		t.Fatal("successful trial did not close the circuit")
+	}
+}
+
+func TestBreakerReset(t *testing.T) {
+	clk := clock.NewManual(time.Unix(0, 0))
+	b := NewBreaker(clk, BreakerConfig{FailureThreshold: 1, Cooldown: time.Hour}, nil)
+	b.Failure()
+	if b.State() != Open {
+		t.Fatal("not tripped")
+	}
+	b.Reset()
+	if b.State() != Closed || !b.Allow() {
+		t.Fatal("reset did not close the breaker")
+	}
+}
+
+func TestRegistryExecuteRetriesThenSucceeds(t *testing.T) {
+	clk := clock.NewManual(time.Unix(0, 0))
+	r := NewRegistry(clk, BreakerConfig{FailureThreshold: 10})
+	p := Policy{MaxAttempts: 4, BaseDelay: -1}
+	calls := 0
+	err := r.Execute(p, "peer", func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("flaky")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	if got := r.Stats().Retries.Value(); got != 2 {
+		t.Fatalf("retries = %d, want 2", got)
+	}
+	if r.StateOf("peer") != Closed {
+		t.Fatal("breaker not closed after success")
+	}
+}
+
+func TestRegistryExecuteExhaustsAttempts(t *testing.T) {
+	clk := clock.NewManual(time.Unix(0, 0))
+	r := NewRegistry(clk, BreakerConfig{FailureThreshold: 100})
+	p := Policy{MaxAttempts: 3, BaseDelay: -1}
+	boom := errors.New("down")
+	calls := 0
+	err := r.Execute(p, "peer", func() error { calls++; return boom })
+	if !errors.Is(err, boom) || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRegistryCircuitOpensAndFailsFast(t *testing.T) {
+	clk := clock.NewManual(time.Unix(0, 0))
+	r := NewRegistry(clk, BreakerConfig{FailureThreshold: 3, Cooldown: time.Minute})
+	p := Policy{MaxAttempts: 1, BaseDelay: -1}
+	boom := errors.New("down")
+	for i := 0; i < 3; i++ {
+		r.Execute(p, "peer", func() error { return boom })
+	}
+	if r.StateOf("peer") != Open {
+		t.Fatalf("state = %v, want open", r.StateOf("peer"))
+	}
+	if got := r.Stats().Trips.Value(); got != 1 {
+		t.Fatalf("trips = %d", got)
+	}
+	// Calls now fail fast without reaching fn.
+	reached := false
+	err := r.Execute(p, "peer", func() error { reached = true; return nil })
+	if !errors.Is(err, ErrOpen) || reached {
+		t.Fatalf("open circuit: err=%v reached=%v", err, reached)
+	}
+	// After the cooldown a trial call is admitted and closes the circuit.
+	clk.Advance(time.Minute)
+	err = r.Execute(p, "peer", func() error { return nil })
+	if err != nil || r.StateOf("peer") != Closed {
+		t.Fatalf("recovery failed: err=%v state=%v", err, r.StateOf("peer"))
+	}
+	if r.Stats().Recoveries.Value() != 1 {
+		t.Fatal("recovery not counted")
+	}
+}
+
+func TestRegistryProbeBypassesOpenCircuit(t *testing.T) {
+	clk := clock.NewManual(time.Unix(0, 0))
+	r := NewRegistry(clk, BreakerConfig{FailureThreshold: 1, Cooldown: time.Hour})
+	p := Policy{MaxAttempts: 1, BaseDelay: -1}
+	r.Execute(p, "peer", func() error { return errors.New("down") })
+	if r.StateOf("peer") != Open {
+		t.Fatal("not open")
+	}
+	// A detector probe still reaches the network and its success closes
+	// the breaker long before the cooldown.
+	reached := false
+	if err := r.Probe(p, "peer", func() error { reached = true; return nil }); err != nil || !reached {
+		t.Fatalf("probe err=%v reached=%v", err, reached)
+	}
+	if r.StateOf("peer") != Closed {
+		t.Fatal("successful probe did not close the breaker")
+	}
+}
+
+func TestRegistryExecuteSleepsOnBackoff(t *testing.T) {
+	clk := clock.NewManual(time.Unix(0, 0))
+	r := NewRegistry(clk, BreakerConfig{FailureThreshold: 100})
+	p := Policy{MaxAttempts: 2, BaseDelay: 50 * time.Millisecond}
+	done := make(chan error, 1)
+	calls := 0
+	go func() {
+		done <- r.Execute(p, "peer", func() error {
+			calls++
+			if calls == 1 {
+				return errors.New("flaky")
+			}
+			return nil
+		})
+	}()
+	// The retry must be parked on the manual clock, not running.
+	deadline := time.Now().Add(2 * time.Second)
+	for clk.Waiters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("Execute never slept on the injected clock")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	clk.Advance(50 * time.Millisecond)
+	if err := <-done; err != nil || calls != 2 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestStatesSnapshot(t *testing.T) {
+	r := NewRegistry(clock.NewManual(time.Unix(0, 0)), BreakerConfig{FailureThreshold: 1})
+	p := Policy{MaxAttempts: 1}
+	r.Execute(p, "a", func() error { return errors.New("x") })
+	r.Execute(p, "b", func() error { return nil })
+	states := r.States()
+	if states["a"] != Open || states["b"] != Closed {
+		t.Fatalf("states = %v", states)
+	}
+	if Open.String() != "open" || Closed.String() != "closed" || HalfOpen.String() != "half-open" {
+		t.Fatal("state strings wrong")
+	}
+}
