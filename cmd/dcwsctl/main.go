@@ -43,6 +43,24 @@ func main() {
 			st.Connections, st.Bytes, st.CPS, st.BPS)
 		fmt.Printf("maintenance  redirects=%d fetches=%d rebuilds=%d dropped=%d\n",
 			st.Redirects, st.Fetches, st.Rebuilds, st.Dropped)
+		fmt.Printf("serving      cache_hits=%d cache_misses=%d (%s) queue_depth=%d\n",
+			st.CacheHits, st.CacheMisses, hitRate(st.CacheHits, st.CacheMisses), st.QueueDepth)
+		fmt.Printf("resilience   retries=%d breaker_trips=%d\n", st.Retries, st.BreakerTrips)
+		if len(st.PeerHealth) > 0 {
+			fmt.Println("peer health:")
+			peers := make([]string, 0, len(st.PeerHealth))
+			for p := range st.PeerHealth {
+				peers = append(peers, p)
+			}
+			sort.Strings(peers)
+			for _, p := range peers {
+				state := st.PeerHealth[p]
+				if b, ok := st.Breakers[p]; ok {
+					state += " (breaker " + b + ")"
+				}
+				fmt.Printf("  %-24s %s\n", p, state)
+			}
+		}
 		fmt.Println("load table:")
 		servers := make([]string, 0, len(st.LoadTable))
 		for s := range st.LoadTable {
@@ -114,6 +132,14 @@ func getJSON(client *httpx.Client, addr, path string, out interface{}) {
 	if err := json.Unmarshal(resp.Body, out); err != nil {
 		log.Fatalf("dcwsctl: bad JSON from %s%s: %v", addr, path, err)
 	}
+}
+
+func hitRate(hits, misses int64) string {
+	total := hits + misses
+	if total == 0 {
+		return "no lookups"
+	}
+	return fmt.Sprintf("%.0f%% hit", 100*float64(hits)/float64(total))
 }
 
 func orDash(s string) string {

@@ -1,0 +1,100 @@
+// Command dcwsperf runs the serving-engine micro-benchmarks
+// (internal/dcws.BenchServeHome and friends) outside `go test` and writes
+// the results as JSON, alongside the frozen pre-optimization baseline, so
+// CI can archive the serving-engine numbers on every run:
+//
+//	dcwsperf -out BENCH_serve.json              full-accuracy run
+//	dcwsperf -benchtime 1x -out BENCH_serve.json   smoke run (CI)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"testing"
+
+	"dcws/internal/dcws"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Comparison pairs the frozen baseline with the current measurement.
+type Comparison struct {
+	Baseline Result `json:"baseline"`
+	Current  Result `json:"current"`
+	// AllocsImprovement is baseline allocs/op over current allocs/op; the
+	// serving-engine work targets >= 2.
+	AllocsImprovement float64 `json:"allocs_improvement"`
+}
+
+// baselines are the seed-commit measurements of the same benchmarks,
+// taken before the rendered-document cache, lock decomposition, and
+// pooled zero-copy I/O landed (Intel Xeon @ 2.10GHz, go1.22, -benchtime
+// default). They are frozen here as the comparison floor.
+var baselines = map[string]Result{
+	"ServeHome":   {NsPerOp: 18042, BytesPerOp: 107419, AllocsPerOp: 26},
+	"ServeCoop":   {NsPerOp: 19543, BytesPerOp: 107467, AllocsPerOp: 24},
+	"RegenCached": {NsPerOp: 189925, BytesPerOp: 439094, AllocsPerOp: 82},
+}
+
+func main() {
+	out := flag.String("out", "BENCH_serve.json", "output file (\"-\" for stdout)")
+	benchtime := flag.String("benchtime", "", "override -test.benchtime (e.g. 1x for a smoke run)")
+	testing.Init()
+	flag.Parse()
+	if *benchtime != "" {
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			log.Fatalf("dcwsperf: bad -benchtime: %v", err)
+		}
+	}
+
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"ServeHome", dcws.BenchServeHome},
+		{"ServeCoop", dcws.BenchServeCoop},
+		{"RegenCached", dcws.BenchRegenCached},
+	}
+
+	report := make(map[string]Comparison, len(benches))
+	for _, b := range benches {
+		r := testing.Benchmark(b.fn)
+		if r.N == 0 {
+			log.Fatalf("dcwsperf: benchmark %s failed (N=0)", b.name)
+		}
+		cur := Result{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		cmp := Comparison{Baseline: baselines[b.name], Current: cur}
+		if cur.AllocsPerOp > 0 {
+			cmp.AllocsImprovement = float64(cmp.Baseline.AllocsPerOp) / float64(cur.AllocsPerOp)
+		}
+		report[b.name] = cmp
+		fmt.Fprintf(os.Stderr, "%-12s %10.0f ns/op %8d B/op %4d allocs/op (baseline %d allocs/op, %.1fx)\n",
+			b.name, cur.NsPerOp, cur.BytesPerOp, cur.AllocsPerOp,
+			cmp.Baseline.AllocsPerOp, cmp.AllocsImprovement)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatalf("dcwsperf: write %s: %v", *out, err)
+	}
+}

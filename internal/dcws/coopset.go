@@ -1,0 +1,230 @@
+package dcws
+
+import (
+	"container/list"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"dcws/internal/naming"
+)
+
+// coopView is the read-only snapshot of a hosted document's record that
+// request handlers work with outside the coopSet lock.
+type coopView struct {
+	home    naming.Origin
+	name    string
+	present bool
+	hash    uint64
+}
+
+// coopSet owns every document this server hosts on behalf of other
+// servers. It replaces the former global-mutex map: an RWMutex guards a
+// map plus a container/list LRU of the physically present copies and a
+// running byte total, so the §4.5 disk-budget enforcement is O(evictions)
+// instead of an O(n) scan of the whole map under lock.
+type coopSet struct {
+	mu    sync.RWMutex
+	docs  map[string]*coopDoc
+	lru   *list.List // of *coopDoc, present copies only; front = most recent
+	bytes int64      // running total of present copy sizes
+}
+
+func newCoopSet() *coopSet {
+	return &coopSet{docs: make(map[string]*coopDoc), lru: list.New()}
+}
+
+// touch returns the record for key, creating it if unknown, and performs
+// all per-request accounting — windowHit bump, lastUsed, LRU position —
+// in the same critical section (formerly three separate lock
+// acquisitions per request).
+func (cs *coopSet) touch(key string, home naming.Origin, name string, now time.Time) coopView {
+	cs.mu.Lock()
+	cd, ok := cs.docs[key]
+	if !ok {
+		cd = &coopDoc{key: key, home: home, name: name}
+		cs.docs[key] = cd
+	}
+	cd.windowHit++
+	cd.lastUsed = now
+	if cd.elem != nil {
+		cs.lru.MoveToFront(cd.elem)
+	}
+	v := coopView{home: cd.home, name: cd.name, present: cd.present, hash: cd.hash}
+	cs.mu.Unlock()
+	return v
+}
+
+// view returns the record for key without touching its accounting.
+func (cs *coopSet) view(key string) (coopView, bool) {
+	cs.mu.RLock()
+	cd, ok := cs.docs[key]
+	if !ok {
+		cs.mu.RUnlock()
+		return coopView{}, false
+	}
+	v := coopView{home: cd.home, name: cd.name, present: cd.present, hash: cd.hash}
+	cs.mu.RUnlock()
+	return v, true
+}
+
+// markFetched records that the physical copy for key is now in the store.
+func (cs *coopSet) markFetched(key string, size int64, hash uint64, now time.Time) {
+	cs.mu.Lock()
+	if cd, ok := cs.docs[key]; ok {
+		cs.bytes += size - cd.presentSize()
+		cd.present = true
+		cd.hash = hash
+		cd.fetched = now
+		cd.lastUsed = now
+		cd.size = size
+		if cd.elem == nil {
+			cd.elem = cs.lru.PushFront(cd)
+		} else {
+			cs.lru.MoveToFront(cd.elem)
+		}
+	}
+	cs.mu.Unlock()
+}
+
+// refresh updates the hash/size bookkeeping after a validator pass
+// replaced the stored copy.
+func (cs *coopSet) refresh(key string, size int64, hash uint64, now time.Time) {
+	cs.markFetched(key, size, hash, now)
+}
+
+// markAbsent records that the physical copy for key is gone (evicted or
+// vanished from the store); the document remains logically hosted and is
+// re-fetched lazily on its next request.
+func (cs *coopSet) markAbsent(key string) {
+	cs.mu.Lock()
+	if cd, ok := cs.docs[key]; ok {
+		cs.dropPresenceLocked(cd)
+	}
+	cs.mu.Unlock()
+}
+
+// remove forgets key entirely (revocation, stale 301 from home). It
+// reports whether the key was hosted at all.
+func (cs *coopSet) remove(key string) bool {
+	cs.mu.Lock()
+	cd, ok := cs.docs[key]
+	if ok {
+		cs.dropPresenceLocked(cd)
+		delete(cs.docs, key)
+	}
+	cs.mu.Unlock()
+	return ok
+}
+
+// dropPresenceLocked clears a record's physical presence; lock held.
+func (cs *coopSet) dropPresenceLocked(cd *coopDoc) {
+	if cd.present {
+		cs.bytes -= cd.size
+	}
+	cd.present = false
+	cd.size = 0
+	if cd.elem != nil {
+		cs.lru.Remove(cd.elem)
+		cd.elem = nil
+	}
+}
+
+// evictOver marks least-recently-used present copies absent until the
+// byte total fits within budget, never evicting the copy named by keep.
+// It returns the evicted keys so the caller can delete the stored bytes
+// outside the lock. budget <= 0 means unlimited.
+func (cs *coopSet) evictOver(budget int64, keep string) []string {
+	if budget <= 0 {
+		return nil
+	}
+	var evicted []string
+	cs.mu.Lock()
+	for cs.bytes > budget {
+		elem := cs.lru.Back()
+		for elem != nil && elem.Value.(*coopDoc).key == keep {
+			elem = elem.Prev()
+		}
+		if elem == nil {
+			break
+		}
+		cd := elem.Value.(*coopDoc)
+		cs.dropPresenceLocked(cd)
+		evicted = append(evicted, cd.key)
+	}
+	cs.mu.Unlock()
+	return evicted
+}
+
+// count reports how many documents are hosted (present or pending fetch).
+func (cs *coopSet) count() int {
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	return len(cs.docs)
+}
+
+// presentBytes reports the running byte total of physically present
+// copies.
+func (cs *coopSet) presentBytes() int64 {
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	return cs.bytes
+}
+
+// keys returns every hosted key, sorted.
+func (cs *coopSet) keys() []string {
+	cs.mu.RLock()
+	out := make([]string, 0, len(cs.docs))
+	for k := range cs.docs {
+		out = append(out, k)
+	}
+	cs.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// presentKeys returns the keys of physically present copies, sorted (the
+// validator's work list).
+func (cs *coopSet) presentKeys() []string {
+	cs.mu.RLock()
+	out := make([]string, 0, cs.lru.Len())
+	for e := cs.lru.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(*coopDoc).key)
+	}
+	cs.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// rollWindows zeroes the per-document hit counters (statistics tick).
+func (cs *coopSet) rollWindows() {
+	cs.mu.Lock()
+	for _, cd := range cs.docs {
+		cd.windowHit = 0
+	}
+	cs.mu.Unlock()
+}
+
+// hotReport returns "name=hits" parts for every hosted document of the
+// given home server with a non-zero window hit count, sorted (the
+// replication extension's piggybacked hot-spot report).
+func (cs *coopSet) hotReport(homeAddr string) []string {
+	var parts []string
+	cs.mu.RLock()
+	for _, cd := range cs.docs {
+		if cd.windowHit > 0 && cd.home.Addr() == homeAddr {
+			parts = append(parts, cd.name+"="+strconv.FormatInt(cd.windowHit, 10))
+		}
+	}
+	cs.mu.RUnlock()
+	sort.Strings(parts)
+	return parts
+}
+
+func (cd *coopDoc) presentSize() int64 {
+	if cd.present {
+		return cd.size
+	}
+	return 0
+}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
-	"time"
 
 	"dcws/internal/httpx"
 	"dcws/internal/naming"
@@ -59,10 +58,7 @@ func (s *Server) handleRevoke(req *httpx.Request) *httpx.Response {
 	if err != nil {
 		return status(400, err.Error())
 	}
-	s.mu.Lock()
-	_, hosted := s.coopDocs[cleaned]
-	delete(s.coopDocs, cleaned)
-	s.mu.Unlock()
+	hosted := s.coops.remove(cleaned)
 	if hosted {
 		if err := s.cfg.Store.Delete(cleaned); err != nil {
 			s.log.Printf("dcws %s: delete revoked copy %s: %v", s.Addr(), cleaned, err)
@@ -102,57 +98,67 @@ func (s *Server) serveAsHome(req *httpx.Request) *httpx.Response {
 	if name == "/" {
 		name = "/index.html"
 	}
-	loc, known := s.ldg.Location(name)
+	loc, dirty, gen, known := s.ldg.ServeInfo(name)
 	if !known || !s.cfg.Store.Has(name) {
 		return status(404, "no such document: "+name)
 	}
 
 	if req.Header.Get(headerFetch) != "" {
-		return s.serveFetch(req, name)
+		return s.serveFetch(req, name, gen)
 	}
 
 	if loc != "" {
 		// Migrated away: answer with a small 301; all the information is
 		// in the local document graph, no disk access needed (§4.4).
-		target := s.pickReplica(name)
-		coop, err := naming.ParseOrigin(target)
-		if err != nil {
-			s.log.Printf("dcws %s: bad coop address %q for %s", s.Addr(), target, name)
-			return status(500, "bad migration target")
+		if target := s.pickReplica(name); target != "" {
+			coop, err := naming.ParseOrigin(target)
+			if err != nil {
+				s.log.Printf("dcws %s: bad coop address %q for %s", s.Addr(), target, name)
+				return status(500, "bad migration target")
+			}
+			url, err := naming.MigratedURL(coop, s.cfg.Origin, name)
+			if err != nil {
+				return status(500, err.Error())
+			}
+			resp := httpx.NewResponse(301)
+			resp.Header.Set("Location", url)
+			resp.Body = []byte("moved to " + url + "\n")
+			s.stats.Redirects.Inc()
+			s.stats.ObserveRequest(s.now(), int64(len(resp.Body)))
+			return resp
 		}
-		url, err := naming.MigratedURL(coop, s.cfg.Origin, name)
-		if err != nil {
-			return status(500, err.Error())
-		}
-		resp := httpx.NewResponse(301)
-		resp.Header.Set("Location", url)
-		resp.Body = []byte("moved to " + url + "\n")
-		s.stats.Redirects.Inc()
-		s.stats.ObserveRequest(s.now(), int64(len(resp.Body)))
-		return resp
+		// Revoked between the ServeInfo snapshot and the replica lookup:
+		// the document is home again — refresh the snapshot and serve it.
+		_, dirty, gen, _ = s.ldg.ServeInfo(name)
 	}
 
-	data, err := s.loadLocal(name)
+	data, err := s.loadLocal(name, dirty, gen)
 	if err != nil {
 		return status(500, err.Error())
 	}
 	s.ldg.RecordHit(name)
 	resp := httpx.NewResponse(200)
 	resp.Header.Set("Content-Type", httpx.ContentTypeFor(name))
-	resp.Header.Set("Content-Length", strconv.Itoa(len(data)))
-	if req.Method != "HEAD" {
+	if req.Method == "HEAD" {
+		// GET responses let the wire writer derive Content-Length from the
+		// body; HEAD has no body, so it must be explicit.
+		resp.Header.Set("Content-Length", strconv.Itoa(len(data)))
+	} else {
 		resp.Body = data
 	}
 	s.stats.ObserveRequest(s.now(), int64(len(data)))
 	return resp
 }
 
-// loadLocal returns a home document's bytes, regenerating its hyperlinks
-// first if the Dirty bit is set (§4.3: regeneration is postponed until the
-// latest possible time).
-func (s *Server) loadLocal(name string) ([]byte, error) {
-	if s.ldg.IsDirty(name) {
-		if data, err := s.regenerate(name); err == nil {
+// loadLocal returns a home document's bytes — shared and immutable —
+// regenerating its hyperlinks first if the Dirty bit is set (§4.3:
+// regeneration is postponed until the latest possible time). Clean
+// documents come from the rendered-document cache when possible; the
+// caller's (dirty, gen) snapshot keys the lookup, so a concurrent
+// migration that dirties the document can never yield a stale hit.
+func (s *Server) loadLocal(name string, dirty bool, gen uint64) ([]byte, error) {
+	if dirty {
+		if data, err := s.regenerate(name, gen); err == nil {
 			return data, nil
 		} else {
 			s.log.Printf("dcws %s: regenerate %s: %v", s.Addr(), name, err)
@@ -160,25 +166,36 @@ func (s *Server) loadLocal(name string) ([]byte, error) {
 			// 301 redirects.
 		}
 	}
-	return s.cfg.Store.Get(name)
+	if data, _, ok := s.rcache.get(name, renderHome, gen); ok {
+		return data, nil
+	}
+	data, err := store.GetShared(s.cfg.Store, name)
+	if err != nil {
+		return nil, err
+	}
+	s.rcache.put(name, renderHome, gen, data, 0)
+	return data, nil
 }
 
 // serveFetch is the home side of a co-op server's internal document fetch
-// (lazy physical migration, §4.2, and validation re-requests, §4.5).
-func (s *Server) serveFetch(req *httpx.Request, name string) *httpx.Response {
+// (lazy physical migration, §4.2, and validation re-requests, §4.5). The
+// migration-prepared rendering and its content hash are cached by
+// generation, so steady-state validator passes cost a cache lookup and a
+// hash comparison instead of a parse-and-render.
+func (s *Server) serveFetch(req *httpx.Request, name string, gen uint64) *httpx.Response {
 	coopAddr := req.Header.Get(headerFetch)
 	authorized := false
 	if mig, ok := s.ledger.Get(name); ok && mig.Coop == coopAddr {
 		authorized = true
 	} else {
-		s.mu.Lock()
+		s.repMu.RLock()
 		for _, r := range s.replicas[name] {
 			if r == coopAddr {
 				authorized = true
 				break
 			}
 		}
-		s.mu.Unlock()
+		s.repMu.RUnlock()
 	}
 	if !authorized {
 		// The document is not (or no longer) assigned to this co-op; point
@@ -187,11 +204,16 @@ func (s *Server) serveFetch(req *httpx.Request, name string) *httpx.Response {
 		resp.Header.Set("Location", naming.HomeURL(s.cfg.Origin, name))
 		return resp
 	}
-	data, err := s.prepareForMigration(name)
-	if err != nil {
-		return status(500, err.Error())
+	data, h, ok := s.rcache.get(name, renderMigration, gen)
+	if !ok {
+		var err error
+		data, err = s.prepareForMigration(name)
+		if err != nil {
+			return status(500, err.Error())
+		}
+		h = contentHash(data)
+		s.rcache.put(name, renderMigration, gen, data, h)
 	}
-	h := contentHash(data)
 	if v := req.Header.Get(headerValidate); v != "" {
 		if want, err := strconv.ParseUint(v, 16, 64); err == nil && want == h {
 			resp := httpx.NewResponse(304)
@@ -230,42 +252,33 @@ func (s *Server) serveAsCoop(req *httpx.Request) *httpx.Response {
 		return resp
 	}
 
-	s.mu.Lock()
-	cd, ok := s.coopDocs[key]
-	if !ok {
-		cd = &coopDoc{home: home, name: docName}
-		s.coopDocs[key] = cd
-	}
-	present := cd.present
-	s.mu.Unlock()
+	// One critical section per request: lookup (creating the record for a
+	// first-touch lazy migration), the windowHit bump, the lastUsed stamp,
+	// and the LRU re-ordering all happen inside coopSet.touch.
+	v := s.coops.touch(key, home, docName, s.now())
 
-	if !present {
-		if resp := s.fetchFromHome(key, cd); resp != nil {
+	if !v.present {
+		if resp := s.fetchFromHome(key, home, docName); resp != nil {
 			return resp // relay of a redirect or an error
 		}
 	}
 
-	data, err := s.cfg.Store.Get(key)
+	data, err := store.GetShared(s.cfg.Store, key)
 	if err != nil {
 		// Copy vanished (e.g. revoked between check and read): refetch once.
-		s.mu.Lock()
-		cd.present = false
-		s.mu.Unlock()
-		if resp := s.fetchFromHome(key, cd); resp != nil {
+		s.coops.markAbsent(key)
+		if resp := s.fetchFromHome(key, home, docName); resp != nil {
 			return resp
 		}
-		if data, err = s.cfg.Store.Get(key); err != nil {
+		if data, err = store.GetShared(s.cfg.Store, key); err != nil {
 			return status(500, err.Error())
 		}
 	}
-	s.mu.Lock()
-	cd.windowHit++
-	cd.lastUsed = s.now()
-	s.mu.Unlock()
 	resp := httpx.NewResponse(200)
-	resp.Header.Set("Content-Type", httpx.ContentTypeFor(cd.name))
-	resp.Header.Set("Content-Length", strconv.Itoa(len(data)))
-	if req.Method != "HEAD" {
+	resp.Header.Set("Content-Type", httpx.ContentTypeFor(docName))
+	if req.Method == "HEAD" {
+		resp.Header.Set("Content-Length", strconv.Itoa(len(data)))
+	} else {
 		resp.Body = data
 	}
 	s.stats.ObserveRequest(s.now(), int64(len(data)))
@@ -278,17 +291,17 @@ func (s *Server) serveAsCoop(req *httpx.Request) *httpx.Response {
 // through the home's circuit breaker before the 503 is admitted; while
 // the breaker is open the fetch degrades to an immediate 503 without
 // tying a worker up in doomed connection attempts.
-func (s *Server) fetchFromHome(key string, cd *coopDoc) *httpx.Response {
-	home := cd.home.Addr()
+func (s *Server) fetchFromHome(key string, home naming.Origin, docName string) *httpx.Response {
+	homeAddr := home.Addr()
 	var resp *httpx.Response
-	err := s.res.Execute(s.fetchPolicy, home, func() error {
+	err := s.res.Execute(s.fetchPolicy, homeAddr, func() error {
 		// Headers are rebuilt per attempt so every retry piggybacks the
 		// freshest load view.
 		extra := make(httpx.Header)
 		extra.Set(headerFetch, s.Addr())
 		s.piggyback(extra)
-		s.attachHotReport(extra, home)
-		r, err := s.client.GetTimeout(home, cd.name, extra, s.params.FetchTimeout)
+		s.attachHotReport(extra, homeAddr)
+		r, err := s.client.GetTimeout(homeAddr, docName, extra, s.params.FetchTimeout)
 		if err != nil {
 			return err
 		}
@@ -299,7 +312,7 @@ func (s *Server) fetchFromHome(key string, cd *coopDoc) *httpx.Response {
 		if errors.Is(err, resilience.ErrOpen) {
 			return status(503, "home server unreachable (circuit open)")
 		}
-		s.log.Printf("dcws %s: fetch %s from %s: %v", s.Addr(), cd.name, home, err)
+		s.log.Printf("dcws %s: fetch %s from %s: %v", s.Addr(), docName, homeAddr, err)
 		return status(503, "home server unreachable")
 	}
 	s.absorb(resp.Header)
@@ -314,22 +327,14 @@ func (s *Server) fetchFromHome(key string, cd *coopDoc) *httpx.Response {
 		} else {
 			h = contentHash(resp.Body)
 		}
-		s.mu.Lock()
-		cd.present = true
-		cd.hash = h
-		cd.fetched = s.now()
-		cd.lastUsed = s.now()
-		cd.size = int64(len(resp.Body))
-		s.mu.Unlock()
+		s.coops.markFetched(key, int64(len(resp.Body)), h, s.now())
 		s.stats.Fetches.Inc()
 		s.enforceCoopBudget(key)
 		return nil
 	case 301:
 		// Not assigned to us (revoked or re-migrated): relay the redirect
 		// and forget the document.
-		s.mu.Lock()
-		delete(s.coopDocs, key)
-		s.mu.Unlock()
+		s.coops.remove(key)
 		out := httpx.NewResponse(301)
 		out.Header.Set("Location", resp.Header.Get("Location"))
 		s.stats.Redirects.Inc()
@@ -343,41 +348,15 @@ func (s *Server) fetchFromHome(key string, cd *coopDoc) *httpx.Response {
 // co-op cache fits within Params.CoopCacheBytes (§4.5: data is kept until
 // disk space forces it out). The copy named by keep — typically the one
 // just fetched — is never evicted, and evicted documents remain logically
-// hosted: the next request lazily re-fetches them.
+// hosted: the next request lazily re-fetches them. The coopSet keeps a
+// running byte total and an LRU list, so this costs O(evictions) rather
+// than a full-map scan under lock.
 func (s *Server) enforceCoopBudget(keep string) {
-	budget := s.params.CoopCacheBytes
-	if budget <= 0 {
-		return
-	}
-	for {
-		s.mu.Lock()
-		var total int64
-		lruKey := ""
-		var lruAt time.Time
-		for k, cd := range s.coopDocs {
-			if !cd.present {
-				continue
-			}
-			total += cd.size
-			if k == keep {
-				continue
-			}
-			if lruKey == "" || cd.lastUsed.Before(lruAt) {
-				lruKey, lruAt = k, cd.lastUsed
-			}
+	for _, key := range s.coops.evictOver(s.params.CoopCacheBytes, keep) {
+		if err := s.cfg.Store.Delete(key); err != nil {
+			s.log.Printf("dcws %s: evict %s: %v", s.Addr(), key, err)
 		}
-		if total <= budget || lruKey == "" {
-			s.mu.Unlock()
-			return
-		}
-		cd := s.coopDocs[lruKey]
-		cd.present = false
-		cd.size = 0
-		s.mu.Unlock()
-		if err := s.cfg.Store.Delete(lruKey); err != nil {
-			s.log.Printf("dcws %s: evict %s: %v", s.Addr(), lruKey, err)
-		}
-		s.log.Printf("dcws %s: evicted %s (co-op cache over %d bytes)", s.Addr(), lruKey, budget)
+		s.log.Printf("dcws %s: evicted %s (co-op cache over %d bytes)", s.Addr(), key, s.params.CoopCacheBytes)
 	}
 }
 

@@ -31,7 +31,7 @@ func (s *Server) statsLoop() {
 // so tests and the cluster harness can drive it deterministically.
 func (s *Server) runStatsTick() {
 	now := s.now()
-	load := s.stats.LoadMetric(now, s.params.UseBPSMetric)
+	load := s.loadMetric(now)
 	s.table.UpdateSelf(load, now)
 
 	s.maybeRevokeExpired(load)
@@ -123,9 +123,11 @@ func (s *Server) migrate(doc, coop string) {
 		return
 	}
 	s.ledger.Record(doc, coop, s.now())
-	s.mu.Lock()
+	s.repMu.Lock()
 	s.replicas[doc] = []string{coop}
-	s.mu.Unlock()
+	s.rrCounter[doc] = new(uint32)
+	s.repMu.Unlock()
+	s.rcache.invalidate(doc)
 	s.log.Printf("dcws %s: migrated %s -> %s (dirtied %d)", s.Addr(), doc, coop, len(dirtied))
 }
 
@@ -149,11 +151,12 @@ func (s *Server) maybeRevokeExpired(selfLoad float64) {
 // the ledger entry is dropped, and each hosting co-op is asked to discard
 // its copy.
 func (s *Server) revoke(doc string) {
-	s.mu.Lock()
+	s.repMu.Lock()
 	hosts := append([]string(nil), s.replicas[doc]...)
 	delete(s.replicas, doc)
 	delete(s.rrCounter, doc)
-	s.mu.Unlock()
+	s.repMu.Unlock()
+	s.rcache.invalidate(doc)
 	if len(hosts) == 0 {
 		if mig, ok := s.ledger.Get(doc); ok {
 			hosts = []string{mig.Coop}
@@ -241,20 +244,20 @@ func (s *Server) addReplica(doc string) {
 	if !ok || loc == "" {
 		return
 	}
-	s.mu.Lock()
+	s.repMu.Lock()
 	reps := s.replicas[doc]
 	if len(reps) == 0 {
 		reps = []string{loc}
 	}
 	if len(reps) >= s.params.MaxReplicas {
-		s.mu.Unlock()
+		s.repMu.Unlock()
 		return
 	}
 	exclude := map[string]bool{s.Addr(): true}
 	for _, r := range reps {
 		exclude[r] = true
 	}
-	s.mu.Unlock()
+	s.repMu.Unlock()
 	var target string
 	for {
 		e, found := s.table.LeastLoaded(exclude)
@@ -270,9 +273,13 @@ func (s *Server) addReplica(doc string) {
 		target = e.Server
 		break
 	}
-	s.mu.Lock()
-	s.replicas[doc] = append(reps, target)
-	s.mu.Unlock()
+	s.repMu.Lock()
+	// Install a fresh slice: pickReplica readers may hold the old one.
+	s.replicas[doc] = append(append(make([]string, 0, len(reps)+1), reps...), target)
+	if s.rrCounter[doc] == nil {
+		s.rrCounter[doc] = new(uint32)
+	}
+	s.repMu.Unlock()
 	// Re-dirty the LinkFrom set so future regenerations rotate links.
 	if _, err := s.ldg.MarkMigrated(doc, loc); err != nil {
 		s.log.Printf("dcws %s: replicate %s: %v", s.Addr(), doc, err)
@@ -284,8 +291,8 @@ func (s *Server) addReplica(doc string) {
 // Replicas reports the replica set of a migrated document (primary co-op
 // first). Empty when the document is at home.
 func (s *Server) Replicas(doc string) []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.repMu.RLock()
+	defer s.repMu.RUnlock()
 	return append([]string(nil), s.replicas[doc]...)
 }
 
@@ -349,10 +356,10 @@ func (s *Server) runPingerTick() {
 	for i, peer := range stale {
 		pr := results[i]
 		if pr.err != nil {
-			s.mu.Lock()
+			s.peerMu.Lock()
 			s.pingFail[peer]++
 			failures := s.pingFail[peer]
-			s.mu.Unlock()
+			s.peerMu.Unlock()
 			s.log.Printf("dcws %s: ping %s failed (%d): %v", s.Addr(), peer, failures, pr.err)
 			if failures >= s.params.MaxPingFailures {
 				s.declareDown(peer)
@@ -369,14 +376,14 @@ func (s *Server) runPingerTick() {
 // declaration time is recorded; only a load entry measured after it can
 // re-admit the peer (see reconcileDownPeers).
 func (s *Server) declareDown(peer string) {
-	s.mu.Lock()
+	s.peerMu.Lock()
 	if _, already := s.downAt[peer]; already {
-		s.mu.Unlock()
+		s.peerMu.Unlock()
 		return
 	}
 	s.downAt[peer] = s.now()
 	delete(s.pingFail, peer)
-	s.mu.Unlock()
+	s.peerMu.Unlock()
 	n := s.RecallFrom(peer)
 	s.table.Remove(peer)
 	s.log.Printf("dcws %s: declared %s down, recalled %d documents", s.Addr(), peer, n)
@@ -399,41 +406,26 @@ func (s *Server) validatorLoop() {
 
 // runValidatorTick revalidates every physically present co-op copy.
 func (s *Server) runValidatorTick() {
-	s.mu.Lock()
-	keys := make([]string, 0, len(s.coopDocs))
-	for k, cd := range s.coopDocs {
-		if cd.present {
-			keys = append(keys, k)
-		}
-	}
-	s.mu.Unlock()
-	sort.Strings(keys)
-	for _, key := range keys {
+	for _, key := range s.coops.presentKeys() {
 		s.validateOne(key)
 	}
 }
 
 // validateOne re-requests one hosted document conditionally.
 func (s *Server) validateOne(key string) {
-	s.mu.Lock()
-	cd, ok := s.coopDocs[key]
+	v, ok := s.coops.view(key)
 	if !ok {
-		s.mu.Unlock()
 		return
 	}
-	home := cd.home
-	name := cd.name
-	hash := cd.hash
-	s.mu.Unlock()
 
 	extra := make(httpx.Header)
 	extra.Set(headerFetch, s.Addr())
-	extra.Set(headerValidate, strconv.FormatUint(hash, 16))
+	extra.Set(headerValidate, strconv.FormatUint(v.hash, 16))
 	s.piggyback(extra)
-	s.attachHotReport(extra, home.Addr())
-	resp, err := s.client.GetTimeout(home.Addr(), name, extra, s.params.MaintenanceTimeout)
+	s.attachHotReport(extra, v.home.Addr())
+	resp, err := s.client.GetTimeout(v.home.Addr(), v.name, extra, s.params.MaintenanceTimeout)
 	if err != nil {
-		s.log.Printf("dcws %s: validate %s: %v", s.Addr(), name, err)
+		s.log.Printf("dcws %s: validate %s: %v", s.Addr(), v.name, err)
 		return
 	}
 	s.absorb(resp.Header)
@@ -446,50 +438,31 @@ func (s *Server) validateOne(key string) {
 			return
 		}
 		var h uint64
-		if v := resp.Header.Get(headerValidate); v != "" {
-			h, _ = strconv.ParseUint(v, 16, 64)
+		if val := resp.Header.Get(headerValidate); val != "" {
+			h, _ = strconv.ParseUint(val, 16, 64)
 		} else {
 			h = contentHash(resp.Body)
 		}
-		s.mu.Lock()
-		cd.hash = h
-		cd.fetched = s.now()
-		cd.size = int64(len(resp.Body))
-		s.mu.Unlock()
+		s.coops.refresh(key, int64(len(resp.Body)), h, s.now())
 		s.enforceCoopBudget(key)
 	default:
 		// Revoked or re-migrated behind our back: stop hosting.
-		s.mu.Lock()
-		delete(s.coopDocs, key)
-		s.mu.Unlock()
+		s.coops.remove(key)
 		s.cfg.Store.Delete(key)
 	}
 }
 
-// rollCoopWindows snapshots and resets the per-document hit counters of
-// hosted co-op copies; the snapshot feeds the hot-spot reports piggybacked
-// to home servers.
+// rollCoopWindows resets the per-document hit counters of hosted co-op
+// copies; the counters feed the hot-spot reports piggybacked to home
+// servers.
 func (s *Server) rollCoopWindows() {
-	s.mu.Lock()
-	for _, cd := range s.coopDocs {
-		cd.windowHit = 0
-	}
-	s.mu.Unlock()
+	s.coops.rollWindows()
 }
 
 // attachHotReport piggybacks this coop's hottest hosted documents for the
 // given home server onto an outgoing request (replication extension).
 func (s *Server) attachHotReport(h httpx.Header, homeAddr string) {
-	s.mu.Lock()
-	var parts []string
-	for _, cd := range s.coopDocs {
-		if cd.home.Addr() == homeAddr && cd.windowHit > 0 {
-			parts = append(parts, fmt.Sprintf("%s=%d", cd.name, cd.windowHit))
-		}
-	}
-	s.mu.Unlock()
-	if len(parts) > 0 {
-		sort.Strings(parts)
+	if parts := s.coops.hotReport(homeAddr); len(parts) > 0 {
 		h.Set(headerHot, strings.Join(parts, ","))
 	}
 }

@@ -97,6 +97,18 @@ type Params struct {
 	// BreakerCooldown is how long an open breaker waits before admitting
 	// a half-open trial call (default 30 s).
 	BreakerCooldown time.Duration
+
+	// QueueLoadFactor folds the socket-queue depth into the advertised
+	// load metric: load = CPS (or BPS) + QueueLoadFactor × queued
+	// connections. A server whose sliding-window rate looks low but whose
+	// queue is backing up (slow disk, GC pause) thereby stops attracting
+	// migrations before it starts dropping requests. Default 1; negative
+	// disables the queue term.
+	QueueLoadFactor float64
+	// RenderCacheBytes bounds the in-memory rendered-document cache
+	// (home-form and migration-prepared copies keyed by LDG generation).
+	// Default 64 MiB; negative disables caching.
+	RenderCacheBytes int64
 }
 
 // DefaultParams returns the configuration of Table 1: 12 worker threads, a
@@ -126,6 +138,8 @@ func DefaultParams() Params {
 		RetryMaxDelay:         2 * time.Second,
 		BreakerThreshold:      5,
 		BreakerCooldown:       30 * time.Second,
+		QueueLoadFactor:       1,
+		RenderCacheBytes:      64 << 20,
 	}
 }
 
@@ -196,6 +210,14 @@ func (p Params) withDefaults() Params {
 	}
 	if p.BreakerCooldown <= 0 {
 		p.BreakerCooldown = d.BreakerCooldown
+	}
+	// QueueLoadFactor and RenderCacheBytes keep negative values: they mean
+	// "feature disabled".
+	if p.QueueLoadFactor == 0 {
+		p.QueueLoadFactor = d.QueueLoadFactor
+	}
+	if p.RenderCacheBytes == 0 {
+		p.RenderCacheBytes = d.RenderCacheBytes
 	}
 	return p
 }

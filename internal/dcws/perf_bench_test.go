@@ -1,0 +1,10 @@
+package dcws
+
+import "testing"
+
+// Thin wrappers so `go test -bench` runs the exported serve-path
+// benchmarks shared with cmd/dcwsperf (which emits BENCH_serve.json).
+
+func BenchmarkServeHome(b *testing.B)   { BenchServeHome(b) }
+func BenchmarkServeCoop(b *testing.B)   { BenchServeCoop(b) }
+func BenchmarkRegenCached(b *testing.B) { BenchRegenCached(b) }

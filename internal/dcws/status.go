@@ -35,6 +35,13 @@ type Status struct {
 	Retries int64 `json:"retries"`
 	// BreakerTrips counts closed-to-open breaker transitions.
 	BreakerTrips int64 `json:"breaker_trips"`
+
+	// CacheHits / CacheMisses count rendered-document cache lookups.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// QueueDepth is the number of accepted connections waiting in the
+	// socket queue right now; it feeds the queue-aware load metric.
+	QueueDepth int `json:"queue_depth"`
 }
 
 // Status returns the server's current operational snapshot.
@@ -54,6 +61,8 @@ func (s *Server) Status() Status {
 		BPS:         s.stats.BPS(now),
 		LoadTable:   make(map[string]float64),
 	}
+	st.CacheHits, st.CacheMisses = s.rcache.counts()
+	st.QueueDepth = s.httpSrv.QueueDepth()
 	for _, e := range s.table.Snapshot() {
 		st.LoadTable[e.Server] = e.Load
 	}
@@ -80,14 +89,12 @@ func (s *Server) Status() Status {
 		}
 		st.Breakers[p] = state.String()
 	}
-	s.mu.Lock()
+	s.peerMu.Lock()
 	for p := range s.downAt {
 		st.PeerHealth[p] = "down"
 	}
-	for key := range s.coopDocs {
-		st.CoopHosted = append(st.CoopHosted, key)
-	}
-	s.mu.Unlock()
+	s.peerMu.Unlock()
+	st.CoopHosted = s.coops.keys()
 	return st
 }
 

@@ -6,7 +6,6 @@
 package glt
 
 import (
-	"fmt"
 	"sort"
 	"strconv"
 	"strings"
@@ -178,6 +177,11 @@ func (t *Table) Remove(server string) {
 	t.mu.Unlock()
 }
 
+// encodeBufPool recycles the scratch buffers EncodeHeader serializes
+// into; the encoder runs on every piggybacked response, so the buffer
+// must not be reallocated per call.
+var encodeBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // EncodeHeader serializes the table for piggybacking:
 //
 //	server=load@unixMilli,server=load@unixMilli,...
@@ -185,12 +189,22 @@ func (t *Table) Remove(server string) {
 // Addresses contain no '=' ',' or '@' so the encoding needs no escaping.
 func (t *Table) EncodeHeader() string {
 	entries := t.Snapshot()
-	parts := make([]string, 0, len(entries))
-	for _, e := range entries {
-		parts = append(parts, fmt.Sprintf("%s=%s@%d",
-			e.Server, strconv.FormatFloat(e.Load, 'g', -1, 64), e.Updated.UnixMilli()))
+	bp := encodeBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	for i, e := range entries {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, e.Server...)
+		buf = append(buf, '=')
+		buf = strconv.AppendFloat(buf, e.Load, 'g', -1, 64)
+		buf = append(buf, '@')
+		buf = strconv.AppendInt(buf, e.Updated.UnixMilli(), 10)
 	}
-	return strings.Join(parts, ",")
+	out := string(buf)
+	*bp = buf
+	encodeBufPool.Put(bp)
+	return out
 }
 
 // DecodeHeader parses a piggyback header value. Malformed items are

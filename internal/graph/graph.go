@@ -44,6 +44,11 @@ type Doc struct {
 	Dirty bool
 	// EntryPoint marks well-known entry points, which never migrate (§3.1).
 	EntryPoint bool
+	// Gen is the document's invalidation generation: it advances whenever
+	// the document's rendered form may have changed (content replaced, the
+	// document dirtied by a neighbour's migration or revocation, or its own
+	// location changed). Caches key rendered copies by (name, Gen).
+	Gen uint64
 }
 
 // entry is the mutable tuple behind the lock.
@@ -57,6 +62,7 @@ type entry struct {
 	linkFrom   map[string]bool
 	dirty      bool
 	entryPoint bool
+	gen        uint64
 }
 
 // LDG is the local document graph. All methods are safe for concurrent use.
@@ -186,6 +192,7 @@ func (g *LDG) AddDoc(name string, size int64, content []byte) {
 	defer g.mu.Unlock()
 	e := g.ensureLocked(name)
 	e.size = size
+	e.gen++
 	// Drop old outgoing links.
 	for to := range e.linkTo {
 		if te, ok := g.docs[to]; ok {
@@ -234,6 +241,7 @@ func (e *entry) snapshot() Doc {
 		LinkFrom:   sortedKeys(e.linkFrom),
 		Dirty:      e.dirty,
 		EntryPoint: e.entryPoint,
+		Gen:        e.gen,
 	}
 }
 
@@ -289,10 +297,12 @@ func (g *LDG) MarkMigrated(name, coop string) ([]string, error) {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownDoc, name)
 	}
 	e.location = coop
+	e.gen++
 	dirtied := make([]string, 0, len(e.linkFrom))
 	for from := range e.linkFrom {
 		if fe, ok := g.docs[from]; ok {
 			fe.dirty = true
+			fe.gen++
 			dirtied = append(dirtied, from)
 		}
 	}
@@ -316,6 +326,31 @@ func (g *LDG) Location(name string) (string, bool) {
 		return "", false
 	}
 	return e.location, true
+}
+
+// ServeInfo returns everything the request hot path needs about name in
+// one lock acquisition: its location, Dirty bit, and generation. ok is
+// false for unknown documents.
+func (g *LDG) ServeInfo(name string) (location string, dirty bool, gen uint64, ok bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	e, found := g.docs[name]
+	if !found {
+		return "", false, 0, false
+	}
+	return e.location, e.dirty, e.gen, true
+}
+
+// Generation returns the invalidation generation for name (0 for unknown
+// documents).
+func (g *LDG) Generation(name string) uint64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	e, ok := g.docs[name]
+	if !ok {
+		return 0
+	}
+	return e.gen
 }
 
 // IsDirty reports the Dirty bit for name.

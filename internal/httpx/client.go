@@ -1,7 +1,6 @@
 package httpx
 
 import (
-	"bufio"
 	"fmt"
 	"net"
 	"time"
@@ -60,7 +59,9 @@ func (c *Client) DoTimeout(addr string, req *Request, timeout time.Duration) (*R
 	if err := WriteRequest(conn, req); err != nil {
 		return nil, fmt.Errorf("httpx: write to %s: %w", addr, err)
 	}
-	resp, err := ReadResponseFor(bufio.NewReader(conn), req.Method)
+	br := getReader(conn)
+	resp, err := ReadResponseFor(br, req.Method)
+	putReader(br)
 	if err != nil {
 		return nil, fmt.Errorf("httpx: read from %s: %w", addr, err)
 	}

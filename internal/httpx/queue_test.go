@@ -1,0 +1,56 @@
+package httpx
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestQueueDepthReportsBacklog holds the single worker hostage and checks
+// that connections stacking up behind it are visible through QueueDepth —
+// the gauge the queue-aware load metric consumes.
+func TestQueueDepthReportsBacklog(t *testing.T) {
+	release := make(chan struct{})
+	blocked := make(chan struct{}, 16)
+	h := HandlerFunc(func(req *Request) *Response {
+		blocked <- struct{}{}
+		<-release
+		return NewResponse(200)
+	})
+	_, client, srv := startServer(t, ServerConfig{Workers: 1, QueueLength: 8}, h)
+	if srv.QueueDepth() != 0 {
+		t.Fatalf("fresh server queue depth = %d", srv.QueueDepth())
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := client.Get("srv:80", "/x", nil)
+			if err != nil {
+				t.Errorf("get: %v", err)
+				return
+			}
+			if resp.Status != 200 {
+				t.Errorf("status = %d", resp.Status)
+			}
+		}()
+	}
+
+	// One request occupies the worker; the other three sit in the queue.
+	<-blocked
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.QueueDepth() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth = %d, want 3", srv.QueueDepth())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(release)
+	wg.Wait()
+	if d := srv.QueueDepth(); d != 0 {
+		t.Fatalf("queue depth after drain = %d", d)
+	}
+}

@@ -1,7 +1,6 @@
 package httpx
 
 import (
-	"bufio"
 	"errors"
 	"log"
 	"net"
@@ -141,7 +140,8 @@ func (s *Server) worker(queue chan net.Conn) {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
-	br := bufio.NewReader(conn)
+	br := getReader(conn)
+	defer putReader(br)
 	for {
 		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
 		req, err := ReadRequest(br)
@@ -206,6 +206,19 @@ func (s *Server) Dropped() int64 {
 	s.droppedMu.Lock()
 	defer s.droppedMu.Unlock()
 	return s.dropped
+}
+
+// QueueDepth reports how many accepted connections currently sit in the
+// socket queue waiting for a worker — the early-warning signal the
+// queue-aware load metric folds in. Zero before Serve starts.
+func (s *Server) QueueDepth() int {
+	s.mu.Lock()
+	q := s.queue
+	s.mu.Unlock()
+	if q == nil {
+		return 0
+	}
+	return len(q)
 }
 
 // Close stops accepting connections and waits for in-flight requests.

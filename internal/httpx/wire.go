@@ -7,7 +7,36 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 )
+
+// wireBufPool recycles the scratch buffers messages are serialized into;
+// every request and response on every connection goes through one.
+var wireBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// readerPool recycles the bufio.Readers that parse inbound messages
+// (server connections and client responses).
+var readerPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, 4096) }}
+
+// getReader leases a pooled reader bound to r.
+func getReader(r io.Reader) *bufio.Reader {
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	return br
+}
+
+// putReader returns a leased reader to the pool, detaching its source so
+// the pool does not pin connections.
+func putReader(br *bufio.Reader) {
+	br.Reset(nil)
+	readerPool.Put(br)
+}
+
+// inlineBodyLimit is the largest body folded into the header buffer so the
+// whole message goes out in a single Write. Larger bodies are written
+// separately — two writes, but zero copying of the (potentially cached and
+// shared) document bytes.
+const inlineBodyLimit = 32 << 10
 
 // Wire-format limits. Oversized messages are rejected rather than buffered
 // without bound.
@@ -134,22 +163,23 @@ func ReadRequest(r *bufio.Reader) (*Request, error) {
 // WriteRequest serializes req to w. A Content-Length header is emitted
 // whenever a body is present.
 func WriteRequest(w io.Writer, req *Request) error {
-	var b strings.Builder
 	proto := req.Proto
 	if proto == "" {
 		proto = "HTTP/1.0"
 	}
-	fmt.Fprintf(&b, "%s %s %s\r\n", req.Method, req.Path, proto)
-	writeHeader(&b, req.Header, len(req.Body))
-	if _, err := io.WriteString(w, b.String()); err != nil {
-		return err
-	}
-	if len(req.Body) > 0 {
-		if _, err := w.Write(req.Body); err != nil {
-			return err
-		}
-	}
-	return nil
+	bp := wireBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = append(buf, req.Method...)
+	buf = append(buf, ' ')
+	buf = append(buf, req.Path...)
+	buf = append(buf, ' ')
+	buf = append(buf, proto...)
+	buf = append(buf, '\r', '\n')
+	buf = appendHeader(buf, req.Header, len(req.Body))
+	err := writeMessage(w, buf, req.Body)
+	*bp = buf[:0]
+	wireBufPool.Put(bp)
+	return err
 }
 
 // ReadResponse parses one response from r, assuming it answers a GET.
@@ -191,36 +221,63 @@ func ReadResponseFor(r *bufio.Reader, method string) (*Response, error) {
 // WriteResponse serializes resp to w, always emitting Content-Length so
 // connections can be kept alive.
 func WriteResponse(w io.Writer, resp *Response) error {
-	var b strings.Builder
 	proto := resp.Proto
 	if proto == "" {
 		proto = "HTTP/1.0"
 	}
-	fmt.Fprintf(&b, "%s %d %s\r\n", proto, resp.Status, StatusText(resp.Status))
-	writeHeader(&b, resp.Header, len(resp.Body))
-	if _, err := io.WriteString(w, b.String()); err != nil {
-		return err
-	}
-	if len(resp.Body) > 0 {
-		if _, err := w.Write(resp.Body); err != nil {
-			return err
-		}
-	}
-	return nil
+	bp := wireBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = append(buf, proto...)
+	buf = append(buf, ' ')
+	buf = strconv.AppendInt(buf, int64(resp.Status), 10)
+	buf = append(buf, ' ')
+	buf = append(buf, StatusText(resp.Status)...)
+	buf = append(buf, '\r', '\n')
+	buf = appendHeader(buf, resp.Header, len(resp.Body))
+	err := writeMessage(w, buf, resp.Body)
+	*bp = buf[:0]
+	wireBufPool.Put(bp)
+	return err
 }
 
-func writeHeader(b *strings.Builder, h Header, bodyLen int) {
+// appendHeader serializes the header fields plus a synthesized
+// Content-Length (when absent) and the blank separator line.
+func appendHeader(buf []byte, h Header, bodyLen int) []byte {
 	wroteCL := false
 	for _, k := range h.sortedKeys() {
 		if k == "Content-Length" {
 			wroteCL = true
 		}
 		for _, v := range h[k] {
-			fmt.Fprintf(b, "%s: %s\r\n", k, v)
+			buf = append(buf, k...)
+			buf = append(buf, ':', ' ')
+			buf = append(buf, v...)
+			buf = append(buf, '\r', '\n')
 		}
 	}
 	if !wroteCL {
-		fmt.Fprintf(b, "Content-Length: %d\r\n", bodyLen)
+		buf = append(buf, "Content-Length: "...)
+		buf = strconv.AppendInt(buf, int64(bodyLen), 10)
+		buf = append(buf, '\r', '\n')
 	}
-	b.WriteString("\r\n")
+	return append(buf, '\r', '\n')
+}
+
+// writeMessage sends the serialized head and the body. Small bodies are
+// folded into the head buffer for a single syscall; large ones go out in a
+// second write directly from the caller's (possibly shared) slice.
+func writeMessage(w io.Writer, head, body []byte) error {
+	if n := len(body); n > 0 && n <= inlineBodyLimit {
+		head = append(head, body...)
+		body = nil
+	}
+	if _, err := w.Write(head); err != nil {
+		return err
+	}
+	if len(body) > 0 {
+		if _, err := w.Write(body); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -34,7 +34,7 @@ type Origin struct {
 }
 
 // Addr returns the dialable "host:port" form.
-func (o Origin) Addr() string { return fmt.Sprintf("%s:%d", o.Host, o.Port) }
+func (o Origin) Addr() string { return o.Host + ":" + strconv.Itoa(o.Port) }
 
 // ParseOrigin parses "host:port" into an Origin.
 func ParseOrigin(addr string) (Origin, error) {

@@ -36,11 +36,35 @@ type Store interface {
 	Size(name string) (int64, error)
 }
 
+// SharedGetter is implemented by stores that can return a document's
+// bytes without a defensive copy. The returned slice is shared: callers
+// MUST treat it as immutable. Mem satisfies the contract because Put
+// installs a fresh copy rather than mutating the stored slice in place,
+// so outstanding references never observe a change.
+type SharedGetter interface {
+	GetShared(name string) ([]byte, error)
+}
+
+// GetShared returns the named document's bytes without copying when st
+// supports the zero-copy path, falling back to an ordinary Get. The
+// result must be treated as immutable.
+func GetShared(st Store, name string) ([]byte, error) {
+	if sg, ok := st.(SharedGetter); ok {
+		return sg.GetShared(name)
+	}
+	return st.Get(name)
+}
+
 // CleanName normalizes a document name to a rooted, slash-separated path
 // with no dot segments. It returns an error for names that escape the root.
+// Already-canonical names (the request hot path) are returned as-is
+// without allocating.
 func CleanName(name string) (string, error) {
 	if name == "" {
 		return "", fmt.Errorf("store: empty document name")
+	}
+	if isCanonicalName(name) {
+		return name, nil
 	}
 	for _, seg := range strings.Split(name, "/") {
 		if seg == ".." {
@@ -51,6 +75,26 @@ func CleanName(name string) (string, error) {
 		name = "/" + name
 	}
 	return filepath.ToSlash(filepath.Clean(name)), nil
+}
+
+// isCanonicalName reports whether name is already rooted and canonical: it
+// starts with '/', has no empty, "." or ".." segments, and no trailing
+// slash. Such names pass CleanName unchanged.
+func isCanonicalName(name string) bool {
+	if name[0] != '/' || name[len(name)-1] == '/' {
+		return false
+	}
+	start := 1
+	for i := 1; i <= len(name); i++ {
+		if i == len(name) || name[i] == '/' {
+			seg := name[start:i]
+			if seg == "" || seg == "." || seg == ".." {
+				return false
+			}
+			start = i + 1
+		}
+	}
+	return true
 }
 
 // Mem is an in-memory Store safe for concurrent use.
@@ -79,6 +123,23 @@ func (m *Mem) Get(name string) ([]byte, error) {
 	out := make([]byte, len(data))
 	copy(out, data)
 	return out, nil
+}
+
+// GetShared implements SharedGetter: it returns the stored slice itself.
+// The contract holds because Put replaces the map entry with a fresh copy
+// instead of writing into the old slice.
+func (m *Mem) GetShared(name string) ([]byte, error) {
+	name, err := CleanName(name)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.docs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return data, nil
 }
 
 // Put implements Store.
@@ -183,6 +244,10 @@ func (d *Dir) Get(name string) ([]byte, error) {
 	}
 	return data, err
 }
+
+// GetShared implements SharedGetter. Every ReadFile already returns a
+// fresh buffer, so the plain Get is the zero-copy path.
+func (d *Dir) GetShared(name string) ([]byte, error) { return d.Get(name) }
 
 // Put implements Store.
 func (d *Dir) Put(name string, data []byte) error {
