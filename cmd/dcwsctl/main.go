@@ -4,6 +4,10 @@
 //	dcwsctl status 127.0.0.1:8080           traffic counters + load table
 //	dcwsctl graph  127.0.0.1:8080           local document graph summary
 //	dcwsctl graph  -full 127.0.0.1:8080     every tuple
+//	dcwsctl metrics 127.0.0.1:8080          raw Prometheus exposition
+//	dcwsctl metrics -check 127.0.0.1:8080   validate the exposition instead
+//	dcwsctl trace  127.0.0.1:8080           recent request trace spans
+//	dcwsctl trace  -id abc123 127.0.0.1:8080  spans of one trace only
 //	dcwsctl recall 127.0.0.1:8080 127.0.0.1:8081
 //	                                        recall all docs migrated to the
 //	                                        second server (e.g. before
@@ -17,20 +21,33 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strings"
+	"time"
 
 	"dcws"
 	idcws "dcws/internal/dcws"
 	"dcws/internal/httpx"
+	"dcws/internal/telemetry"
 )
 
 func main() {
 	full := flag.Bool("full", false, "graph: print every tuple instead of a summary")
+	check := flag.Bool("check", false, "metrics: validate the exposition format instead of printing it")
+	traceID := flag.String("id", "", "trace: only print spans of this trace ID")
 	flag.Parse()
 	args := flag.Args()
-	if len(args) < 2 {
+	if len(args) < 1 {
 		usage()
 	}
-	cmd, addr := args[0], args[1]
+	// Flags may follow the subcommand name (dcwsctl graph -full <addr>);
+	// the top-level Parse stops at the first positional argument, so parse
+	// the remainder again.
+	flag.CommandLine.Parse(args[1:])
+	cmd, args := args[0], flag.Args()
+	if len(args) < 1 {
+		usage()
+	}
+	addr := args[0]
 	client := httpx.NewClient(httpx.DialerFunc(dcws.TCPNetwork{}.Dial))
 	switch cmd {
 	case "status":
@@ -46,6 +63,23 @@ func main() {
 		fmt.Printf("serving      cache_hits=%d cache_misses=%d (%s) queue_depth=%d\n",
 			st.CacheHits, st.CacheMisses, hitRate(st.CacheHits, st.CacheMisses), st.QueueDepth)
 		fmt.Printf("resilience   retries=%d breaker_trips=%d\n", st.Retries, st.BreakerTrips)
+		if len(st.PeerResilience) > 0 {
+			fmt.Println("peer resilience:")
+			peers := make([]string, 0, len(st.PeerResilience))
+			for p := range st.PeerResilience {
+				peers = append(peers, p)
+			}
+			sort.Strings(peers)
+			for _, p := range peers {
+				pr := st.PeerResilience[p]
+				line := fmt.Sprintf("  %-24s %-9s retries=%d trips=%d rejections=%d",
+					p, pr.State, pr.Retries, pr.Trips, pr.Rejections)
+				if pr.LastTransition != "" {
+					line += " last_transition=" + pr.LastTransition
+				}
+				fmt.Println(line)
+			}
+		}
 		if len(st.PeerHealth) > 0 {
 			fmt.Println("peer health:")
 			peers := make([]string, 0, len(st.PeerHealth))
@@ -102,12 +136,62 @@ func main() {
 		fmt.Printf("migrated    %d\n", migrated)
 		fmt.Printf("dirty       %d\n", dirty)
 		fmt.Printf("total hits  %d\n", hits)
+	case "metrics":
+		resp, err := client.Get(addr, "/~dcws/metrics", nil)
+		if err != nil {
+			log.Fatalf("dcwsctl: %v", err)
+		}
+		if resp.Status != 200 {
+			log.Fatalf("dcwsctl: %s/~dcws/metrics answered %d", addr, resp.Status)
+		}
+		if !*check {
+			fmt.Print(string(resp.Body))
+			return
+		}
+		families, err := checkExposition(string(resp.Body))
+		if err != nil {
+			log.Fatalf("dcwsctl: %v", err)
+		}
+		missing := missingFamilies(families)
+		if len(missing) > 0 {
+			log.Fatalf("dcwsctl: exposition missing metric families: %s", strings.Join(missing, ", "))
+		}
+		fmt.Printf("ok: %d metric families, all layers covered\n", len(families))
+	case "trace":
+		var spans []telemetry.Span
+		getJSON(client, addr, "/~dcws/trace", &spans)
+		if *traceID != "" {
+			kept := spans[:0]
+			for _, sp := range spans {
+				if sp.TraceID == *traceID {
+					kept = append(kept, sp)
+				}
+			}
+			spans = kept
+		}
+		for _, sp := range spans {
+			peer := ""
+			if sp.Peer != "" {
+				peer = " peer=" + sp.Peer
+			}
+			outcome := fmt.Sprintf("status=%d", sp.Status)
+			if sp.Err != "" {
+				outcome = "err=" + sp.Err
+			}
+			attempts := ""
+			if sp.Attempts > 1 {
+				attempts = fmt.Sprintf(" attempts=%d", sp.Attempts)
+			}
+			fmt.Printf("%s  %-22s %-12s %-30s %s%s%s (%s)\n",
+				sp.Start.UTC().Format(time.RFC3339), sp.TraceID, sp.Op,
+				sp.Target, outcome, peer, attempts, sp.Duration)
+		}
 	case "recall":
-		if len(args) < 3 {
+		if len(args) < 2 {
 			usage()
 		}
 		req := httpx.NewRequest("POST", "/~dcws/recall")
-		req.Header.Set("X-DCWS-Fetch", args[2])
+		req.Header.Set("X-DCWS-Fetch", args[1])
 		resp, err := client.Do(addr, req)
 		if err != nil {
 			log.Fatalf("dcwsctl: %v", err)
@@ -134,6 +218,68 @@ func getJSON(client *httpx.Client, addr, path string, out interface{}) {
 	}
 }
 
+// checkExposition validates Prometheus text-format 0.0.4: every
+// non-comment line must be "name[{labels}] value" with a balanced label
+// block, and every "# TYPE" comment well-formed. It returns the set of
+// family names declared or sampled.
+func checkExposition(body string) (map[string]bool, error) {
+	families := make(map[string]bool)
+	for i, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) >= 2 && (f[1] == "TYPE" || f[1] == "HELP") {
+				if len(f) < 3 {
+					return nil, fmt.Errorf("line %d: truncated %s comment: %q", i+1, f[1], line)
+				}
+				families[f[2]] = true
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 || sp == len(line)-1 {
+			return nil, fmt.Errorf("line %d: malformed sample %q", i+1, line)
+		}
+		name := line[:sp]
+		if b := strings.IndexByte(name, '{'); b >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				return nil, fmt.Errorf("line %d: unbalanced label block in %q", i+1, line)
+			}
+			name = name[:b]
+		}
+		if name == "" {
+			return nil, fmt.Errorf("line %d: empty metric name in %q", i+1, line)
+		}
+		families[name] = true
+	}
+	return families, nil
+}
+
+// missingFamilies reports which instrumented layers are absent from a
+// scraped exposition, by required name prefix.
+func missingFamilies(families map[string]bool) []string {
+	var missing []string
+	for _, prefix := range []string{
+		"dcws_httpx_", "dcws_serve_seconds", "dcws_render_cache_",
+		"dcws_resilience_", "dcws_glt_",
+	} {
+		found := false
+		for f := range families {
+			if strings.HasPrefix(f, prefix) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, prefix+"*")
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}
+
 func hitRate(hits, misses int64) string {
 	total := hits + misses
 	if total == 0 {
@@ -150,6 +296,6 @@ func orDash(s string) string {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dcwsctl status <addr> | graph [-full] <addr> | recall <home-addr> <coop-addr>")
+	fmt.Fprintln(os.Stderr, "usage: dcwsctl status <addr> | graph [-full] <addr> | metrics [-check] <addr> | trace [-id <trace-id>] <addr> | recall <home-addr> <coop-addr>")
 	os.Exit(2)
 }

@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -34,8 +36,20 @@ func main() {
 		speed  = flag.Int("speedup", 1, "clock speed-up factor (compresses the Table 1 intervals for demos)")
 		useBPS = flag.Bool("bps-metric", false, "balance on bytes/s instead of connections/s")
 		repl   = flag.Bool("replicate", false, "enable the hot-spot replication extension")
+		pprof  = flag.String("pprof", "", "side listener for net/http/pprof, e.g. 127.0.0.1:6060 (empty: disabled)")
 	)
 	flag.Parse()
+
+	if *pprof != "" {
+		// The DCWS wire protocol is hand-rolled, so profiling runs on a
+		// separate net/http listener rather than the serving socket.
+		go func() {
+			log.Printf("dcwsd: pprof on http://%s/debug/pprof/", *pprof)
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				log.Printf("dcwsd: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	origin, err := dcws.ParseOrigin(*addr)
 	if err != nil {
@@ -74,7 +88,8 @@ func main() {
 	if err := srv.Start(); err != nil {
 		log.Fatalf("dcwsd: %v", err)
 	}
-	fmt.Printf("dcwsd listening on %s (status: http://%s/~dcws/status)\n", *addr, *addr)
+	fmt.Printf("dcwsd listening on %s (status: http://%s/~dcws/status, metrics: http://%s/~dcws/metrics)\n",
+		*addr, *addr, *addr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -5,23 +5,41 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"dcws/internal/httpx"
+	"dcws/internal/metrics"
 	"dcws/internal/naming"
 	"dcws/internal/resilience"
 	"dcws/internal/store"
+	"dcws/internal/telemetry"
 )
 
 // handle is the worker-thread entry point implementing the request matrix
-// of §4.2 and §4.4.
+// of §4.2 and §4.4. Every request carries a trace ID — taken from the
+// X-DCWS-Trace extension header when the caller (a client or a peer
+// server) supplied one, minted otherwise — which is echoed on the response
+// and propagated on any inter-server RPC issued while serving, so the
+// spans recorded across the cluster for one logical request share one ID.
 func (s *Server) handle(req *httpx.Request) *httpx.Response {
 	s.absorb(req.Header)
+	traceID := req.Header.Get(telemetry.TraceHeader)
+	if traceID == "" {
+		traceID = telemetry.NewTraceID()
+	}
+	op, hist := s.classifyServe(req)
+	start := time.Now()
+	startClk := s.now()
 	var resp *httpx.Response
 	switch {
 	case req.Path == pingPath:
 		resp = s.handlePing()
 	case req.Path == statusPath:
 		resp = s.handleStatus()
+	case req.Path == metricsPath:
+		resp = s.handleMetrics()
+	case req.Path == tracePath:
+		resp = s.handleTrace()
 	case strings.HasPrefix(req.Path, revokePath):
 		resp = s.handleRevoke(req)
 	case req.Path == recallPath:
@@ -29,12 +47,43 @@ func (s *Server) handle(req *httpx.Request) *httpx.Response {
 	case req.Path == graphPath:
 		resp = s.handleGraph()
 	case naming.IsMigrated(req.Path):
-		resp = s.serveAsCoop(req)
+		resp = s.serveAsCoop(req, traceID)
 	default:
 		resp = s.serveAsHome(req)
 	}
 	s.piggyback(resp.Header)
+	resp.Header.Set(telemetry.TraceHeader, traceID)
+	if op != "" {
+		d := time.Since(start)
+		hist.Observe(d)
+		s.tel.ring.Record(telemetry.Span{
+			TraceID:  traceID,
+			Server:   s.addr,
+			Op:       op,
+			Target:   req.Path,
+			Status:   resp.Status,
+			Start:    startClk,
+			Duration: d,
+		})
+	}
 	return resp
+}
+
+// classifyServe names the document-serving operation a request performs
+// and the latency histogram it feeds. Control endpoints (ping, status,
+// metrics, ...) return "" and record no server-side span: the pinger alone
+// would otherwise flood the span ring.
+func (s *Server) classifyServe(req *httpx.Request) (string, *metrics.Histogram) {
+	switch {
+	case strings.HasPrefix(req.Path, "/~dcws/"):
+		return "", nil
+	case naming.IsMigrated(req.Path):
+		return "serve-coop", s.tel.serveCoop
+	case req.Header.Get(headerFetch) != "":
+		return "serve-fetch", s.tel.serveFetch
+	default:
+		return "serve-home", s.tel.serveHome
+	}
 }
 
 func (s *Server) handlePing() *httpx.Response {
@@ -230,8 +279,8 @@ func (s *Server) serveFetch(req *httpx.Request, name string, gen uint64) *httpx.
 
 // serveAsCoop handles /~migrate requests: serve the local copy, or perform
 // the lazy physical migration by fetching from the home server first
-// (§4.2).
-func (s *Server) serveAsCoop(req *httpx.Request) *httpx.Response {
+// (§4.2). traceID is propagated to the home server on that fetch.
+func (s *Server) serveAsCoop(req *httpx.Request, traceID string) *httpx.Response {
 	if req.Method != "GET" && req.Method != "HEAD" {
 		return status(405, "only GET and HEAD are supported")
 	}
@@ -258,7 +307,7 @@ func (s *Server) serveAsCoop(req *httpx.Request) *httpx.Response {
 	v := s.coops.touch(key, home, docName, s.now())
 
 	if !v.present {
-		if resp := s.fetchFromHome(key, home, docName); resp != nil {
+		if resp := s.fetchFromHome(key, home, docName, traceID); resp != nil {
 			return resp // relay of a redirect or an error
 		}
 	}
@@ -267,7 +316,7 @@ func (s *Server) serveAsCoop(req *httpx.Request) *httpx.Response {
 	if err != nil {
 		// Copy vanished (e.g. revoked between check and read): refetch once.
 		s.coops.markAbsent(key)
-		if resp := s.fetchFromHome(key, home, docName); resp != nil {
+		if resp := s.fetchFromHome(key, home, docName, traceID); resp != nil {
 			return resp
 		}
 		if data, err = store.GetShared(s.cfg.Store, key); err != nil {
@@ -291,14 +340,19 @@ func (s *Server) serveAsCoop(req *httpx.Request) *httpx.Response {
 // through the home's circuit breaker before the 503 is admitted; while
 // the breaker is open the fetch degrades to an immediate 503 without
 // tying a worker up in doomed connection attempts.
-func (s *Server) fetchFromHome(key string, home naming.Origin, docName string) *httpx.Response {
+func (s *Server) fetchFromHome(key string, home naming.Origin, docName, traceID string) *httpx.Response {
 	homeAddr := home.Addr()
+	start := time.Now()
+	startClk := s.now()
+	attempts := 0
 	var resp *httpx.Response
 	err := s.res.Execute(s.fetchPolicy, homeAddr, func() error {
+		attempts++
 		// Headers are rebuilt per attempt so every retry piggybacks the
 		// freshest load view.
 		extra := make(httpx.Header)
 		extra.Set(headerFetch, s.Addr())
+		extra.Set(telemetry.TraceHeader, traceID)
 		s.piggyback(extra)
 		s.attachHotReport(extra, homeAddr)
 		r, err := s.client.GetTimeout(homeAddr, docName, extra, s.params.FetchTimeout)
@@ -308,6 +362,22 @@ func (s *Server) fetchFromHome(key string, home naming.Origin, docName string) *
 		resp = r
 		return nil
 	})
+	span := telemetry.Span{
+		TraceID:  traceID,
+		Server:   s.addr,
+		Op:       "fetch-home",
+		Target:   docName,
+		Peer:     homeAddr,
+		Attempts: attempts,
+		Start:    startClk,
+		Duration: time.Since(start),
+	}
+	if err != nil {
+		span.Err = err.Error()
+	} else {
+		span.Status = resp.Status
+	}
+	s.tel.ring.Record(span)
 	if err != nil {
 		if errors.Is(err, resilience.ErrOpen) {
 			return status(503, "home server unreachable (circuit open)")

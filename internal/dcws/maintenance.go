@@ -6,10 +6,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"dcws/internal/httpx"
 	"dcws/internal/naming"
 	"dcws/internal/policy"
+	"dcws/internal/telemetry"
 )
 
 // statsLoop is the statistics module (§5.1): every T_st it refreshes this
@@ -32,7 +34,11 @@ func (s *Server) statsLoop() {
 func (s *Server) runStatsTick() {
 	now := s.now()
 	load := s.loadMetric(now)
-	s.table.UpdateSelf(load, now)
+	// Forced (maxAge 0) so the self entry's timestamp advances every tick
+	// even when the quantized load is unchanged: peers re-admit a
+	// recovered server only on entries measured after its down
+	// declaration. Migration decisions below use the raw load.
+	s.table.RefreshSelf(s.quantizeLoad(load), now, 0)
 
 	s.maybeRevokeExpired(load)
 	if s.params.Replicate {
@@ -128,6 +134,7 @@ func (s *Server) migrate(doc, coop string) {
 	s.rrCounter[doc] = new(uint32)
 	s.repMu.Unlock()
 	s.rcache.invalidate(doc)
+	s.tel.migrations.Inc()
 	s.log.Printf("dcws %s: migrated %s -> %s (dirtied %d)", s.Addr(), doc, coop, len(dirtied))
 }
 
@@ -172,6 +179,7 @@ func (s *Server) revoke(doc string) {
 	for _, coop := range hosts {
 		s.sendRevoke(coop, doc)
 	}
+	s.tel.revokes.Inc()
 	s.log.Printf("dcws %s: revoked %s from %v", s.Addr(), doc, hosts)
 }
 
@@ -182,20 +190,33 @@ func (s *Server) sendRevoke(coop, doc string) {
 	if err != nil {
 		return
 	}
+	traceID := telemetry.NewTraceID()
+	start := time.Now()
+	startClk := s.now()
 	req := httpx.NewRequest("POST", revokePath)
 	req.Header.Set(headerRevokeDoc, key)
+	req.Header.Set(telemetry.TraceHeader, traceID)
 	s.piggyback(req.Header)
 	resp, err := s.client.DoTimeout(coop, req, s.params.MaintenanceTimeout)
+	span := telemetry.Span{
+		TraceID: traceID, Server: s.addr, Op: "revoke-rpc",
+		Target: doc, Peer: coop, Start: startClk, Duration: time.Since(start),
+	}
 	if err != nil {
+		span.Err = err.Error()
+		s.tel.ring.Record(span)
 		s.log.Printf("dcws %s: revoke %s at %s: %v", s.Addr(), doc, coop, err)
 		return
 	}
+	span.Status = resp.Status
+	s.tel.ring.Record(span)
 	s.absorb(resp.Header)
 }
 
 // RecallFrom revokes every document currently migrated to the given co-op
 // server (crash recovery, §4.5 case 3). Exposed for operational tooling.
 func (s *Server) RecallFrom(coop string) int {
+	s.tel.recalls.Inc()
 	migs := s.ledger.HostedBy(coop)
 	for _, mig := range migs {
 		s.revoke(mig.Doc)
@@ -285,6 +306,7 @@ func (s *Server) addReplica(doc string) {
 		s.log.Printf("dcws %s: replicate %s: %v", s.Addr(), doc, err)
 		return
 	}
+	s.tel.replications.Inc()
 	s.log.Printf("dcws %s: replicated %s -> %s (now %d hosts)", s.Addr(), doc, target, len(reps)+1)
 }
 
@@ -335,9 +357,15 @@ func (s *Server) runPingerTick() {
 		wg.Add(1)
 		go func(i int, peer string) {
 			defer wg.Done()
+			traceID := telemetry.NewTraceID()
+			start := time.Now()
+			startClk := s.now()
+			attempts := 0
 			var resp *httpx.Response
 			err := s.res.Probe(s.probePolicy, peer, func() error {
+				attempts++
 				extra := make(httpx.Header)
+				extra.Set(telemetry.TraceHeader, traceID)
 				s.piggyback(extra)
 				r, err := s.client.GetTimeout(peer, pingPath, extra, s.params.MaintenanceTimeout)
 				if err != nil {
@@ -349,6 +377,17 @@ func (s *Server) runPingerTick() {
 				resp = r
 				return nil
 			})
+			span := telemetry.Span{
+				TraceID: traceID, Server: s.addr, Op: "probe",
+				Target: pingPath, Peer: peer, Attempts: attempts,
+				Start: startClk, Duration: time.Since(start),
+			}
+			if err != nil {
+				span.Err = err.Error()
+			} else {
+				span.Status = resp.Status
+			}
+			s.tel.ring.Record(span)
 			results[i] = probeResult{resp: resp, err: err}
 		}(i, peer)
 	}
@@ -384,6 +423,7 @@ func (s *Server) declareDown(peer string) {
 	s.downAt[peer] = s.now()
 	delete(s.pingFail, peer)
 	s.peerMu.Unlock()
+	s.tel.declaredDown.Inc()
 	n := s.RecallFrom(peer)
 	s.table.Remove(peer)
 	s.log.Printf("dcws %s: declared %s down, recalled %d documents", s.Addr(), peer, n)
@@ -406,6 +446,7 @@ func (s *Server) validatorLoop() {
 
 // runValidatorTick revalidates every physically present co-op copy.
 func (s *Server) runValidatorTick() {
+	s.tel.validatorPasses.Inc()
 	for _, key := range s.coops.presentKeys() {
 		s.validateOne(key)
 	}
@@ -418,20 +459,34 @@ func (s *Server) validateOne(key string) {
 		return
 	}
 
+	traceID := telemetry.NewTraceID()
+	start := time.Now()
+	startClk := s.now()
 	extra := make(httpx.Header)
 	extra.Set(headerFetch, s.Addr())
 	extra.Set(headerValidate, strconv.FormatUint(v.hash, 16))
+	extra.Set(telemetry.TraceHeader, traceID)
 	s.piggyback(extra)
 	s.attachHotReport(extra, v.home.Addr())
 	resp, err := s.client.GetTimeout(v.home.Addr(), v.name, extra, s.params.MaintenanceTimeout)
+	span := telemetry.Span{
+		TraceID: traceID, Server: s.addr, Op: "validate",
+		Target: v.name, Peer: v.home.Addr(), Start: startClk, Duration: time.Since(start),
+	}
 	if err != nil {
+		span.Err = err.Error()
+		s.tel.ring.Record(span)
+		s.tel.validation("error")
 		s.log.Printf("dcws %s: validate %s: %v", s.Addr(), v.name, err)
 		return
 	}
+	span.Status = resp.Status
+	s.tel.ring.Record(span)
 	s.absorb(resp.Header)
 	switch resp.Status {
 	case 304:
 		// Copy is current.
+		s.tel.validation("current")
 	case 200:
 		if err := s.cfg.Store.Put(key, resp.Body); err != nil {
 			s.log.Printf("dcws %s: refresh %s: %v", s.Addr(), key, err)
@@ -445,10 +500,12 @@ func (s *Server) validateOne(key string) {
 		}
 		s.coops.refresh(key, int64(len(resp.Body)), h, s.now())
 		s.enforceCoopBudget(key)
+		s.tel.validation("refreshed")
 	default:
 		// Revoked or re-migrated behind our back: stop hosting.
 		s.coops.remove(key)
 		s.cfg.Store.Delete(key)
+		s.tel.validation("dropped")
 	}
 }
 

@@ -109,6 +109,21 @@ type Params struct {
 	// (home-form and migration-prepared copies keyed by LDG generation).
 	// Default 64 MiB; negative disables caching.
 	RenderCacheBytes int64
+
+	// LoadQuantum rounds the load advertised in piggybacked X-DCWS-Load
+	// headers to the nearest multiple, so the header — and its cached
+	// encoding — stays stable while the true load wobbles within one step.
+	// Migration decisions still use the raw metric. Default 1 load unit;
+	// negative advertises the raw value.
+	LoadQuantum float64
+	// PiggybackRefresh throttles self-entry refreshes on the serve path:
+	// when the quantized load is unchanged and the entry is younger than
+	// this, the table (and the encoded header) is left alone. Default 1 s;
+	// negative re-stamps the entry on every response.
+	PiggybackRefresh time.Duration
+	// TraceRingSize bounds the in-memory ring of recent trace spans
+	// (default 512).
+	TraceRingSize int
 }
 
 // DefaultParams returns the configuration of Table 1: 12 worker threads, a
@@ -140,6 +155,9 @@ func DefaultParams() Params {
 		BreakerCooldown:       30 * time.Second,
 		QueueLoadFactor:       1,
 		RenderCacheBytes:      64 << 20,
+		LoadQuantum:           1,
+		PiggybackRefresh:      time.Second,
+		TraceRingSize:         512,
 	}
 }
 
@@ -211,13 +229,22 @@ func (p Params) withDefaults() Params {
 	if p.BreakerCooldown <= 0 {
 		p.BreakerCooldown = d.BreakerCooldown
 	}
-	// QueueLoadFactor and RenderCacheBytes keep negative values: they mean
-	// "feature disabled".
+	// QueueLoadFactor, RenderCacheBytes, LoadQuantum, and PiggybackRefresh
+	// keep negative values: they mean "feature disabled".
 	if p.QueueLoadFactor == 0 {
 		p.QueueLoadFactor = d.QueueLoadFactor
 	}
 	if p.RenderCacheBytes == 0 {
 		p.RenderCacheBytes = d.RenderCacheBytes
+	}
+	if p.LoadQuantum == 0 {
+		p.LoadQuantum = d.LoadQuantum
+	}
+	if p.PiggybackRefresh == 0 {
+		p.PiggybackRefresh = d.PiggybackRefresh
+	}
+	if p.TraceRingSize <= 0 {
+		p.TraceRingSize = d.TraceRingSize
 	}
 	return p
 }

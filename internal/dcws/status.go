@@ -2,6 +2,7 @@ package dcws
 
 import (
 	"encoding/json"
+	"time"
 
 	"dcws/internal/httpx"
 	"dcws/internal/resilience"
@@ -35,6 +36,10 @@ type Status struct {
 	Retries int64 `json:"retries"`
 	// BreakerTrips counts closed-to-open breaker transitions.
 	BreakerTrips int64 `json:"breaker_trips"`
+	// PeerResilience breaks the retry/trip/rejection counters down by peer
+	// and records when each breaker last changed state, so operators can
+	// see which peer is flaky, not just that one is.
+	PeerResilience map[string]PeerResilienceStatus `json:"peer_resilience,omitempty"`
 
 	// CacheHits / CacheMisses count rendered-document cache lookups.
 	CacheHits   int64 `json:"cache_hits"`
@@ -42,6 +47,17 @@ type Status struct {
 	// QueueDepth is the number of accepted connections waiting in the
 	// socket queue right now; it feeds the queue-aware load metric.
 	QueueDepth int `json:"queue_depth"`
+}
+
+// PeerResilienceStatus is one peer's row in Status.PeerResilience.
+type PeerResilienceStatus struct {
+	State      string `json:"state"`
+	Retries    int64  `json:"retries"`
+	Trips      int64  `json:"trips"`
+	Rejections int64  `json:"rejections"`
+	// LastTransition is when the breaker last changed state, RFC 3339;
+	// empty when it never left closed.
+	LastTransition string `json:"last_transition,omitempty"`
 }
 
 // Status returns the server's current operational snapshot.
@@ -80,14 +96,26 @@ func (s *Server) Status() Status {
 			st.PeerHealth[p] = "ok"
 		}
 	}
-	for p, state := range s.res.States() {
-		if state == resilience.Closed {
-			continue
+	for p, ps := range s.res.PeerSnapshots() {
+		if ps.State != resilience.Closed {
+			if st.Breakers == nil {
+				st.Breakers = make(map[string]string)
+			}
+			st.Breakers[p] = ps.State.String()
 		}
-		if st.Breakers == nil {
-			st.Breakers = make(map[string]string)
+		row := PeerResilienceStatus{
+			State:      ps.State.String(),
+			Retries:    ps.Retries,
+			Trips:      ps.Trips,
+			Rejections: ps.Rejections,
 		}
-		st.Breakers[p] = state.String()
+		if !ps.LastTransition.IsZero() {
+			row.LastTransition = ps.LastTransition.UTC().Format(time.RFC3339Nano)
+		}
+		if st.PeerResilience == nil {
+			st.PeerResilience = make(map[string]PeerResilienceStatus)
+		}
+		st.PeerResilience[p] = row
 	}
 	s.peerMu.Lock()
 	for p := range s.downAt {

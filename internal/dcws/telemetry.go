@@ -1,0 +1,294 @@
+package dcws
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"sync"
+	"time"
+
+	"dcws/internal/httpx"
+	"dcws/internal/metrics"
+	"dcws/internal/resilience"
+	"dcws/internal/telemetry"
+)
+
+// serverTelemetry owns one server's metrics registry and trace-span ring
+// and implements httpx.Observer so the wire layer reports into it. Hot-path
+// series (request counters, latency histograms) are plain fields observed
+// directly; everything the server already counts elsewhere (ServerStats,
+// the render cache, the GLT, the breaker registry) is promoted into the
+// registry as scrape-time functions by bindServer, so no existing counter
+// had to be rewritten to become scrapeable.
+type serverTelemetry struct {
+	reg  *telemetry.Registry
+	ring *telemetry.Ring
+
+	// httpx layer (fed by the Observer callbacks).
+	queued     *telemetry.Counter
+	shed       *telemetry.Counter
+	bytesIn    *telemetry.Counter
+	bytesOut   *telemetry.Counter
+	queueWait  *metrics.Histogram
+	reqSeconds *metrics.Histogram
+	respCodes  sync.Map // int -> *telemetry.Counter
+
+	// dcws serving layer.
+	serveHome    *metrics.Histogram
+	serveCoop    *metrics.Histogram
+	serveFetch   *metrics.Histogram
+	regenSeconds *metrics.Histogram
+
+	// Maintenance threads.
+	migrations      *telemetry.Counter
+	revokes         *telemetry.Counter
+	recalls         *telemetry.Counter
+	replications    *telemetry.Counter
+	declaredDown    *telemetry.Counter
+	validatorPasses *telemetry.Counter
+}
+
+func newServerTelemetry(ringSize int) *serverTelemetry {
+	reg := telemetry.NewRegistry()
+	t := &serverTelemetry{reg: reg, ring: telemetry.NewRing(ringSize)}
+
+	t.queued = reg.Counter("dcws_httpx_connections_queued_total",
+		"accepted connections that entered the socket queue")
+	t.shed = reg.Counter("dcws_httpx_connections_shed_total",
+		"connections answered 503 because the socket queue was full")
+	t.bytesIn = reg.Counter("dcws_httpx_bytes_in_total",
+		"bytes read from client connections")
+	t.bytesOut = reg.Counter("dcws_httpx_bytes_out_total",
+		"bytes written to client connections")
+	t.queueWait = reg.Histogram("dcws_httpx_queue_wait_seconds",
+		"time accepted connections waited in the socket queue for a worker")
+	t.reqSeconds = reg.Histogram("dcws_httpx_request_seconds",
+		"request-parsed to response-written latency at the wire layer")
+
+	t.serveHome = reg.Histogram("dcws_serve_seconds",
+		"document-serving latency by role", telemetry.Label{Key: "kind", Value: "home"})
+	t.serveCoop = reg.Histogram("dcws_serve_seconds",
+		"document-serving latency by role", telemetry.Label{Key: "kind", Value: "coop"})
+	t.serveFetch = reg.Histogram("dcws_serve_seconds",
+		"document-serving latency by role", telemetry.Label{Key: "kind", Value: "fetch"})
+	t.regenSeconds = reg.Histogram("dcws_regenerate_seconds",
+		"hyperlink regeneration cost per dirty document")
+
+	t.migrations = reg.Counter("dcws_migrations_total",
+		"documents logically migrated to a co-op server")
+	t.revokes = reg.Counter("dcws_revokes_total",
+		"documents revoked back to this home server")
+	t.recalls = reg.Counter("dcws_recalls_total",
+		"recall operations run against a co-op server")
+	t.replications = reg.Counter("dcws_replications_total",
+		"hot-spot replicas placed on additional co-op servers")
+	t.declaredDown = reg.Counter("dcws_peers_declared_down_total",
+		"peers declared down after repeated probe failures")
+	t.validatorPasses = reg.Counter("dcws_validator_passes_total",
+		"co-op validation passes completed")
+	return t
+}
+
+// ConnQueued implements httpx.Observer.
+func (t *serverTelemetry) ConnQueued() { t.queued.Inc() }
+
+// ConnDropped implements httpx.Observer.
+func (t *serverTelemetry) ConnDropped() { t.shed.Inc() }
+
+// QueueWait implements httpx.Observer.
+func (t *serverTelemetry) QueueWait(d time.Duration) { t.queueWait.Observe(d) }
+
+// Request implements httpx.Observer.
+func (t *serverTelemetry) Request(status int, in, out int64, d time.Duration) {
+	t.reqSeconds.Observe(d)
+	t.bytesIn.Add(in)
+	t.bytesOut.Add(out)
+	t.respCounter(status).Inc()
+}
+
+// respCounter returns the per-status-code response counter, caching the
+// lookup so the hot path avoids the registry lock after first use.
+func (t *serverTelemetry) respCounter(status int) *telemetry.Counter {
+	if c, ok := t.respCodes.Load(status); ok {
+		return c.(*telemetry.Counter)
+	}
+	c := t.reg.Counter("dcws_httpx_responses_total",
+		"responses written, by HTTP status code",
+		telemetry.Label{Key: "code", Value: strconv.Itoa(status)})
+	t.respCodes.Store(status, c)
+	return c
+}
+
+// validation counts one co-op validation outcome: current (304), refreshed
+// (200), dropped (revoked behind our back), or error.
+func (t *serverTelemetry) validation(result string) {
+	t.reg.Counter("dcws_validations_total",
+		"co-op document validations by outcome",
+		telemetry.Label{Key: "result", Value: result}).Inc()
+}
+
+// bindServer promotes the server's existing state into scrape-time metric
+// families. Called once from New after every subsystem is constructed.
+func (t *serverTelemetry) bindServer(s *Server) {
+	reg := t.reg
+	counter := func(c *metrics.Counter) func() float64 {
+		return func() float64 { return float64(c.Value()) }
+	}
+
+	// Traffic counters the serving engine already keeps (§5.2's canonical
+	// measures among them).
+	reg.CounterFunc("dcws_requests_total",
+		"completed request/response exchanges", counter(&s.stats.Connections))
+	reg.CounterFunc("dcws_response_body_bytes_total",
+		"response body bytes served", counter(&s.stats.Bytes))
+	reg.CounterFunc("dcws_redirects_total",
+		"301 responses for migrated documents", counter(&s.stats.Redirects))
+	reg.CounterFunc("dcws_fetches_total",
+		"internal home-to-coop document fetches", counter(&s.stats.Fetches))
+	reg.CounterFunc("dcws_rebuilds_total",
+		"documents regenerated because their dirty bit was set", counter(&s.stats.Rebuilds))
+	reg.GaugeFunc("dcws_load_cps",
+		"connections per second over the sliding window",
+		func() float64 { return s.stats.CPS(s.now()) })
+	reg.GaugeFunc("dcws_load_bps",
+		"response bytes per second over the sliding window",
+		func() float64 { return s.stats.BPS(s.now()) })
+
+	reg.GaugeFunc("dcws_httpx_queue_depth",
+		"connections waiting in the socket queue right now",
+		func() float64 { return float64(s.httpSrv.QueueDepth()) })
+	reg.GaugeFunc("dcws_documents",
+		"documents in the local document graph",
+		func() float64 { return float64(s.ldg.Len()) })
+	reg.GaugeFunc("dcws_coop_hosted",
+		"documents hosted on behalf of other servers",
+		func() float64 { return float64(s.coops.count()) })
+
+	// Rendered-document cache.
+	reg.CounterFunc("dcws_render_cache_hits_total",
+		"rendered-document cache hits",
+		func() float64 { h, _ := s.rcache.counts(); return float64(h) })
+	reg.CounterFunc("dcws_render_cache_misses_total",
+		"rendered-document cache misses",
+		func() float64 { _, m := s.rcache.counts(); return float64(m) })
+	reg.GaugeFunc("dcws_render_cache_entries",
+		"rendered documents currently cached",
+		func() float64 { return float64(s.rcache.len()) })
+
+	// Inter-server RPC resilience: the cluster-wide aggregates plus one
+	// series per peer so operators can see WHICH peer is flaky.
+	rs := s.res.Stats()
+	reg.CounterFunc("dcws_resilience_retries_total",
+		"RPC attempts re-issued after a transient failure", counter(&rs.Retries))
+	reg.CounterFunc("dcws_resilience_trips_total",
+		"circuit-breaker transitions into the open state", counter(&rs.Trips))
+	reg.CounterFunc("dcws_resilience_rejections_total",
+		"calls refused while a breaker was open", counter(&rs.Rejections))
+	reg.CounterFunc("dcws_resilience_probes_total",
+		"half-open trial calls admitted", counter(&rs.Probes))
+	reg.CounterFunc("dcws_resilience_recoveries_total",
+		"breakers closed again after tripping", counter(&rs.Recoveries))
+	peerSamples := func(value func(resilience.PeerStats) float64) func() []telemetry.Sample {
+		return func() []telemetry.Sample {
+			snaps := s.res.PeerSnapshots()
+			out := make([]telemetry.Sample, 0, len(snaps))
+			for peer, ps := range snaps {
+				out = append(out, telemetry.Sample{
+					Labels: []telemetry.Label{{Key: "peer", Value: peer}},
+					Value:  value(ps),
+				})
+			}
+			return out
+		}
+	}
+	reg.Collector("dcws_resilience_peer_state",
+		"breaker state per peer (0 closed, 1 open, 2 half-open)", "gauge",
+		peerSamples(func(ps resilience.PeerStats) float64 { return float64(ps.State) }))
+	reg.Collector("dcws_resilience_peer_retries_total",
+		"RPC attempts re-issued, per peer", "counter",
+		peerSamples(func(ps resilience.PeerStats) float64 { return float64(ps.Retries) }))
+	reg.Collector("dcws_resilience_peer_trips_total",
+		"breaker trips, per peer", "counter",
+		peerSamples(func(ps resilience.PeerStats) float64 { return float64(ps.Trips) }))
+	reg.Collector("dcws_resilience_peer_rejections_total",
+		"calls refused while the peer's breaker was open", "counter",
+		peerSamples(func(ps resilience.PeerStats) float64 { return float64(ps.Rejections) }))
+	reg.Collector("dcws_resilience_peer_last_transition_seconds",
+		"unix time of the breaker's last state change (0: never left closed)", "gauge",
+		peerSamples(func(ps resilience.PeerStats) float64 {
+			if ps.LastTransition.IsZero() {
+				return 0
+			}
+			return float64(ps.LastTransition.UnixNano()) / 1e9
+		}))
+
+	// Global load table: merge freshness and piggyback-encoding costs.
+	reg.GaugeFunc("dcws_glt_entries",
+		"servers in the global load table",
+		func() float64 { return float64(s.table.Len()) })
+	reg.CounterFunc("dcws_glt_merged_total",
+		"peer entries applied from piggybacked headers",
+		func() float64 { return float64(s.table.Merged()) })
+	reg.GaugeFunc("dcws_glt_oldest_entry_age_seconds",
+		"age of the stalest peer entry in the load table",
+		func() float64 { return s.table.OldestAge(s.now()).Seconds() })
+	reg.GaugeFunc("dcws_glt_header_bytes",
+		"size of the current encoded X-DCWS-Load piggyback header",
+		func() float64 { return float64(s.table.HeaderBytes()) })
+	reg.CounterFunc("dcws_glt_header_regens_total",
+		"times the cached piggyback encoding was rebuilt",
+		func() float64 { return float64(s.table.HeaderRegens()) })
+	reg.Collector("dcws_glt_load",
+		"advertised load per server in the local view", "gauge",
+		func() []telemetry.Sample {
+			entries := s.table.Snapshot()
+			out := make([]telemetry.Sample, 0, len(entries))
+			for _, e := range entries {
+				out = append(out, telemetry.Sample{
+					Labels: []telemetry.Label{{Key: "server", Value: e.Server}},
+					Value:  e.Load,
+				})
+			}
+			return out
+		})
+
+	// Trace ring.
+	reg.CounterFunc("dcws_trace_spans_total",
+		"trace spans recorded, including ones the ring has overwritten",
+		func() float64 { return float64(t.ring.Total()) })
+}
+
+// handleMetrics serves the registry in the Prometheus text exposition
+// format at /~dcws/metrics.
+func (s *Server) handleMetrics() *httpx.Response {
+	var buf bytes.Buffer
+	if err := s.tel.reg.WritePrometheus(&buf); err != nil {
+		return status(500, err.Error())
+	}
+	resp := httpx.NewResponse(200)
+	resp.Header.Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	resp.Body = buf.Bytes()
+	return resp
+}
+
+// handleTrace serves the retained trace spans as JSON, oldest first.
+func (s *Server) handleTrace() *httpx.Response {
+	spans := s.tel.ring.Snapshot()
+	if spans == nil {
+		spans = []telemetry.Span{}
+	}
+	data, err := json.MarshalIndent(spans, "", "  ")
+	if err != nil {
+		return status(500, err.Error())
+	}
+	resp := httpx.NewResponse(200)
+	resp.Header.Set("Content-Type", "application/json")
+	resp.Body = append(data, '\n')
+	return resp
+}
+
+// Telemetry exposes the server's metrics registry (tests, embedding).
+func (s *Server) Telemetry() *telemetry.Registry { return s.tel.reg }
+
+// Traces exposes the server's trace-span ring.
+func (s *Server) Traces() *telemetry.Ring { return s.tel.ring }

@@ -34,6 +34,21 @@ type Table struct {
 	mu      sync.RWMutex
 	self    string
 	entries map[string]Entry
+	// version advances on every entry change; the encoded piggyback
+	// header is cached against it so serving a request does not
+	// re-serialize an unchanged table.
+	version uint64
+	// merged counts entries applied from peers (piggyback merge
+	// freshness telemetry).
+	merged int64
+
+	// encMu guards the cached header encoding. It is always taken
+	// before mu, never after.
+	encMu      sync.Mutex
+	encVersion uint64
+	encValid   bool
+	encoded    string
+	regens     int64 // times the cached encoding had to be rebuilt
 }
 
 // NewTable returns a table for the server with the given address. The
@@ -52,7 +67,26 @@ func (t *Table) Self() string { return t.self }
 func (t *Table) UpdateSelf(load float64, at time.Time) {
 	t.mu.Lock()
 	t.entries[t.self] = Entry{Server: t.self, Load: load, Updated: at}
+	t.version++
 	t.mu.Unlock()
+}
+
+// RefreshSelf updates the owning server's entry only when the load value
+// changed or the existing entry is older than maxAge — the request hot
+// path uses it with a quantized load so the piggyback header (and its
+// cached encoding) stays stable across requests instead of churning on
+// every response. maxAge <= 0 forces the refresh. Reports whether the
+// entry changed.
+func (t *Table) RefreshSelf(load float64, now time.Time, maxAge time.Duration) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.entries[t.self]
+	if maxAge > 0 && cur.Load == load && now.Sub(cur.Updated) < maxAge {
+		return false
+	}
+	t.entries[t.self] = Entry{Server: t.self, Load: load, Updated: now}
+	t.version++
+	return true
 }
 
 // Observe merges one entry, keeping whichever of the existing and new
@@ -76,6 +110,10 @@ func (t *Table) Observe(e Entry) {
 		}
 	}
 	t.entries[e.Server] = e
+	t.version++
+	if e.Server != t.self {
+		t.merged++
+	}
 }
 
 // Merge merges every entry in the list (e.g. a decoded piggyback header).
@@ -173,8 +211,60 @@ func (t *Table) Remove(server string) {
 		return
 	}
 	t.mu.Lock()
-	delete(t.entries, server)
+	if _, ok := t.entries[server]; ok {
+		delete(t.entries, server)
+		t.version++
+	}
 	t.mu.Unlock()
+}
+
+// Len reports the number of entries, including the owning server's.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+// Merged reports how many peer entries have been applied from piggybacked
+// headers since startup — the GLT merge-freshness counter.
+func (t *Table) Merged() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.merged
+}
+
+// OldestAge reports the age of the stalest peer entry as of now (0 when
+// no peers are known) — a gauge of how fresh this server's view of the
+// cluster is.
+func (t *Table) OldestAge(now time.Time) time.Duration {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var oldest time.Duration
+	for s, e := range t.entries {
+		if s == t.self {
+			continue
+		}
+		if age := now.Sub(e.Updated); age > oldest {
+			oldest = age
+		}
+	}
+	return oldest
+}
+
+// HeaderRegens reports how many times the cached piggyback encoding had
+// to be rebuilt because the table changed.
+func (t *Table) HeaderRegens() int64 {
+	t.encMu.Lock()
+	defer t.encMu.Unlock()
+	return t.regens
+}
+
+// HeaderBytes reports the size of the current piggyback header value (0
+// before the first encoding).
+func (t *Table) HeaderBytes() int {
+	t.encMu.Lock()
+	defer t.encMu.Unlock()
+	return len(t.encoded)
 }
 
 // encodeBufPool recycles the scratch buffers EncodeHeader serializes
@@ -187,8 +277,27 @@ var encodeBufPool = sync.Pool{New: func() any { return new([]byte) }}
 //	server=load@unixMilli,server=load@unixMilli,...
 //
 // Addresses contain no '=' ',' or '@' so the encoding needs no escaping.
+// The encoding is cached against the table version: with the hot path's
+// quantized, throttled self-refresh (RefreshSelf) the table is unchanged
+// between most requests and serving a response costs a version compare
+// instead of a serialization.
 func (t *Table) EncodeHeader() string {
-	entries := t.Snapshot()
+	t.encMu.Lock()
+	defer t.encMu.Unlock()
+	// One read-lock section captures version and entries together so the
+	// cached string always matches the version it is tagged with.
+	t.mu.RLock()
+	v := t.version
+	if t.encValid && t.encVersion == v {
+		t.mu.RUnlock()
+		return t.encoded
+	}
+	entries := make([]Entry, 0, len(t.entries))
+	for _, e := range t.entries {
+		entries = append(entries, e)
+	}
+	t.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Server < entries[j].Server })
 	bp := encodeBufPool.Get().(*[]byte)
 	buf := (*bp)[:0]
 	for i, e := range entries {
@@ -204,6 +313,8 @@ func (t *Table) EncodeHeader() string {
 	out := string(buf)
 	*bp = buf
 	encodeBufPool.Put(bp)
+	t.encoded, t.encVersion, t.encValid = out, v, true
+	t.regens++
 	return out
 }
 

@@ -253,3 +253,76 @@ func TestHeaderRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEncodeHeaderCachedByVersion(t *testing.T) {
+	tab := NewTable("a:80")
+	now := time.Unix(1000, 0)
+	tab.UpdateSelf(3, now)
+	h1 := tab.EncodeHeader()
+	h2 := tab.EncodeHeader()
+	if h1 != h2 {
+		t.Fatalf("unchanged table encoded differently: %q vs %q", h1, h2)
+	}
+	if got := tab.HeaderRegens(); got != 1 {
+		t.Fatalf("HeaderRegens = %d, want 1 (second call cached)", got)
+	}
+	if tab.HeaderBytes() != len(h1) {
+		t.Fatalf("HeaderBytes = %d, want %d", tab.HeaderBytes(), len(h1))
+	}
+	// A change invalidates the cache exactly once.
+	tab.Observe(Entry{Server: "b:81", Load: 5, Updated: now})
+	h3 := tab.EncodeHeader()
+	if h3 == h1 {
+		t.Fatal("changed table served the stale encoding")
+	}
+	tab.EncodeHeader()
+	if got := tab.HeaderRegens(); got != 2 {
+		t.Fatalf("HeaderRegens = %d, want 2", got)
+	}
+}
+
+func TestRefreshSelfThrottles(t *testing.T) {
+	tab := NewTable("a:80")
+	now := time.Unix(1000, 0)
+	if !tab.RefreshSelf(2, now, time.Second) {
+		t.Fatal("first refresh must apply")
+	}
+	// Same load, within maxAge: no change, header cache stays valid.
+	if tab.RefreshSelf(2, now.Add(100*time.Millisecond), time.Second) {
+		t.Fatal("throttled refresh applied")
+	}
+	e, _ := tab.Get("a:80")
+	if !e.Updated.Equal(now) {
+		t.Fatalf("Updated moved forward under throttle: %v", e.Updated)
+	}
+	// Changed load applies immediately even within maxAge.
+	if !tab.RefreshSelf(3, now.Add(200*time.Millisecond), time.Second) {
+		t.Fatal("load change suppressed")
+	}
+	// Old load but maxAge elapsed: timestamp refresh applies.
+	if !tab.RefreshSelf(3, now.Add(2*time.Second), time.Second) {
+		t.Fatal("aged entry not refreshed")
+	}
+	// maxAge <= 0 forces the update.
+	if !tab.RefreshSelf(3, now.Add(2*time.Second), 0) {
+		t.Fatal("forced refresh suppressed")
+	}
+}
+
+func TestMergedCounter(t *testing.T) {
+	tab := NewTable("a:80")
+	now := time.Unix(1000, 0)
+	tab.Observe(Entry{Server: "b:81", Load: 1, Updated: now})
+	tab.Observe(Entry{Server: "b:81", Load: 1, Updated: now}) // stale: ignored
+	tab.Observe(Entry{Server: "b:81", Load: 2, Updated: now.Add(time.Second)})
+	tab.UpdateSelf(9, now) // self updates are not merges
+	if got := tab.Merged(); got != 2 {
+		t.Fatalf("Merged = %d, want 2", got)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tab.Len())
+	}
+	if age := tab.OldestAge(now.Add(3 * time.Second)); age != 2*time.Second {
+		t.Fatalf("OldestAge = %v, want 2s", age)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -19,6 +20,24 @@ type HandlerFunc func(req *Request) *Response
 
 // Serve implements Handler.
 func (f HandlerFunc) Serve(req *Request) *Response { return f(req) }
+
+// Observer receives server life-cycle events for telemetry. Methods must
+// be safe for concurrent use and fast: they run on the accept loop and the
+// worker hot path. A nil Observer disables observation entirely.
+type Observer interface {
+	// ConnQueued fires when an accepted connection enters the socket queue.
+	ConnQueued()
+	// ConnDropped fires when a connection is answered 503 because the
+	// socket queue was full.
+	ConnDropped()
+	// QueueWait reports how long a connection sat in the socket queue
+	// before a worker picked it up.
+	QueueWait(d time.Duration)
+	// Request reports one completed exchange: the response status, the
+	// bytes read from and written to the connection while serving it, and
+	// the request-parsed-to-response-written latency.
+	Request(status int, bytesIn, bytesOut int64, d time.Duration)
+}
 
 // ServerConfig mirrors the thread and queue parameters of the paper's
 // Table 1.
@@ -37,6 +56,8 @@ type ServerConfig struct {
 	KeepAlive bool
 	// ErrorLog receives accept and protocol errors; nil discards them.
 	ErrorLog *log.Logger
+	// Observer receives queueing and request telemetry; nil disables it.
+	Observer Observer
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -63,7 +84,7 @@ type Server struct {
 	mu       sync.Mutex
 	listener net.Listener
 	closed   bool
-	queue    chan net.Conn
+	queue    chan queuedConn
 	wg       sync.WaitGroup
 
 	// Dropped counts connections refused with 503 due to a full queue.
@@ -86,7 +107,7 @@ func (s *Server) Serve(l net.Listener) error {
 		return errors.New("httpx: server closed")
 	}
 	s.listener = l
-	s.queue = make(chan net.Conn, s.cfg.QueueLength)
+	s.queue = make(chan queuedConn, s.cfg.QueueLength)
 	queue := s.queue
 	s.mu.Unlock()
 
@@ -109,15 +130,47 @@ func (s *Server) Serve(l net.Listener) error {
 			return err
 		}
 		select {
-		case queue <- conn:
+		case queue <- queuedConn{conn: conn, at: time.Now()}:
+			if s.cfg.Observer != nil {
+				s.cfg.Observer.ConnQueued()
+			}
 		default:
 			// Socket queue full: graceful 503 drop (§5.2).
 			s.droppedMu.Lock()
 			s.dropped++
 			s.droppedMu.Unlock()
+			if s.cfg.Observer != nil {
+				s.cfg.Observer.ConnDropped()
+			}
 			go dropConn(conn)
 		}
 	}
+}
+
+// queuedConn is one socket-queue slot: the accepted connection and its
+// enqueue time, so workers can report queue wait.
+type queuedConn struct {
+	conn net.Conn
+	at   time.Time
+}
+
+// countingConn counts the bytes crossing a connection so per-request wire
+// traffic can be attributed without touching the reader/writer code.
+type countingConn struct {
+	net.Conn
+	in, out atomic.Int64
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(int64(n))
+	return n, err
 }
 
 // dropConn answers a queued-out connection with 503 and closes it.
@@ -131,17 +184,27 @@ func dropConn(conn net.Conn) {
 	WriteResponse(conn, resp)
 }
 
-func (s *Server) worker(queue chan net.Conn) {
+func (s *Server) worker(queue chan queuedConn) {
 	defer s.wg.Done()
-	for conn := range queue {
-		s.serveConn(conn)
+	for qc := range queue {
+		if s.cfg.Observer != nil {
+			s.cfg.Observer.QueueWait(time.Since(qc.at))
+		}
+		s.serveConn(qc.conn)
 	}
 }
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	obs := s.cfg.Observer
+	var cc *countingConn
+	if obs != nil {
+		cc = &countingConn{Conn: conn}
+		conn = cc
+	}
 	br := getReader(conn)
 	defer putReader(br)
+	var prevIn, prevOut int64
 	for {
 		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
 		req, err := ReadRequest(br)
@@ -151,6 +214,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
+		start := time.Now()
 		req.RemoteAddr = conn.RemoteAddr().String()
 		resp := s.dispatch(req)
 		keep := s.cfg.KeepAlive && wantsKeepAlive(req)
@@ -160,10 +224,15 @@ func (s *Server) serveConn(conn net.Conn) {
 			resp.Header.Set("Connection", "close")
 		}
 		conn.SetWriteDeadline(time.Now().Add(s.cfg.ReadTimeout))
-		if err := WriteResponse(conn, resp); err != nil {
-			return
+		werr := WriteResponse(conn, resp)
+		if obs != nil {
+			// Bufio read-ahead may attribute a pipelined follow-up request's
+			// bytes to this exchange; totals stay exact.
+			in, out := cc.in.Load(), cc.out.Load()
+			obs.Request(resp.Status, in-prevIn, out-prevOut, time.Since(start))
+			prevIn, prevOut = in, out
 		}
-		if !keep {
+		if werr != nil || !keep {
 			return
 		}
 	}

@@ -2,7 +2,7 @@ package metrics
 
 import (
 	"fmt"
-	"math"
+	"math/bits"
 	"sync"
 	"time"
 )
@@ -26,7 +26,9 @@ func bucketOf(d time.Duration) int {
 	if us < 1 {
 		return 0
 	}
-	b := int(math.Log2(float64(us)))
+	// bits.Len64 gives exact integer log2 — float math put boundary
+	// values (exact powers of two) in the wrong bucket on some inputs.
+	b := bits.Len64(uint64(us)) - 1
 	if b >= 40 {
 		b = 39
 	}
@@ -72,8 +74,11 @@ func (h *Histogram) Max() time.Duration {
 	return h.max
 }
 
-// Quantile estimates the q-quantile (0 < q <= 1) as the upper bound of the
-// bucket containing it; resolution is a factor of two.
+// Quantile estimates the q-quantile (0 < q <= 1) by locating the bucket
+// containing the target rank and interpolating linearly within it, so the
+// estimate moves smoothly instead of jumping to the bucket's upper bound
+// at every boundary. Estimates are clamped to the observed maximum, and
+// Quantile is monotone in q: p50 <= p90 <= p99 <= Max always holds.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -86,22 +91,52 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	if q > 1 {
 		q = 1
 	}
-	target := int64(math.Ceil(q * float64(h.count)))
+	target := q * float64(h.count)
 	if target < 1 {
 		target = 1
 	}
 	var cum int64
 	for i, n := range h.buckets {
-		cum += n
-		if cum >= target {
-			upper := time.Duration(1) << uint(i+1) * time.Microsecond
-			if upper > h.max && h.max > 0 {
-				return h.max
-			}
-			return upper
+		if n == 0 {
+			cum += n
+			continue
 		}
+		if float64(cum+n) >= target {
+			// Bucket i spans [2^i, 2^(i+1)) µs, except bucket 0 which
+			// also holds sub-microsecond observations: lower bound 0.
+			var lower time.Duration
+			if i > 0 {
+				lower = time.Duration(1) << uint(i) * time.Microsecond
+			}
+			upper := time.Duration(1) << uint(i+1) * time.Microsecond
+			frac := (target - float64(cum)) / float64(n)
+			est := lower + time.Duration(frac*float64(upper-lower))
+			if est > h.max {
+				est = h.max
+			}
+			return est
+		}
+		cum += n
 	}
 	return h.max
+}
+
+// HistogramSnapshot is a consistent copy of a histogram's state, used by
+// the telemetry exposition writer. Bucket i counts observations d with
+// 2^i <= d/µs < 2^(i+1) (bucket 0 also holds sub-microsecond values).
+type HistogramSnapshot struct {
+	Buckets [40]int64
+	Count   int64
+	Sum     time.Duration
+	Max     time.Duration
+}
+
+// Snapshot returns a consistent copy of the histogram's buckets and
+// aggregates.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{Buckets: h.buckets, Count: h.count, Sum: h.sum, Max: h.max}
 }
 
 // String summarizes the distribution.

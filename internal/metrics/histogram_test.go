@@ -82,6 +82,71 @@ func TestHistogramQuantileMonotonicProperty(t *testing.T) {
 	}
 }
 
+// TestHistogramBucketEdges: observations that land exactly on power-of-two
+// bucket boundaries must keep quantiles inside [value/2, 2*value] and never
+// above the observed max — the float-log bucketing this replaced could
+// misplace boundary values.
+func TestHistogramBucketEdges(t *testing.T) {
+	// exp starts at 1: bucket 0 spans [0, 2µs) so its lower bound is 0,
+	// not the power-of-two floor.
+	for exp := 1; exp < 30; exp += 3 {
+		var h Histogram
+		d := time.Duration(1) << uint(exp) * time.Microsecond
+		for i := 0; i < 50; i++ {
+			h.Observe(d)
+		}
+		for _, q := range []float64{0.01, 0.5, 0.99, 1.0} {
+			v := h.Quantile(q)
+			if v > h.Max() {
+				t.Fatalf("2^%dµs: Quantile(%v) = %v > Max %v", exp, q, v, h.Max())
+			}
+			if v < d/2 {
+				t.Fatalf("2^%dµs: Quantile(%v) = %v < half the only value %v", exp, q, v, d)
+			}
+		}
+		if h.Quantile(1.0) != d {
+			t.Fatalf("2^%dµs: Quantile(1.0) = %v, want exact max %v", exp, h.Quantile(1.0), d)
+		}
+	}
+}
+
+// TestHistogramQuantileOrderProperty is the issue's named invariant: for
+// arbitrary observation sets, p50 <= p90 <= p99 <= Max.
+func TestHistogramQuantileOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var h Histogram
+		n := 1 + rng.Intn(500)
+		for i := 0; i < n; i++ {
+			// Mix uniform draws with exact bucket-boundary values.
+			if rng.Intn(4) == 0 {
+				h.Observe(time.Duration(1) << uint(rng.Intn(32)) * time.Microsecond)
+			} else {
+				h.Observe(time.Duration(rng.Int63n(int64(30 * time.Second))))
+			}
+		}
+		p50, p90, p99 := h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99)
+		return p50 <= p90 && p90 <= p99 && p99 <= h.Max() && h.Quantile(1.0) == h.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	h.Observe(3 * time.Microsecond) // bucket 1
+	h.Observe(3 * time.Microsecond)
+	h.Observe(100 * time.Microsecond) // bucket 6
+	snap := h.Snapshot()
+	if snap.Count != 3 || snap.Buckets[1] != 2 || snap.Buckets[6] != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.Sum != 106*time.Microsecond || snap.Max != 100*time.Microsecond {
+		t.Fatalf("snapshot aggregates = %+v", snap)
+	}
+}
+
 func TestHistogramConcurrent(t *testing.T) {
 	var h Histogram
 	var wg sync.WaitGroup

@@ -142,6 +142,13 @@ type Breaker struct {
 	failures  int       // consecutive failures while closed
 	openUntil time.Time // when an open breaker may go half-open
 	probing   bool      // a half-open trial call is in flight
+
+	// Per-peer observability counters (the shared stats above aggregate
+	// across all peers; operators also need to see WHICH peer is flaky).
+	retries        int64     // attempts re-issued against this peer
+	trips          int64     // closed/half-open -> open transitions
+	rejections     int64     // calls refused while open
+	lastTransition time.Time // when the state last changed (zero: never)
 }
 
 // NewBreaker returns a closed breaker on the given clock. stats may be nil.
@@ -163,12 +170,14 @@ func (b *Breaker) Allow() bool {
 		return true
 	case Open:
 		if b.clk.Now().Before(b.openUntil) {
+			b.rejections++
 			if b.stats != nil {
 				b.stats.Rejections.Inc()
 			}
 			return false
 		}
 		b.state = HalfOpen
+		b.lastTransition = b.clk.Now()
 		b.probing = true
 		if b.stats != nil {
 			b.stats.Probes.Inc()
@@ -176,6 +185,7 @@ func (b *Breaker) Allow() bool {
 		return true
 	case HalfOpen:
 		if b.probing {
+			b.rejections++
 			if b.stats != nil {
 				b.stats.Rejections.Inc()
 			}
@@ -194,8 +204,11 @@ func (b *Breaker) Allow() bool {
 func (b *Breaker) Success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.state != Closed && b.stats != nil {
-		b.stats.Recoveries.Inc()
+	if b.state != Closed {
+		b.lastTransition = b.clk.Now()
+		if b.stats != nil {
+			b.stats.Recoveries.Inc()
+		}
 	}
 	b.state = Closed
 	b.failures = 0
@@ -228,9 +241,18 @@ func (b *Breaker) trip() {
 	b.state = Open
 	b.failures = 0
 	b.openUntil = b.clk.Now().Add(b.cfg.Cooldown)
+	b.trips++
+	b.lastTransition = b.clk.Now()
 	if b.stats != nil {
 		b.stats.Trips.Inc()
 	}
+}
+
+// noteRetry records one re-issued attempt against this peer.
+func (b *Breaker) noteRetry() {
+	b.mu.Lock()
+	b.retries++
+	b.mu.Unlock()
 }
 
 // State reports the breaker's current state without side effects.
@@ -244,10 +266,37 @@ func (b *Breaker) State() State {
 // back and re-registers through piggybacked load).
 func (b *Breaker) Reset() {
 	b.mu.Lock()
+	if b.state != Closed {
+		b.lastTransition = b.clk.Now()
+	}
 	b.state = Closed
 	b.failures = 0
 	b.probing = false
 	b.mu.Unlock()
+}
+
+// PeerStats is one peer's resilience snapshot: current breaker state, the
+// per-peer counters, and when the breaker last changed state
+// (zero: it never left closed).
+type PeerStats struct {
+	State          State
+	Retries        int64
+	Trips          int64
+	Rejections     int64
+	LastTransition time.Time
+}
+
+// Snapshot returns the breaker's per-peer counters and state.
+func (b *Breaker) Snapshot() PeerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return PeerStats{
+		State:          b.state,
+		Retries:        b.retries,
+		Trips:          b.trips,
+		Rejections:     b.rejections,
+		LastTransition: b.lastTransition,
+	}
 }
 
 // Registry holds one Breaker per peer plus the shared counters.
@@ -316,6 +365,25 @@ func (r *Registry) States() map[string]State {
 	return out
 }
 
+// PeerSnapshots returns every known peer's per-peer resilience counters,
+// keyed by peer address — the data behind the per-peer rows in
+// /~dcws/status and the per-peer telemetry families.
+func (r *Registry) PeerSnapshots() map[string]PeerStats {
+	r.mu.Lock()
+	peers := make([]string, 0, len(r.breakers))
+	bs := make([]*Breaker, 0, len(r.breakers))
+	for p, b := range r.breakers {
+		peers = append(peers, p)
+		bs = append(bs, b)
+	}
+	r.mu.Unlock()
+	out := make(map[string]PeerStats, len(peers))
+	for i, p := range peers {
+		out[p] = bs[i].Snapshot()
+	}
+	return out
+}
+
 // Reset closes peer's breaker if one exists.
 func (r *Registry) Reset(peer string) {
 	r.mu.Lock()
@@ -365,6 +433,7 @@ func (r *Registry) run(p Policy, peer string, fn func() error, gated bool) error
 		lastErr = err
 		if attempt < attempts {
 			r.stats.Retries.Inc()
+			b.noteRetry()
 			if d := p.Backoff(peer, attempt); d > 0 {
 				r.clk.Sleep(d)
 			}

@@ -232,6 +232,53 @@ func TestRegistryExecuteSleepsOnBackoff(t *testing.T) {
 	}
 }
 
+func TestPeerSnapshotsCounters(t *testing.T) {
+	start := time.Unix(100, 0)
+	clk := clock.NewManual(start)
+	r := NewRegistry(clk, BreakerConfig{FailureThreshold: 2, Cooldown: time.Minute})
+	p := Policy{MaxAttempts: 3, BaseDelay: -1}
+	boom := errors.New("down")
+
+	// Fresh peer: zero counters, zero LastTransition.
+	if s := r.For("b").Snapshot(); s.State != Closed || s.Retries != 0 || !s.LastTransition.IsZero() {
+		t.Fatalf("fresh snapshot = %+v", s)
+	}
+
+	// 3 failed attempts = 2 retries; threshold 2 trips the breaker on the
+	// second failure, the third attempt fails while open.
+	r.Execute(p, "a", func() error { return boom })
+	snaps := r.PeerSnapshots()
+	sa := snaps["a"]
+	if sa.State != Open || sa.Retries != 2 || sa.Trips != 1 {
+		t.Fatalf("peer a after exhaustion = %+v", sa)
+	}
+	if !sa.LastTransition.Equal(start) {
+		t.Fatalf("LastTransition = %v, want %v", sa.LastTransition, start)
+	}
+	// Peer b's counters are untouched by peer a's failures.
+	if sb := snaps["b"]; sb.Retries != 0 || sb.Trips != 0 {
+		t.Fatalf("peer b polluted: %+v", sb)
+	}
+
+	// The third attempt above was refused while open (1 rejection); a
+	// fail-fast call while open adds another.
+	clk.Advance(time.Second)
+	r.Execute(Policy{MaxAttempts: 1}, "a", func() error { return nil })
+	if s := r.For("a").Snapshot(); s.Rejections != 2 {
+		t.Fatalf("rejections = %d, want 2", s.Rejections)
+	}
+
+	// Recovery after the cooldown stamps a fresh transition time.
+	clk.Advance(time.Minute)
+	if err := r.Execute(Policy{MaxAttempts: 1}, "a", func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	s := r.For("a").Snapshot()
+	if s.State != Closed || !s.LastTransition.After(start) {
+		t.Fatalf("after recovery = %+v", s)
+	}
+}
+
 func TestStatesSnapshot(t *testing.T) {
 	r := NewRegistry(clock.NewManual(time.Unix(0, 0)), BreakerConfig{FailureThreshold: 1})
 	p := Policy{MaxAttempts: 1}

@@ -1,0 +1,198 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("dcws_test_total", "a test counter")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Fatalf("Value = %d", c.Value())
+	}
+	// Same name+labels returns the same counter.
+	if r.Counter("dcws_test_total", "a test counter") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	labeled := r.Counter("dcws_code_total", "per-code", Label{"code", "200"})
+	labeled.Inc()
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP dcws_test_total a test counter\n",
+		"# TYPE dcws_test_total counter\n",
+		"dcws_test_total 3\n",
+		`dcws_code_total{code="200"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGaugeAndCounterFunc(t *testing.T) {
+	r := NewRegistry()
+	depth := 7
+	r.GaugeFunc("dcws_queue_depth", "queued connections", func() float64 { return float64(depth) })
+	r.CounterFunc("dcws_ext_total", "promoted counter", func() float64 { return 42 })
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "dcws_queue_depth 7\n") || !strings.Contains(out, "dcws_ext_total 42\n") {
+		t.Fatalf("exposition:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE dcws_queue_depth gauge\n") {
+		t.Fatalf("gauge type missing:\n%s", out)
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("dcws_latency_seconds", "request latency", Label{"kind", "home"})
+	h.Observe(3 * time.Microsecond)   // bucket 1, le 4e-06
+	h.Observe(100 * time.Microsecond) // bucket 6, le 1.28e-04
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE dcws_latency_seconds histogram\n",
+		`dcws_latency_seconds_bucket{kind="home",le="4e-06"} 1` + "\n",
+		`dcws_latency_seconds_bucket{kind="home",le="+Inf"} 2` + "\n",
+		`dcws_latency_seconds_count{kind="home"} 2` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets must be monotone non-decreasing.
+	last := int64(-1)
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "dcws_latency_seconds_bucket") {
+			continue
+		}
+		var v int64
+		if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &v); err != nil {
+			t.Fatalf("bad bucket line %q", line)
+		}
+		if v < last {
+			t.Fatalf("non-monotone buckets:\n%s", out)
+		}
+		last = v
+	}
+}
+
+func TestCollector(t *testing.T) {
+	r := NewRegistry()
+	r.Collector("dcws_peer_state", "per-peer breaker state", "gauge", func() []Sample {
+		return []Sample{
+			{Labels: []Label{{"peer", "b:81"}}, Value: 2},
+			{Labels: []Label{{"peer", "a:80"}}, Value: 0},
+		}
+	})
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	ai := strings.Index(out, `dcws_peer_state{peer="a:80"} 0`)
+	bi := strings.Index(out, `dcws_peer_state{peer="b:81"} 2`)
+	if ai < 0 || bi < 0 || ai > bi {
+		t.Fatalf("collector samples missing or unsorted:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dcws_esc_total", "escape test", Label{"path", "a\"b\\c\nd"}).Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `dcws_esc_total{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("escaped label missing %q:\n%s", want, buf.String())
+	}
+}
+
+func TestRegistryTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dcws_conflict", "as counter")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on type conflict")
+		}
+	}()
+	r.GaugeFunc("dcws_conflict", "as gauge", func() float64 { return 0 })
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("dcws_conc_total", "concurrent").Inc()
+				r.Histogram("dcws_conc_seconds", "concurrent").Observe(time.Microsecond)
+				var buf bytes.Buffer
+				if err := r.WritePrometheus(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := r.Counter("dcws_conc_total", "concurrent").Value(); got != 800 {
+		t.Fatalf("counter = %d", got)
+	}
+}
+
+func TestTraceIDsUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if id == "" || seen[id] {
+			t.Fatalf("duplicate or empty trace id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestRingWrapAndByTrace(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 6; i++ {
+		r.Record(Span{TraceID: fmt.Sprintf("t%d", i%2), Op: fmt.Sprintf("op%d", i)})
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("len(snapshot) = %d", len(snap))
+	}
+	// Oldest retained span is op2 (op0, op1 overwritten).
+	if snap[0].Op != "op2" || snap[3].Op != "op5" {
+		t.Fatalf("snapshot order: %+v", snap)
+	}
+	if r.Total() != 6 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+	t0 := r.ByTrace("t0")
+	if len(t0) != 2 || t0[0].Op != "op2" || t0[1].Op != "op4" {
+		t.Fatalf("ByTrace = %+v", t0)
+	}
+}

@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	crand "crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader is the DCWS extension header carrying a request's trace ID
+// between cooperating servers. Like X-DCWS-Load it rides on ordinary HTTP
+// messages (§3.3 piggybacking); servers that do not understand it ignore
+// it, and clients may supply their own ID to correlate with external
+// systems.
+const TraceHeader = "X-DCWS-Trace"
+
+// tracePrefix is a per-process random component so trace IDs minted by
+// different servers never collide; traceSeq disambiguates within the
+// process without a syscall per request.
+var (
+	tracePrefix = func() string {
+		var b [6]byte
+		if _, err := crand.Read(b[:]); err != nil {
+			// Degraded mode: IDs stay unique within the process.
+			return "00dcws000000"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	traceSeq atomic.Uint64
+)
+
+// NewTraceID mints a process-unique trace identifier: a random per-process
+// prefix plus a sequence number.
+func NewTraceID() string {
+	return fmt.Sprintf("%s-%06x", tracePrefix, traceSeq.Add(1))
+}
+
+// Span is one hop of a request's path through the cluster: a server either
+// serving a request (server-side span) or issuing an inter-server RPC
+// (client-side span). Spans sharing a TraceID describe one logical client
+// request followed hop by hop.
+type Span struct {
+	// TraceID groups the spans of one logical request.
+	TraceID string `json:"trace_id"`
+	// Server is the address of the server that recorded the span.
+	Server string `json:"server"`
+	// Op names the operation: serve-home, serve-coop, serve-fetch,
+	// fetch-home, validate, revoke-rpc, probe, ...
+	Op string `json:"op"`
+	// Target is the document path or control endpoint involved.
+	Target string `json:"target,omitempty"`
+	// Peer is the remote server for client-side RPC spans.
+	Peer string `json:"peer,omitempty"`
+	// Status is the HTTP status observed (0 when the RPC never completed).
+	Status int `json:"status,omitempty"`
+	// Err is the failure, for spans that ended in one.
+	Err string `json:"err,omitempty"`
+	// Attempts counts RPC tries including the first (client-side spans
+	// under retry); 0 means not applicable.
+	Attempts int `json:"attempts,omitempty"`
+	// Start is the span's start on the recording server's clock.
+	Start time.Time `json:"start"`
+	// Duration is the span's measured wall-clock duration.
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// Ring is a bounded, concurrency-safe buffer of recent spans. When full,
+// new spans overwrite the oldest — memory stays constant no matter how
+// long the server runs.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Span
+	next  int
+	full  bool
+	total int64
+}
+
+// DefaultRingSize is the span capacity used when none is configured.
+const DefaultRingSize = 512
+
+// NewRing returns a ring holding up to capacity spans (DefaultRingSize
+// when capacity <= 0).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingSize
+	}
+	return &Ring{buf: make([]Span, capacity)}
+}
+
+// Record appends one span, overwriting the oldest when full.
+func (r *Ring) Record(s Span) {
+	r.mu.Lock()
+	r.buf[r.next] = s
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained spans, oldest first.
+func (r *Ring) Snapshot() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		out := make([]Span, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Span, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// ByTrace returns the retained spans of one trace, oldest first.
+func (r *Ring) ByTrace(id string) []Span {
+	var out []Span
+	for _, s := range r.Snapshot() {
+		if s.TraceID == id {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Total reports how many spans were ever recorded, including overwritten
+// ones.
+func (r *Ring) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
