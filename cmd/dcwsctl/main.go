@@ -63,6 +63,22 @@ func main() {
 		fmt.Printf("serving      cache_hits=%d cache_misses=%d (%s) queue_depth=%d\n",
 			st.CacheHits, st.CacheMisses, hitRate(st.CacheHits, st.CacheMisses), st.QueueDepth)
 		fmt.Printf("resilience   retries=%d breaker_trips=%d\n", st.Retries, st.BreakerTrips)
+		fmt.Printf("conn pool    reuses=%d dials=%d (%.0f%% reused) retired=%d\n",
+			st.Pool.Reuses, st.Pool.Dials, 100*st.Pool.ReuseRatio, sumRetires(st.Pool.Retires))
+		fmt.Printf("hedging      launched=%d won=%d wasted=%d\n",
+			st.Hedge.Launched, st.Hedge.Won, st.Hedge.Wasted)
+		if len(st.Pool.Peers) > 0 {
+			fmt.Println("pool peers:")
+			peers := make([]string, 0, len(st.Pool.Peers))
+			for p := range st.Pool.Peers {
+				peers = append(peers, p)
+			}
+			sort.Strings(peers)
+			for _, p := range peers {
+				pp := st.Pool.Peers[p]
+				fmt.Printf("  %-24s open=%d idle=%d\n", p, pp.Open, pp.Idle)
+			}
+		}
 		if len(st.PeerResilience) > 0 {
 			fmt.Println("peer resilience:")
 			peers := make([]string, 0, len(st.PeerResilience))
@@ -263,7 +279,7 @@ func missingFamilies(families map[string]bool) []string {
 	var missing []string
 	for _, prefix := range []string{
 		"dcws_httpx_", "dcws_serve_seconds", "dcws_render_cache_",
-		"dcws_resilience_", "dcws_glt_",
+		"dcws_resilience_", "dcws_glt_", "dcws_pool_",
 	} {
 		found := false
 		for f := range families {
@@ -278,6 +294,14 @@ func missingFamilies(families map[string]bool) []string {
 	}
 	sort.Strings(missing)
 	return missing
+}
+
+func sumRetires(retires map[string]int64) int64 {
+	var n int64
+	for _, v := range retires {
+		n += v
+	}
+	return n
 }
 
 func hitRate(hits, misses int64) string {

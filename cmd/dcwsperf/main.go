@@ -1,10 +1,19 @@
 // Command dcwsperf runs the serving-engine micro-benchmarks
-// (internal/dcws.BenchServeHome and friends) outside `go test` and writes
-// the results as JSON, alongside the frozen pre-optimization baseline, so
-// CI can archive the serving-engine numbers on every run:
+// (internal/dcws.BenchServeHome and friends) plus the inter-server RPC
+// round-trip pair outside `go test` and writes the results as JSON,
+// alongside the frozen pre-optimization baselines, so CI can archive the
+// numbers on every run:
 //
-//	dcwsperf -out BENCH_serve.json              full-accuracy run
-//	dcwsperf -benchtime 1x -out BENCH_serve.json   smoke run (CI)
+//	dcwsperf -out BENCH_serve.json -rpc-out BENCH_rpc.json   full-accuracy run
+//	dcwsperf -benchtime 1000x -check-rpc                     smoke run (CI),
+//	                                                         fails if pooling
+//	                                                         stops paying off
+//
+// The RPC pair (dial-per-request vs. pooled keep-alive) runs over loopback
+// TCP — the production transport, whose dial cost is exactly what the
+// connection pool eliminates. The in-memory fabric variants exist for
+// deterministic tests but a fabric dial is two channel operations, so they
+// understate the win and are not recorded here.
 package main
 
 import (
@@ -34,6 +43,24 @@ type Comparison struct {
 	AllocsImprovement float64 `json:"allocs_improvement"`
 }
 
+// RPCReport records the inter-server RPC round-trip pair and the
+// improvement ratios pooling buys over dialing per request.
+type RPCReport struct {
+	Transport         string  `json:"transport"`
+	DialPerRequest    Result  `json:"dial_per_request"`
+	Pooled            Result  `json:"pooled"`
+	NsImprovement     float64 `json:"ns_improvement"`
+	AllocsImprovement float64 `json:"allocs_improvement"`
+}
+
+// Conservative floors for -check-rpc: far below the ratios a quiet machine
+// measures (~5x ns, ~2.2x allocs), so the gate only fires when pooling
+// genuinely regresses, not on CI noise.
+const (
+	minRPCNsImprovement     = 1.2
+	minRPCAllocsImprovement = 1.6
+)
+
 // baselines are the seed-commit measurements of the same benchmarks,
 // taken before the rendered-document cache, lock decomposition, and
 // pooled zero-copy I/O landed (Intel Xeon @ 2.10GHz, go1.22, -benchtime
@@ -44,9 +71,40 @@ var baselines = map[string]Result{
 	"RegenCached": {NsPerOp: 189925, BytesPerOp: 439094, AllocsPerOp: 82},
 }
 
+// run executes one benchmark function and converts its result.
+func run(name string, fn func(*testing.B)) Result {
+	r := testing.Benchmark(fn)
+	if r.N == 0 {
+		log.Fatalf("dcwsperf: benchmark %s failed or was skipped (N=0)", name)
+	}
+	return Result{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// writeJSON marshals v to path, or stdout when path is "-".
+func writeJSON(path string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatalf("dcwsperf: write %s: %v", path, err)
+	}
+}
+
 func main() {
-	out := flag.String("out", "BENCH_serve.json", "output file (\"-\" for stdout)")
-	benchtime := flag.String("benchtime", "", "override -test.benchtime (e.g. 1x for a smoke run)")
+	out := flag.String("out", "BENCH_serve.json", "serving-engine output file (\"-\" for stdout, \"\" to skip)")
+	rpcOut := flag.String("rpc-out", "BENCH_rpc.json", "RPC round-trip output file (\"-\" for stdout, \"\" to skip)")
+	checkRPC := flag.Bool("check-rpc", false, "exit nonzero unless pooled RPCs beat dial-per-request by the gate ratios")
+	benchtime := flag.String("benchtime", "", "override -test.benchtime (e.g. 1000x for a smoke run)")
 	testing.Init()
 	flag.Parse()
 	if *benchtime != "" {
@@ -55,46 +113,63 @@ func main() {
 		}
 	}
 
-	benches := []struct {
-		name string
-		fn   func(*testing.B)
-	}{
-		{"ServeHome", dcws.BenchServeHome},
-		{"ServeCoop", dcws.BenchServeCoop},
-		{"RegenCached", dcws.BenchRegenCached},
+	if *out != "" {
+		benches := []struct {
+			name string
+			fn   func(*testing.B)
+		}{
+			{"ServeHome", dcws.BenchServeHome},
+			{"ServeCoop", dcws.BenchServeCoop},
+			{"RegenCached", dcws.BenchRegenCached},
+		}
+		report := make(map[string]Comparison, len(benches))
+		for _, b := range benches {
+			cur := run(b.name, b.fn)
+			cmp := Comparison{Baseline: baselines[b.name], Current: cur}
+			if cur.AllocsPerOp > 0 {
+				cmp.AllocsImprovement = float64(cmp.Baseline.AllocsPerOp) / float64(cur.AllocsPerOp)
+			}
+			report[b.name] = cmp
+			fmt.Fprintf(os.Stderr, "%-12s %10.0f ns/op %8d B/op %4d allocs/op (baseline %d allocs/op, %.1fx)\n",
+				b.name, cur.NsPerOp, cur.BytesPerOp, cur.AllocsPerOp,
+				cmp.Baseline.AllocsPerOp, cmp.AllocsImprovement)
+		}
+		writeJSON(*out, report)
 	}
 
-	report := make(map[string]Comparison, len(benches))
-	for _, b := range benches {
-		r := testing.Benchmark(b.fn)
-		if r.N == 0 {
-			log.Fatalf("dcwsperf: benchmark %s failed (N=0)", b.name)
-		}
-		cur := Result{
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-		}
-		cmp := Comparison{Baseline: baselines[b.name], Current: cur}
-		if cur.AllocsPerOp > 0 {
-			cmp.AllocsImprovement = float64(cmp.Baseline.AllocsPerOp) / float64(cur.AllocsPerOp)
-		}
-		report[b.name] = cmp
-		fmt.Fprintf(os.Stderr, "%-12s %10.0f ns/op %8d B/op %4d allocs/op (baseline %d allocs/op, %.1fx)\n",
-			b.name, cur.NsPerOp, cur.BytesPerOp, cur.AllocsPerOp,
-			cmp.Baseline.AllocsPerOp, cmp.AllocsImprovement)
-	}
-
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		log.Fatal(err)
-	}
-	data = append(data, '\n')
-	if *out == "-" {
-		os.Stdout.Write(data)
+	if *rpcOut == "" && !*checkRPC {
 		return
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		log.Fatalf("dcwsperf: write %s: %v", *out, err)
+	dial := run("RPCDialPerRequestTCP", dcws.BenchRPCDialPerRequestTCP)
+	pooled := run("RPCPooledTCP", dcws.BenchRPCPooledTCP)
+	rpc := RPCReport{
+		Transport:      "loopback-tcp",
+		DialPerRequest: dial,
+		Pooled:         pooled,
+	}
+	if pooled.NsPerOp > 0 {
+		rpc.NsImprovement = dial.NsPerOp / pooled.NsPerOp
+	}
+	if pooled.AllocsPerOp > 0 {
+		rpc.AllocsImprovement = float64(dial.AllocsPerOp) / float64(pooled.AllocsPerOp)
+	}
+	fmt.Fprintf(os.Stderr, "RPC dial     %10.0f ns/op %8d B/op %4d allocs/op\n",
+		dial.NsPerOp, dial.BytesPerOp, dial.AllocsPerOp)
+	fmt.Fprintf(os.Stderr, "RPC pooled   %10.0f ns/op %8d B/op %4d allocs/op (%.1fx ns, %.1fx allocs)\n",
+		pooled.NsPerOp, pooled.BytesPerOp, pooled.AllocsPerOp,
+		rpc.NsImprovement, rpc.AllocsImprovement)
+	if *rpcOut != "" {
+		writeJSON(*rpcOut, rpc)
+	}
+	if *checkRPC {
+		if rpc.NsImprovement < minRPCNsImprovement {
+			log.Fatalf("dcwsperf: pooled RPC ns improvement %.2fx below gate %.1fx",
+				rpc.NsImprovement, minRPCNsImprovement)
+		}
+		if rpc.AllocsImprovement < minRPCAllocsImprovement {
+			log.Fatalf("dcwsperf: pooled RPC allocs improvement %.2fx below gate %.1fx",
+				rpc.AllocsImprovement, minRPCAllocsImprovement)
+		}
+		fmt.Fprintln(os.Stderr, "dcwsperf: RPC pooling gate passed")
 	}
 }

@@ -216,6 +216,7 @@ func (c *Cluster) RunBenchmark(clients int, duration, tick time.Duration, onTick
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer cl.Close()
 			cl.Run(stop)
 		}()
 	}

@@ -197,6 +197,30 @@ func (cs *coopSet) presentKeys() []string {
 	return out
 }
 
+// setSiblings replaces the known sibling-replica addresses for key, when
+// the key is hosted. An empty slice clears them.
+func (cs *coopSet) setSiblings(key string, sibs []string) {
+	cs.mu.Lock()
+	if cd, ok := cs.docs[key]; ok {
+		cd.siblings = sibs
+	}
+	cs.mu.Unlock()
+}
+
+// siblingsOf returns a copy of the known sibling-replica addresses for
+// key; nil when the key is unknown or has no siblings.
+func (cs *coopSet) siblingsOf(key string) []string {
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	cd, ok := cs.docs[key]
+	if !ok || len(cd.siblings) == 0 {
+		return nil
+	}
+	out := make([]string, len(cd.siblings))
+	copy(out, cd.siblings)
+	return out
+}
+
 // rollWindows zeroes the per-document hit counters (statistics tick).
 func (cs *coopSet) rollWindows() {
 	cs.mu.Lock()

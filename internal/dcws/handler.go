@@ -263,9 +263,17 @@ func (s *Server) serveFetch(req *httpx.Request, name string, gen uint64) *httpx.
 		h = contentHash(data)
 		s.rcache.put(name, renderMigration, gen, data, h)
 	}
+	// Tell the co-op who else replicates this document so it can hedge
+	// future fetches when we are slow.
+	s.repMu.RLock()
+	reps := strings.Join(s.replicas[name], ",")
+	s.repMu.RUnlock()
 	if v := req.Header.Get(headerValidate); v != "" {
 		if want, err := strconv.ParseUint(v, 16, 64); err == nil && want == h {
 			resp := httpx.NewResponse(304)
+			if reps != "" {
+				resp.Header.Set(headerReplicas, reps)
+			}
 			return resp
 		}
 	}
@@ -273,6 +281,9 @@ func (s *Server) serveFetch(req *httpx.Request, name string, gen uint64) *httpx.
 	resp := httpx.NewResponse(200)
 	resp.Header.Set("Content-Type", httpx.ContentTypeFor(name))
 	resp.Header.Set(headerValidate, strconv.FormatUint(h, 16))
+	if reps != "" {
+		resp.Header.Set(headerReplicas, reps)
+	}
 	resp.Body = data
 	return resp
 }
@@ -299,6 +310,14 @@ func (s *Server) serveAsCoop(req *httpx.Request, traceID string) *httpx.Response
 		resp.Header.Set("Location", naming.HomeURL(s.cfg.Origin, docName))
 		s.stats.Redirects.Inc()
 		return resp
+	}
+
+	if req.Header.Get(headerHedge) != "" {
+		// A sibling replica's hedged fetch: serve only a physically present
+		// copy. A hedge probe must never recurse into a fetch of its own —
+		// the sibling is likely asking us precisely because the home server
+		// is stalled.
+		return s.serveHedged(key, home, docName)
 	}
 
 	// One critical section per request: lookup (creating the record for a
@@ -334,29 +353,87 @@ func (s *Server) serveAsCoop(req *httpx.Request, traceID string) *httpx.Response
 	return resp
 }
 
+// serveHedged answers a sibling replica's hedged fetch for a document both
+// servers host: the local copy is served only if physically present, with
+// its validator hash so the requester can store it exactly as it would a
+// home fetch. Absence is a plain 404 — the requester's primary leg against
+// the home server remains its path to the bytes.
+func (s *Server) serveHedged(key string, home naming.Origin, docName string) *httpx.Response {
+	v, ok := s.coops.view(key)
+	if !ok || !v.present {
+		return status(404, "no local copy")
+	}
+	data, err := store.GetShared(s.cfg.Store, key)
+	if err != nil {
+		s.coops.markAbsent(key)
+		return status(404, "no local copy")
+	}
+	s.coops.touch(key, home, docName, s.now())
+	resp := httpx.NewResponse(200)
+	resp.Header.Set("Content-Type", httpx.ContentTypeFor(docName))
+	resp.Header.Set(headerValidate, strconv.FormatUint(v.hash, 16))
+	resp.Body = data
+	s.stats.ObserveRequest(s.now(), int64(len(data)))
+	return resp
+}
+
 // fetchFromHome performs the physical half of a lazy migration. It returns
 // nil on success (the copy is now in the store), or a response to relay to
 // the client on failure. Transient failures are retried with backoff
 // through the home's circuit breaker before the 503 is admitted; while
 // the breaker is open the fetch degrades to an immediate 503 without
-// tying a worker up in doomed connection attempts.
+// tying a worker up in doomed connection attempts. When a healthy sibling
+// replica of the document is known, the fetch is hedged against it.
 func (s *Server) fetchFromHome(key string, home naming.Origin, docName, traceID string) *httpx.Response {
 	homeAddr := home.Addr()
+	if sib := s.pickHedgeSibling(key, homeAddr); sib != "" {
+		return s.fetchHedged(key, homeAddr, docName, traceID, sib)
+	}
+	resp, err := s.fetchLeg(homeAddr, docName, "fetch-home", false, traceID, nil, s.fetchPolicy)
+	if err != nil {
+		return s.fetchFailure(homeAddr, docName, err)
+	}
+	return s.finishFetch(key, resp)
+}
+
+// fetchLeg runs one leg of a (possibly hedged) fetch through peer's
+// breaker and the given retry policy, recording a trace span for the
+// whole attempt set. A hedge leg requests the migrated key with the
+// hedge header set, so the sibling serves only a present copy. The
+// cancel token, when given, lets the losing leg of a race be aborted
+// mid-flight without charging the abort to the peer's breaker.
+func (s *Server) fetchLeg(peer, path, op string, hedge bool, traceID string, tok *httpx.CancelToken, policy resilience.Policy) (*httpx.Response, error) {
 	start := time.Now()
 	startClk := s.now()
 	attempts := 0
 	var resp *httpx.Response
-	err := s.res.Execute(s.fetchPolicy, homeAddr, func() error {
+	err := s.res.Execute(policy, peer, func() error {
+		if tok != nil && tok.Canceled() {
+			return resilience.ErrAborted
+		}
 		attempts++
 		// Headers are rebuilt per attempt so every retry piggybacks the
 		// freshest load view.
 		extra := make(httpx.Header)
 		extra.Set(headerFetch, s.Addr())
 		extra.Set(telemetry.TraceHeader, traceID)
+		if hedge {
+			extra.Set(headerHedge, "1")
+		} else {
+			s.attachHotReport(extra, peer)
+		}
 		s.piggyback(extra)
-		s.attachHotReport(extra, homeAddr)
-		r, err := s.client.GetTimeout(homeAddr, docName, extra, s.params.FetchTimeout)
+		req := httpx.NewRequest("GET", path)
+		for k, vs := range extra {
+			req.Header[k] = vs
+		}
+		r, err := s.client.DoCancel(peer, req, s.params.FetchTimeout, tok)
 		if err != nil {
+			if tok != nil && tok.Canceled() {
+				// The race was decided elsewhere; the abort says nothing
+				// about this peer's health.
+				return fmt.Errorf("%w: %v", resilience.ErrAborted, err)
+			}
 			return err
 		}
 		resp = r
@@ -365,9 +442,9 @@ func (s *Server) fetchFromHome(key string, home naming.Origin, docName, traceID 
 	span := telemetry.Span{
 		TraceID:  traceID,
 		Server:   s.addr,
-		Op:       "fetch-home",
-		Target:   docName,
-		Peer:     homeAddr,
+		Op:       op,
+		Target:   path,
+		Peer:     peer,
 		Attempts: attempts,
 		Start:    startClk,
 		Duration: time.Since(start),
@@ -378,14 +455,114 @@ func (s *Server) fetchFromHome(key string, home naming.Origin, docName, traceID 
 		span.Status = resp.Status
 	}
 	s.tel.ring.Record(span)
-	if err != nil {
-		if errors.Is(err, resilience.ErrOpen) {
-			return status(503, "home server unreachable (circuit open)")
-		}
-		s.log.Printf("dcws %s: fetch %s from %s: %v", s.Addr(), docName, homeAddr, err)
-		return status(503, "home server unreachable")
+	return resp, err
+}
+
+// fetchHedged races the home server against a sibling replica: the
+// primary leg runs the normal retried fetch; if it has not produced a
+// usable response within Params.HedgeDelay — or fails outright — a
+// single-attempt hedge leg asks the sibling for its copy. The first
+// usable response wins and the loser is canceled mid-flight, retiring
+// its connection.
+func (s *Server) fetchHedged(key, homeAddr, docName, traceID, sib string) *httpx.Response {
+	type leg struct {
+		resp *httpx.Response
+		err  error
 	}
+	tokP := &httpx.CancelToken{}
+	tokH := &httpx.CancelToken{}
+	primary := make(chan leg, 1)
+	go func() {
+		r, err := s.fetchLeg(homeAddr, docName, "fetch-home", false, traceID, tokP, s.fetchPolicy)
+		primary <- leg{r, err}
+	}()
+
+	var p leg
+	havePrimary := false
+	timer := time.NewTimer(s.params.HedgeDelay)
+	select {
+	case p = <-primary:
+		havePrimary = true
+		timer.Stop()
+		if p.err == nil {
+			return s.finishFetch(key, p.resp)
+		}
+		// Primary failed before the delay elapsed: launch the hedge
+		// immediately as a fallback source.
+	case <-timer.C:
+	}
+
+	s.tel.hedgeLaunched.Inc()
+	hedge := make(chan leg, 1)
+	go func() {
+		r, err := s.fetchLeg(sib, key, "fetch-hedge", true, traceID, tokH, resilience.Policy{MaxAttempts: 1})
+		hedge <- leg{r, err}
+	}()
+
+	haveHedge := false
+	for {
+		var h leg
+		select {
+		case p = <-primary:
+			havePrimary = true
+		case h = <-hedge:
+			haveHedge = true
+			if h.err == nil && h.resp.Status == 200 {
+				// Hedge won: reel in the primary leg and use the sibling's
+				// copy.
+				tokP.Cancel()
+				s.tel.hedgeWon.Inc()
+				return s.finishFetch(key, h.resp)
+			}
+			// The sibling had no copy or failed; only the primary can win.
+			s.tel.hedgeWasted.Inc()
+		}
+		if havePrimary && p.err == nil {
+			// Primary delivered a usable response; the hedge is surplus.
+			tokH.Cancel()
+			if !haveHedge {
+				s.tel.hedgeWasted.Inc()
+			}
+			return s.finishFetch(key, p.resp)
+		}
+		if havePrimary && haveHedge {
+			return s.fetchFailure(homeAddr, docName, p.err)
+		}
+	}
+}
+
+// pickHedgeSibling returns a healthy sibling replica to race against the
+// home server for key, or "" when hedging is disabled or no alternate
+// source is known. Siblings are learned from X-DCWS-Replicas headers on
+// earlier fetch and validation responses.
+func (s *Server) pickHedgeSibling(key, homeAddr string) string {
+	if s.params.HedgeDelay < 0 {
+		return ""
+	}
+	for _, sib := range s.coops.siblingsOf(key) {
+		if sib == homeAddr || sib == s.addr || s.peerSuspect(sib) {
+			continue
+		}
+		return sib
+	}
+	return ""
+}
+
+// fetchFailure maps a failed fetch to the response relayed to the client.
+func (s *Server) fetchFailure(homeAddr, docName string, err error) *httpx.Response {
+	if errors.Is(err, resilience.ErrOpen) {
+		return status(503, "home server unreachable (circuit open)")
+	}
+	s.log.Printf("dcws %s: fetch %s from %s: %v", s.Addr(), docName, homeAddr, err)
+	return status(503, "home server unreachable")
+}
+
+// finishFetch applies a fetch leg's response: 200 stores the copy, 301
+// relays the redirect and forgets the document, anything else becomes a
+// 502. Returns nil on success, mirroring fetchFromHome's contract.
+func (s *Server) finishFetch(key string, resp *httpx.Response) *httpx.Response {
 	s.absorb(resp.Header)
+	s.absorbReplicas(key, resp.Header)
 	switch resp.Status {
 	case 200:
 		if err := s.cfg.Store.Put(key, resp.Body); err != nil {
@@ -412,6 +589,22 @@ func (s *Server) fetchFromHome(key string, home naming.Origin, docName, traceID 
 	default:
 		return status(502, fmt.Sprintf("home server answered %d", resp.Status))
 	}
+}
+
+// absorbReplicas learns a document's sibling replicas from the home's
+// X-DCWS-Replicas response header (this server excluded).
+func (s *Server) absorbReplicas(key string, h httpx.Header) {
+	v := h.Get(headerReplicas)
+	if v == "" {
+		return
+	}
+	var sibs []string
+	for _, r := range strings.Split(v, ",") {
+		if r = strings.TrimSpace(r); r != "" && r != s.addr {
+			sibs = append(sibs, r)
+		}
+	}
+	s.coops.setSiblings(key, sibs)
 }
 
 // enforceCoopBudget evicts least-recently-used hosted copies until the

@@ -1,0 +1,189 @@
+package dcws
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dcws/internal/httpx"
+	"dcws/internal/resilience"
+)
+
+const hedgeKey = "/~migrate/home/80/page.html"
+
+// hedgeWorld boots home + two co-op servers, migrates /page.html to coop1,
+// declares coop2 a second replica (as the hot-spot replicator would), and
+// has both co-ops pull their physical copies. coop2's pull response carries
+// X-DCWS-Replicas, so it learns coop1 as a hedge sibling; its copy is then
+// dropped so the next request must refetch.
+func hedgeWorld(t *testing.T, coop2Params Params) (*testWorld, *Server, *Server, *Server) {
+	t.Helper()
+	w := newWorld(t)
+	home := w.addServer("home", 80, siteAB(), nil, Params{})
+	coop1 := w.addServer("coop1", 81, nil, nil, Params{})
+	coop2 := w.addServer("coop2", 82, nil, nil, coop2Params)
+
+	home.migrate("/page.html", "coop1:81")
+	if resp := w.get("coop1:81", hedgeKey); resp.Status != 200 {
+		t.Fatalf("coop1 pull = %d", resp.Status)
+	}
+	home.repMu.Lock()
+	home.replicas["/page.html"] = []string{"coop1:81", "coop2:82"}
+	home.repMu.Unlock()
+	if resp := w.get("coop2:82", hedgeKey); resp.Status != 200 {
+		t.Fatalf("coop2 pull = %d", resp.Status)
+	}
+	if sibs := coop2.coops.siblingsOf(hedgeKey); len(sibs) != 1 || sibs[0] != "coop1:81" {
+		t.Fatalf("coop2 siblings = %v, want [coop1:81]", sibs)
+	}
+	coop2.coops.markAbsent(hedgeKey)
+	if err := coop2.cfg.Store.Delete(hedgeKey); err != nil {
+		t.Fatal(err)
+	}
+	return w, home, coop1, coop2
+}
+
+// TestHedgedFetchReplicaWinsWhenHomeStalls is the acceptance scenario: the
+// home server's link stalls far beyond the hedge delay, so the refetch must
+// be answered out of the sibling replica's copy, quickly, while the primary
+// leg is still stuck.
+func TestHedgedFetchReplicaWinsWhenHomeStalls(t *testing.T) {
+	w, _, _, coop2 := hedgeWorld(t, Params{
+		HedgeDelay:   10 * time.Millisecond,
+		FetchTimeout: 50 * time.Millisecond,
+	})
+	// Every write on the coop2<->home link now sleeps well past both the
+	// hedge delay and the per-attempt fetch timeout. Link faults arm at
+	// dial time, so the pooled connection left over from the learning pull
+	// must be flushed for the stall to bite.
+	w.fabric.SetStall("coop2:82", "home:80", 300*time.Millisecond)
+	coop2.client.Pool.FlushAddr("home:80")
+
+	start := time.Now()
+	resp := w.get("coop2:82", hedgeKey)
+	elapsed := time.Since(start)
+	if resp.Status != 200 {
+		t.Fatalf("hedged refetch = %d: %s", resp.Status, resp.Body)
+	}
+	if !strings.Contains(string(resp.Body), "pic.gif") {
+		t.Fatalf("body = %q", resp.Body)
+	}
+	if elapsed >= 250*time.Millisecond {
+		t.Fatalf("hedged refetch took %v; a stalled primary attempt alone takes 300ms", elapsed)
+	}
+	st := coop2.Status()
+	if st.Hedge.Launched != 1 || st.Hedge.Won != 1 || st.Hedge.Wasted != 0 {
+		t.Fatalf("hedge counters = %+v, want launched=1 won=1 wasted=0", st.Hedge)
+	}
+	found := false
+	for _, sp := range coop2.Traces().Snapshot() {
+		if sp.Op == "fetch-hedge" && sp.Status == 200 && sp.Peer == "coop1:81" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no successful fetch-hedge span recorded")
+	}
+}
+
+// TestHedgeNotLaunchedWhenHomeFast: with a healthy home answering well
+// within the hedge delay, the sibling must never be bothered.
+func TestHedgeNotLaunchedWhenHomeFast(t *testing.T) {
+	w, home, _, coop2 := hedgeWorld(t, Params{HedgeDelay: 2 * time.Second})
+	fetchesBefore := home.Stats().Fetches.Value()
+	if resp := w.get("coop2:82", hedgeKey); resp.Status != 200 {
+		t.Fatalf("refetch = %d", resp.Status)
+	}
+	if home.Stats().Fetches.Value() == fetchesBefore {
+		t.Fatal("refetch did not reach the home server")
+	}
+	st := coop2.Status()
+	if st.Hedge.Launched != 0 {
+		t.Fatalf("hedge launched %d times against a fast home", st.Hedge.Launched)
+	}
+}
+
+// TestPickHedgeSiblingGating: suspect siblings are skipped and a negative
+// HedgeDelay disables hedging outright.
+func TestPickHedgeSiblingGating(t *testing.T) {
+	_, _, _, coop2 := hedgeWorld(t, Params{})
+	if sib := coop2.pickHedgeSibling(hedgeKey, "home:80"); sib != "coop1:81" {
+		t.Fatalf("sibling = %q, want coop1:81", sib)
+	}
+	coop2.peerMu.Lock()
+	coop2.pingFail["coop1:81"] = 1
+	coop2.peerMu.Unlock()
+	if sib := coop2.pickHedgeSibling(hedgeKey, "home:80"); sib != "" {
+		t.Fatalf("picked suspect sibling %q", sib)
+	}
+	coop2.peerMu.Lock()
+	delete(coop2.pingFail, "coop1:81")
+	coop2.peerMu.Unlock()
+	coop2.params.HedgeDelay = -1
+	if sib := coop2.pickHedgeSibling(hedgeKey, "home:80"); sib != "" {
+		t.Fatalf("picked %q with hedging disabled", sib)
+	}
+}
+
+// TestBreakerTripFlushesPeerPool: when a peer's circuit breaker trips, its
+// pooled connections are presumed as broken as the RPCs that tripped it and
+// are flushed, so the half-open trial call later dials fresh.
+func TestBreakerTripFlushesPeerPool(t *testing.T) {
+	_, _, _, coop2 := hedgeWorld(t, Params{BreakerThreshold: 1})
+	if ps := coop2.client.Pool.Stats(); ps.Peers["home:80"].Idle == 0 {
+		t.Fatal("learning pull left no idle pooled connection to home")
+	}
+	err := coop2.res.Execute(resilience.Policy{MaxAttempts: 1}, "home:80", func() error {
+		return errors.New("boom")
+	})
+	if err == nil {
+		t.Fatal("failing RPC reported success")
+	}
+	ps := coop2.client.Pool.Stats()
+	if idle := ps.Peers["home:80"].Idle; idle != 0 {
+		t.Fatalf("home still has %d idle pooled conns after its breaker tripped", idle)
+	}
+	if ps.Retires[httpx.RetireFlush] == 0 {
+		t.Fatal("no connection retired with cause flush")
+	}
+}
+
+// TestHedgeProbeNeverRecurses: a hedge probe against a co-op that has no
+// physical copy must answer 404 without fetching from home (the probe
+// exists precisely because home is presumed slow); with the copy present it
+// serves the bytes with the validator hash.
+func TestHedgeProbeNeverRecurses(t *testing.T) {
+	w := newWorld(t)
+	home := w.addServer("home", 80, siteAB(), nil, Params{})
+	w.addServer("coop", 81, nil, nil, Params{})
+	home.migrate("/page.html", "coop:81")
+	key := "/~migrate/home/80/page.html"
+
+	probe := httpx.NewRequest("GET", key)
+	probe.Header.Set(headerHedge, "1")
+	resp, err := w.client.Do("coop:81", probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 404 {
+		t.Fatalf("hedge probe without copy = %d, want 404", resp.Status)
+	}
+	if home.Stats().Fetches.Value() != 0 {
+		t.Fatal("hedge probe recursed into a fetch from home")
+	}
+
+	if resp := w.get("coop:81", key); resp.Status != 200 {
+		t.Fatalf("lazy migration pull = %d", resp.Status)
+	}
+	probe = httpx.NewRequest("GET", key)
+	probe.Header.Set(headerHedge, "1")
+	resp, err = w.client.Do("coop:81", probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || resp.Header.Get(headerValidate) == "" {
+		t.Fatalf("hedge probe with copy = %d (validate=%q), want 200 with hash",
+			resp.Status, resp.Header.Get(headerValidate))
+	}
+}

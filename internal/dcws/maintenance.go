@@ -483,6 +483,9 @@ func (s *Server) validateOne(key string) {
 	span.Status = resp.Status
 	s.tel.ring.Record(span)
 	s.absorb(resp.Header)
+	// Validation responses carry the document's replica set too, keeping the
+	// hedge-sibling list fresh between fetches.
+	s.absorbReplicas(key, resp.Header)
 	switch resp.Status {
 	case 304:
 		// Copy is current.

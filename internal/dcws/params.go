@@ -110,6 +110,21 @@ type Params struct {
 	// Default 64 MiB; negative disables caching.
 	RenderCacheBytes int64
 
+	// HedgeDelay is how long a lazy-migration fetch waits on the home
+	// server before racing a known sibling replica for the same document
+	// (first usable response wins, the loser is canceled). Default 250 ms;
+	// negative disables hedging.
+	HedgeDelay time.Duration
+	// PoolMaxIdlePerPeer caps idle keep-alive connections kept per peer
+	// for inter-server RPCs (default 4; negative disables reuse).
+	PoolMaxIdlePerPeer int
+	// PoolIdleTimeout retires a pooled connection unused this long
+	// (default 30 s; negative keeps idle conns indefinitely).
+	PoolIdleTimeout time.Duration
+	// PoolMaxLifetime retires a pooled connection this long after dial
+	// regardless of use (default 5 m; negative means no lifetime cap).
+	PoolMaxLifetime time.Duration
+
 	// LoadQuantum rounds the load advertised in piggybacked X-DCWS-Load
 	// headers to the nearest multiple, so the header — and its cached
 	// encoding — stays stable while the true load wobbles within one step.
@@ -153,6 +168,10 @@ func DefaultParams() Params {
 		RetryMaxDelay:         2 * time.Second,
 		BreakerThreshold:      5,
 		BreakerCooldown:       30 * time.Second,
+		HedgeDelay:            250 * time.Millisecond,
+		PoolMaxIdlePerPeer:    4,
+		PoolIdleTimeout:       30 * time.Second,
+		PoolMaxLifetime:       5 * time.Minute,
 		QueueLoadFactor:       1,
 		RenderCacheBytes:      64 << 20,
 		LoadQuantum:           1,
@@ -228,6 +247,20 @@ func (p Params) withDefaults() Params {
 	}
 	if p.BreakerCooldown <= 0 {
 		p.BreakerCooldown = d.BreakerCooldown
+	}
+	// HedgeDelay and the pool knobs keep negative values: they mean
+	// "feature disabled" (no hedging, no idle retention, no expiry).
+	if p.HedgeDelay == 0 {
+		p.HedgeDelay = d.HedgeDelay
+	}
+	if p.PoolMaxIdlePerPeer == 0 {
+		p.PoolMaxIdlePerPeer = d.PoolMaxIdlePerPeer
+	}
+	if p.PoolIdleTimeout == 0 {
+		p.PoolIdleTimeout = d.PoolIdleTimeout
+	}
+	if p.PoolMaxLifetime == 0 {
+		p.PoolMaxLifetime = d.PoolMaxLifetime
 	}
 	// QueueLoadFactor, RenderCacheBytes, LoadQuantum, and PiggybackRefresh
 	// keep negative values: they mean "feature disabled".

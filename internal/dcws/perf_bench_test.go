@@ -8,3 +8,11 @@ import "testing"
 func BenchmarkServeHome(b *testing.B)   { BenchServeHome(b) }
 func BenchmarkServeCoop(b *testing.B)   { BenchServeCoop(b) }
 func BenchmarkRegenCached(b *testing.B) { BenchRegenCached(b) }
+
+// RPC round-trip transport benchmarks (cmd/dcwsperf emits BENCH_rpc.json
+// from the same pair and gates the pooled-vs-dial ratios in CI).
+
+func BenchmarkRPCDialPerRequest(b *testing.B)    { BenchRPCDialPerRequest(b) }
+func BenchmarkRPCPooled(b *testing.B)            { BenchRPCPooled(b) }
+func BenchmarkRPCDialPerRequestTCP(b *testing.B) { BenchRPCDialPerRequestTCP(b) }
+func BenchmarkRPCPooledTCP(b *testing.B)         { BenchRPCPooledTCP(b) }

@@ -1,0 +1,110 @@
+package dcws
+
+import (
+	"net"
+	"testing"
+
+	"dcws/internal/clock"
+	"dcws/internal/httpx"
+	"dcws/internal/memnet"
+	"dcws/internal/naming"
+	"dcws/internal/store"
+	"dcws/internal/telemetry"
+)
+
+// This file holds the inter-server RPC round-trip benchmarks. Unlike the
+// handler-level serve benchmarks in perf.go, these cross the full wire
+// stack against a started server — request serialization, the transport,
+// accept/dispatch on the server, response parse — so the dial-per-request
+// vs. pooled pair isolates exactly what connection pooling buys.
+//
+// Each pair runs over two transports. The in-memory fabric variants are
+// deterministic and run everywhere, but a fabric dial is two channel
+// operations — it deliberately has none of the cost that makes real dials
+// expensive, so the fabric pair understates the win. The loopback-TCP
+// variants cross the kernel's socket stack, the transport the production
+// deployment uses (dcws.TCPNetwork), and are what cmd/dcwsperf records in
+// BENCH_rpc.json.
+
+// benchRPC measures one /~dcws/ping round trip per iteration against a
+// started server reached through network, dialing per request or reusing
+// keep-alive connections through the client pool.
+func benchRPC(b *testing.B, pooled bool, network memnet.Network, origin naming.Origin) {
+	st := store.NewMem()
+	st.Put("/index.html", perfDoc(nil, 2<<10))
+	s, err := New(Config{
+		Origin:  origin,
+		Store:   st,
+		Network: network,
+		Clock:   clock.Real{},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+
+	addr := origin.Addr()
+	dial := httpx.DialerFunc(network.Dial)
+	var client *httpx.Client
+	if pooled {
+		client = httpx.NewPooledClient(dial, httpx.PoolConfig{})
+		b.Cleanup(client.CloseIdle)
+	} else {
+		client = httpx.NewClient(dial)
+	}
+	// One prebuilt request reused throughout, so per-iteration allocations
+	// reflect the transport, not request construction. It carries a trace ID
+	// because every real inter-server RPC does; without one the server mints
+	// a fresh ID per request, which is not a transport cost.
+	req := httpx.NewRequest("GET", pingPath)
+	req.Header.Set("Host", addr)
+	req.Header.Set(telemetry.TraceHeader, telemetry.NewTraceID())
+	if resp, err := client.Do(addr, req); err != nil || resp.Status != 200 {
+		b.Fatalf("warmup: %v (resp %v)", err, resp)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Do(addr, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Status != 200 {
+			b.Fatalf("status %d", resp.Status)
+		}
+	}
+}
+
+// benchRPCFabric runs the round trip over a private in-memory fabric.
+func benchRPCFabric(b *testing.B, pooled bool) {
+	benchRPC(b, pooled, memnet.NewFabric(), naming.Origin{Host: "bench-rpc", Port: 80})
+}
+
+// benchRPCTCP runs the round trip over loopback TCP on an ephemeral port.
+func benchRPCTCP(b *testing.B, pooled bool) {
+	// Ask the kernel for a free port, then hand the address to the server.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Skipf("loopback TCP unavailable: %v", err)
+	}
+	port := probe.Addr().(*net.TCPAddr).Port
+	probe.Close()
+	benchRPC(b, pooled, memnet.TCP{}, naming.Origin{Host: "127.0.0.1", Port: port})
+}
+
+// BenchRPCDialPerRequest is the pre-pool transport over the in-memory
+// fabric: every RPC pays a fresh dial and teardown, as HTTP/1.0 did.
+func BenchRPCDialPerRequest(b *testing.B) { benchRPCFabric(b, false) }
+
+// BenchRPCPooled is the same fabric round trip over pooled keep-alive
+// connections.
+func BenchRPCPooled(b *testing.B) { benchRPCFabric(b, true) }
+
+// BenchRPCDialPerRequestTCP dials a fresh loopback-TCP connection per RPC.
+func BenchRPCDialPerRequestTCP(b *testing.B) { benchRPCTCP(b, false) }
+
+// BenchRPCPooledTCP reuses pooled keep-alive loopback-TCP connections.
+func BenchRPCPooledTCP(b *testing.B) { benchRPCTCP(b, true) }

@@ -31,6 +31,14 @@ const (
 	headerValidate = "X-DCWS-Validate"
 	// headerRevokeDoc names the document being revoked.
 	headerRevokeDoc = "X-DCWS-Doc"
+	// headerReplicas carries the document's full replica set (comma-
+	// separated coop addresses) on home fetch/validation responses, so
+	// each coop learns which siblings can also serve the document.
+	headerReplicas = "X-DCWS-Replicas"
+	// headerHedge marks a hedged fetch probing a sibling replica: the
+	// sibling serves only a locally present copy and must never recurse
+	// into its own fetch from the (possibly stalled) home server.
+	headerHedge = "X-DCWS-Hedge"
 	// headerHot carries a coop's hottest hosted documents back to homes
 	// (replication extension).
 	headerHot = "X-DCWS-Hot"
@@ -84,6 +92,9 @@ type coopDoc struct {
 	size      int64
 	windowHit int64         // hits this window (for hot-spot reporting)
 	elem      *list.Element // position in the coopSet LRU (present copies)
+	siblings  []string      // other coops hosting replicas of this document,
+	// learned from X-DCWS-Replicas on fetch/validation responses; hedged
+	// fetches race one of these against the home server
 }
 
 // Server is one DCWS node.
@@ -196,7 +207,11 @@ func New(cfg Config) (*Server, error) {
 		stats:  metrics.NewServerStats(params.RateWindow),
 		ledger: policy.NewLedger(),
 		gate:   policy.NewRateGate(params.StatsInterval, params.CoopMigrateInterval),
-		client: httpx.NewClient(httpx.DialerFunc(cfg.Network.Dial)),
+		client: httpx.NewPooledClient(httpx.DialerFunc(cfg.Network.Dial), httpx.PoolConfig{
+			MaxIdlePerHost: params.PoolMaxIdlePerPeer,
+			IdleTimeout:    params.PoolIdleTimeout,
+			MaxLifetime:    params.PoolMaxLifetime,
+		}),
 		res: resilience.NewRegistry(cfg.Clock, resilience.BreakerConfig{
 			FailureThreshold: params.BreakerThreshold,
 			Cooldown:         params.BreakerCooldown,
@@ -225,9 +240,14 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.gate.HomeInterval = params.StatsInterval
 	s.gate.CoopInterval = params.CoopMigrateInterval
+	// A tripped breaker means the peer's recent calls all failed: idle
+	// pooled connections to it are equally suspect, so flush them and let
+	// recovery re-dial fresh.
+	s.res.OnTrip(func(peer string) { s.client.Pool.FlushAddr(peer) })
 	s.httpSrv = httpx.NewServer(httpx.ServerConfig{
 		Workers:     params.Workers,
 		QueueLength: params.QueueLength,
+		KeepAlive:   true,
 		Observer:    s.tel,
 	}, httpx.HandlerFunc(s.handle))
 	s.tel.bindServer(s)
@@ -275,6 +295,7 @@ func (s *Server) Close() error {
 	s.stopOnce.Do(func() {
 		close(s.stopped)
 		s.httpSrv.Close()
+		s.client.CloseIdle()
 	})
 	s.wg.Wait()
 	return nil

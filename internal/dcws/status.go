@@ -41,6 +41,11 @@ type Status struct {
 	// see which peer is flaky, not just that one is.
 	PeerResilience map[string]PeerResilienceStatus `json:"peer_resilience,omitempty"`
 
+	// Pool summarizes the inter-server keep-alive connection pool.
+	Pool PoolStatus `json:"pool"`
+	// Hedge summarizes hedged lazy-migration fetches.
+	Hedge HedgeStatus `json:"hedge"`
+
 	// CacheHits / CacheMisses count rendered-document cache lookups.
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
@@ -60,6 +65,28 @@ type PeerResilienceStatus struct {
 	LastTransition string `json:"last_transition,omitempty"`
 }
 
+// PoolStatus summarizes the keep-alive connection pool used for
+// inter-server RPCs.
+type PoolStatus struct {
+	// Reuses and Dials count RPCs served over a pooled connection vs over
+	// a fresh dial; ReuseRatio is reuses/(reuses+dials).
+	Reuses     int64   `json:"reuses"`
+	Dials      int64   `json:"dials"`
+	ReuseRatio float64 `json:"reuse_ratio"`
+	// Retires counts pooled connections retired, by cause.
+	Retires map[string]int64 `json:"retires,omitempty"`
+	// Peers reports open/idle connection counts per peer address.
+	Peers map[string]httpx.PeerPoolStats `json:"peers,omitempty"`
+}
+
+// HedgeStatus summarizes hedged lazy-migration fetches. Every launched
+// hedge ends as exactly one of won or wasted.
+type HedgeStatus struct {
+	Launched int64 `json:"launched"`
+	Won      int64 `json:"won"`
+	Wasted   int64 `json:"wasted"`
+}
+
 // Status returns the server's current operational snapshot.
 func (s *Server) Status() Status {
 	now := s.now()
@@ -76,6 +103,16 @@ func (s *Server) Status() Status {
 		CPS:         s.stats.CPS(now),
 		BPS:         s.stats.BPS(now),
 		LoadTable:   make(map[string]float64),
+	}
+	ps := s.client.Pool.Stats()
+	st.Pool = PoolStatus{Reuses: ps.Reuses, Dials: ps.Dials, Retires: ps.Retires, Peers: ps.Peers}
+	if total := ps.Reuses + ps.Dials; total > 0 {
+		st.Pool.ReuseRatio = float64(ps.Reuses) / float64(total)
+	}
+	st.Hedge = HedgeStatus{
+		Launched: s.tel.hedgeLaunched.Value(),
+		Won:      s.tel.hedgeWon.Value(),
+		Wasted:   s.tel.hedgeWasted.Value(),
 	}
 	st.CacheHits, st.CacheMisses = s.rcache.counts()
 	st.QueueDepth = s.httpSrv.QueueDepth()

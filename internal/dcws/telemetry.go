@@ -46,6 +46,12 @@ type serverTelemetry struct {
 	replications    *telemetry.Counter
 	declaredDown    *telemetry.Counter
 	validatorPasses *telemetry.Counter
+
+	// Hedged lazy-migration fetches. Every launched hedge ends up counted
+	// exactly once as won or wasted.
+	hedgeLaunched *telemetry.Counter
+	hedgeWon      *telemetry.Counter
+	hedgeWasted   *telemetry.Counter
 }
 
 func newServerTelemetry(ringSize int) *serverTelemetry {
@@ -86,6 +92,13 @@ func newServerTelemetry(ringSize int) *serverTelemetry {
 		"peers declared down after repeated probe failures")
 	t.validatorPasses = reg.Counter("dcws_validator_passes_total",
 		"co-op validation passes completed")
+
+	t.hedgeLaunched = reg.Counter("dcws_hedge_launched_total",
+		"hedge legs raced against a slow or failing home-server fetch")
+	t.hedgeWon = reg.Counter("dcws_hedge_won_total",
+		"hedged fetches answered by the sibling replica first")
+	t.hedgeWasted = reg.Counter("dcws_hedge_wasted_total",
+		"hedge legs canceled or unusable after the primary prevailed")
 	return t
 }
 
@@ -221,6 +234,48 @@ func (t *serverTelemetry) bindServer(s *Server) {
 			}
 			return float64(ps.LastTransition.UnixNano()) / 1e9
 		}))
+
+	// Inter-server connection pool: reuse vs dial volume, retirements by
+	// cause, and per-peer open/idle gauges.
+	pool := s.client.Pool
+	reg.CounterFunc("dcws_pool_reuses_total",
+		"inter-server RPCs served over a pooled keep-alive connection",
+		func() float64 { return float64(pool.Reuses()) })
+	reg.CounterFunc("dcws_pool_dials_total",
+		"fresh connections dialed for inter-server RPCs",
+		func() float64 { return float64(pool.Dials()) })
+	reg.Collector("dcws_pool_retires_total",
+		"pooled connections retired, by cause", "counter",
+		func() []telemetry.Sample {
+			ps := pool.Stats()
+			out := make([]telemetry.Sample, 0, len(ps.Retires))
+			for cause, n := range ps.Retires {
+				out = append(out, telemetry.Sample{
+					Labels: []telemetry.Label{{Key: "cause", Value: cause}},
+					Value:  float64(n),
+				})
+			}
+			return out
+		})
+	poolPeerSamples := func(value func(httpx.PeerPoolStats) float64) func() []telemetry.Sample {
+		return func() []telemetry.Sample {
+			ps := pool.Stats()
+			out := make([]telemetry.Sample, 0, len(ps.Peers))
+			for peer, pp := range ps.Peers {
+				out = append(out, telemetry.Sample{
+					Labels: []telemetry.Label{{Key: "peer", Value: peer}},
+					Value:  value(pp),
+				})
+			}
+			return out
+		}
+	}
+	reg.Collector("dcws_pool_open",
+		"connections currently open to each peer", "gauge",
+		poolPeerSamples(func(pp httpx.PeerPoolStats) float64 { return float64(pp.Open) }))
+	reg.Collector("dcws_pool_idle",
+		"idle keep-alive connections pooled per peer", "gauge",
+		poolPeerSamples(func(pp httpx.PeerPoolStats) float64 { return float64(pp.Idle) }))
 
 	// Global load table: merge freshness and piggyback-encoding costs.
 	reg.GaugeFunc("dcws_glt_entries",

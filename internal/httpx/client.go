@@ -17,18 +17,28 @@ type DialerFunc func(addr string) (net.Conn, error)
 // Dial implements Dialer.
 func (f DialerFunc) Dial(addr string) (net.Conn, error) { return f(addr) }
 
-// Client issues HTTP requests over a Dialer. Matching the HTTP/1.0 era the
-// paper targets, the default is one connection per request; both ends still
-// understand keep-alive if enabled server-side.
+// Client issues HTTP requests over a Dialer. Without a Pool it matches
+// the HTTP/1.0 era the paper targets — one connection per request. With
+// one, requests ask for keep-alive and completed connections are parked
+// per address for reuse, cutting the dial/teardown cost off the
+// inter-server RPC hot path.
 type Client struct {
 	Dialer  Dialer
 	Timeout time.Duration
+	// Pool, when non-nil, keeps completed connections alive for reuse.
+	Pool *Pool
 }
 
 // NewClient returns a client dialing through d with a 30-second default
-// timeout.
+// timeout and no connection reuse.
 func NewClient(d Dialer) *Client {
 	return &Client{Dialer: d, Timeout: 30 * time.Second}
+}
+
+// NewPooledClient returns a client that reuses keep-alive connections
+// through a pool bounded by cfg.
+func NewPooledClient(d Dialer, cfg PoolConfig) *Client {
+	return &Client{Dialer: d, Timeout: 30 * time.Second, Pool: NewPool(cfg)}
 }
 
 // Do sends req to addr and returns the parsed response, using the
@@ -41,31 +51,134 @@ func (c *Client) Do(addr string, req *Request) (*Response, error) {
 // client default — retrying callers use it to bound each attempt
 // separately instead of sharing one long deadline across all attempts.
 func (c *Client) DoTimeout(addr string, req *Request, timeout time.Duration) (*Response, error) {
-	conn, err := c.Dialer.Dial(addr)
-	if err != nil {
-		return nil, fmt.Errorf("httpx: dial %s: %w", addr, err)
-	}
-	defer conn.Close()
+	return c.DoCancel(addr, req, timeout, nil)
+}
+
+// DoCancel is DoTimeout with an optional cancel token: Cancel from
+// another goroutine closes the connection under the exchange, failing it
+// promptly with ErrCanceled — how a hedged fetch reels in its loser.
+func (c *Client) DoCancel(addr string, req *Request, timeout time.Duration, tok *CancelToken) (*Response, error) {
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
-	conn.SetDeadline(time.Now().Add(timeout))
 	if req.Header == nil {
 		req.Header = make(Header)
 	}
 	if req.Header.Get("Host") == "" {
 		req.Header.Set("Host", addr)
 	}
+	if c.Pool == nil {
+		return c.doSingle(addr, req, timeout, tok)
+	}
+	// HTTP/1.0 defaults to close; reuse needs the explicit opt-in.
+	req.Header.Set("Connection", "keep-alive")
+	for {
+		pc := c.Pool.get(addr)
+		reused := pc != nil
+		if pc == nil {
+			var err error
+			pc, err = c.Pool.dial(c.Dialer, addr)
+			if err != nil {
+				return nil, fmt.Errorf("httpx: dial %s: %w", addr, err)
+			}
+		}
+		if tok != nil && !tok.bind(pc) {
+			c.Pool.put(pc)
+			return nil, ErrCanceled
+		}
+		resp, reusable, err := roundTrip(pc.conn, req, timeout)
+		if tok != nil {
+			tok.unbind()
+		}
+		if err != nil {
+			pc.close(RetireError)
+			if tok != nil && tok.Canceled() {
+				return nil, fmt.Errorf("%w (%s %s: %v)", ErrCanceled, req.Method, addr, err)
+			}
+			if reused {
+				// A pooled connection can go stale between requests (the
+				// peer closed or reset it while parked); retry. Each
+				// failure retires a connection, so the loop bottoms out at
+				// a fresh dial, which is terminal either way.
+				continue
+			}
+			return nil, fmt.Errorf("httpx: %s %s: %w", req.Method, addr, err)
+		}
+		if reusable {
+			c.Pool.put(pc)
+		} else {
+			pc.close(RetireServerClose)
+		}
+		return resp, nil
+	}
+}
+
+// doSingle is the unpooled one-connection-per-request path.
+func (c *Client) doSingle(addr string, req *Request, timeout time.Duration, tok *CancelToken) (*Response, error) {
+	conn, err := c.Dialer.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("httpx: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if tok != nil {
+		if !tok.bind(&persistConn{addr: addr, conn: conn}) {
+			return nil, ErrCanceled
+		}
+		defer tok.unbind()
+	}
+	conn.SetDeadline(time.Now().Add(timeout))
 	if err := WriteRequest(conn, req); err != nil {
+		if tok != nil && tok.Canceled() {
+			return nil, fmt.Errorf("%w (%s %s: %v)", ErrCanceled, req.Method, addr, err)
+		}
 		return nil, fmt.Errorf("httpx: write to %s: %w", addr, err)
 	}
 	br := getReader(conn)
 	resp, err := ReadResponseFor(br, req.Method)
 	putReader(br)
 	if err != nil {
+		if tok != nil && tok.Canceled() {
+			return nil, fmt.Errorf("%w (%s %s: %v)", ErrCanceled, req.Method, addr, err)
+		}
 		return nil, fmt.Errorf("httpx: read from %s: %w", addr, err)
 	}
 	return resp, nil
+}
+
+// roundTrip writes req and reads its response over an established
+// connection, reporting whether the connection can carry another request
+// afterwards: the response must opt into keep-alive, be framed by
+// Content-Length (or be bodyless) since a read-to-EOF body consumes the
+// connection, and leave no unread bytes buffered.
+func roundTrip(conn net.Conn, req *Request, timeout time.Duration) (*Response, bool, error) {
+	conn.SetDeadline(time.Now().Add(timeout))
+	if err := WriteRequest(conn, req); err != nil {
+		return nil, false, err
+	}
+	br := getReader(conn)
+	defer putReader(br)
+	resp, err := ReadResponseFor(br, req.Method)
+	if err != nil {
+		return nil, false, err
+	}
+	reusable := br.Buffered() == 0 && respKeepsAlive(req.Method, resp)
+	if reusable {
+		// Drop the per-request deadline so it cannot fire while parked.
+		conn.SetDeadline(time.Time{})
+	}
+	return resp, reusable, nil
+}
+
+// respKeepsAlive reports whether a response leaves its connection
+// reusable for a follow-up request.
+func respKeepsAlive(method string, resp *Response) bool {
+	if !hasConnToken(resp.Header.Get("Connection"), "keep-alive") {
+		return false
+	}
+	if method == "HEAD" || resp.Status == 204 || resp.Status == 304 {
+		return true
+	}
+	return resp.Header.Get("Content-Length") != ""
 }
 
 // Get issues a GET for path at addr with the given extra headers (may be
@@ -83,4 +196,12 @@ func (c *Client) GetTimeout(addr, path string, extra Header, timeout time.Durati
 		}
 	}
 	return c.DoTimeout(addr, req, timeout)
+}
+
+// CloseIdle retires the client's idle pooled connections, if pooling is
+// enabled. Safe to call multiple times.
+func (c *Client) CloseIdle() {
+	if c.Pool != nil {
+		c.Pool.CloseIdle()
+	}
 }

@@ -10,7 +10,6 @@ package httpx
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -22,7 +21,41 @@ type Header map[string][]string
 
 // CanonicalKey converts a header name to its canonical form: the first
 // letter and every letter after '-' upper-cased, the rest lower-cased.
+// Already-canonical names — every header constant in this codebase, and
+// every key of a parsed message — are returned unchanged without
+// allocating; this sits on the per-request hot path of every Get/Set/Add.
 func CanonicalKey(k string) string {
+	upper := true
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		if (upper && 'a' <= c && c <= 'z') || (!upper && 'A' <= c && c <= 'Z') {
+			return canonicalizeKey(k)
+		}
+		upper = c == '-'
+	}
+	return k
+}
+
+// canonicalKnown interns the canonical forms of the extension headers the
+// system puts on nearly every message under their conventional all-caps
+// spelling, so the header constants used throughout the code resolve
+// without allocating. Populated once at init; read-only afterwards.
+var canonicalKnown = map[string]string{}
+
+func init() {
+	for _, k := range []string{
+		"X-DCWS-Doc", "X-DCWS-Fetch", "X-DCWS-Hedge", "X-DCWS-Hot",
+		"X-DCWS-Load", "X-DCWS-Replicas", "X-DCWS-Trace", "X-DCWS-Validate",
+	} {
+		canonicalKnown[k] = canonicalizeKey(k)
+	}
+}
+
+// canonicalizeKey is the allocating slow path of CanonicalKey.
+func canonicalizeKey(k string) string {
+	if v, ok := canonicalKnown[k]; ok {
+		return v
+	}
 	var b strings.Builder
 	b.Grow(len(k))
 	upper := true
@@ -40,9 +73,15 @@ func CanonicalKey(k string) string {
 	return b.String()
 }
 
-// Set replaces the value of a header field.
+// Set replaces the value of a header field. Re-setting a field to the
+// value it already has leaves the map untouched, so the repeated Sets on
+// reused requests (Host, Connection) cost no allocation.
 func (h Header) Set(key, value string) {
-	h[CanonicalKey(key)] = []string{value}
+	k := CanonicalKey(key)
+	if v := h[k]; len(v) == 1 && v[0] == value {
+		return
+	}
+	h[k] = []string{value}
 }
 
 // Add appends a value to a header field.
@@ -79,16 +118,6 @@ func (h Header) Clone() Header {
 		out[k] = vv
 	}
 	return out
-}
-
-// sortedKeys returns header names in deterministic order for serialization.
-func (h Header) sortedKeys() []string {
-	keys := make([]string, 0, len(h))
-	for k := range h {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
 }
 
 // Request is an HTTP request.

@@ -1,0 +1,342 @@
+package httpx
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrCanceled is returned by DoCancel when the request's CancelToken was
+// canceled before or during the exchange.
+var ErrCanceled = errors.New("httpx: request canceled")
+
+// Retirement causes, as reported by PoolStats.Retires. A connection is
+// retired (closed and removed from pool accounting) exactly once.
+const (
+	// RetireError: a read/write error or deadline expiry mid-exchange.
+	RetireError = "error"
+	// RetireIdleTimeout: sat idle in the pool past IdleTimeout.
+	RetireIdleTimeout = "idle-timeout"
+	// RetireLifetime: exceeded MaxLifetime since dial.
+	RetireLifetime = "lifetime"
+	// RetireServerClose: the response did not opt into keep-alive.
+	RetireServerClose = "server-close"
+	// RetireCapacity: returned to a pool already holding MaxIdlePerHost.
+	RetireCapacity = "capacity"
+	// RetireCanceled: a CancelToken aborted the exchange mid-flight.
+	RetireCanceled = "canceled"
+	// RetireFlush: FlushAddr or CloseIdle cleared the connection out.
+	RetireFlush = "flush"
+)
+
+// PoolConfig bounds a connection pool. The zero value selects defaults.
+type PoolConfig struct {
+	// MaxIdlePerHost caps idle connections kept per address (default 4;
+	// negative keeps none, making the pool a pass-through).
+	MaxIdlePerHost int
+	// IdleTimeout retires a pooled connection that has sat unused this
+	// long (default 30s; negative means never).
+	IdleTimeout time.Duration
+	// MaxLifetime retires a connection this long after it was dialed, no
+	// matter how busy, so long-lived processes rebalance across peer
+	// restarts (default 5m; negative means never).
+	MaxLifetime time.Duration
+}
+
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.MaxIdlePerHost == 0 {
+		c.MaxIdlePerHost = 4
+	}
+	if c.MaxIdlePerHost < 0 {
+		c.MaxIdlePerHost = 0
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 30 * time.Second
+	}
+	if c.MaxLifetime == 0 {
+		c.MaxLifetime = 5 * time.Minute
+	}
+	return c
+}
+
+// Pool keeps completed client connections alive per address for reuse,
+// LIFO so the hottest (least likely to have been closed by the peer)
+// connection is handed out first. Expired entries are reaped lazily on
+// access. All methods are safe for concurrent use.
+//
+// Fault injection composes transparently: memnet arms resets/stalls on a
+// connection when it is dialed, so a pooled connection misbehaves exactly
+// as a fresh dial on the same link would.
+type Pool struct {
+	cfg PoolConfig
+
+	reuses atomic.Int64
+	dials  atomic.Int64
+
+	mu      sync.Mutex
+	idle    map[string][]*persistConn
+	open    map[string]int // idle + leased, per address
+	retires map[string]int64
+}
+
+// NewPool returns an empty pool with cfg's limits.
+func NewPool(cfg PoolConfig) *Pool {
+	return &Pool{
+		cfg:     cfg.withDefaults(),
+		idle:    make(map[string][]*persistConn),
+		open:    make(map[string]int),
+		retires: make(map[string]int64),
+	}
+}
+
+// persistConn is one pooled connection plus the bookkeeping needed to
+// retire it exactly once. A nil pool marks a transient (unpooled) wrapper
+// used only to give CancelToken something to close.
+type persistConn struct {
+	pool *Pool
+	addr string
+	conn net.Conn
+	born time.Time
+
+	// idleAt is written only by the pool while it owns the conn.
+	idleAt time.Time
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// close retires the connection under the given cause. Idempotent: only
+// the first call closes and is counted.
+func (pc *persistConn) close(cause string) {
+	pc.mu.Lock()
+	if pc.closed {
+		pc.mu.Unlock()
+		return
+	}
+	pc.closed = true
+	pc.mu.Unlock()
+	pc.conn.Close()
+	if pc.pool != nil {
+		pc.pool.noteRetire(pc.addr, cause)
+	}
+}
+
+func (pc *persistConn) isClosed() bool {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.closed
+}
+
+func (p *Pool) noteRetire(addr, cause string) {
+	p.mu.Lock()
+	if p.open[addr]--; p.open[addr] <= 0 {
+		delete(p.open, addr)
+	}
+	p.retires[cause]++
+	p.mu.Unlock()
+}
+
+type reapEntry struct {
+	pc    *persistConn
+	cause string
+}
+
+// get pops the most recently parked live connection for addr, reaping
+// expired entries along the way. Returns nil when none is available.
+func (p *Pool) get(addr string) *persistConn {
+	now := time.Now()
+	var reap []reapEntry
+	var out *persistConn
+	p.mu.Lock()
+	list := p.idle[addr]
+	for out == nil && len(list) > 0 {
+		pc := list[len(list)-1]
+		list = list[:len(list)-1]
+		switch {
+		case pc.isClosed():
+			// Canceled or flushed while idle; already accounted for.
+		case p.cfg.MaxLifetime > 0 && now.Sub(pc.born) >= p.cfg.MaxLifetime:
+			reap = append(reap, reapEntry{pc, RetireLifetime})
+		case p.cfg.IdleTimeout > 0 && now.Sub(pc.idleAt) >= p.cfg.IdleTimeout:
+			reap = append(reap, reapEntry{pc, RetireIdleTimeout})
+		default:
+			out = pc
+		}
+	}
+	if len(list) == 0 {
+		delete(p.idle, addr)
+	} else {
+		p.idle[addr] = list
+	}
+	if out != nil {
+		p.reuses.Add(1)
+	}
+	p.mu.Unlock()
+	for _, r := range reap {
+		r.pc.close(r.cause)
+	}
+	return out
+}
+
+// dial opens a fresh tracked connection to addr through d.
+func (p *Pool) dial(d Dialer, addr string) (*persistConn, error) {
+	conn, err := d.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	p.dials.Add(1)
+	p.mu.Lock()
+	p.open[addr]++
+	p.mu.Unlock()
+	return &persistConn{pool: p, addr: addr, conn: conn, born: time.Now()}, nil
+}
+
+// put parks a connection for reuse, or retires it when over a limit.
+func (p *Pool) put(pc *persistConn) {
+	if pc.pool == nil {
+		pc.conn.Close()
+		return
+	}
+	now := time.Now()
+	if p.cfg.MaxLifetime > 0 && now.Sub(pc.born) >= p.cfg.MaxLifetime {
+		pc.close(RetireLifetime)
+		return
+	}
+	if pc.isClosed() {
+		return
+	}
+	pc.idleAt = now
+	p.mu.Lock()
+	if len(p.idle[pc.addr]) >= p.cfg.MaxIdlePerHost {
+		p.mu.Unlock()
+		pc.close(RetireCapacity)
+		return
+	}
+	p.idle[pc.addr] = append(p.idle[pc.addr], pc)
+	p.mu.Unlock()
+}
+
+// FlushAddr retires every idle pooled connection to addr and reports how
+// many it closed. The resilience layer calls it when addr's circuit
+// breaker trips: connections to a peer that just failed repeatedly are
+// likely broken or pointed at a dying process.
+func (p *Pool) FlushAddr(addr string) int {
+	p.mu.Lock()
+	list := p.idle[addr]
+	delete(p.idle, addr)
+	p.mu.Unlock()
+	for _, pc := range list {
+		pc.close(RetireFlush)
+	}
+	return len(list)
+}
+
+// CloseIdle retires every idle connection in the pool. Leased connections
+// are untouched; they retire when their requests complete.
+func (p *Pool) CloseIdle() {
+	p.mu.Lock()
+	var all []*persistConn
+	for addr, list := range p.idle {
+		all = append(all, list...)
+		delete(p.idle, addr)
+	}
+	p.mu.Unlock()
+	for _, pc := range all {
+		pc.close(RetireFlush)
+	}
+}
+
+// PeerPoolStats is the per-address view of a pool.
+type PeerPoolStats struct {
+	// Open counts live connections to the peer, idle plus leased.
+	Open int `json:"open"`
+	// Idle counts connections parked awaiting reuse.
+	Idle int `json:"idle"`
+}
+
+// PoolStats is a point-in-time snapshot of pool activity.
+type PoolStats struct {
+	// Reuses counts pooled connections handed out instead of dialing.
+	Reuses int64 `json:"reuses"`
+	// Dials counts fresh connections opened.
+	Dials int64 `json:"dials"`
+	// Retires counts closed connections by cause.
+	Retires map[string]int64 `json:"retires,omitempty"`
+	// Peers maps address to open/idle connection counts.
+	Peers map[string]PeerPoolStats `json:"peers,omitempty"`
+}
+
+// Stats snapshots the pool's counters and per-peer connection counts.
+func (p *Pool) Stats() PoolStats {
+	st := PoolStats{Reuses: p.reuses.Load(), Dials: p.dials.Load()}
+	p.mu.Lock()
+	st.Retires = make(map[string]int64, len(p.retires))
+	for k, v := range p.retires {
+		st.Retires[k] = v
+	}
+	st.Peers = make(map[string]PeerPoolStats, len(p.open))
+	for addr, n := range p.open {
+		st.Peers[addr] = PeerPoolStats{Open: n, Idle: len(p.idle[addr])}
+	}
+	p.mu.Unlock()
+	return st
+}
+
+// Reuses reports how many requests were served over a pooled connection.
+func (p *Pool) Reuses() int64 { return p.reuses.Load() }
+
+// Dials reports how many fresh connections the pool opened.
+func (p *Pool) Dials() int64 { return p.dials.Load() }
+
+// CancelToken lets an in-flight request be aborted from another
+// goroutine: the hedged-fetch loser is canceled mid-flight and its
+// connection retired, since a half-read response leaves the connection
+// unusable. The zero value is ready to use; a token binds to at most one
+// request at a time and a canceled token refuses later binds.
+type CancelToken struct {
+	mu       sync.Mutex
+	canceled bool
+	pc       *persistConn
+}
+
+// Cancel aborts the bound request, if any, by retiring its connection out
+// from under it. Requests bound after Cancel fail with ErrCanceled.
+func (t *CancelToken) Cancel() {
+	t.mu.Lock()
+	pc := t.pc
+	t.pc = nil
+	t.canceled = true
+	t.mu.Unlock()
+	if pc != nil {
+		pc.close(RetireCanceled)
+	}
+}
+
+// Canceled reports whether Cancel has been called.
+func (t *CancelToken) Canceled() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.canceled
+}
+
+// bind attaches the token to a request's connection; false if the token
+// was already canceled.
+func (t *CancelToken) bind(pc *persistConn) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.canceled {
+		return false
+	}
+	t.pc = pc
+	return true
+}
+
+// unbind detaches the token once the exchange is over, so a late Cancel
+// cannot close a connection that was already released back to the pool.
+func (t *CancelToken) unbind() {
+	t.mu.Lock()
+	t.pc = nil
+	t.mu.Unlock()
+}

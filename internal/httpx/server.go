@@ -1,9 +1,11 @@
 package httpx
 
 import (
+	"bufio"
 	"errors"
 	"log"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,6 +56,15 @@ type ServerConfig struct {
 	// KeepAlive allows multiple requests per connection when the client
 	// asks for it.
 	KeepAlive bool
+	// KeepAliveHold is how long a worker waits on a kept-alive connection
+	// for the next request before parking it off-worker, so back-to-back
+	// RPCs stay on the fast path without pinning a bounded worker slot
+	// through think time (default 5ms; negative parks immediately).
+	KeepAliveHold time.Duration
+	// IdleTimeout is how long a parked keep-alive connection may sit idle
+	// before it is closed (default ReadTimeout; negative disables parking,
+	// closing idle connections as soon as KeepAliveHold expires).
+	IdleTimeout time.Duration
 	// ErrorLog receives accept and protocol errors; nil discards them.
 	ErrorLog *log.Logger
 	// Observer receives queueing and request telemetry; nil disables it.
@@ -69,6 +80,12 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.ReadTimeout <= 0 {
 		c.ReadTimeout = 30 * time.Second
+	}
+	if c.KeepAliveHold == 0 {
+		c.KeepAliveHold = 5 * time.Millisecond
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = c.ReadTimeout
 	}
 	return c
 }
@@ -87,6 +104,17 @@ type Server struct {
 	queue    chan queuedConn
 	wg       sync.WaitGroup
 
+	// resume carries parked keep-alive connections that received data
+	// back to the workers; done stops parking at shutdown. resume is
+	// unbuffered and never closed, so parked-connection watchers hand off
+	// directly to a worker or bail out on done.
+	resume   chan queuedConn
+	done     chan struct{}
+	doneOnce sync.Once
+	parkWg   sync.WaitGroup
+	parkedMu sync.Mutex
+	parked   map[net.Conn]struct{}
+
 	// Dropped counts connections refused with 503 due to a full queue.
 	droppedMu sync.Mutex
 	dropped   int64
@@ -94,7 +122,13 @@ type Server struct {
 
 // NewServer returns a server that dispatches to handler.
 func NewServer(cfg ServerConfig, handler Handler) *Server {
-	return &Server{cfg: cfg.withDefaults(), handler: handler}
+	return &Server{
+		cfg:     cfg.withDefaults(),
+		handler: handler,
+		resume:  make(chan queuedConn),
+		done:    make(chan struct{}),
+		parked:  make(map[net.Conn]struct{}),
+	}
 }
 
 // Serve accepts connections from l until Close is called. It blocks; run it
@@ -122,8 +156,14 @@ func (s *Server) Serve(l net.Listener) error {
 			s.mu.Lock()
 			closed := s.closed
 			s.mu.Unlock()
+			// Stop parking first so idle keep-alive connections close
+			// instead of re-entering the worker loop, then let the workers
+			// drain the queue and exit.
+			s.doneOnce.Do(func() { close(s.done) })
+			s.closeParked()
 			close(queue)
 			s.wg.Wait()
+			s.parkWg.Wait()
 			if closed {
 				return nil
 			}
@@ -148,10 +188,16 @@ func (s *Server) Serve(l net.Listener) error {
 }
 
 // queuedConn is one socket-queue slot: the accepted connection and its
-// enqueue time, so workers can report queue wait.
+// enqueue time, so workers can report queue wait. A parked keep-alive
+// connection re-enters the workers through the same struct, carrying its
+// buffered reader and byte-count watermarks across the idle wait; br is
+// nil for freshly accepted connections.
 type queuedConn struct {
 	conn net.Conn
 	at   time.Time
+
+	br              *bufio.Reader
+	prevIn, prevOut int64
 }
 
 // countingConn counts the bytes crossing a connection so per-request wire
@@ -186,25 +232,39 @@ func dropConn(conn net.Conn) {
 
 func (s *Server) worker(queue chan queuedConn) {
 	defer s.wg.Done()
-	for qc := range queue {
+	for {
+		var qc queuedConn
+		select {
+		case q, ok := <-queue:
+			if !ok {
+				return
+			}
+			qc = q
+		case qc = <-s.resume:
+		}
 		if s.cfg.Observer != nil {
 			s.cfg.Observer.QueueWait(time.Since(qc.at))
 		}
-		s.serveConn(qc.conn)
+		s.serveConn(qc)
 	}
 }
 
-func (s *Server) serveConn(conn net.Conn) {
-	defer conn.Close()
+func (s *Server) serveConn(qc queuedConn) {
 	obs := s.cfg.Observer
+	conn := qc.conn
 	var cc *countingConn
-	if obs != nil {
-		cc = &countingConn{Conn: conn}
-		conn = cc
+	if qc.br == nil {
+		if obs != nil {
+			cc = &countingConn{Conn: conn}
+			conn = cc
+		}
+		qc.br = getReader(conn)
+	} else {
+		// Resumed from the parked set: the connection is already wrapped.
+		cc, _ = conn.(*countingConn)
 	}
-	br := getReader(conn)
-	defer putReader(br)
-	var prevIn, prevOut int64
+	br := qc.br
+	prevIn, prevOut := qc.prevIn, qc.prevOut
 	for {
 		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
 		req, err := ReadRequest(br)
@@ -212,6 +272,8 @@ func (s *Server) serveConn(conn net.Conn) {
 			if errors.Is(err, ErrMalformed) || errors.Is(err, ErrLineTooLong) {
 				WriteResponse(conn, errorResponse(400))
 			}
+			putReader(br)
+			conn.Close()
 			return
 		}
 		start := time.Now()
@@ -233,9 +295,90 @@ func (s *Server) serveConn(conn net.Conn) {
 			prevIn, prevOut = in, out
 		}
 		if werr != nil || !keep {
+			putReader(br)
+			conn.Close()
 			return
 		}
+		if br.Buffered() > 0 {
+			// Pipelined follow-up already waiting.
+			continue
+		}
+		// Hold briefly for the next request of a bursty exchange, then
+		// park the idle connection off-worker so it does not pin one of
+		// the bounded worker slots (§5.1 sizes them for active requests).
+		if s.cfg.KeepAliveHold > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.KeepAliveHold))
+			if _, err := br.Peek(1); err == nil {
+				continue
+			} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+				putReader(br)
+				conn.Close()
+				return
+			}
+		}
+		s.park(queuedConn{conn: conn, br: br, prevIn: prevIn, prevOut: prevOut})
+		return
 	}
+}
+
+// park hands an idle keep-alive connection to a watcher goroutine that
+// waits (up to IdleTimeout) for its next request and then re-enqueues it
+// to the workers, or closes it on timeout, error, or server shutdown.
+func (s *Server) park(qc queuedConn) {
+	if s.cfg.IdleTimeout < 0 {
+		s.discard(qc)
+		return
+	}
+	s.parkedMu.Lock()
+	s.parked[qc.conn] = struct{}{}
+	s.parkedMu.Unlock()
+	// Check done only after registering: shutdown closes done and then
+	// sweeps the parked set, so a connection is either swept or sees done
+	// here — never silently left waiting out its idle timeout.
+	select {
+	case <-s.done:
+		s.parkedMu.Lock()
+		delete(s.parked, qc.conn)
+		s.parkedMu.Unlock()
+		s.discard(qc)
+		return
+	default:
+	}
+	s.parkWg.Add(1)
+	go func() {
+		defer s.parkWg.Done()
+		qc.conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		_, err := qc.br.Peek(1)
+		s.parkedMu.Lock()
+		delete(s.parked, qc.conn)
+		s.parkedMu.Unlock()
+		if err != nil {
+			s.discard(qc)
+			return
+		}
+		qc.at = time.Now()
+		select {
+		case <-s.done:
+			s.discard(qc)
+		case s.resume <- qc:
+		}
+	}()
+}
+
+// discard releases a parked connection's reader and closes it.
+func (s *Server) discard(qc queuedConn) {
+	putReader(qc.br)
+	qc.conn.Close()
+}
+
+// closeParked wakes every parked connection's watcher by expiring its
+// read deadline, so shutdown does not wait out idle timeouts.
+func (s *Server) closeParked() {
+	s.parkedMu.Lock()
+	for c := range s.parked {
+		c.SetReadDeadline(time.Now().Add(-time.Second))
+	}
+	s.parkedMu.Unlock()
 }
 
 func (s *Server) dispatch(req *Request) (resp *Response) {
@@ -257,9 +400,27 @@ func (s *Server) dispatch(req *Request) (resp *Response) {
 func wantsKeepAlive(req *Request) bool {
 	c := req.Header.Get("Connection")
 	if req.Proto == "HTTP/1.1" {
-		return c != "close"
+		return !hasConnToken(c, "close")
 	}
-	return c == "keep-alive" || c == "Keep-Alive"
+	return hasConnToken(c, "keep-alive")
+}
+
+// hasConnToken reports whether a Connection header value contains token,
+// comparing ASCII-case-insensitively across the comma-separated token
+// list the header is defined to carry ("Keep-Alive, TE").
+func hasConnToken(value, token string) bool {
+	for len(value) > 0 {
+		part := value
+		if i := strings.IndexByte(value, ','); i >= 0 {
+			part, value = value[:i], value[i+1:]
+		} else {
+			value = ""
+		}
+		if strings.EqualFold(strings.TrimSpace(part), token) {
+			return true
+		}
+	}
+	return false
 }
 
 func errorResponse(status int) *Response {

@@ -2,6 +2,7 @@ package httpx
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -73,9 +74,43 @@ func readLine(r *bufio.Reader) (string, error) {
 	return line, nil
 }
 
-// readHeader reads header lines up to the blank separator line.
+// addField parses one "Key: value" header line into h. The value slices
+// of single-value fields — the overwhelming majority — are carved out of
+// one shared backing array instead of allocated one by one; full-capacity
+// slicing makes a later Add on such a field copy rather than clobber a
+// neighbor.
+func addField(h Header, backing *[]string, line string) error {
+	colon := strings.IndexByte(line, ':')
+	if colon <= 0 {
+		return fmt.Errorf("%w: header line %q", ErrMalformed, line)
+	}
+	key := CanonicalKey(strings.TrimSpace(line[:colon]))
+	val := strings.TrimSpace(line[colon+1:])
+	if key == "" {
+		return fmt.Errorf("%w: empty header name", ErrMalformed)
+	}
+	if len(h[key]) == 0 {
+		b := *backing
+		if b == nil {
+			b = make([]string, 0, 8)
+		}
+		if len(b) < cap(b) {
+			b = append(b, val)
+			h[key] = b[len(b)-1 : len(b) : len(b)]
+			*backing = b
+			return nil
+		}
+	}
+	h[key] = append(h[key], val)
+	return nil
+}
+
+// readHeader reads header lines up to the blank separator line, one line at
+// a time. This is the streaming fallback for heads that overflow the peek
+// window; typical messages go through peekHead instead.
 func readHeader(r *bufio.Reader) (Header, error) {
-	h := make(Header)
+	h := make(Header, 8)
+	var backing []string
 	fields := 0
 	for {
 		line, err := readLine(r)
@@ -89,17 +124,118 @@ func readHeader(r *bufio.Reader) (Header, error) {
 		if fields > maxHeaderCount {
 			return nil, fmt.Errorf("%w: too many header fields", ErrMalformed)
 		}
-		colon := strings.IndexByte(line, ':')
-		if colon <= 0 {
-			return nil, fmt.Errorf("%w: header line %q", ErrMalformed, line)
+		if err := addField(h, &backing, line); err != nil {
+			return nil, err
 		}
-		key := strings.TrimSpace(line[:colon])
-		val := strings.TrimSpace(line[colon+1:])
-		if key == "" {
-			return nil, fmt.Errorf("%w: empty header name", ErrMalformed)
-		}
-		h.Add(key, val)
 	}
+}
+
+// findHeadEnd locates the blank line terminating a message head in buf.
+// It returns the length of the head content (start line + header lines,
+// including the newline ending the last one) and the total length through
+// the terminator, or (-1, 0) if no terminator is present yet.
+func findHeadEnd(buf []byte) (content, total int) {
+	if len(buf) > 0 && buf[0] == '\n' {
+		return 0, 1
+	}
+	if len(buf) > 1 && buf[0] == '\r' && buf[1] == '\n' {
+		return 0, 2
+	}
+	for i := 0; ; {
+		j := bytes.IndexByte(buf[i:], '\n')
+		if j < 0 {
+			return -1, 0
+		}
+		i += j + 1
+		if i < len(buf) && buf[i] == '\n' {
+			return i, i + 1
+		}
+		if i+1 < len(buf) && buf[i] == '\r' && buf[i+1] == '\n' {
+			return i, i + 2
+		}
+	}
+}
+
+// peekHead tries to slurp an entire message head — start line, header
+// lines, blank terminator — out of the reader in one step, so the whole
+// head costs a single string allocation and every header value is a
+// substring of it. It blocks only for bytes a complete head must still
+// contain: one byte at a time past what is buffered, exactly as a
+// line-by-line reader would. Heads that overflow the 4 KB read buffer
+// report !ok with nothing consumed and fall back to streaming readLine /
+// readHeader, which enforce the larger wire limits.
+func peekHead(r *bufio.Reader) (head string, ok bool) {
+	want := 1
+	for {
+		buf, err := r.Peek(want)
+		if avail := r.Buffered(); avail > len(buf) {
+			buf, _ = r.Peek(avail)
+		}
+		if content, total := findHeadEnd(buf); content >= 0 {
+			head = string(buf[:content])
+			r.Discard(total)
+			return head, true
+		}
+		if err != nil || len(buf) >= r.Size() {
+			return "", false
+		}
+		want = len(buf) + 1
+	}
+}
+
+// cutLine splits off the first line of a head string, trimming the line
+// ending. Both halves are substrings — no allocation.
+func cutLine(s string) (line, rest string) {
+	i := strings.IndexByte(s, '\n')
+	if i < 0 {
+		return strings.TrimSuffix(s, "\r"), ""
+	}
+	line = s[:i]
+	if strings.HasSuffix(line, "\r") {
+		line = line[:len(line)-1]
+	}
+	return line, s[i+1:]
+}
+
+// parseHeaderBlock parses the header lines of a peeked head string.
+func parseHeaderBlock(s string) (Header, error) {
+	h := make(Header, 8)
+	var backing []string
+	fields := 0
+	for len(s) > 0 {
+		var line string
+		line, s = cutLine(s)
+		if line == "" {
+			continue
+		}
+		fields++
+		if fields > maxHeaderCount {
+			return nil, fmt.Errorf("%w: too many header fields", ErrMalformed)
+		}
+		if err := addField(h, &backing, line); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// readMessageHead reads one message head and returns its start line and
+// parsed header map, preferring the single-allocation peek path.
+func readMessageHead(r *bufio.Reader) (string, Header, error) {
+	if head, ok := peekHead(r); ok {
+		line, rest := cutLine(head)
+		h, err := parseHeaderBlock(rest)
+		return line, h, err
+	}
+	line, err := readLine(r)
+	if err != nil {
+		return "", nil, err
+	}
+	h, err := readHeader(r)
+	if err != nil {
+		return "", nil, err
+	}
+	return line, h, nil
 }
 
 // readBody reads a message body delimited by Content-Length, or (for
@@ -134,24 +270,25 @@ func readBody(r *bufio.Reader, h Header, toEOF bool) ([]byte, error) {
 
 // ReadRequest parses one request from r.
 func ReadRequest(r *bufio.Reader) (*Request, error) {
-	line, err := readLine(r)
+	line, h, err := readMessageHead(r)
 	if err != nil {
 		return nil, err
 	}
-	parts := strings.Split(line, " ")
-	if len(parts) != 3 {
+	sp1 := strings.IndexByte(line, ' ')
+	sp2 := -1
+	if sp1 >= 0 {
+		sp2 = strings.IndexByte(line[sp1+1:], ' ')
+	}
+	if sp1 < 0 || sp2 < 0 {
 		return nil, fmt.Errorf("%w: request line %q", ErrMalformed, line)
 	}
-	method, path, proto := parts[0], parts[1], parts[2]
-	if method == "" || path == "" || path[0] != '/' {
+	sp2 += sp1 + 1
+	method, path, proto := line[:sp1], line[sp1+1:sp2], line[sp2+1:]
+	if method == "" || path == "" || path[0] != '/' || strings.IndexByte(proto, ' ') >= 0 {
 		return nil, fmt.Errorf("%w: request line %q", ErrMalformed, line)
 	}
 	if proto != "HTTP/1.0" && proto != "HTTP/1.1" {
 		return nil, fmt.Errorf("%w: unsupported protocol %q", ErrMalformed, proto)
-	}
-	h, err := readHeader(r)
-	if err != nil {
-		return nil, err
 	}
 	body, err := readBody(r, h, false)
 	if err != nil {
@@ -191,31 +328,32 @@ func ReadResponse(r *bufio.Reader) (*Response, error) {
 // method. Responses to HEAD carry headers (including Content-Length) but no
 // body.
 func ReadResponseFor(r *bufio.Reader, method string) (*Response, error) {
-	line, err := readLine(r)
+	line, h, err := readMessageHead(r)
 	if err != nil {
 		return nil, err
 	}
-	parts := strings.SplitN(line, " ", 3)
-	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/1.") {
+	sp1 := strings.IndexByte(line, ' ')
+	if sp1 < 0 || !strings.HasPrefix(line[:sp1], "HTTP/1.") {
 		return nil, fmt.Errorf("%w: status line %q", ErrMalformed, line)
 	}
-	status, err := strconv.Atoi(parts[1])
-	if err != nil || status < 100 || status > 599 {
-		return nil, fmt.Errorf("%w: status %q", ErrMalformed, parts[1])
+	proto, rest := line[:sp1], line[sp1+1:]
+	codeStr := rest
+	if sp2 := strings.IndexByte(rest, ' '); sp2 >= 0 {
+		codeStr = rest[:sp2]
 	}
-	h, err := readHeader(r)
-	if err != nil {
-		return nil, err
+	status, aerr := strconv.Atoi(codeStr)
+	if aerr != nil || status < 100 || status > 599 {
+		return nil, fmt.Errorf("%w: status %q", ErrMalformed, codeStr)
 	}
 	if method == "HEAD" || status == 304 || status == 204 {
-		return &Response{Status: status, Proto: parts[0], Header: h}, nil
+		return &Response{Status: status, Proto: proto, Header: h}, nil
 	}
 	toEOF := h.Get("Content-Length") == ""
 	body, err := readBody(r, h, toEOF)
 	if err != nil {
 		return nil, err
 	}
-	return &Response{Status: status, Proto: parts[0], Header: h, Body: body}, nil
+	return &Response{Status: status, Proto: proto, Header: h, Body: body}, nil
 }
 
 // WriteResponse serializes resp to w, always emitting Content-Length so
@@ -241,10 +379,29 @@ func WriteResponse(w io.Writer, resp *Response) error {
 }
 
 // appendHeader serializes the header fields plus a synthesized
-// Content-Length (when absent) and the blank separator line.
+// Content-Length (when absent) and the blank separator line. Keys are
+// ordered deterministically; typical header maps fit the stack-resident
+// key array, so serialization allocates nothing beyond the message buffer.
 func appendHeader(buf []byte, h Header, bodyLen int) []byte {
+	var arr [16]string
+	var keys []string
+	if len(h) <= len(arr) {
+		keys = arr[:0]
+	} else {
+		keys = make([]string, 0, len(h))
+	}
+	for k := range h {
+		keys = append(keys, k)
+	}
+	// Insertion sort: header maps are tiny and sort.Strings would force
+	// the key array to escape to the heap.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
 	wroteCL := false
-	for _, k := range h.sortedKeys() {
+	for _, k := range keys {
 		if k == "Content-Length" {
 			wroteCL = true
 		}

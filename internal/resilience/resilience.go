@@ -29,6 +29,12 @@ import (
 // cooldown has not yet elapsed.
 var ErrOpen = errors.New("resilience: circuit open")
 
+// ErrAborted, returned (or wrapped) by an Execute/Probe callback, stops
+// the run immediately without recording a breaker failure or retrying:
+// the caller chose to abandon the call (e.g. a hedged fetch canceling its
+// losing leg), which says nothing about the peer's health.
+var ErrAborted = errors.New("resilience: aborted")
+
 // Policy configures retries for one class of RPC.
 type Policy struct {
 	// MaxAttempts is the total number of tries including the first.
@@ -149,6 +155,11 @@ type Breaker struct {
 	trips          int64     // closed/half-open -> open transitions
 	rejections     int64     // calls refused while open
 	lastTransition time.Time // when the state last changed (zero: never)
+
+	// onTrip, when set, runs (outside b.mu) after each transition to Open,
+	// letting the owner react — the connection pool flushes the peer's
+	// idle conns, since they are as suspect as the calls that tripped it.
+	onTrip func()
 }
 
 // NewBreaker returns a closed breaker on the given clock. stats may be nil.
@@ -220,20 +231,27 @@ func (b *Breaker) Success() {
 // FailureThreshold consecutive failures accumulate.
 func (b *Breaker) Failure() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	tripped := false
 	switch b.state {
 	case HalfOpen:
 		b.trip()
+		tripped = true
 	case Closed:
 		b.failures++
 		if b.failures >= b.cfg.FailureThreshold {
 			b.trip()
+			tripped = true
 		}
 	case Open:
 		// A detector-path failure while open just extends nothing; the
 		// cooldown keeps running.
 	}
 	b.probing = false
+	cb := b.onTrip
+	b.mu.Unlock()
+	if tripped && cb != nil {
+		cb()
+	}
 }
 
 // trip moves the breaker to open. Callers hold b.mu.
@@ -306,6 +324,7 @@ type Registry struct {
 	cfg      BreakerConfig
 	stats    *metrics.ResilienceStats
 	breakers map[string]*Breaker
+	onTrip   func(peer string)
 }
 
 // NewRegistry returns an empty registry on the given clock.
@@ -324,6 +343,16 @@ func NewRegistry(clk clock.Clock, cfg BreakerConfig) *Registry {
 // Stats exposes the registry's shared counters.
 func (r *Registry) Stats() *metrics.ResilienceStats { return r.stats }
 
+// OnTrip registers a callback invoked with the peer's address whenever
+// that peer's breaker trips open. The callback runs outside breaker and
+// registry locks, on the goroutine whose Failure tripped the circuit, so
+// it must be fast and must not block on the failing peer.
+func (r *Registry) OnTrip(fn func(peer string)) {
+	r.mu.Lock()
+	r.onTrip = fn
+	r.mu.Unlock()
+}
+
 // For returns the breaker for peer, creating it closed on first use.
 func (r *Registry) For(peer string) *Breaker {
 	r.mu.Lock()
@@ -331,6 +360,14 @@ func (r *Registry) For(peer string) *Breaker {
 	b, ok := r.breakers[peer]
 	if !ok {
 		b = NewBreaker(r.clk, r.cfg, r.stats)
+		b.onTrip = func() {
+			r.mu.Lock()
+			fn := r.onTrip
+			r.mu.Unlock()
+			if fn != nil {
+				fn(peer)
+			}
+		}
 		r.breakers[peer] = b
 	}
 	return b
@@ -428,6 +465,11 @@ func (r *Registry) run(p Policy, peer string, fn func() error, gated bool) error
 		if err == nil {
 			b.Success()
 			return nil
+		}
+		if errors.Is(err, ErrAborted) {
+			// The caller abandoned the call; neither a failure signal nor
+			// worth retrying.
+			return err
 		}
 		b.Failure()
 		lastErr = err

@@ -120,12 +120,18 @@ func New(cfg Config) (*Client, error) {
 		return nil, errors.New("webclient: at least one entry URL is required")
 	}
 	return &Client{
-		cfg:    cfg,
-		client: httpx.NewClient(cfg.Dialer),
+		cfg: cfg,
+		// Keep-alive pooling sized to the image-helper parallelism: one
+		// sequence fetches a page plus its images from the same server, so
+		// reusing connections mirrors what real browsers do.
+		client: httpx.NewPooledClient(cfg.Dialer, httpx.PoolConfig{MaxIdlePerHost: cfg.ImageHelpers}),
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		cache:  make(map[string]cachedDoc),
 	}, nil
 }
+
+// Close releases the client's pooled connections.
+func (c *Client) Close() { c.client.CloseIdle() }
 
 // Run executes sequences until stop is closed.
 func (c *Client) Run(stop <-chan struct{}) {
