@@ -65,8 +65,8 @@ func main() {
 		fmt.Printf("resilience   retries=%d breaker_trips=%d\n", st.Retries, st.BreakerTrips)
 		fmt.Printf("conn pool    reuses=%d dials=%d (%.0f%% reused) retired=%d\n",
 			st.Pool.Reuses, st.Pool.Dials, 100*st.Pool.ReuseRatio, sumRetires(st.Pool.Retires))
-		fmt.Printf("hedging      launched=%d won=%d wasted=%d\n",
-			st.Hedge.Launched, st.Hedge.Won, st.Hedge.Wasted)
+		fmt.Printf("hedging      launched=%d won=%d miss=%d wasted=%d\n",
+			st.Hedge.Launched, st.Hedge.Won, st.Hedge.Miss, st.Hedge.Wasted)
 		if len(st.Pool.Peers) > 0 {
 			fmt.Println("pool peers:")
 			peers := make([]string, 0, len(st.Pool.Peers))

@@ -514,13 +514,20 @@ func (s *Server) fetchHedged(key, homeAddr, docName, traceID, sib string) *httpx
 				s.tel.hedgeWon.Inc()
 				return s.finishFetch(key, h.resp)
 			}
-			// The sibling had no copy or failed; only the primary can win.
-			s.tel.hedgeWasted.Inc()
+			// Only the primary can win now. A sibling that answered but
+			// had no usable copy is a miss — the replica list was stale —
+			// not a lost race; only errors count as wasted here.
+			if h.err == nil {
+				s.tel.hedgeMiss.Inc()
+			} else {
+				s.tel.hedgeWasted.Inc()
+			}
 		}
 		if havePrimary && p.err == nil {
-			// Primary delivered a usable response; the hedge is surplus.
-			tokH.Cancel()
+			// Primary delivered a usable response; a still-in-flight hedge
+			// leg lost the race and is reeled in.
 			if !haveHedge {
+				tokH.Cancel()
 				s.tel.hedgeWasted.Inc()
 			}
 			return s.finishFetch(key, p.resp)

@@ -104,6 +104,34 @@ func TestHedgeNotLaunchedWhenHomeFast(t *testing.T) {
 	}
 }
 
+// TestHedgeMissCountedSeparately: a raced sibling that answers but has no
+// usable copy (stale replica list) is a miss, not a won or lost race —
+// the counters HedgeDelay tuning reads must keep the cases apart.
+func TestHedgeMissCountedSeparately(t *testing.T) {
+	w, _, coop1, coop2 := hedgeWorld(t, Params{
+		HedgeDelay:    10 * time.Millisecond,
+		FetchTimeout:  50 * time.Millisecond,
+		FetchAttempts: 1,
+	})
+	// Home stalls past both the hedge delay and the fetch timeout, and the
+	// sibling's copy is dropped behind coop2's back: the hedge probe
+	// answers 404 and only the (doomed) primary leg remains.
+	w.fabric.SetStall("coop2:82", "home:80", 300*time.Millisecond)
+	coop2.client.Pool.FlushAddr("home:80")
+	coop1.coops.markAbsent(hedgeKey)
+	if err := coop1.cfg.Store.Delete(hedgeKey); err != nil {
+		t.Fatal(err)
+	}
+
+	if resp := w.get("coop2:82", hedgeKey); resp.Status == 200 {
+		t.Fatal("refetch succeeded with no reachable source")
+	}
+	st := coop2.Status()
+	if st.Hedge.Launched != 1 || st.Hedge.Won != 0 || st.Hedge.Miss != 1 || st.Hedge.Wasted != 0 {
+		t.Fatalf("hedge counters = %+v, want launched=1 won=0 miss=1 wasted=0", st.Hedge)
+	}
+}
+
 // TestPickHedgeSiblingGating: suspect siblings are skipped and a negative
 // HedgeDelay disables hedging outright.
 func TestPickHedgeSiblingGating(t *testing.T) {

@@ -80,10 +80,13 @@ type PoolStatus struct {
 }
 
 // HedgeStatus summarizes hedged lazy-migration fetches. Every launched
-// hedge ends as exactly one of won or wasted.
+// hedge ends as exactly one of won (sibling answered 200 first), miss
+// (sibling answered but had no usable copy), or wasted (lost the race to
+// the primary or errored outright).
 type HedgeStatus struct {
 	Launched int64 `json:"launched"`
 	Won      int64 `json:"won"`
+	Miss     int64 `json:"miss"`
 	Wasted   int64 `json:"wasted"`
 }
 
@@ -112,6 +115,7 @@ func (s *Server) Status() Status {
 	st.Hedge = HedgeStatus{
 		Launched: s.tel.hedgeLaunched.Value(),
 		Won:      s.tel.hedgeWon.Value(),
+		Miss:     s.tel.hedgeMiss.Value(),
 		Wasted:   s.tel.hedgeWasted.Value(),
 	}
 	st.CacheHits, st.CacheMisses = s.rcache.counts()

@@ -48,9 +48,14 @@ type serverTelemetry struct {
 	validatorPasses *telemetry.Counter
 
 	// Hedged lazy-migration fetches. Every launched hedge ends up counted
-	// exactly once as won or wasted.
+	// exactly once: won (sibling answered 200 first), miss (sibling
+	// answered but had no usable copy), or wasted (the primary prevailed
+	// over an in-flight or failed hedge leg). The miss/wasted split keeps
+	// HedgeDelay tunable: misses mean the sibling list is stale, wasted
+	// legs mean the delay fires too early.
 	hedgeLaunched *telemetry.Counter
 	hedgeWon      *telemetry.Counter
+	hedgeMiss     *telemetry.Counter
 	hedgeWasted   *telemetry.Counter
 }
 
@@ -97,8 +102,10 @@ func newServerTelemetry(ringSize int) *serverTelemetry {
 		"hedge legs raced against a slow or failing home-server fetch")
 	t.hedgeWon = reg.Counter("dcws_hedge_won_total",
 		"hedged fetches answered by the sibling replica first")
+	t.hedgeMiss = reg.Counter("dcws_hedge_miss_total",
+		"hedge probes answered by a sibling that had no usable copy")
 	t.hedgeWasted = reg.Counter("dcws_hedge_wasted_total",
-		"hedge legs canceled or unusable after the primary prevailed")
+		"hedge legs that lost the race to the primary or errored outright")
 	return t
 }
 

@@ -70,10 +70,18 @@ func (c *Client) DoCancel(addr string, req *Request, timeout time.Duration, tok 
 	if c.Pool == nil {
 		return c.doSingle(addr, req, timeout, tok)
 	}
-	// HTTP/1.0 defaults to close; reuse needs the explicit opt-in.
+	// HTTP/1.0 defaults to close; reuse needs the explicit opt-in. All
+	// attempts share one deadline, so a stale pooled connection cannot
+	// stretch the caller's budget — the resilience layer sizes timeouts
+	// per attempt and relies on DoCancel honoring them.
 	req.Header.Set("Connection", "keep-alive")
+	deadline := time.Now().Add(timeout)
+	retried := false
 	for {
-		pc := c.Pool.get(addr)
+		var pc *persistConn
+		if !retried {
+			pc = c.Pool.get(addr)
+		}
 		reused := pc != nil
 		if pc == nil {
 			var err error
@@ -86,7 +94,7 @@ func (c *Client) DoCancel(addr string, req *Request, timeout time.Duration, tok 
 			c.Pool.put(pc)
 			return nil, ErrCanceled
 		}
-		resp, reusable, err := roundTrip(pc.conn, req, timeout)
+		resp, reusable, wrote, err := roundTrip(pc.conn, req, deadline)
 		if tok != nil {
 			tok.unbind()
 		}
@@ -95,11 +103,15 @@ func (c *Client) DoCancel(addr string, req *Request, timeout time.Duration, tok 
 			if tok != nil && tok.Canceled() {
 				return nil, fmt.Errorf("%w (%s %s: %v)", ErrCanceled, req.Method, addr, err)
 			}
-			if reused {
-				// A pooled connection can go stale between requests (the
-				// peer closed or reset it while parked); retry. Each
-				// failure retires a connection, so the loop bottoms out at
-				// a fresh dial, which is terminal either way.
+			// A pooled connection can go stale between requests (the peer
+			// closed or reset it while parked), which surfaces as a write
+			// failure. Retry exactly once, on a fresh dial, within the
+			// same deadline. A failure after the request was fully written
+			// is never replayed here: the peer may already be executing
+			// it, and replaying belongs to the resilience layer, which
+			// knows which RPCs tolerate it.
+			if reused && !wrote && !retried && time.Now().Before(deadline) {
+				retried = true
 				continue
 			}
 			return nil, fmt.Errorf("httpx: %s %s: %w", req.Method, addr, err)
@@ -146,27 +158,31 @@ func (c *Client) doSingle(addr string, req *Request, timeout time.Duration, tok 
 }
 
 // roundTrip writes req and reads its response over an established
-// connection, reporting whether the connection can carry another request
-// afterwards: the response must opt into keep-alive, be framed by
-// Content-Length (or be bodyless) since a read-to-EOF body consumes the
-// connection, and leave no unread bytes buffered.
-func roundTrip(conn net.Conn, req *Request, timeout time.Duration) (*Response, bool, error) {
-	conn.SetDeadline(time.Now().Add(timeout))
+// connection, bounded by the caller's deadline. It reports two facts the
+// caller's retry decision hangs on: whether the connection can carry
+// another request afterwards (the response must opt into keep-alive, be
+// framed by Content-Length or be bodyless since a read-to-EOF body
+// consumes the connection, and leave no unread bytes buffered), and
+// whether the request was fully written before the error — a request
+// that never completely reached the wire cannot have executed, so only
+// those exchanges are safe to replay on another connection.
+func roundTrip(conn net.Conn, req *Request, deadline time.Time) (resp *Response, reusable, wrote bool, err error) {
+	conn.SetDeadline(deadline)
 	if err := WriteRequest(conn, req); err != nil {
-		return nil, false, err
+		return nil, false, false, err
 	}
 	br := getReader(conn)
 	defer putReader(br)
-	resp, err := ReadResponseFor(br, req.Method)
+	resp, err = ReadResponseFor(br, req.Method)
 	if err != nil {
-		return nil, false, err
+		return nil, false, true, err
 	}
-	reusable := br.Buffered() == 0 && respKeepsAlive(req.Method, resp)
+	reusable = br.Buffered() == 0 && respKeepsAlive(req.Method, resp)
 	if reusable {
 		// Drop the per-request deadline so it cannot fire while parked.
 		conn.SetDeadline(time.Time{})
 	}
-	return resp, reusable, nil
+	return resp, reusable, true, nil
 }
 
 // respKeepsAlive reports whether a response leaves its connection

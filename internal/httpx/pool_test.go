@@ -392,6 +392,40 @@ func TestServerParkResume(t *testing.T) {
 	}
 }
 
+// TestServerCloseSweepsParkedConns: closing a server with a connection
+// parked on a long idle timeout must return promptly. The shutdown sweep
+// expires every parked deadline, and the watcher goroutine must not
+// re-arm a future deadline over the sweep and sit out the idle timeout.
+func TestServerCloseSweepsParkedConns(t *testing.T) {
+	fabric := memnet.NewFabric()
+	l, err := fabric.Listen(srvAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ServerConfig{
+		KeepAlive:     true,
+		KeepAliveHold: time.Millisecond,
+		IdleTimeout:   time.Minute,
+	}, okHandler("park"))
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(l) }()
+	client := NewPooledClient(DialerFunc(fabric.Named("cli").Dial), PoolConfig{})
+	t.Cleanup(client.CloseIdle)
+	if _, err := client.Get(srvAddr, "/x", nil); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the hold expire and the conn park
+	srv.Close()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return; a parked connection held shutdown hostage")
+	}
+}
+
 // TestPoolSoak hammers a keep-alive server with a small pool from many
 // goroutines — run under -race in CI to shake out pool lifecycle races.
 func TestPoolSoak(t *testing.T) {

@@ -348,6 +348,20 @@ func (s *Server) park(qc queuedConn) {
 	go func() {
 		defer s.parkWg.Done()
 		qc.conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		// Re-check done now that the idle deadline is armed: closeParked
+		// may have expired the deadline in the window before the line
+		// above overwrote it with a future one, and shutdown must not wait
+		// out IdleTimeout behind an undone sweep. closeParked always runs
+		// after done is closed, so this check observes every sweep.
+		select {
+		case <-s.done:
+			s.parkedMu.Lock()
+			delete(s.parked, qc.conn)
+			s.parkedMu.Unlock()
+			s.discard(qc)
+			return
+		default:
+		}
 		_, err := qc.br.Peek(1)
 		s.parkedMu.Lock()
 		delete(s.parked, qc.conn)

@@ -266,6 +266,19 @@ func (b *Breaker) trip() {
 	}
 }
 
+// releaseProbe frees the half-open trial slot held by a call that was
+// admitted through Allow but aborted without an outcome (e.g. the losing
+// leg of a hedged fetch reeled in by its CancelToken). The abort says
+// nothing about the peer's health, so no state transition is recorded;
+// the breaker stays half-open with the slot free, and the next gated call
+// becomes the trial instead. Without this an aborted trial would leave
+// probing stuck true and wedge the breaker rejecting every gated call.
+func (b *Breaker) releaseProbe() {
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}
+
 // noteRetry records one re-issued attempt against this peer.
 func (b *Breaker) noteRetry() {
 	b.mu.Lock()
@@ -468,7 +481,13 @@ func (r *Registry) run(p Policy, peer string, fn func() error, gated bool) error
 		}
 		if errors.Is(err, ErrAborted) {
 			// The caller abandoned the call; neither a failure signal nor
-			// worth retrying.
+			// worth retrying. If this call was admitted as the half-open
+			// trial, the slot must still be handed back — otherwise the
+			// abort wedges the breaker half-open, rejecting every gated
+			// call until the ungated pinger happens to probe the peer.
+			if gated {
+				b.releaseProbe()
+			}
 			return err
 		}
 		b.Failure()

@@ -105,6 +105,46 @@ func TestBreakerStateMachine(t *testing.T) {
 	}
 }
 
+// TestAbortedTrialReleasesProbeSlot reproduces the hedged-fetch wedge: a
+// call admitted as the half-open trial aborts (its CancelToken fired
+// because the sibling leg won), which must hand the trial slot back. The
+// breaker may not stay wedged with the slot reserved, or every later
+// gated call would be rejected with ErrOpen despite the peer being fine.
+func TestAbortedTrialReleasesProbeSlot(t *testing.T) {
+	clk := clock.NewManual(time.Unix(0, 0))
+	r := NewRegistry(clk, BreakerConfig{FailureThreshold: 1, Cooldown: 10 * time.Second})
+	p := Policy{MaxAttempts: 1}
+
+	if err := r.Execute(p, "peer", func() error { return errors.New("boom") }); err == nil {
+		t.Fatal("failing call reported success")
+	}
+	if r.StateOf("peer") != Open {
+		t.Fatalf("state after trip = %v", r.StateOf("peer"))
+	}
+
+	// Cooldown elapses; the next call is admitted as the trial but aborts.
+	clk.Advance(10 * time.Second)
+	if err := r.Execute(p, "peer", func() error { return ErrAborted }); !errors.Is(err, ErrAborted) {
+		t.Fatalf("aborted trial err = %v, want ErrAborted", err)
+	}
+	if got := r.StateOf("peer"); got != HalfOpen {
+		t.Fatalf("state after aborted trial = %v, want half-open", got)
+	}
+
+	// The slot was released: the next gated call runs (no ErrOpen) and its
+	// success closes the circuit.
+	ran := false
+	if err := r.Execute(p, "peer", func() error { ran = true; return nil }); err != nil {
+		t.Fatalf("post-abort trial err = %v", err)
+	}
+	if !ran {
+		t.Fatal("post-abort trial call never reached the network")
+	}
+	if r.StateOf("peer") != Closed {
+		t.Fatal("successful trial did not close the circuit")
+	}
+}
+
 func TestBreakerReset(t *testing.T) {
 	clk := clock.NewManual(time.Unix(0, 0))
 	b := NewBreaker(clk, BreakerConfig{FailureThreshold: 1, Cooldown: time.Hour}, nil)
