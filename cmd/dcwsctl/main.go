@@ -67,6 +67,25 @@ func main() {
 			st.Pool.Reuses, st.Pool.Dials, 100*st.Pool.ReuseRatio, sumRetires(st.Pool.Retires))
 		fmt.Printf("hedging      launched=%d won=%d miss=%d wasted=%d\n",
 			st.Hedge.Launched, st.Hedge.Won, st.Hedge.Miss, st.Hedge.Wasted)
+		fmt.Printf("glt          shards=%d version=%d entries=%d emits(delta/full/client)=%d/%d/%d anti_entropy=%d\n",
+			st.GLT.Shards, st.GLT.Version, st.GLT.Entries,
+			st.GLT.DeltaEmits, st.GLT.FullEmits, st.GLT.ClientEmits, st.GLT.AntiEntropyRounds)
+		if len(st.GLT.Peers) > 0 {
+			fmt.Println("glt gossip:")
+			peers := make([]string, 0, len(st.GLT.Peers))
+			for p := range st.GLT.Peers {
+				peers = append(peers, p)
+			}
+			sort.Strings(peers)
+			for _, p := range peers {
+				g := st.GLT.Peers[p]
+				line := fmt.Sprintf("  %-24s acked=%d seen=%d", p, g.Acked, g.Seen)
+				if g.LastFull != "" {
+					line += " last_full=" + g.LastFull
+				}
+				fmt.Println(line)
+			}
+		}
 		if len(st.Pool.Peers) > 0 {
 			fmt.Println("pool peers:")
 			peers := make([]string, 0, len(st.Pool.Peers))
@@ -279,7 +298,8 @@ func missingFamilies(families map[string]bool) []string {
 	var missing []string
 	for _, prefix := range []string{
 		"dcws_httpx_", "dcws_serve_seconds", "dcws_render_cache_",
-		"dcws_resilience_", "dcws_glt_", "dcws_pool_",
+		"dcws_resilience_", "dcws_glt_", "dcws_glt_shard_",
+		"dcws_glt_emits_total", "dcws_pool_",
 	} {
 		found := false
 		for f := range families {

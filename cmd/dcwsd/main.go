@@ -37,6 +37,7 @@ func main() {
 		useBPS = flag.Bool("bps-metric", false, "balance on bytes/s instead of connections/s")
 		repl   = flag.Bool("replicate", false, "enable the hot-spot replication extension")
 		pprof  = flag.String("pprof", "", "side listener for net/http/pprof, e.g. 127.0.0.1:6060 (empty: disabled)")
+		access = flag.String("access-log", "", "access-log destination: a file path, \"-\" for stderr (empty: disabled); lines carry trace= IDs joinable against /~dcws/trace")
 	)
 	flag.Parse()
 
@@ -72,6 +73,20 @@ func main() {
 	params.UseBPSMetric = *useBPS
 	params.Replicate = *repl
 
+	var accessLog *log.Logger
+	switch *access {
+	case "":
+	case "-":
+		accessLog = log.New(os.Stderr, "access ", log.LstdFlags)
+	default:
+		f, err := os.OpenFile(*access, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("dcwsd: %v", err)
+		}
+		defer f.Close()
+		accessLog = log.New(f, "", log.LstdFlags)
+	}
+
 	srv, err := dcws.New(dcws.Config{
 		Origin:      origin,
 		Store:       st,
@@ -81,6 +96,7 @@ func main() {
 		Peers:       splitList(*peers),
 		Params:      params,
 		Logger:      log.New(os.Stderr, "", log.LstdFlags),
+		AccessLog:   accessLog,
 	})
 	if err != nil {
 		log.Fatalf("dcwsd: %v", err)

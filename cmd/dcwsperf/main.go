@@ -25,6 +25,7 @@ import (
 	"testing"
 
 	"dcws/internal/dcws"
+	"dcws/internal/glt"
 )
 
 // Result is one benchmark measurement.
@@ -53,6 +54,28 @@ type RPCReport struct {
 	AllocsImprovement float64 `json:"allocs_improvement"`
 }
 
+// GLTReport records the gossip-exchange benchmark pair (pre-sharding
+// full-table baseline vs. sharded delta piggybacking) across cluster
+// sizes, plus the piggyback header sizes that bound per-request overhead.
+type GLTReport struct {
+	Shards          int       `json:"shards"`
+	DeltaEntriesCap int       `json:"delta_entries_cap"`
+	Sizes           []GLTSize `json:"sizes"`
+}
+
+// GLTSize is one cluster-size row of a GLTReport. The benchmark op is a
+// complete bidirectional gossip exchange (decode incoming header, merge,
+// encode outgoing), so the baseline pays O(cluster) per exchange and the
+// delta path pays O(cap).
+type GLTSize struct {
+	Servers            int     `json:"servers"`
+	MergeBaseline      Result  `json:"exchange_baseline"`
+	MergeSharded       Result  `json:"exchange_sharded"`
+	MergeNsImprovement float64 `json:"ns_improvement"`
+	FullHeaderBytes    int     `json:"full_header_bytes"`
+	DeltaHeaderBytes   int     `json:"delta_header_bytes"`
+}
+
 // Conservative floors for -check-rpc: far below the ratios a quiet machine
 // measures (~5x ns, ~2.2x allocs), so the gate only fires when pooling
 // genuinely regresses, not on CI noise.
@@ -60,6 +83,12 @@ const (
 	minRPCNsImprovement     = 1.2
 	minRPCAllocsImprovement = 1.6
 )
+
+// Gates for -check-glt: the sharded delta exchange must beat the frozen
+// full-table baseline by >= 2x at 64 servers, and the capped delta header
+// at 256 servers must be no larger than a 16-server full-table header —
+// the issue's bound on per-request gossip overhead at cluster scale.
+const minGLTNsImprovement = 2.0
 
 // baselines are the seed-commit measurements of the same benchmarks,
 // taken before the rendered-document cache, lock decomposition, and
@@ -103,7 +132,9 @@ func writeJSON(path string, v any) {
 func main() {
 	out := flag.String("out", "BENCH_serve.json", "serving-engine output file (\"-\" for stdout, \"\" to skip)")
 	rpcOut := flag.String("rpc-out", "BENCH_rpc.json", "RPC round-trip output file (\"-\" for stdout, \"\" to skip)")
+	gltOut := flag.String("glt-out", "BENCH_glt.json", "GLT gossip-exchange output file (\"-\" for stdout, \"\" to skip)")
 	checkRPC := flag.Bool("check-rpc", false, "exit nonzero unless pooled RPCs beat dial-per-request by the gate ratios")
+	checkGLT := flag.Bool("check-glt", false, "exit nonzero unless sharded delta gossip beats the full-table baseline by the gate ratios")
 	benchtime := flag.String("benchtime", "", "override -test.benchtime (e.g. 1000x for a smoke run)")
 	testing.Init()
 	flag.Parse()
@@ -137,39 +168,87 @@ func main() {
 		writeJSON(*out, report)
 	}
 
-	if *rpcOut == "" && !*checkRPC {
+	if *rpcOut != "" || *checkRPC {
+		dial := run("RPCDialPerRequestTCP", dcws.BenchRPCDialPerRequestTCP)
+		pooled := run("RPCPooledTCP", dcws.BenchRPCPooledTCP)
+		rpc := RPCReport{
+			Transport:      "loopback-tcp",
+			DialPerRequest: dial,
+			Pooled:         pooled,
+		}
+		if pooled.NsPerOp > 0 {
+			rpc.NsImprovement = dial.NsPerOp / pooled.NsPerOp
+		}
+		if pooled.AllocsPerOp > 0 {
+			rpc.AllocsImprovement = float64(dial.AllocsPerOp) / float64(pooled.AllocsPerOp)
+		}
+		fmt.Fprintf(os.Stderr, "RPC dial     %10.0f ns/op %8d B/op %4d allocs/op\n",
+			dial.NsPerOp, dial.BytesPerOp, dial.AllocsPerOp)
+		fmt.Fprintf(os.Stderr, "RPC pooled   %10.0f ns/op %8d B/op %4d allocs/op (%.1fx ns, %.1fx allocs)\n",
+			pooled.NsPerOp, pooled.BytesPerOp, pooled.AllocsPerOp,
+			rpc.NsImprovement, rpc.AllocsImprovement)
+		if *rpcOut != "" {
+			writeJSON(*rpcOut, rpc)
+		}
+		if *checkRPC {
+			if rpc.NsImprovement < minRPCNsImprovement {
+				log.Fatalf("dcwsperf: pooled RPC ns improvement %.2fx below gate %.1fx",
+					rpc.NsImprovement, minRPCNsImprovement)
+			}
+			if rpc.AllocsImprovement < minRPCAllocsImprovement {
+				log.Fatalf("dcwsperf: pooled RPC allocs improvement %.2fx below gate %.1fx",
+					rpc.AllocsImprovement, minRPCAllocsImprovement)
+			}
+			fmt.Fprintln(os.Stderr, "dcwsperf: RPC pooling gate passed")
+		}
+	}
+
+	if *gltOut == "" && !*checkGLT {
 		return
 	}
-	dial := run("RPCDialPerRequestTCP", dcws.BenchRPCDialPerRequestTCP)
-	pooled := run("RPCPooledTCP", dcws.BenchRPCPooledTCP)
-	rpc := RPCReport{
-		Transport:      "loopback-tcp",
-		DialPerRequest: dial,
-		Pooled:         pooled,
-	}
-	if pooled.NsPerOp > 0 {
-		rpc.NsImprovement = dial.NsPerOp / pooled.NsPerOp
-	}
-	if pooled.AllocsPerOp > 0 {
-		rpc.AllocsImprovement = float64(dial.AllocsPerOp) / float64(pooled.AllocsPerOp)
-	}
-	fmt.Fprintf(os.Stderr, "RPC dial     %10.0f ns/op %8d B/op %4d allocs/op\n",
-		dial.NsPerOp, dial.BytesPerOp, dial.AllocsPerOp)
-	fmt.Fprintf(os.Stderr, "RPC pooled   %10.0f ns/op %8d B/op %4d allocs/op (%.1fx ns, %.1fx allocs)\n",
-		pooled.NsPerOp, pooled.BytesPerOp, pooled.AllocsPerOp,
-		rpc.NsImprovement, rpc.AllocsImprovement)
-	if *rpcOut != "" {
-		writeJSON(*rpcOut, rpc)
-	}
-	if *checkRPC {
-		if rpc.NsImprovement < minRPCNsImprovement {
-			log.Fatalf("dcwsperf: pooled RPC ns improvement %.2fx below gate %.1fx",
-				rpc.NsImprovement, minRPCNsImprovement)
+	const deltaCap = 12
+	gltReport := GLTReport{Shards: glt.DefaultShards, DeltaEntriesCap: deltaCap}
+	for _, servers := range []int{16, 64, 256} {
+		base := run(fmt.Sprintf("GLTExchangeBaseline%d", servers), glt.BenchGossipExchangeBaseline(servers))
+		sharded := run(fmt.Sprintf("GLTExchangeSharded%d", servers), glt.BenchGossipExchangeSharded(servers, deltaCap))
+		fullBytes, deltaBytes := glt.HeaderSizes(servers, deltaCap)
+		row := GLTSize{
+			Servers:          servers,
+			MergeBaseline:    base,
+			MergeSharded:     sharded,
+			FullHeaderBytes:  fullBytes,
+			DeltaHeaderBytes: deltaBytes,
 		}
-		if rpc.AllocsImprovement < minRPCAllocsImprovement {
-			log.Fatalf("dcwsperf: pooled RPC allocs improvement %.2fx below gate %.1fx",
-				rpc.AllocsImprovement, minRPCAllocsImprovement)
+		if sharded.NsPerOp > 0 {
+			row.MergeNsImprovement = base.NsPerOp / sharded.NsPerOp
 		}
-		fmt.Fprintln(os.Stderr, "dcwsperf: RPC pooling gate passed")
+		gltReport.Sizes = append(gltReport.Sizes, row)
+		fmt.Fprintf(os.Stderr, "GLT n=%-4d   baseline %9.0f ns/op, sharded %9.0f ns/op (%.1fx); header full=%dB delta=%dB\n",
+			servers, base.NsPerOp, sharded.NsPerOp, row.MergeNsImprovement, fullBytes, deltaBytes)
+	}
+	if *gltOut != "" {
+		writeJSON(*gltOut, gltReport)
+	}
+	if *checkGLT {
+		var at64, at256, at16 *GLTSize
+		for i := range gltReport.Sizes {
+			switch gltReport.Sizes[i].Servers {
+			case 16:
+				at16 = &gltReport.Sizes[i]
+			case 64:
+				at64 = &gltReport.Sizes[i]
+			case 256:
+				at256 = &gltReport.Sizes[i]
+			}
+		}
+		if at64.MergeNsImprovement < minGLTNsImprovement {
+			log.Fatalf("dcwsperf: GLT exchange improvement %.2fx at 64 servers below gate %.1fx",
+				at64.MergeNsImprovement, minGLTNsImprovement)
+		}
+		if at256.DeltaHeaderBytes > at16.FullHeaderBytes {
+			log.Fatalf("dcwsperf: delta header at 256 servers (%dB) exceeds 16-server full-table header (%dB)",
+				at256.DeltaHeaderBytes, at16.FullHeaderBytes)
+		}
+		fmt.Fprintln(os.Stderr, "dcwsperf: GLT gossip gate passed")
 	}
 }

@@ -173,6 +173,13 @@ func (c *Cluster) TickPingers() {
 	}
 }
 
+// TickAntiEntropy runs one full-table gossip exchange on every server.
+func (c *Cluster) TickAntiEntropy() {
+	for _, s := range c.Servers {
+		s.TickAntiEntropy()
+	}
+}
+
 // TotalMigrated reports how many documents are currently hosted away from
 // their home servers, summed over the cluster.
 func (c *Cluster) TotalMigrated() int {

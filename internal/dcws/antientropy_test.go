@@ -1,0 +1,65 @@
+package dcws
+
+import (
+	"testing"
+
+	"dcws/internal/glt"
+)
+
+// TestAntiEntropyExchangeRepairsTable drives one synchronous anti-entropy
+// tick: a full-table ping exchange must teach the initiator entries it
+// never saw in any delta (here a third server only the peer knows about),
+// and both sides must record the full exchange in their gossip state.
+func TestAntiEntropyExchangeRepairsTable(t *testing.T) {
+	w := newWorld(t)
+	home := w.addServer("home", 80, siteAB(), []string{"/index.html"}, Params{})
+	coop := w.addServer("coop", 81, nil, nil, Params{})
+
+	// Knowledge only the co-op holds: a relayed third-party load entry.
+	ghost := glt.Entry{Server: "ghost:99", Load: 0.7, Updated: w.clock.Now()}
+	coop.LoadTable().Observe(ghost)
+	if _, ok := home.LoadTable().Get("ghost:99"); ok {
+		t.Fatal("home already knows ghost:99")
+	}
+
+	home.TickAntiEntropy()
+
+	got, ok := home.LoadTable().Get("ghost:99")
+	if !ok || got.Load != 0.7 {
+		t.Fatalf("after anti-entropy home's ghost:99 = %+v, %v", got, ok)
+	}
+
+	st := home.Status()
+	if st.GLT.Shards != glt.DefaultShards {
+		t.Fatalf("status shards = %d", st.GLT.Shards)
+	}
+	if st.GLT.Entries != home.LoadTable().Len() || st.GLT.Entries < 3 {
+		t.Fatalf("status entries = %d (table %d)", st.GLT.Entries, home.LoadTable().Len())
+	}
+	if st.GLT.Version == 0 {
+		t.Fatal("status version = 0")
+	}
+	if st.GLT.AntiEntropyRounds != 1 {
+		t.Fatalf("anti-entropy rounds = %d", st.GLT.AntiEntropyRounds)
+	}
+	if st.GLT.FullEmits < 1 {
+		t.Fatalf("full emits = %d", st.GLT.FullEmits)
+	}
+	row, ok := st.GLT.Peers["coop:81"]
+	if !ok {
+		t.Fatalf("status has no gossip row for coop:81: %+v", st.GLT.Peers)
+	}
+	if row.LastFull == "" {
+		t.Fatal("last_full not stamped after full exchange")
+	}
+	if row.Seen == 0 {
+		t.Fatal("peer's advertised version not recorded")
+	}
+
+	// The responder saw the !g marker and answered full: its gossip state
+	// for home carries the ack it learned from home's header.
+	coopRow, ok := coop.Status().GLT.Peers["home:80"]
+	if !ok || coopRow.Seen == 0 {
+		t.Fatalf("coop gossip row for home = %+v, %v", coopRow, ok)
+	}
+}

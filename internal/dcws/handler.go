@@ -22,7 +22,7 @@ import (
 // and propagated on any inter-server RPC issued while serving, so the
 // spans recorded across the cluster for one logical request share one ID.
 func (s *Server) handle(req *httpx.Request) *httpx.Response {
-	s.absorb(req.Header)
+	from, wantFull := s.absorb(req.Header)
 	traceID := req.Header.Get(telemetry.TraceHeader)
 	if traceID == "" {
 		traceID = telemetry.NewTraceID()
@@ -51,7 +51,16 @@ func (s *Server) handle(req *httpx.Request) *httpx.Response {
 	default:
 		resp = s.serveAsHome(req)
 	}
-	s.piggyback(resp.Header)
+	// A peer identified itself in the request header: answer with the
+	// delta it has not acked (or the full table when it asked for an
+	// anti-entropy exchange). Plain clients get the constant-size self
+	// entry — they cannot ack deltas, and relaying the whole cluster's
+	// table to browsers is O(cluster) bytes for nothing.
+	if from != "" {
+		s.piggybackTo(resp.Header, from, wantFull)
+	} else {
+		s.piggybackClient(resp.Header)
+	}
 	resp.Header.Set(telemetry.TraceHeader, traceID)
 	if op != "" {
 		d := time.Since(start)
@@ -422,7 +431,7 @@ func (s *Server) fetchLeg(peer, path, op string, hedge bool, traceID string, tok
 		} else {
 			s.attachHotReport(extra, peer)
 		}
-		s.piggyback(extra)
+		s.piggybackTo(extra, peer, false)
 		req := httpx.NewRequest("GET", path)
 		for k, vs := range extra {
 			req.Header[k] = vs

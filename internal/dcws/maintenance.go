@@ -196,7 +196,7 @@ func (s *Server) sendRevoke(coop, doc string) {
 	req := httpx.NewRequest("POST", revokePath)
 	req.Header.Set(headerRevokeDoc, key)
 	req.Header.Set(telemetry.TraceHeader, traceID)
-	s.piggyback(req.Header)
+	s.piggybackTo(req.Header, coop, false)
 	resp, err := s.client.DoTimeout(coop, req, s.params.MaintenanceTimeout)
 	span := telemetry.Span{
 		TraceID: traceID, Server: s.addr, Op: "revoke-rpc",
@@ -366,7 +366,7 @@ func (s *Server) runPingerTick() {
 				attempts++
 				extra := make(httpx.Header)
 				extra.Set(telemetry.TraceHeader, traceID)
-				s.piggyback(extra)
+				s.piggybackTo(extra, peer, false)
 				r, err := s.client.GetTimeout(peer, pingPath, extra, s.params.MaintenanceTimeout)
 				if err != nil {
 					return err
@@ -429,6 +429,72 @@ func (s *Server) declareDown(peer string) {
 	s.log.Printf("dcws %s: declared %s down, recalled %d documents", s.Addr(), peer, n)
 }
 
+// antiEntropyLoop is the safety net under delta piggybacking: every
+// AntiEntropyInterval it exchanges complete load tables with the peer
+// whose last full exchange is oldest, so entries lost to dropped
+// responses, capped deltas, or peer restarts reconverge within one sweep
+// of the cluster even if no delta ever carries them again.
+func (s *Server) antiEntropyLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stopped:
+			return
+		case <-s.cfg.Clock.After(s.params.AntiEntropyInterval):
+		}
+		s.runAntiEntropyTick()
+	}
+}
+
+// runAntiEntropyTick performs one full-table exchange: a ping carrying
+// the whole table and the !g marker, answered by the peer's whole table.
+func (s *Server) runAntiEntropyTick() {
+	peer := s.pickAntiEntropyPeer()
+	if peer == "" {
+		return
+	}
+	s.tel.antiEntropyRounds.Inc()
+	traceID := telemetry.NewTraceID()
+	start := time.Now()
+	startClk := s.now()
+	extra := make(httpx.Header)
+	extra.Set(telemetry.TraceHeader, traceID)
+	s.piggybackTo(extra, peer, true)
+	resp, err := s.client.GetTimeout(peer, pingPath, extra, s.params.MaintenanceTimeout)
+	span := telemetry.Span{
+		TraceID: traceID, Server: s.addr, Op: "anti-entropy",
+		Target: pingPath, Peer: peer, Start: startClk, Duration: time.Since(start),
+	}
+	if err != nil {
+		span.Err = err.Error()
+		s.tel.ring.Record(span)
+		s.log.Printf("dcws %s: anti-entropy with %s: %v", s.Addr(), peer, err)
+		return
+	}
+	span.Status = resp.Status
+	s.tel.ring.Record(span)
+	s.absorb(resp.Header)
+}
+
+// pickAntiEntropyPeer selects the healthy peer whose last full exchange
+// is oldest (never-exchanged peers first, then by address for
+// determinism).
+func (s *Server) pickAntiEntropyPeer() string {
+	gossip := s.table.GossipPeers()
+	var best string
+	var bestAt time.Time
+	for _, p := range s.table.Servers() {
+		if p == s.addr || s.peerSuspect(p) {
+			continue
+		}
+		at := gossip[p].LastFull
+		if best == "" || at.Before(bestAt) {
+			best, bestAt = p, at
+		}
+	}
+	return best
+}
+
 // validatorLoop is the co-op consistency thread of §4.5: every T_val it
 // re-requests each hosted document from its home server so content changes
 // propagate within the validation interval.
@@ -466,7 +532,7 @@ func (s *Server) validateOne(key string) {
 	extra.Set(headerFetch, s.Addr())
 	extra.Set(headerValidate, strconv.FormatUint(v.hash, 16))
 	extra.Set(telemetry.TraceHeader, traceID)
-	s.piggyback(extra)
+	s.piggybackTo(extra, v.home.Addr(), false)
 	s.attachHotReport(extra, v.home.Addr())
 	resp, err := s.client.GetTimeout(v.home.Addr(), v.name, extra, s.params.MaintenanceTimeout)
 	span := telemetry.Span{

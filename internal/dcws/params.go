@@ -139,6 +139,24 @@ type Params struct {
 	// TraceRingSize bounds the in-memory ring of recent trace spans
 	// (default 512).
 	TraceRingSize int
+
+	// MaxPiggybackEntries caps how many load entries one inter-server
+	// X-DCWS-Load delta may carry, keeping header size near-constant as
+	// the cluster grows; entries the peer has not acked queue stalest-
+	// first for later responses. Default 12; negative removes the cap.
+	MaxPiggybackEntries int
+	// AntiEntropyInterval paces the full-table gossip exchange that
+	// backstops delta piggybacking: each round, the server swaps complete
+	// tables with the peer whose last full exchange is oldest, so dropped
+	// deltas and restarted peers reconverge within one sweep. Default
+	// 60 s; negative disables anti-entropy.
+	AntiEntropyInterval time.Duration
+	// MetricsSeriesLimit caps how many series any one metric family may
+	// emit per /~dcws/metrics scrape; overflow is counted in
+	// telemetry_series_dropped_total instead of unboundedly growing the
+	// exposition with per-peer labels at cluster scale. Default 1024;
+	// negative removes the cap.
+	MetricsSeriesLimit int
 }
 
 // DefaultParams returns the configuration of Table 1: 12 worker threads, a
@@ -177,6 +195,9 @@ func DefaultParams() Params {
 		LoadQuantum:           1,
 		PiggybackRefresh:      time.Second,
 		TraceRingSize:         512,
+		MaxPiggybackEntries:   12,
+		AntiEntropyInterval:   60 * time.Second,
+		MetricsSeriesLimit:    1024,
 	}
 }
 
@@ -278,6 +299,17 @@ func (p Params) withDefaults() Params {
 	}
 	if p.TraceRingSize <= 0 {
 		p.TraceRingSize = d.TraceRingSize
+	}
+	// MaxPiggybackEntries, AntiEntropyInterval, and MetricsSeriesLimit
+	// keep negative values: they mean "uncapped" / "disabled".
+	if p.MaxPiggybackEntries == 0 {
+		p.MaxPiggybackEntries = d.MaxPiggybackEntries
+	}
+	if p.AntiEntropyInterval == 0 {
+		p.AntiEntropyInterval = d.AntiEntropyInterval
+	}
+	if p.MetricsSeriesLimit == 0 {
+		p.MetricsSeriesLimit = d.MetricsSeriesLimit
 	}
 	return p
 }

@@ -19,6 +19,7 @@ import (
 	"dcws/internal/policy"
 	"dcws/internal/resilience"
 	"dcws/internal/store"
+	"dcws/internal/telemetry"
 )
 
 // Extension header names used between cooperating servers. All ride on
@@ -77,6 +78,10 @@ type Config struct {
 	Params Params
 	// Logger receives operational messages; nil discards them.
 	Logger *log.Logger
+	// AccessLog, when non-nil, receives one line per served request
+	// including the response's trace ID, so slow requests in the log can
+	// be joined against /~dcws/trace. Nil disables access logging.
+	AccessLog *log.Logger
 }
 
 // coopDoc is a document this server hosts on behalf of a home server.
@@ -249,7 +254,10 @@ func New(cfg Config) (*Server, error) {
 		QueueLength: params.QueueLength,
 		KeepAlive:   true,
 		Observer:    s.tel,
+		AccessLog:   cfg.AccessLog,
+		TraceHeader: telemetry.TraceHeader,
 	}, httpx.HandlerFunc(s.handle))
+	s.tel.reg.SetSeriesLimit(params.MetricsSeriesLimit)
 	s.tel.bindServer(s)
 	return s, nil
 }
@@ -285,6 +293,10 @@ func (s *Server) Start() error {
 		go s.statsLoop()
 		go s.pingerLoop()
 		go s.validatorLoop()
+		if s.params.AntiEntropyInterval > 0 {
+			s.wg.Add(1)
+			go s.antiEntropyLoop()
+		}
 		s.log.Printf("dcws %s: started with %d documents", s.Addr(), s.ldg.Len())
 	})
 	return startErr
@@ -361,6 +373,9 @@ func (s *Server) TickPinger() { s.runPingerTick() }
 // TickValidator runs one co-op validation pass synchronously.
 func (s *Server) TickValidator() { s.runValidatorTick() }
 
+// TickAntiEntropy runs one full-table gossip exchange synchronously.
+func (s *Server) TickAntiEntropy() { s.runAntiEntropyTick() }
+
 // Resilience exposes the per-peer breaker registry and its counters
 // (status endpoint, operational tooling, tests).
 func (s *Server) Resilience() *resilience.Registry { return s.res }
@@ -391,24 +406,40 @@ func (s *Server) quantizeLoad(load float64) float64 {
 	return math.Round(load/q) * q
 }
 
-// piggyback attaches this server's load table to an outgoing header map.
-// The self entry is refreshed with the quantized load, throttled by
-// PiggybackRefresh, so in steady state the table version is unchanged and
-// EncodeHeader returns its cached string instead of re-serializing.
-func (s *Server) piggyback(h httpx.Header) {
+// piggybackTo attaches the load-table delta this peer has not yet acked
+// to an outgoing header map, capped at MaxPiggybackEntries (full sends
+// the whole table — the anti-entropy exchange). The self entry is
+// refreshed with the quantized load, throttled by PiggybackRefresh, so in
+// steady state the table version is unchanged and the per-peer encoding
+// cache answers with a version compare.
+func (s *Server) piggybackTo(h httpx.Header, peer string, full bool) {
 	now := s.now()
 	s.table.RefreshSelf(s.quantizeLoad(s.loadMetric(now)), now, s.params.PiggybackRefresh)
-	h.Set(glt.HeaderName, s.table.EncodeHeader())
+	h.Set(glt.HeaderName, s.table.EncodePiggybackTo(peer, now, s.params.MaxPiggybackEntries, full))
+}
+
+// piggybackClient attaches the self-entry-only header to a plain client
+// response. Clients cannot ack deltas, so they get the one entry that is
+// always fresh here — constant-size however large the cluster is.
+func (s *Server) piggybackClient(h httpx.Header) {
+	now := s.now()
+	s.table.RefreshSelf(s.quantizeLoad(s.loadMetric(now)), now, s.params.PiggybackRefresh)
+	h.Set(glt.HeaderName, s.table.EncodeClientHeader())
 }
 
 // absorb merges piggybacked load information from an incoming header map.
-func (s *Server) absorb(h httpx.Header) {
+// It reports the sender's address when the header carried one ("" for
+// plain clients and legacy peers) and whether the sender asked for a
+// full-table anti-entropy response.
+func (s *Server) absorb(h httpx.Header) (from string, full bool) {
 	if v := h.Get(glt.HeaderName); v != "" {
-		entries := glt.DecodeHeader(v)
-		s.table.Merge(entries)
-		s.reconcileDownPeers(entries)
+		p := glt.DecodePiggyback(v)
+		s.table.Absorb(p, s.now())
+		s.reconcileDownPeers(p.Entries)
+		from, full = p.From, p.Full
 	}
 	s.absorbHot(h)
+	return from, full
 }
 
 // reconcileDownPeers checks piggybacked entries against the declared-down

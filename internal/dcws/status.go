@@ -41,6 +41,10 @@ type Status struct {
 	// see which peer is flaky, not just that one is.
 	PeerResilience map[string]PeerResilienceStatus `json:"peer_resilience,omitempty"`
 
+	// GLT summarizes the sharded global load table and its delta-encoded
+	// piggyback gossip.
+	GLT GLTStatus `json:"glt"`
+
 	// Pool summarizes the inter-server keep-alive connection pool.
 	Pool PoolStatus `json:"pool"`
 	// Hedge summarizes hedged lazy-migration fetches.
@@ -63,6 +67,39 @@ type PeerResilienceStatus struct {
 	// LastTransition is when the breaker last changed state, RFC 3339;
 	// empty when it never left closed.
 	LastTransition string `json:"last_transition,omitempty"`
+}
+
+// GLTStatus is the load table's gossip view: how the table is striped,
+// how far each peer has acknowledged it, and when the anti-entropy safety
+// net last ran against each peer.
+type GLTStatus struct {
+	// Shards is how many stripes the table is hashed across.
+	Shards int `json:"shards"`
+	// Version is the monotonic counter stamped on the newest accepted write.
+	Version uint64 `json:"version"`
+	// Entries is the total number of load entries across all shards.
+	Entries int `json:"entries"`
+	// DeltaEmits / FullEmits / ClientEmits count piggyback headers emitted
+	// by kind since start.
+	DeltaEmits  int64 `json:"delta_emits"`
+	FullEmits   int64 `json:"full_emits"`
+	ClientEmits int64 `json:"client_emits"`
+	// AntiEntropyRounds counts full-table exchanges this server initiated.
+	AntiEntropyRounds int64 `json:"anti_entropy_rounds"`
+	// Peers is the per-peer gossip state, keyed by peer address.
+	Peers map[string]GLTPeerStatus `json:"peers,omitempty"`
+}
+
+// GLTPeerStatus is one peer's row in GLTStatus.Peers.
+type GLTPeerStatus struct {
+	// Acked is the highest local table version the peer has echoed back;
+	// deltas to it only carry entries written after this mark.
+	Acked uint64 `json:"acked"`
+	// Seen is the peer's own table version last advertised to us.
+	Seen uint64 `json:"seen"`
+	// LastFull is when a full-table exchange last reached the peer, RFC
+	// 3339; empty when none has.
+	LastFull string `json:"last_full,omitempty"`
 }
 
 // PoolStatus summarizes the keep-alive connection pool used for
@@ -120,6 +157,25 @@ func (s *Server) Status() Status {
 	}
 	st.CacheHits, st.CacheMisses = s.rcache.counts()
 	st.QueueDepth = s.httpSrv.QueueDepth()
+	st.GLT = GLTStatus{
+		Shards:            s.table.ShardCount(),
+		Version:           s.table.Version(),
+		Entries:           s.table.Len(),
+		DeltaEmits:        s.table.DeltaEmits(),
+		FullEmits:         s.table.FullEmits(),
+		ClientEmits:       s.table.ClientEmits(),
+		AntiEntropyRounds: s.tel.antiEntropyRounds.Value(),
+	}
+	for p, g := range s.table.GossipPeers() {
+		row := GLTPeerStatus{Acked: g.Acked, Seen: g.Seen}
+		if !g.LastFull.IsZero() {
+			row.LastFull = g.LastFull.UTC().Format(time.RFC3339Nano)
+		}
+		if st.GLT.Peers == nil {
+			st.GLT.Peers = make(map[string]GLTPeerStatus)
+		}
+		st.GLT.Peers[p] = row
+	}
 	for _, e := range s.table.Snapshot() {
 		st.LoadTable[e.Server] = e.Load
 	}

@@ -46,6 +46,9 @@ type serverTelemetry struct {
 	replications    *telemetry.Counter
 	declaredDown    *telemetry.Counter
 	validatorPasses *telemetry.Counter
+	// antiEntropyRounds counts full-table gossip exchanges initiated by
+	// this server's anti-entropy thread.
+	antiEntropyRounds *telemetry.Counter
 
 	// Hedged lazy-migration fetches. Every launched hedge ends up counted
 	// exactly once: won (sibling answered 200 first), miss (sibling
@@ -97,6 +100,8 @@ func newServerTelemetry(ringSize int) *serverTelemetry {
 		"peers declared down after repeated probe failures")
 	t.validatorPasses = reg.Counter("dcws_validator_passes_total",
 		"co-op validation passes completed")
+	t.antiEntropyRounds = reg.Counter("dcws_glt_anti_entropy_rounds_total",
+		"full-table gossip exchanges initiated as the delta-piggyback safety net")
 
 	t.hedgeLaunched = reg.Counter("dcws_hedge_launched_total",
 		"hedge legs raced against a slow or failing home-server fetch")
@@ -295,11 +300,61 @@ func (t *serverTelemetry) bindServer(s *Server) {
 		"age of the stalest peer entry in the load table",
 		func() float64 { return s.table.OldestAge(s.now()).Seconds() })
 	reg.GaugeFunc("dcws_glt_header_bytes",
-		"size of the current encoded X-DCWS-Load piggyback header",
+		"size of the most recently emitted X-DCWS-Load piggyback header",
 		func() float64 { return float64(s.table.HeaderBytes()) })
+	reg.GaugeFunc("dcws_glt_header_entries",
+		"load entries carried by the most recently emitted piggyback header",
+		func() float64 { return float64(s.table.LastHeaderEntries()) })
 	reg.CounterFunc("dcws_glt_header_regens_total",
-		"times the cached piggyback encoding was rebuilt",
+		"times the cached full-table encoding was rebuilt",
 		func() float64 { return float64(s.table.HeaderRegens()) })
+	reg.CounterFunc("dcws_glt_delta_regens_total",
+		"times a per-peer delta encoding was rebuilt",
+		func() float64 { return float64(s.table.DeltaRegens()) })
+	reg.CounterFunc("dcws_glt_emits_total",
+		"piggyback headers emitted, by kind",
+		func() float64 { return float64(s.table.DeltaEmits()) },
+		telemetry.Label{Key: "kind", Value: "delta"})
+	reg.CounterFunc("dcws_glt_emits_total",
+		"piggyback headers emitted, by kind",
+		func() float64 { return float64(s.table.FullEmits()) },
+		telemetry.Label{Key: "kind", Value: "full"})
+	reg.CounterFunc("dcws_glt_emits_total",
+		"piggyback headers emitted, by kind",
+		func() float64 { return float64(s.table.ClientEmits()) },
+		telemetry.Label{Key: "kind", Value: "client"})
+	reg.GaugeFunc("dcws_glt_version",
+		"monotonic table version of the newest accepted write",
+		func() float64 { return float64(s.table.Version()) })
+	reg.GaugeFunc("dcws_glt_shards",
+		"stripes the load table is hashed across",
+		func() float64 { return float64(s.table.ShardCount()) })
+	reg.Collector("dcws_glt_shard_entries",
+		"load-table entries per stripe", "gauge",
+		func() []telemetry.Sample {
+			sizes := s.table.ShardSizes()
+			out := make([]telemetry.Sample, 0, len(sizes))
+			for i, n := range sizes {
+				out = append(out, telemetry.Sample{
+					Labels: []telemetry.Label{{Key: "shard", Value: strconv.Itoa(i)}},
+					Value:  float64(n),
+				})
+			}
+			return out
+		})
+	reg.Collector("dcws_glt_peer_acked_version",
+		"highest table version each gossip peer has acknowledged", "gauge",
+		func() []telemetry.Sample {
+			gossip := s.table.GossipPeers()
+			out := make([]telemetry.Sample, 0, len(gossip))
+			for peer, g := range gossip {
+				out = append(out, telemetry.Sample{
+					Labels: []telemetry.Label{{Key: "peer", Value: peer}},
+					Value:  float64(g.Acked),
+				})
+			}
+			return out
+		})
 	reg.Collector("dcws_glt_load",
 		"advertised load per server in the local view", "gauge",
 		func() []telemetry.Sample {

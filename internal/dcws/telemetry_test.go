@@ -1,9 +1,11 @@
 package dcws
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
+	"dcws/internal/glt"
 	"dcws/internal/httpx"
 	"dcws/internal/telemetry"
 )
@@ -275,6 +277,39 @@ func TestPiggybackHeaderStable(t *testing.T) {
 	}
 	if got := srv.LoadTable().HeaderRegens(); got != regensAfterFirst {
 		t.Fatalf("header regens grew %d -> %d across identical requests", regensAfterFirst, got)
+	}
+}
+
+// TestMetricsSeriesLimitAtScale is the cardinality-guard scenario: a server
+// that has learned of 256 peers through gossip must not emit 256 series per
+// per-peer family at scrape time — the limit caps each family and the
+// overflow is visible in the dropped meta-counter.
+func TestMetricsSeriesLimitAtScale(t *testing.T) {
+	w := newWorld(t)
+	srv := w.addServer("home", 80, siteAB(), []string{"/index.html"}, Params{MetricsSeriesLimit: 40})
+	for i := 0; i < 256; i++ {
+		srv.LoadTable().Observe(glt.Entry{
+			Server:  fmt.Sprintf("peer-%03d.cluster:80", i),
+			Load:    float64(i) / 256,
+			Updated: w.clock.Now(),
+		})
+	}
+
+	resp := w.get("home:80", "/~dcws/metrics")
+	if resp.Status != 200 {
+		t.Fatalf("metrics status = %d", resp.Status)
+	}
+	body := string(resp.Body)
+	checkExposition(t, body)
+	if got := strings.Count(body, "dcws_glt_load{"); got > 40 {
+		t.Fatalf("dcws_glt_load emitted %d series, limit 40", got)
+	}
+	if !strings.Contains(body, `telemetry_series_dropped_total{family="dcws_glt_load"}`) {
+		t.Fatalf("dropped meta-counter missing for dcws_glt_load:\n%s", body)
+	}
+	// Small families are untouched by the cap.
+	if !strings.Contains(body, "dcws_glt_entries 257") {
+		t.Fatalf("dcws_glt_entries missing or wrong:\n%s", body)
 	}
 }
 

@@ -1,0 +1,10 @@
+package glt
+
+import "testing"
+
+func BenchmarkGossipExchangeBaseline16(b *testing.B)  { BenchGossipExchangeBaseline(16)(b) }
+func BenchmarkGossipExchangeBaseline64(b *testing.B)  { BenchGossipExchangeBaseline(64)(b) }
+func BenchmarkGossipExchangeBaseline256(b *testing.B) { BenchGossipExchangeBaseline(256)(b) }
+func BenchmarkGossipExchangeSharded16(b *testing.B)   { BenchGossipExchangeSharded(16, 12)(b) }
+func BenchmarkGossipExchangeSharded64(b *testing.B)   { BenchGossipExchangeSharded(64, 12)(b) }
+func BenchmarkGossipExchangeSharded256(b *testing.B)  { BenchGossipExchangeSharded(256, 12)(b) }

@@ -3,19 +3,42 @@
 // piggybacked on ordinary HTTP transfers as the X-DCWS-Load extension
 // header, so communicating load costs no extra connections; a freshest-
 // timestamp-wins merge keeps the views convergent without coordination.
+//
+// The table is hash-sharded into fixed stripes so concurrent merges from
+// worker goroutines contend per stripe instead of on one table lock, and
+// every accepted write is stamped with a monotonically increasing table
+// version. The version drives delta gossip: a server tracks, per peer,
+// the highest version that peer has acknowledged (echoed back in the
+// peer's own header) and piggybacks only entries newer than that, capped
+// and stalest-first, with a periodic full-table anti-entropy exchange as
+// the safety net. Metadata items in the header start with '!' and are
+// skipped by the entry parser, so old decoders interoperate with new
+// encoders.
 package glt
 
 import (
+	"math"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // HeaderName is the HTTP extension header carrying piggybacked load
 // entries.
 const HeaderName = "X-DCWS-Load"
+
+// DefaultShards is the number of stripes the table is hashed across. It
+// is fixed at construction; 16 stripes keep per-stripe contention low at
+// the 64–256-server scale the delta gossip targets.
+const DefaultShards = 16
+
+// maxPeerStates bounds the per-peer gossip-state map so arbitrary sender
+// identities in forged headers cannot grow it without limit. Past the
+// cap, unknown senders are served stateless full deltas.
+const maxPeerStates = 4096
 
 // Entry is one (Server, LoadMetric) tuple with the freshness timestamp used
 // for best-effort merging.
@@ -29,90 +52,228 @@ type Entry struct {
 	Updated time.Time
 }
 
+// entryRec is an Entry plus the table version at which it was written,
+// the unit of delta gossip.
+type entryRec struct {
+	e   Entry
+	ver uint64
+}
+
+// shard is one stripe of the table. The version counter is advanced
+// inside the stripe's critical section, so an encoder that snapshots the
+// version and then takes the stripe lock is guaranteed to see every
+// record with ver at or below the snapshot.
+type shard struct {
+	mu      sync.RWMutex
+	entries map[string]entryRec
+}
+
+// peerState is the gossip bookkeeping for one peer: what it has
+// acknowledged receiving from us, what we last saw of its version (our
+// ack to it), when we last exchanged full tables, and the cached delta
+// encoding.
+type peerState struct {
+	mu sync.Mutex
+	// acked is the highest table version the peer confirmed receiving,
+	// from the !a echo in its own header. Last-observed wins so a peer
+	// restart (version reset) recovers.
+	acked uint64
+	// seen is the table version the peer last advertised (!v); it is
+	// echoed back to the peer as our !a.
+	seen uint64
+	// lastFull is when a full-table (anti-entropy) exchange with this
+	// peer last happened, in either direction.
+	lastFull time.Time
+
+	// Cached delta encoding, valid for one (version, acked, full, max)
+	// tuple. In steady state the table version and the peer's ack are
+	// both stable between requests, so serving costs a compare.
+	encVer     uint64
+	encAck     uint64
+	encFull    bool
+	encMax     int
+	encEntries int
+	enc        string
+	encValid   bool
+}
+
+// PeerGossip is the externally visible gossip state for one peer, for
+// status endpoints and telemetry.
+type PeerGossip struct {
+	// Acked is the highest table version the peer has acknowledged.
+	Acked uint64
+	// Seen is the table version the peer last advertised.
+	Seen uint64
+	// LastFull is when the last full-table anti-entropy exchange with
+	// the peer completed (zero when never).
+	LastFull time.Time
+}
+
+// Piggyback is a decoded X-DCWS-Load header value: the entry list plus
+// the gossip metadata items ("!f" sender, "!v" advertised version, "!a"
+// ack, "!g" full exchange). Headers from old encoders decode with only
+// Entries set.
+type Piggyback struct {
+	// From is the sender's address ("" for legacy or client headers).
+	From string
+	// Version is the table version the sender advertised: the highest
+	// version V such that every record the recipient has not acked, up
+	// to V, is included in Entries.
+	Version uint64
+	// Ack is the sender's echo of the highest version it has seen from
+	// the recipient; HasAck reports whether it was present.
+	Ack    uint64
+	HasAck bool
+	// Full marks a full-table anti-entropy payload; the responder to a
+	// Full request replies in full.
+	Full bool
+	// Entries is the piggybacked load-entry list.
+	Entries []Entry
+}
+
 // Table is one server's local copy of the global load information.
 type Table struct {
-	mu      sync.RWMutex
-	self    string
-	entries map[string]Entry
-	// version advances on every entry change; the encoded piggyback
-	// header is cached against it so serving a request does not
-	// re-serialize an unchanged table.
-	version uint64
+	self   string
+	shards []shard
+
+	// version advances on every accepted entry change, inside the
+	// owning stripe's critical section. It tags records for delta
+	// gossip and keys every encoding cache.
+	version atomic.Uint64
 	// merged counts entries applied from peers (piggyback merge
 	// freshness telemetry).
-	merged int64
+	merged atomic.Int64
 
-	// encMu guards the cached header encoding. It is always taken
-	// before mu, never after.
+	// encMu guards the cached full-table header encoding.
 	encMu      sync.Mutex
 	encVersion uint64
 	encValid   bool
 	encoded    string
-	regens     int64 // times the cached encoding had to be rebuilt
+	regens     atomic.Int64 // times the cached full encoding was rebuilt
+
+	// clientMu guards the cached self-entry-only header attached to
+	// plain client responses, keyed by the self record's version.
+	clientMu    sync.Mutex
+	clientVer   uint64
+	clientValid bool
+	clientEnc   string
+
+	// peerMu guards the per-peer gossip-state map. Lock order:
+	// peerState.mu may be held while taking stripe locks; neither is
+	// ever taken while holding the other direction.
+	peerMu sync.RWMutex
+	peers  map[string]*peerState
+
+	// Emission telemetry: header kinds and the size of the last header
+	// produced by any encoder.
+	deltaEmits  atomic.Int64
+	fullEmits   atomic.Int64
+	clientEmits atomic.Int64
+	deltaRegens atomic.Int64
+	lastEntries atomic.Int64
+	lastBytes   atomic.Int64
 }
 
 // NewTable returns a table for the server with the given address. The
 // server itself starts present with zero load so it is immediately
 // eligible as a migration target for peers.
 func NewTable(self string) *Table {
-	t := &Table{self: self, entries: make(map[string]Entry)}
-	t.entries[self] = Entry{Server: self, Load: 0, Updated: time.Time{}}
+	t := &Table{
+		self:   self,
+		shards: make([]shard, DefaultShards),
+		peers:  make(map[string]*peerState),
+	}
+	for i := range t.shards {
+		t.shards[i].entries = make(map[string]entryRec)
+	}
+	sh := t.shardFor(self)
+	sh.mu.Lock()
+	sh.entries[self] = entryRec{e: Entry{Server: self}, ver: t.version.Add(1)}
+	sh.mu.Unlock()
 	return t
+}
+
+// shardFor maps a server address to its stripe (FNV-1a).
+func (t *Table) shardFor(server string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(server); i++ {
+		h ^= uint32(server[i])
+		h *= 16777619
+	}
+	return &t.shards[h%uint32(len(t.shards))]
 }
 
 // Self returns the owning server's address.
 func (t *Table) Self() string { return t.self }
 
+// bumpSelfStamp pushes at forward just far enough that the entry's
+// wire-visible (millisecond) timestamp strictly advances past prev when
+// the advertised value changes. Two self advertisements carrying different
+// loads at the same wire timestamp would tie in every relay's
+// freshest-wins merge — each relay keeps whichever copy it saw first, and
+// the cluster never reconverges on the owner's value.
+func bumpSelfStamp(prev, at time.Time) time.Time {
+	if at.UnixMilli() > prev.UnixMilli() {
+		return at
+	}
+	return time.UnixMilli(prev.UnixMilli() + 1)
+}
+
 // UpdateSelf records the owning server's own load measurement.
 func (t *Table) UpdateSelf(load float64, at time.Time) {
-	t.mu.Lock()
-	t.entries[t.self] = Entry{Server: t.self, Load: load, Updated: at}
-	t.version++
-	t.mu.Unlock()
+	sh := t.shardFor(t.self)
+	sh.mu.Lock()
+	cur := sh.entries[t.self]
+	if cur.e.Server != "" && at.UnixMilli() <= cur.e.Updated.UnixMilli() {
+		if load == cur.e.Load {
+			at = cur.e.Updated
+		} else {
+			at = bumpSelfStamp(cur.e.Updated, at)
+		}
+	}
+	sh.entries[t.self] = entryRec{e: Entry{Server: t.self, Load: load, Updated: at}, ver: t.version.Add(1)}
+	sh.mu.Unlock()
 }
 
 // RefreshSelf updates the owning server's entry only when the load value
 // changed or the existing entry is older than maxAge — the request hot
 // path uses it with a quantized load so the piggyback header (and its
-// cached encoding) stays stable across requests instead of churning on
+// cached encodings) stays stable across requests instead of churning on
 // every response. maxAge <= 0 forces the refresh. Reports whether the
 // entry changed.
 func (t *Table) RefreshSelf(load float64, now time.Time, maxAge time.Duration) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	cur := t.entries[t.self]
-	if maxAge > 0 && cur.Load == load && now.Sub(cur.Updated) < maxAge {
+	sh := t.shardFor(t.self)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cur := sh.entries[t.self]
+	if maxAge > 0 && cur.e.Load == load && now.Sub(cur.e.Updated) < maxAge {
 		return false
 	}
-	t.entries[t.self] = Entry{Server: t.self, Load: load, Updated: now}
-	t.version++
+	if cur.e.Server != "" && load != cur.e.Load {
+		now = bumpSelfStamp(cur.e.Updated, now)
+	}
+	sh.entries[t.self] = entryRec{e: Entry{Server: t.self, Load: load, Updated: now}, ver: t.version.Add(1)}
 	return true
 }
 
 // Observe merges one entry, keeping whichever of the existing and new
 // entries is fresher. The server's own entry is never overwritten by a
-// peer's stale echo.
+// peer's echo — our own measurement is authoritative, so even a
+// forged future-dated echo cannot move it.
 func (t *Table) Observe(e Entry) {
 	if e.Server == "" {
 		return
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	cur, ok := t.entries[e.Server]
-	if ok && !e.Updated.After(cur.Updated) {
+	sh := t.shardFor(e.Server)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cur, ok := sh.entries[e.Server]
+	if ok && (e.Server == t.self || !e.Updated.After(cur.e.Updated)) {
 		return
 	}
-	if e.Server == t.self && ok {
-		// Our own measurement is authoritative; a peer echoing an old
-		// value must not move it forward artificially.
-		if !e.Updated.After(cur.Updated) {
-			return
-		}
-	}
-	t.entries[e.Server] = e
-	t.version++
+	sh.entries[e.Server] = entryRec{e: e, ver: t.version.Add(1)}
 	if e.Server != t.self {
-		t.merged++
+		t.merged.Add(1)
 	}
 }
 
@@ -125,29 +286,36 @@ func (t *Table) Merge(entries []Entry) {
 
 // Get returns the entry for server and whether it is known.
 func (t *Table) Get(server string) (Entry, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	e, ok := t.entries[server]
-	return e, ok
+	sh := t.shardFor(server)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rec, ok := sh.entries[server]
+	return rec.e, ok
 }
 
 // Known reports whether the table currently holds an entry for server.
 // The pinger's recovery path uses it to detect a declared-down peer that
 // re-entered the table through piggybacked load (§4.5).
 func (t *Table) Known(server string) bool {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	_, ok := t.entries[server]
+	sh := t.shardFor(server)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.entries[server]
 	return ok
 }
 
-// Snapshot returns all entries sorted by server address.
+// Snapshot returns all entries sorted by server address. The snapshot is
+// per-stripe consistent, best-effort across stripes, matching the
+// table's convergence semantics.
 func (t *Table) Snapshot() []Entry {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([]Entry, 0, len(t.entries))
-	for _, e := range t.entries {
-		out = append(out, e)
+	out := make([]Entry, 0, t.Len())
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for _, rec := range sh.entries {
+			out = append(out, rec.e)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Server < out[j].Server })
 	return out
@@ -155,11 +323,14 @@ func (t *Table) Snapshot() []Entry {
 
 // Servers returns every known server address, sorted.
 func (t *Table) Servers() []string {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([]string, 0, len(t.entries))
-	for s := range t.entries {
-		out = append(out, s)
+	out := make([]string, 0, t.Len())
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for s := range sh.entries {
+			out = append(out, s)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -170,18 +341,22 @@ func (t *Table) Servers() []string {
 // LoadMetric value is selected from the global load table"). Ties break by
 // address for determinism. ok is false when no eligible server exists.
 func (t *Table) LeastLoaded(exclude map[string]bool) (Entry, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	var best Entry
 	found := false
-	for _, e := range t.entries {
-		if exclude[e.Server] {
-			continue
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for _, rec := range sh.entries {
+			e := rec.e
+			if exclude[e.Server] {
+				continue
+			}
+			if !found || e.Load < best.Load || (e.Load == best.Load && e.Server < best.Server) {
+				best = e
+				found = true
+			}
 		}
-		if !found || e.Load < best.Load || (e.Load == best.Load && e.Server < best.Server) {
-			best = e
-			found = true
-		}
+		sh.mu.RUnlock()
 	}
 	return best, found
 }
@@ -190,162 +365,455 @@ func (t *Table) LeastLoaded(exclude map[string]bool) (Entry, bool) {
 // now — the servers the pinger thread must contact artificially (§4.5).
 // The owning server itself is never reported stale.
 func (t *Table) StaleServers(now time.Time, maxAge time.Duration) []string {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	var out []string
-	for s, e := range t.entries {
-		if s == t.self {
-			continue
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for s, rec := range sh.entries {
+			if s == t.self {
+				continue
+			}
+			if now.Sub(rec.e.Updated) > maxAge {
+				out = append(out, s)
+			}
 		}
-		if now.Sub(e.Updated) > maxAge {
-			out = append(out, s)
-		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
 }
 
-// Remove deletes a server's entry (e.g. after it is declared down).
+// Remove deletes a server's entry (e.g. after it is declared down),
+// along with any gossip state held for it, so a later reappearance
+// starts from a clean ack.
 func (t *Table) Remove(server string) {
 	if server == t.self {
 		return
 	}
-	t.mu.Lock()
-	if _, ok := t.entries[server]; ok {
-		delete(t.entries, server)
-		t.version++
+	sh := t.shardFor(server)
+	sh.mu.Lock()
+	if _, ok := sh.entries[server]; ok {
+		delete(sh.entries, server)
+		t.version.Add(1)
 	}
-	t.mu.Unlock()
+	sh.mu.Unlock()
+	t.peerMu.Lock()
+	delete(t.peers, server)
+	t.peerMu.Unlock()
 }
 
 // Len reports the number of entries, including the owning server's.
 func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.entries)
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		n += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Merged reports how many peer entries have been applied from piggybacked
 // headers since startup — the GLT merge-freshness counter.
-func (t *Table) Merged() int64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.merged
-}
+func (t *Table) Merged() int64 { return t.merged.Load() }
 
 // OldestAge reports the age of the stalest peer entry as of now (0 when
 // no peers are known) — a gauge of how fresh this server's view of the
 // cluster is.
 func (t *Table) OldestAge(now time.Time) time.Duration {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	var oldest time.Duration
-	for s, e := range t.entries {
-		if s == t.self {
-			continue
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for s, rec := range sh.entries {
+			if s == t.self {
+				continue
+			}
+			if age := now.Sub(rec.e.Updated); age > oldest {
+				oldest = age
+			}
 		}
-		if age := now.Sub(e.Updated); age > oldest {
-			oldest = age
-		}
+		sh.mu.RUnlock()
 	}
 	return oldest
 }
 
-// HeaderRegens reports how many times the cached piggyback encoding had
+// Version returns the current table version — the stamp of the newest
+// accepted write.
+func (t *Table) Version() uint64 { return t.version.Load() }
+
+// ShardCount reports the number of stripes.
+func (t *Table) ShardCount() int { return len(t.shards) }
+
+// ShardSizes reports the entry count per stripe, for balance telemetry.
+func (t *Table) ShardSizes() []int {
+	out := make([]int, len(t.shards))
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		out[i] = len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// HeaderRegens reports how many times the cached full-table encoding had
 // to be rebuilt because the table changed.
-func (t *Table) HeaderRegens() int64 {
-	t.encMu.Lock()
-	defer t.encMu.Unlock()
-	return t.regens
+func (t *Table) HeaderRegens() int64 { return t.regens.Load() }
+
+// DeltaRegens reports how many times a per-peer delta encoding had to be
+// rebuilt (cache key: table version, peer ack, full flag, cap).
+func (t *Table) DeltaRegens() int64 { return t.deltaRegens.Load() }
+
+// HeaderBytes reports the size of the most recently emitted piggyback
+// header value, of any kind (0 before the first encoding).
+func (t *Table) HeaderBytes() int { return int(t.lastBytes.Load()) }
+
+// LastHeaderEntries reports how many load entries the most recently
+// emitted piggyback header carried.
+func (t *Table) LastHeaderEntries() int { return int(t.lastEntries.Load()) }
+
+// DeltaEmits, FullEmits and ClientEmits count emitted headers by kind:
+// per-peer deltas, full-table exchanges (legacy EncodeHeader or
+// anti-entropy), and self-entry-only client headers.
+func (t *Table) DeltaEmits() int64  { return t.deltaEmits.Load() }
+func (t *Table) FullEmits() int64   { return t.fullEmits.Load() }
+func (t *Table) ClientEmits() int64 { return t.clientEmits.Load() }
+
+// GossipPeers returns the per-peer gossip state, keyed by peer address.
+func (t *Table) GossipPeers() map[string]PeerGossip {
+	t.peerMu.RLock()
+	defer t.peerMu.RUnlock()
+	out := make(map[string]PeerGossip, len(t.peers))
+	for a, ps := range t.peers {
+		ps.mu.Lock()
+		out[a] = PeerGossip{Acked: ps.acked, Seen: ps.seen, LastFull: ps.lastFull}
+		ps.mu.Unlock()
+	}
+	return out
 }
 
-// HeaderBytes reports the size of the current piggyback header value (0
-// before the first encoding).
-func (t *Table) HeaderBytes() int {
-	t.encMu.Lock()
-	defer t.encMu.Unlock()
-	return len(t.encoded)
+// peer returns the gossip state for addr, creating it if the state map
+// has room; nil past the cap (callers then run stateless).
+func (t *Table) peer(addr string) *peerState {
+	t.peerMu.RLock()
+	ps := t.peers[addr]
+	t.peerMu.RUnlock()
+	if ps != nil {
+		return ps
+	}
+	t.peerMu.Lock()
+	defer t.peerMu.Unlock()
+	if ps := t.peers[addr]; ps != nil {
+		return ps
+	}
+	if len(t.peers) >= maxPeerStates {
+		return nil
+	}
+	ps = &peerState{}
+	t.peers[addr] = ps
+	return ps
 }
 
-// encodeBufPool recycles the scratch buffers EncodeHeader serializes
-// into; the encoder runs on every piggybacked response, so the buffer
-// must not be reallocated per call.
+// Absorb merges a decoded piggyback into the table and updates gossip
+// state for the sender: its advertised version becomes our ack to it,
+// its ack (bounded by our own version, so an ack from a previous life of
+// this table resets instead of wedging gossip) becomes the delta floor
+// for what we send next, and a full exchange stamps lastFull.
+func (t *Table) Absorb(p Piggyback, now time.Time) {
+	t.Merge(p.Entries)
+	if p.From == "" || p.From == t.self {
+		return
+	}
+	ps := t.peer(p.From)
+	if ps == nil {
+		return
+	}
+	ps.mu.Lock()
+	// Versions are monotone within one table's life, so a peer whose
+	// advertised version went backward restarted and lost everything it
+	// acked before; clearing the floor resends it all. Last-observed
+	// wins for seen for the same reason: echoing the dead high-water
+	// mark forever would stop the restarted peer from ever resending.
+	// A reordered in-flight header only causes a harmless resend.
+	if p.Version < ps.seen {
+		ps.acked = 0
+	}
+	ps.seen = p.Version
+	if p.HasAck {
+		if p.Ack > t.version.Load() {
+			ps.acked = 0
+		} else {
+			ps.acked = p.Ack
+		}
+	}
+	if p.Full {
+		ps.lastFull = now
+	}
+	ps.mu.Unlock()
+}
+
+// LastFullExchange reports when the last full-table exchange with peer
+// completed (zero when never, or when the peer is untracked).
+func (t *Table) LastFullExchange(peer string) time.Time {
+	t.peerMu.RLock()
+	ps := t.peers[peer]
+	t.peerMu.RUnlock()
+	if ps == nil {
+		return time.Time{}
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.lastFull
+}
+
+// encodeBufPool recycles the scratch buffers the encoders serialize
+// into; encoding runs on every piggybacked response, so the buffer must
+// not be reallocated per call.
 var encodeBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
-// EncodeHeader serializes the table for piggybacking:
+// appendEntry serializes one entry as server=load@unixMilli. Addresses
+// contain no '=' ',' or '@' so the encoding needs no escaping.
+func appendEntry(buf []byte, e Entry) []byte {
+	buf = append(buf, e.Server...)
+	buf = append(buf, '=')
+	buf = strconv.AppendFloat(buf, e.Load, 'g', -1, 64)
+	buf = append(buf, '@')
+	buf = strconv.AppendInt(buf, e.Updated.UnixMilli(), 10)
+	return buf
+}
+
+func (t *Table) noteEmit(kind *atomic.Int64, entries, bytes int) {
+	kind.Add(1)
+	t.lastEntries.Store(int64(entries))
+	t.lastBytes.Store(int64(bytes))
+}
+
+// EncodeHeader serializes the complete table in the legacy format:
 //
 //	server=load@unixMilli,server=load@unixMilli,...
 //
-// Addresses contain no '=' ',' or '@' so the encoding needs no escaping.
 // The encoding is cached against the table version: with the hot path's
 // quantized, throttled self-refresh (RefreshSelf) the table is unchanged
-// between most requests and serving a response costs a version compare
-// instead of a serialization.
+// between most requests and re-encoding costs a version compare. Delta
+// gossip replaces this on the inter-server path; it remains for tooling,
+// benchmarks, and wire compatibility.
 func (t *Table) EncodeHeader() string {
 	t.encMu.Lock()
 	defer t.encMu.Unlock()
-	// One read-lock section captures version and entries together so the
-	// cached string always matches the version it is tagged with.
-	t.mu.RLock()
-	v := t.version
+	// Snapshot the version before scanning: a concurrent write during
+	// the scan leaves the cache tagged older than the live version, so
+	// the next call rebuilds rather than serving a stale entry.
+	v := t.version.Load()
 	if t.encValid && t.encVersion == v {
-		t.mu.RUnlock()
+		t.noteEmit(&t.fullEmits, strings.Count(t.encoded, ",")+1, len(t.encoded))
 		return t.encoded
 	}
-	entries := make([]Entry, 0, len(t.entries))
-	for _, e := range t.entries {
-		entries = append(entries, e)
-	}
-	t.mu.RUnlock()
-	sort.Slice(entries, func(i, j int) bool { return entries[i].Server < entries[j].Server })
+	entries := t.Snapshot()
 	bp := encodeBufPool.Get().(*[]byte)
 	buf := (*bp)[:0]
 	for i, e := range entries {
 		if i > 0 {
 			buf = append(buf, ',')
 		}
-		buf = append(buf, e.Server...)
-		buf = append(buf, '=')
-		buf = strconv.AppendFloat(buf, e.Load, 'g', -1, 64)
-		buf = append(buf, '@')
-		buf = strconv.AppendInt(buf, e.Updated.UnixMilli(), 10)
+		buf = appendEntry(buf, e)
 	}
 	out := string(buf)
 	*bp = buf
 	encodeBufPool.Put(bp)
 	t.encoded, t.encVersion, t.encValid = out, v, true
-	t.regens++
+	t.regens.Add(1)
+	t.noteEmit(&t.fullEmits, len(entries), len(out))
 	return out
 }
 
-// DecodeHeader parses a piggyback header value. Malformed items are
-// skipped — extension headers from foreign implementations must never wedge
-// the server.
-func DecodeHeader(v string) []Entry {
-	if v == "" {
-		return nil
+// EncodeClientHeader serializes only the owning server's entry, for
+// plain client responses: clients cannot ack versions, so sending them
+// the whole cluster's table is wasted bytes that grow O(cluster). The
+// encoding is cached against the self record's version, so at 256
+// servers a client response still costs a compare and carries a
+// constant-size header.
+func (t *Table) EncodeClientHeader() string {
+	sh := t.shardFor(t.self)
+	sh.mu.RLock()
+	rec := sh.entries[t.self]
+	sh.mu.RUnlock()
+	t.clientMu.Lock()
+	if t.clientValid && t.clientVer == rec.ver {
+		out := t.clientEnc
+		t.clientMu.Unlock()
+		t.noteEmit(&t.clientEmits, 1, len(out))
+		return out
 	}
-	var out []Entry
+	bp := encodeBufPool.Get().(*[]byte)
+	buf := appendEntry((*bp)[:0], rec.e)
+	out := string(buf)
+	*bp = buf
+	encodeBufPool.Put(bp)
+	t.clientEnc, t.clientVer, t.clientValid = out, rec.ver, true
+	t.clientMu.Unlock()
+	t.noteEmit(&t.clientEmits, 1, len(out))
+	return out
+}
+
+// EncodePiggybackTo serializes the delta this peer has not yet
+// acknowledged, newest entries last:
+//
+//	!f=self,!v=V,[!a=A,][!g=1,]server=load@unixMilli,...
+//
+// The advertised version V is chosen so that every record the peer has
+// not acked with version ≤ V is included (or is the peer's own entry,
+// which it holds authoritatively): candidates are sorted by version
+// ascending — stalest information first — and when more than max remain
+// the list is cut there and V drops to the last included record's
+// version, so acks never cover entries that were never sent. full
+// ignores the ack floor and the cap and adds !g=1, requesting a full
+// table in return — the anti-entropy exchange. max <= 0 means uncapped.
+func (t *Table) EncodePiggybackTo(peer string, now time.Time, max int, full bool) string {
+	ps := t.peer(peer)
+	var acked, seen uint64
+	if ps != nil {
+		ps.mu.Lock()
+		defer ps.mu.Unlock()
+		acked, seen = ps.acked, ps.seen
+	}
+	v0 := t.version.Load()
+	if ps != nil && ps.encValid && ps.encVer == v0 && ps.encAck == acked && ps.encFull == full && ps.encMax == max {
+		if full {
+			ps.lastFull = now
+		}
+		kind := &t.deltaEmits
+		if full {
+			kind = &t.fullEmits
+		}
+		t.noteEmit(kind, ps.encEntries, len(ps.enc))
+		return ps.enc
+	}
+	floor := acked
+	if full {
+		floor = 0
+	}
+	var cands []entryRec
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for _, rec := range sh.entries {
+			// ver > v0 means the write raced past our version snapshot;
+			// advertising v0 while omitting it would let the peer ack an
+			// entry it never received, so it waits for the next delta.
+			if rec.ver > floor && rec.ver <= v0 && rec.e.Server != peer {
+				cands = append(cands, rec)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].ver < cands[j].ver })
+	adv := v0
+	if !full && max > 0 && len(cands) > max {
+		cands = cands[:max]
+		adv = cands[len(cands)-1].ver
+	}
+	bp := encodeBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = append(buf, "!f="...)
+	buf = append(buf, t.self...)
+	buf = append(buf, ",!v="...)
+	buf = strconv.AppendUint(buf, adv, 10)
+	if seen > 0 {
+		buf = append(buf, ",!a="...)
+		buf = strconv.AppendUint(buf, seen, 10)
+	}
+	if full {
+		buf = append(buf, ",!g=1"...)
+	}
+	for _, rec := range cands {
+		buf = append(buf, ',')
+		buf = appendEntry(buf, rec.e)
+	}
+	out := string(buf)
+	*bp = buf
+	encodeBufPool.Put(bp)
+	if ps != nil {
+		ps.enc, ps.encVer, ps.encAck, ps.encFull, ps.encMax = out, v0, acked, full, max
+		ps.encEntries, ps.encValid = len(cands), true
+		if full {
+			ps.lastFull = now
+		}
+	}
+	t.deltaRegens.Add(1)
+	kind := &t.deltaEmits
+	if full {
+		kind = &t.fullEmits
+	}
+	t.noteEmit(kind, len(cands), len(out))
+	return out
+}
+
+// DecodeHeader parses the entry list of a piggyback header value.
+// Malformed items are skipped — extension headers from foreign
+// implementations must never wedge the server.
+func DecodeHeader(v string) []Entry {
+	return DecodePiggyback(v).Entries
+}
+
+// DecodePiggyback parses a piggyback header value: load entries plus the
+// '!'-prefixed gossip metadata items. Malformed items — entries or
+// metadata — are skipped, and loads must be finite and non-negative, so
+// an arbitrary header can never panic the decoder or poison the table.
+func DecodePiggyback(v string) Piggyback {
+	var p Piggyback
+	if v == "" {
+		return p
+	}
 	for _, part := range strings.Split(v, ",") {
 		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if part[0] == '!' {
+			if len(part) < 4 || part[2] != '=' {
+				continue
+			}
+			val := part[3:]
+			switch part[1] {
+			case 'f':
+				if !strings.ContainsAny(val, "=@ ") {
+					p.From = val
+				}
+			case 'v':
+				if n, err := strconv.ParseUint(val, 10, 64); err == nil {
+					p.Version = n
+				}
+			case 'a':
+				if n, err := strconv.ParseUint(val, 10, 64); err == nil {
+					p.Ack, p.HasAck = n, true
+				}
+			case 'g':
+				if val == "1" {
+					p.Full = true
+				}
+			}
+			continue
+		}
 		eq := strings.LastIndexByte(part, '=')
 		at := strings.LastIndexByte(part, '@')
 		if eq <= 0 || at <= eq+1 || at == len(part)-1 {
 			continue
 		}
 		load, err := strconv.ParseFloat(part[eq+1:at], 64)
-		if err != nil || load < 0 {
+		if err != nil || load < 0 || math.IsNaN(load) || math.IsInf(load, 0) {
 			continue
 		}
 		ms, err := strconv.ParseInt(part[at+1:], 10, 64)
 		if err != nil {
 			continue
 		}
-		out = append(out, Entry{
+		p.Entries = append(p.Entries, Entry{
 			Server:  part[:eq],
 			Load:    load,
 			Updated: time.UnixMilli(ms),
 		})
 	}
-	return out
+	return p
 }

@@ -1,0 +1,186 @@
+package glt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// This file carries the GLT benchmark hooks used by cmd/dcwsperf, plus a
+// frozen copy of the pre-sharding single-mutex, full-table design they
+// compare against. The baseline is kept here — not in the perf tool — so
+// the comparison stays pinned to what PR 4 shipped even as the live
+// implementation evolves.
+
+// baselineTable is the frozen single-RWMutex global load table with the
+// full-table piggyback encoding: every exchange decodes, merges and
+// re-encodes O(cluster) entries under one lock.
+type baselineTable struct {
+	mu      sync.RWMutex
+	self    string
+	entries map[string]Entry
+	version uint64
+
+	encMu      sync.Mutex
+	encVersion uint64
+	encValid   bool
+	encoded    string
+}
+
+func newBaselineTable(self string) *baselineTable {
+	t := &baselineTable{self: self, entries: make(map[string]Entry)}
+	t.entries[self] = Entry{Server: self}
+	return t
+}
+
+func (t *baselineTable) UpdateSelf(load float64, at time.Time) {
+	t.mu.Lock()
+	t.entries[t.self] = Entry{Server: t.self, Load: load, Updated: at}
+	t.version++
+	t.mu.Unlock()
+}
+
+func (t *baselineTable) Observe(e Entry) {
+	if e.Server == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur, ok := t.entries[e.Server]
+	if ok && !e.Updated.After(cur.Updated) {
+		return
+	}
+	t.entries[e.Server] = e
+	t.version++
+}
+
+func (t *baselineTable) Merge(entries []Entry) {
+	for _, e := range entries {
+		t.Observe(e)
+	}
+}
+
+func (t *baselineTable) EncodeHeader() string {
+	t.encMu.Lock()
+	defer t.encMu.Unlock()
+	t.mu.RLock()
+	v := t.version
+	if t.encValid && t.encVersion == v {
+		t.mu.RUnlock()
+		return t.encoded
+	}
+	entries := make([]Entry, 0, len(t.entries))
+	for _, e := range t.entries {
+		entries = append(entries, e)
+	}
+	t.mu.RUnlock()
+	bp := encodeBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	for i, e := range entries {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = appendEntry(buf, e)
+	}
+	out := string(buf)
+	*bp = buf
+	encodeBufPool.Put(bp)
+	t.encoded, t.encVersion, t.encValid = out, v, true
+	return out
+}
+
+// benchAddr generates the fixed fleet addresses the benchmarks and
+// header-size probes use, so byte counts are comparable across runs.
+func benchAddr(i int) string { return fmt.Sprintf("srv%03d.cluster:8080", i) }
+
+// benchBase is a fixed wall-clock origin so encoded timestamps — and
+// therefore header byte counts — are stable.
+var benchBase = time.UnixMilli(1_722_844_800_000)
+
+func seedBaseline(self string, servers int) *baselineTable {
+	t := newBaselineTable(self)
+	for i := 0; i < servers; i++ {
+		t.Observe(Entry{Server: benchAddr(i), Load: float64(i%50) + 0.5, Updated: benchBase})
+	}
+	return t
+}
+
+func seedSharded(self string, servers int) *Table {
+	t := NewTable(self)
+	for i := 0; i < servers; i++ {
+		t.Observe(Entry{Server: benchAddr(i), Load: float64(i%50) + 0.5, Updated: benchBase})
+	}
+	return t
+}
+
+// BenchGossipExchangeBaseline benchmarks one piggyback exchange under the
+// frozen full-table design at the given cluster size: the sender
+// refreshes its own load and encodes its complete table, the receiver
+// decodes and merges all of it and encodes its complete table back, and
+// the sender merges that. Every leg is O(cluster). Goroutines act as
+// distinct sender peers against one shared receiver, so the run also
+// measures contention on the receiver's single lock.
+func BenchGossipExchangeBaseline(servers int) func(*testing.B) {
+	return func(b *testing.B) {
+		recv := seedBaseline(benchAddr(0), servers)
+		var peerSeq atomic.Int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			id := int(peerSeq.Add(1))
+			self := benchAddr(1 + id%(servers-1))
+			send := seedBaseline(self, servers)
+			n := 0
+			for pb.Next() {
+				n++
+				at := benchBase.Add(time.Duration(n) * time.Millisecond)
+				send.UpdateSelf(float64(n%50)+0.5, at)
+				recv.Merge(DecodeHeader(send.EncodeHeader()))
+				recv.UpdateSelf(float64(n%40)+0.5, at)
+				send.Merge(DecodeHeader(recv.EncodeHeader()))
+			}
+		})
+	}
+}
+
+// BenchGossipExchangeSharded benchmarks the same exchange under the
+// sharded delta design: each leg encodes only the entries the other side
+// has not acked, capped at max, against a striped table. In steady state
+// each leg carries O(1) fresh entries instead of O(cluster).
+func BenchGossipExchangeSharded(servers, max int) func(*testing.B) {
+	return func(b *testing.B) {
+		recv := seedSharded(benchAddr(0), servers)
+		var peerSeq atomic.Int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			id := int(peerSeq.Add(1))
+			self := benchAddr(1 + id%(servers-1))
+			send := seedSharded(self, servers)
+			n := 0
+			for pb.Next() {
+				n++
+				at := benchBase.Add(time.Duration(n) * time.Millisecond)
+				send.UpdateSelf(float64(n%50)+0.5, at)
+				recv.Absorb(DecodePiggyback(send.EncodePiggybackTo(recv.Self(), at, max, false)), at)
+				recv.UpdateSelf(float64(n%40)+0.5, at)
+				send.Absorb(DecodePiggyback(recv.EncodePiggybackTo(self, at, max, false)), at)
+			}
+		})
+	}
+}
+
+// HeaderSizes reports piggyback header sizes at a cluster size: the full
+// legacy table encoding and the worst-case capped delta (a peer that has
+// acked nothing, so the delta carries its full cap of entries plus the
+// gossip metadata). The acceptance gate compares the capped delta at 256
+// servers against the full table at 16.
+func HeaderSizes(servers, max int) (fullBytes, deltaBytes int) {
+	t := seedSharded(benchAddr(0), servers)
+	t.UpdateSelf(0.5, benchBase)
+	full := t.EncodeHeader()
+	delta := t.EncodePiggybackTo(benchAddr(1), benchBase, max, false)
+	return len(full), len(delta)
+}

@@ -67,6 +67,14 @@ type ServerConfig struct {
 	IdleTimeout time.Duration
 	// ErrorLog receives accept and protocol errors; nil discards them.
 	ErrorLog *log.Logger
+	// AccessLog receives one line per completed exchange (remote, method,
+	// path, status, response bytes, latency, trace ID); nil disables it.
+	AccessLog *log.Logger
+	// TraceHeader names the response header whose value is logged as the
+	// trace ID in access-log lines, joining them against the trace ring.
+	// Empty logs "-". (A header name, not an import of the tracing layer:
+	// httpx stays below it.)
+	TraceHeader string
 	// Observer receives queueing and request telemetry; nil disables it.
 	Observer Observer
 }
@@ -287,6 +295,17 @@ func (s *Server) serveConn(qc queuedConn) {
 		}
 		conn.SetWriteDeadline(time.Now().Add(s.cfg.ReadTimeout))
 		werr := WriteResponse(conn, resp)
+		if s.cfg.AccessLog != nil {
+			trace := "-"
+			if s.cfg.TraceHeader != "" {
+				if id := resp.Header.Get(s.cfg.TraceHeader); id != "" {
+					trace = id
+				}
+			}
+			s.cfg.AccessLog.Printf("%s %s %s %d %d %.3fms trace=%s",
+				req.RemoteAddr, req.Method, req.Path, resp.Status,
+				len(resp.Body), float64(time.Since(start).Microseconds())/1000, trace)
+		}
 		if obs != nil {
 			// Bufio read-ahead may attribute a pipelined follow-up request's
 			// bytes to this exchange; totals stay exact.

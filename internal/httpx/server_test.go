@@ -1,6 +1,7 @@
 package httpx
 
 import (
+	"log"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -287,4 +288,71 @@ func TestServerOverTCP(t *testing.T) {
 	if string(resp.Body) != "tcp works" {
 		t.Fatalf("body = %q", resp.Body)
 	}
+}
+
+func TestAccessLogCarriesTraceID(t *testing.T) {
+	var logMu sync.Mutex
+	var logBuf strings.Builder
+	h := HandlerFunc(func(req *Request) *Response {
+		resp := NewResponse(200)
+		resp.Header.Set("X-Test-Trace", req.Header.Get("X-Test-Trace"))
+		resp.Body = []byte("ok")
+		return resp
+	})
+	cfg := ServerConfig{
+		AccessLog:   log.New(safeWriter{mu: &logMu, w: &logBuf}, "", 0),
+		TraceHeader: "X-Test-Trace",
+	}
+	_, client, _ := startServer(t, cfg, h)
+
+	extra := make(Header)
+	extra.Set("X-Test-Trace", "trace-abc123")
+	if _, err := client.Get("srv:80", "/traced.html", extra); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Get("srv:80", "/plain.html", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		logMu.Lock()
+		out := logBuf.String()
+		logMu.Unlock()
+		if strings.Contains(out, "/traced.html") && strings.Contains(out, "/plain.html") {
+			var traced, plain string
+			for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+				if strings.Contains(line, "/traced.html") {
+					traced = line
+				}
+				if strings.Contains(line, "/plain.html") {
+					plain = line
+				}
+			}
+			if !strings.Contains(traced, "GET /traced.html 200") || !strings.Contains(traced, "trace=trace-abc123") {
+				t.Fatalf("traced line = %q", traced)
+			}
+			if !strings.Contains(plain, "trace=-") {
+				t.Fatalf("plain line = %q", plain)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("access log incomplete:\n%s", out)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// safeWriter serializes writes so the test can read the log buffer while
+// worker goroutines are still appending.
+type safeWriter struct {
+	mu *sync.Mutex
+	w  *strings.Builder
+}
+
+func (s safeWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"sort"
+	"time"
 
 	"dcws/internal/glt"
 	"dcws/internal/policy"
@@ -47,11 +48,18 @@ func (w *World) internalFetch(coop *simServer, t target, done func(reply)) {
 	})
 }
 
-// exchangeTables merges two servers' global load tables both ways —
-// the simulated form of the X-DCWS-Load piggyback headers.
+// exchangeTables runs one wire-format gossip exchange — the simulated form
+// of the X-DCWS-Load piggyback pair. b's request header carries its delta
+// to a, a's response carries its delta back, and both sides absorb through
+// the same codec the live system uses, so entry caps, per-peer acks, and
+// epidemic relay of third-party entries behave identically to production.
 func exchangeTables(a, b *simServer) {
-	a.table.Merge(b.table.Snapshot())
-	b.table.Merge(a.table.Snapshot())
+	w := a.w
+	max := w.params.MaxPiggybackEntries
+	req := glt.DecodePiggyback(b.table.EncodePiggybackTo(a.addr, w.now, max, false))
+	a.table.Absorb(req, w.now)
+	resp := glt.DecodePiggyback(a.table.EncodePiggybackTo(b.addr, w.now, max, false))
+	b.table.Absorb(resp, w.now)
 }
 
 // absorbHotReport pulls the coop's per-document window hits for documents
@@ -342,6 +350,36 @@ func (s *simServer) validatorTick() {
 			hh.version = rep.doc.version
 		})
 	}
+}
+
+// antiEntropyTick is the simulated form of the live anti-entropy safety
+// net: one full-table exchange with the peer whose last full exchange is
+// oldest, so entries capped out of every delta still reconverge.
+func (s *simServer) antiEntropyTick() {
+	w := s.w
+	gossip := s.table.GossipPeers()
+	var best string
+	var bestAt time.Time
+	for _, p := range s.table.Servers() {
+		if p == s.addr || w.servers[p] == nil {
+			continue
+		}
+		at := gossip[p].LastFull
+		if best == "" || at.Before(bestAt) {
+			best, bestAt = p, at
+		}
+	}
+	if best == "" {
+		return
+	}
+	peer := w.servers[best]
+	max := w.params.MaxPiggybackEntries
+	req := glt.DecodePiggyback(s.table.EncodePiggybackTo(peer.addr, w.now, max, true))
+	peer.table.Absorb(req, w.now)
+	// The live responder sees the !g marker and answers with its own full
+	// table.
+	resp := glt.DecodePiggyback(peer.table.EncodePiggybackTo(s.addr, w.now, max, true))
+	s.table.Absorb(resp, w.now)
 }
 
 // seedPeers initializes every server's load table with every other server,

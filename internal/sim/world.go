@@ -241,6 +241,12 @@ func mergeParams(p dcws.Params) dcws.Params {
 	if p.MaxReplicas <= 0 {
 		p.MaxReplicas = d.MaxReplicas
 	}
+	if p.MaxPiggybackEntries == 0 {
+		p.MaxPiggybackEntries = d.MaxPiggybackEntries
+	}
+	if p.AntiEntropyInterval == 0 {
+		p.AntiEntropyInterval = d.AntiEntropyInterval
+	}
 	return p
 }
 
@@ -417,6 +423,7 @@ func (w *World) start() {
 			w.scheduleEvery(w.params.StatsInterval, s.statsTick)
 			w.scheduleEvery(w.params.PingerInterval, s.pingerTick)
 			w.scheduleEvery(w.params.ValidateInterval, s.validatorTick)
+			w.scheduleEvery(w.params.AntiEntropyInterval, s.antiEntropyTick)
 		}
 	}
 	w.scheduleEvery(w.cfg.SampleEvery, w.sample)

@@ -77,14 +77,27 @@ type family struct {
 // Registry holds metric families and renders them for scraping. All methods
 // are safe for concurrent use.
 type Registry struct {
-	mu       sync.Mutex
-	families []*family
-	byName   map[string]*family
+	mu          sync.Mutex
+	families    []*family
+	byName      map[string]*family
+	seriesLimit int              // per-family cap at scrape time; <=0 is uncapped
+	dropped     map[string]int64 // cumulative series dropped, by family name
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{byName: make(map[string]*family)}
+	return &Registry{byName: make(map[string]*family), dropped: make(map[string]int64)}
+}
+
+// SetSeriesLimit caps how many series any single family may emit per scrape.
+// Dynamic families (per-peer, per-server collectors) grow with cluster size;
+// the cap keeps one runaway family from blowing up scrape cost at hundreds
+// of peers. Series past the cap are dropped in render order and counted in
+// the telemetry_series_dropped_total meta-family. n <= 0 removes the cap.
+func (r *Registry) SetSeriesLimit(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seriesLimit = n
 }
 
 // family returns the named family, creating it with the given type, or
@@ -199,8 +212,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	fams := make([]*family, len(r.families))
 	copy(fams, r.families)
+	limit := r.seriesLimit
 	r.mu.Unlock()
 
+	droppedNow := make(map[string]int64)
 	var buf []byte
 	for _, f := range fams {
 		buf = buf[:0]
@@ -214,16 +229,33 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		buf = append(buf, f.typ...)
 		buf = append(buf, '\n')
 
+		// budget counts emitted series within this family; each histogram
+		// counts once, not per bucket line. Collector samples render first
+		// (sorted, so truncation is deterministic), then static series.
+		budget := limit
+		if budget <= 0 {
+			budget = int(^uint(0) >> 1)
+		}
 		if f.collect != nil {
 			samples := f.collect()
 			sort.Slice(samples, func(i, j int) bool {
 				return renderLabels(samples[i].Labels) < renderLabels(samples[j].Labels)
 			})
+			if len(samples) > budget {
+				droppedNow[f.name] += int64(len(samples) - budget)
+				samples = samples[:budget]
+			}
+			budget -= len(samples)
 			for _, s := range samples {
 				buf = appendSample(buf, f.name, renderLabels(s.Labels), s.Value)
 			}
 		}
 		for _, s := range f.series {
+			if budget == 0 {
+				droppedNow[f.name]++
+				continue
+			}
+			budget--
 			switch {
 			case s.hist != nil:
 				buf = appendHistogram(buf, f.name, s.labels, s.hist.Snapshot())
@@ -232,6 +264,37 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			case s.fn != nil:
 				buf = appendSample(buf, f.name, s.labelKey, s.fn())
 			}
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+
+	// Fold this scrape's drops into the cumulative per-family counts, then
+	// render the meta-family (itself uncapped: it is bounded by the number
+	// of registered families, not by cluster size).
+	r.mu.Lock()
+	for name, n := range droppedNow {
+		r.dropped[name] += n
+	}
+	names := make([]string, 0, len(r.dropped))
+	for name := range r.dropped {
+		names = append(names, name)
+	}
+	counts := make([]int64, len(names))
+	sort.Strings(names)
+	for i, name := range names {
+		counts[i] = r.dropped[name]
+	}
+	r.mu.Unlock()
+
+	if len(names) > 0 {
+		buf = buf[:0]
+		buf = append(buf, "# HELP telemetry_series_dropped_total series dropped at scrape time by the per-family series limit\n"...)
+		buf = append(buf, "# TYPE telemetry_series_dropped_total counter\n"...)
+		for i, name := range names {
+			key := renderLabels([]Label{{Key: "family", Value: name}})
+			buf = appendSample(buf, "telemetry_series_dropped_total", key, float64(counts[i]))
 		}
 		if _, err := w.Write(buf); err != nil {
 			return err

@@ -196,3 +196,76 @@ func TestRingWrapAndByTrace(t *testing.T) {
 		t.Fatalf("ByTrace = %+v", t0)
 	}
 }
+
+func TestSeriesLimitCapsCollector(t *testing.T) {
+	r := NewRegistry()
+	r.Collector("dcws_peer_gauge", "per-peer view", "gauge", func() []Sample {
+		out := make([]Sample, 0, 256)
+		for i := 0; i < 256; i++ {
+			out = append(out, Sample{
+				Labels: []Label{{"peer", fmt.Sprintf("peer-%03d", i)}},
+				Value:  float64(i),
+			})
+		}
+		return out
+	})
+	r.SetSeriesLimit(10)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "dcws_peer_gauge{"); got != 10 {
+		t.Fatalf("emitted %d series, want 10:\n%s", got, out)
+	}
+	// Truncation is deterministic: sorted label order keeps the first ten.
+	if !strings.Contains(out, `dcws_peer_gauge{peer="peer-009"}`) ||
+		strings.Contains(out, `dcws_peer_gauge{peer="peer-010"}`) {
+		t.Fatalf("wrong series survived the cap:\n%s", out)
+	}
+	if !strings.Contains(out, `telemetry_series_dropped_total{family="dcws_peer_gauge"} 246`+"\n") {
+		t.Fatalf("dropped meta-counter missing:\n%s", out)
+	}
+
+	// The counter is cumulative across scrapes.
+	buf.Reset()
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `telemetry_series_dropped_total{family="dcws_peer_gauge"} 492`+"\n") {
+		t.Fatalf("dropped counter not cumulative:\n%s", buf.String())
+	}
+}
+
+func TestSeriesLimitCapsStaticSeries(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 5; i++ {
+		r.Counter("dcws_labeled_total", "static series", Label{"i", fmt.Sprintf("%d", i)}).Inc()
+	}
+	r.SetSeriesLimit(3)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "dcws_labeled_total{"); got != 3 {
+		t.Fatalf("emitted %d series, want 3:\n%s", got, out)
+	}
+	if !strings.Contains(out, `telemetry_series_dropped_total{family="dcws_labeled_total"} 2`+"\n") {
+		t.Fatalf("dropped meta-counter missing:\n%s", out)
+	}
+	// Removing the cap restores every series; the cumulative count remains.
+	r.SetSeriesLimit(0)
+	buf.Reset()
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if got := strings.Count(out, "dcws_labeled_total{"); got != 5 {
+		t.Fatalf("emitted %d series after uncapping, want 5:\n%s", got, out)
+	}
+	if !strings.Contains(out, `telemetry_series_dropped_total{family="dcws_labeled_total"} 2`+"\n") {
+		t.Fatalf("cumulative dropped count lost:\n%s", out)
+	}
+}
