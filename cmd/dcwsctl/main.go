@@ -67,6 +67,19 @@ func main() {
 			st.Pool.Reuses, st.Pool.Dials, 100*st.Pool.ReuseRatio, sumRetires(st.Pool.Retires))
 		fmt.Printf("hedging      launched=%d won=%d miss=%d wasted=%d\n",
 			st.Hedge.Launched, st.Hedge.Won, st.Hedge.Miss, st.Hedge.Wasted)
+		if !st.Durability.Enabled {
+			fmt.Println("durability   disabled (no WAL directory)")
+		} else {
+			d := st.Durability
+			fmt.Printf("durability   wal sync=%s lsn=%d snapshot_lsn=%d segments=%d\n",
+				d.SyncPolicy, d.LSN, d.SnapshotLSN, d.Segments)
+			fmt.Printf("             appends=%d bytes=%d syncs=%d snapshots=%d truncations=%d\n",
+				d.Appends, d.AppendedBytes, d.Syncs, d.Snapshots, d.Truncations)
+			if r := d.Recovery; r.Recovered {
+				fmt.Printf("             recovered in %.3fs: replayed=%d docs=%d coop=%d/%d kept/dropped\n",
+					r.Seconds, r.ReplayedRecs, r.DocsRestored, r.CoopRestored, r.CoopDropped)
+			}
+		}
 		fmt.Printf("glt          shards=%d version=%d entries=%d emits(delta/full/client)=%d/%d/%d anti_entropy=%d\n",
 			st.GLT.Shards, st.GLT.Version, st.GLT.Entries,
 			st.GLT.DeltaEmits, st.GLT.FullEmits, st.GLT.ClientEmits, st.GLT.AntiEntropyRounds)
@@ -300,6 +313,7 @@ func missingFamilies(families map[string]bool) []string {
 		"dcws_httpx_", "dcws_serve_seconds", "dcws_render_cache_",
 		"dcws_resilience_", "dcws_glt_", "dcws_glt_shard_",
 		"dcws_glt_emits_total", "dcws_pool_",
+		"dcws_wal_", "dcws_recovery_",
 	} {
 		found := false
 		for f := range families {

@@ -38,6 +38,8 @@ func main() {
 		repl   = flag.Bool("replicate", false, "enable the hot-spot replication extension")
 		pprof  = flag.String("pprof", "", "side listener for net/http/pprof, e.g. 127.0.0.1:6060 (empty: disabled)")
 		access = flag.String("access-log", "", "access-log destination: a file path, \"-\" for stderr (empty: disabled); lines carry trace= IDs joinable against /~dcws/trace")
+		walDir = flag.String("wal", "", "durable-tier directory for the WAL and snapshots (empty: state is lost on crash)")
+		walFS  = flag.String("wal-sync", "", "WAL fsync policy: always, interval, or none (default: interval)")
 	)
 	flag.Parse()
 
@@ -72,6 +74,9 @@ func main() {
 	params := dcws.DefaultParams()
 	params.UseBPSMetric = *useBPS
 	params.Replicate = *repl
+	if *walFS != "" {
+		params.WALSync = *walFS
+	}
 
 	var accessLog *log.Logger
 	switch *access {
@@ -97,6 +102,7 @@ func main() {
 		Params:      params,
 		Logger:      log.New(os.Stderr, "", log.LstdFlags),
 		AccessLog:   accessLog,
+		WALDir:      *walDir,
 	})
 	if err != nil {
 		log.Fatalf("dcwsd: %v", err)

@@ -76,6 +76,16 @@ type GLTSize struct {
 	DeltaHeaderBytes   int     `json:"delta_header_bytes"`
 }
 
+// WALReport records the durable-tier overhead pair: what one record append
+// costs under each fsync policy, and the serve path with a WAL open — which
+// must stay at the plain-server allocation profile, because serving appends
+// nothing.
+type WALReport struct {
+	AppendInterval Result `json:"append_interval"`
+	AppendAlways   Result `json:"append_always"`
+	ServeHomeWAL   Result `json:"serve_home_wal"`
+}
+
 // Conservative floors for -check-rpc: far below the ratios a quiet machine
 // measures (~5x ns, ~2.2x allocs), so the gate only fires when pooling
 // genuinely regresses, not on CI noise.
@@ -89,6 +99,17 @@ const (
 // at 256 servers must be no larger than a 16-server full-table header —
 // the issue's bound on per-request gossip overhead at cluster scale.
 const minGLTNsImprovement = 2.0
+
+// Gates for -check-wal: an interval-policy append must stay off the
+// microsecond-tens scale (a quiet machine measures ~1.5 µs; the bound only
+// fires on a genuine regression like an fsync leaking onto the append
+// path), and serving a home document with the WAL open must not allocate
+// more than the frozen pre-optimization ServeHome baseline — the durable
+// tier is free on the hot path.
+const (
+	maxWALAppendIntervalNs = 25_000
+	maxServeHomeWALAllocs  = 26
+)
 
 // baselines are the seed-commit measurements of the same benchmarks,
 // taken before the rendered-document cache, lock decomposition, and
@@ -133,8 +154,10 @@ func main() {
 	out := flag.String("out", "BENCH_serve.json", "serving-engine output file (\"-\" for stdout, \"\" to skip)")
 	rpcOut := flag.String("rpc-out", "BENCH_rpc.json", "RPC round-trip output file (\"-\" for stdout, \"\" to skip)")
 	gltOut := flag.String("glt-out", "BENCH_glt.json", "GLT gossip-exchange output file (\"-\" for stdout, \"\" to skip)")
+	walOut := flag.String("wal-out", "BENCH_wal.json", "durable-tier output file (\"-\" for stdout, \"\" to skip)")
 	checkRPC := flag.Bool("check-rpc", false, "exit nonzero unless pooled RPCs beat dial-per-request by the gate ratios")
 	checkGLT := flag.Bool("check-glt", false, "exit nonzero unless sharded delta gossip beats the full-table baseline by the gate ratios")
+	checkWAL := flag.Bool("check-wal", false, "exit nonzero unless WAL append cost and WAL-on serve allocations stay under the gate bounds")
 	benchtime := flag.String("benchtime", "", "override -test.benchtime (e.g. 1000x for a smoke run)")
 	testing.Init()
 	flag.Parse()
@@ -200,6 +223,34 @@ func main() {
 					rpc.AllocsImprovement, minRPCAllocsImprovement)
 			}
 			fmt.Fprintln(os.Stderr, "dcwsperf: RPC pooling gate passed")
+		}
+	}
+
+	if *walOut != "" || *checkWAL {
+		walRep := WALReport{
+			AppendInterval: run("WALAppendInterval", dcws.BenchWALAppendInterval),
+			AppendAlways:   run("WALAppendAlways", dcws.BenchWALAppendAlways),
+			ServeHomeWAL:   run("ServeHomeWAL", dcws.BenchServeHomeWAL),
+		}
+		fmt.Fprintf(os.Stderr, "WAL append   %10.0f ns/op interval, %10.0f ns/op always (%d B/op, %d allocs/op)\n",
+			walRep.AppendInterval.NsPerOp, walRep.AppendAlways.NsPerOp,
+			walRep.AppendInterval.BytesPerOp, walRep.AppendInterval.AllocsPerOp)
+		fmt.Fprintf(os.Stderr, "ServeHomeWAL %10.0f ns/op %8d B/op %4d allocs/op (plain-server baseline %d allocs/op)\n",
+			walRep.ServeHomeWAL.NsPerOp, walRep.ServeHomeWAL.BytesPerOp,
+			walRep.ServeHomeWAL.AllocsPerOp, baselines["ServeHome"].AllocsPerOp)
+		if *walOut != "" {
+			writeJSON(*walOut, walRep)
+		}
+		if *checkWAL {
+			if walRep.AppendInterval.NsPerOp > maxWALAppendIntervalNs {
+				log.Fatalf("dcwsperf: interval WAL append %.0f ns/op above gate %d ns/op",
+					walRep.AppendInterval.NsPerOp, maxWALAppendIntervalNs)
+			}
+			if walRep.ServeHomeWAL.AllocsPerOp > maxServeHomeWALAllocs {
+				log.Fatalf("dcwsperf: WAL-on home serve %d allocs/op above gate %d",
+					walRep.ServeHomeWAL.AllocsPerOp, maxServeHomeWALAllocs)
+			}
+			fmt.Fprintln(os.Stderr, "dcwsperf: WAL overhead gate passed")
 		}
 	}
 

@@ -34,6 +34,10 @@ type ServerSpec struct {
 	Scale float64
 	// Params tunes the server; zero fields take Table 1 defaults.
 	Params dcws.Params
+	// WALDir, when non-empty, enables the server's durable tier (WAL +
+	// snapshots in that directory), letting harnesses crash and restart
+	// the node with its migration state intact.
+	WALDir string
 }
 
 // Config describes a cluster.
@@ -54,6 +58,14 @@ type Cluster struct {
 	network memnet.Network
 	clock   clock.Clock
 	entry   []string
+	logger  *log.Logger
+
+	// Per-node boot state retained so Crash/Restart can rebuild a server
+	// on its surviving store and WAL.
+	specs  []ServerSpec
+	stores []store.Store
+	peers  [][]string
+	eps    [][]string
 }
 
 // New builds and starts a cluster.
@@ -71,7 +83,7 @@ func New(cfg Config) (*Cluster, error) {
 	for i, spec := range cfg.Servers {
 		addrs[i] = fmt.Sprintf("%s:%d", spec.Host, spec.Port)
 	}
-	c := &Cluster{network: cfg.Network, clock: cfg.Clock}
+	c := &Cluster{network: cfg.Network, clock: cfg.Clock, logger: cfg.Logger}
 	for i, spec := range cfg.Servers {
 		st := store.NewMem()
 		var entryPoints []string
@@ -92,27 +104,12 @@ func New(cfg Config) (*Cluster, error) {
 				peers = append(peers, a)
 			}
 		}
-		// Over an in-memory fabric, each server dials as itself so that
-		// per-link latency and injected faults apply to its traffic.
-		srvNet := cfg.Network
-		if fab, ok := cfg.Network.(*memnet.Fabric); ok {
-			srvNet = fab.Named(addrs[i])
-		}
-		srv, err := dcws.New(dcws.Config{
-			Origin:      naming.Origin{Host: spec.Host, Port: spec.Port},
-			Store:       st,
-			Network:     srvNet,
-			Clock:       cfg.Clock,
-			EntryPoints: entryPoints,
-			Peers:       peers,
-			Params:      spec.Params,
-			Logger:      cfg.Logger,
-		})
+		c.specs = append(c.specs, spec)
+		c.stores = append(c.stores, st)
+		c.peers = append(c.peers, peers)
+		c.eps = append(c.eps, entryPoints)
+		srv, err := c.boot(i)
 		if err != nil {
-			c.Close()
-			return nil, fmt.Errorf("cluster: server %s: %w", addrs[i], err)
-		}
-		if err := srv.Start(); err != nil {
 			c.Close()
 			return nil, err
 		}
@@ -122,6 +119,54 @@ func New(cfg Config) (*Cluster, error) {
 		}
 	}
 	return c, nil
+}
+
+// boot constructs and starts node i on its retained store, peer list, and
+// WAL directory.
+func (c *Cluster) boot(i int) (*dcws.Server, error) {
+	spec := c.specs[i]
+	addr := fmt.Sprintf("%s:%d", spec.Host, spec.Port)
+	// Over an in-memory fabric, each server dials as itself so that
+	// per-link latency and injected faults apply to its traffic.
+	srvNet := c.network
+	if fab, ok := c.network.(*memnet.Fabric); ok {
+		srvNet = fab.Named(addr)
+	}
+	srv, err := dcws.New(dcws.Config{
+		Origin:      naming.Origin{Host: spec.Host, Port: spec.Port},
+		Store:       c.stores[i],
+		Network:     srvNet,
+		Clock:       c.clock,
+		EntryPoints: c.eps[i],
+		Peers:       c.peers[i],
+		Params:      spec.Params,
+		Logger:      c.logger,
+		WALDir:      spec.WALDir,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: server %s: %w", addr, err)
+	}
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+	return srv, nil
+}
+
+// Crash kills node i the hard way — no final snapshot, no final WAL sync —
+// leaving its store and WAL directory exactly as a kill -9 would.
+func (c *Cluster) Crash(i int) error {
+	return c.Servers[i].Abort()
+}
+
+// Restart boots node i again on the store and WAL its crash left behind
+// and swaps the new instance into Servers[i].
+func (c *Cluster) Restart(i int) (*dcws.Server, error) {
+	srv, err := c.boot(i)
+	if err != nil {
+		return nil, err
+	}
+	c.Servers[i] = srv
+	return srv, nil
 }
 
 // Close stops every server.

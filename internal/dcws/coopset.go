@@ -246,6 +246,68 @@ func (cs *coopSet) hotReport(homeAddr string) []string {
 	return parts
 }
 
+// restore re-installs a hosted-document record during crash recovery.
+// Present copies join the LRU as most-recent (recovery has no better
+// ordering signal than "it survived").
+func (cs *coopSet) restore(seed coopSeed, now time.Time) {
+	cs.mu.Lock()
+	cd, ok := cs.docs[seed.key]
+	if !ok {
+		cd = &coopDoc{key: seed.key, home: seed.home, name: seed.name}
+		cs.docs[seed.key] = cd
+	}
+	if seed.present {
+		cs.bytes += seed.size - cd.presentSize()
+		cd.present = true
+		cd.size = seed.size
+		cd.hash = seed.hash
+		cd.fetched = now
+		cd.lastUsed = now
+		if cd.elem == nil {
+			cd.elem = cs.lru.PushFront(cd)
+		}
+	}
+	cs.mu.Unlock()
+}
+
+// seedOf captures one hosted-document record in durable form.
+func (cs *coopSet) seedOf(key string) (coopSeed, bool) {
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	cd, ok := cs.docs[key]
+	if !ok {
+		return coopSeed{}, false
+	}
+	return coopSeed{
+		key:     cd.key,
+		home:    cd.home,
+		name:    cd.name,
+		present: cd.present,
+		size:    cd.presentSize(),
+		hash:    cd.hash,
+	}, true
+}
+
+// snapshotSeeds captures every hosted-document record in durable form,
+// sorted by key (the coop section of the state snapshot).
+func (cs *coopSet) snapshotSeeds() []coopSeed {
+	cs.mu.RLock()
+	out := make([]coopSeed, 0, len(cs.docs))
+	for _, cd := range cs.docs {
+		out = append(out, coopSeed{
+			key:     cd.key,
+			home:    cd.home,
+			name:    cd.name,
+			present: cd.present,
+			size:    cd.presentSize(),
+			hash:    cd.hash,
+		})
+	}
+	cs.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
 func (cd *coopDoc) presentSize() int64 {
 	if cd.present {
 		return cd.size

@@ -1,0 +1,637 @@
+package dcws
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"dcws/internal/graph"
+	"dcws/internal/naming"
+	"dcws/internal/policy"
+	"dcws/internal/store"
+	"dcws/internal/wal"
+)
+
+// WAL record types. Every durable state change the paper's §4.5 recovery
+// story would otherwise lose appends one of these; the request hot path
+// (serveAsHome/loadLocal) appends nothing.
+const (
+	// recDocPut: a home document's content was created or replaced
+	// (payload: name). The bytes live in the store; replay reparses them.
+	recDocPut uint8 = 1
+	// recDocDelete: a home document was removed (payload: name).
+	recDocDelete uint8 = 2
+	// recCoopAdmit: a co-op copy was fetched or refreshed (payload: key,
+	// home addr, original name, size, hash).
+	recCoopAdmit uint8 = 3
+	// recCoopEvict: a co-op copy's bytes were evicted for disk budget; the
+	// document stays logically hosted (payload: key).
+	recCoopEvict uint8 = 4
+	// recCoopForget: this server stopped hosting a co-op document —
+	// revoked by its home or re-migrated away (payload: key).
+	recCoopForget uint8 = 5
+	// recMigrate: a home document was migrated to a co-op (payload: doc,
+	// coop addr, migration time).
+	recMigrate uint8 = 6
+	// recRevoke: a migrated home document was revoked back (payload: doc).
+	recRevoke uint8 = 7
+	// recReplicas: a migrated document's replica set changed (payload:
+	// doc, addr list).
+	recReplicas uint8 = 8
+)
+
+// serverSnapVersion versions the full-state snapshot payload layered on
+// the LDG snapshot encoding.
+const serverSnapVersion = 1
+
+// coopSeed is one hosted document's durable record, as carried through
+// snapshots and recovery before the live coopSet exists.
+type coopSeed struct {
+	key     string
+	home    naming.Origin
+	name    string
+	present bool
+	size    int64
+	hash    uint64
+}
+
+// recoveredState is everything recovery reconstructs before the Server is
+// built: the document graph, the hosted-document seeds, the migration
+// ledger, the replica sets, and the peers last seen in the load table.
+type recoveredState struct {
+	ldg      *graph.LDG
+	coops    map[string]*coopSeed
+	ledger   *policy.Ledger
+	replicas map[string][]string
+	peers    []string
+
+	fromSnapshot bool
+	snapshotLSN  uint64
+	replayed     int
+}
+
+// recoveryStats summarizes the last startup recovery for status and the
+// dcws_recovery_* metric family.
+type recoveryStats struct {
+	recovered    bool
+	seconds      float64
+	replayed     int
+	snapshotLSN  uint64
+	docsRestored int
+	coopRestored int
+	coopDropped  int
+}
+
+// ---- record payload encoding -------------------------------------------
+
+func putStr(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func getUvarint(data []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, errors.New("dcws: truncated uvarint in WAL payload")
+	}
+	return v, data[n:], nil
+}
+
+func getStr(data []byte) (string, []byte, error) {
+	n, data, err := getUvarint(data)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint64(len(data)) < n {
+		return "", nil, errors.New("dcws: truncated string in WAL payload")
+	}
+	return string(data[:n]), data[n:], nil
+}
+
+func encodeNameRecord(name string) []byte {
+	return putStr(make([]byte, 0, len(name)+2), name)
+}
+
+func encodeCoopAdmit(c coopSeed) []byte {
+	buf := make([]byte, 0, len(c.key)+len(c.name)+32)
+	buf = putStr(buf, c.key)
+	buf = putStr(buf, c.home.Addr())
+	buf = putStr(buf, c.name)
+	buf = binary.AppendUvarint(buf, uint64(c.size))
+	buf = binary.AppendUvarint(buf, c.hash)
+	return buf
+}
+
+func decodeCoopAdmit(data []byte) (coopSeed, error) {
+	var c coopSeed
+	var err error
+	var homeAddr string
+	if c.key, data, err = getStr(data); err != nil {
+		return c, err
+	}
+	if homeAddr, data, err = getStr(data); err != nil {
+		return c, err
+	}
+	if c.home, err = naming.ParseOrigin(homeAddr); err != nil {
+		return c, err
+	}
+	if c.name, data, err = getStr(data); err != nil {
+		return c, err
+	}
+	var size, hash uint64
+	if size, data, err = getUvarint(data); err != nil {
+		return c, err
+	}
+	if hash, _, err = getUvarint(data); err != nil {
+		return c, err
+	}
+	c.size = int64(size)
+	c.hash = hash
+	c.present = true
+	return c, nil
+}
+
+func encodeMigrate(doc, coop string, at time.Time) []byte {
+	buf := make([]byte, 0, len(doc)+len(coop)+16)
+	buf = putStr(buf, doc)
+	buf = putStr(buf, coop)
+	buf = binary.AppendUvarint(buf, uint64(at.UnixNano()))
+	return buf
+}
+
+func decodeMigrate(data []byte) (doc, coop string, at time.Time, err error) {
+	if doc, data, err = getStr(data); err != nil {
+		return
+	}
+	if coop, data, err = getStr(data); err != nil {
+		return
+	}
+	var ns uint64
+	if ns, _, err = getUvarint(data); err != nil {
+		return
+	}
+	at = time.Unix(0, int64(ns))
+	return
+}
+
+func encodeReplicas(doc string, addrs []string) []byte {
+	buf := make([]byte, 0, len(doc)+16*len(addrs)+8)
+	buf = putStr(buf, doc)
+	buf = binary.AppendUvarint(buf, uint64(len(addrs)))
+	for _, a := range addrs {
+		buf = putStr(buf, a)
+	}
+	return buf
+}
+
+func decodeReplicas(data []byte) (doc string, addrs []string, err error) {
+	if doc, data, err = getStr(data); err != nil {
+		return
+	}
+	var n uint64
+	if n, data, err = getUvarint(data); err != nil {
+		return
+	}
+	for i := uint64(0); i < n; i++ {
+		var a string
+		if a, data, err = getStr(data); err != nil {
+			return
+		}
+		addrs = append(addrs, a)
+	}
+	return
+}
+
+// ---- full-state snapshot ------------------------------------------------
+
+// encodeServerSnapshot captures the durable server state: the LDG, the
+// hosted-document set, the migration ledger, the replica sets, and the
+// load table's peer addresses (so a restarted server knows the cluster
+// even when its static peer list is incomplete).
+func (s *Server) encodeServerSnapshot() []byte {
+	ldgBytes := s.ldg.EncodeSnapshot()
+	buf := make([]byte, 0, len(ldgBytes)+4096)
+	buf = append(buf, serverSnapVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(ldgBytes)))
+	buf = append(buf, ldgBytes...)
+
+	seeds := s.coops.snapshotSeeds()
+	buf = binary.AppendUvarint(buf, uint64(len(seeds)))
+	for _, c := range seeds {
+		buf = putStr(buf, c.key)
+		buf = putStr(buf, c.home.Addr())
+		buf = putStr(buf, c.name)
+		if c.present {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binary.AppendUvarint(buf, uint64(c.size))
+		buf = binary.AppendUvarint(buf, c.hash)
+	}
+
+	migs := s.ledger.Snapshot()
+	buf = binary.AppendUvarint(buf, uint64(len(migs)))
+	for _, m := range migs {
+		buf = putStr(buf, m.Doc)
+		buf = putStr(buf, m.Coop)
+		buf = binary.AppendUvarint(buf, uint64(m.At.UnixNano()))
+	}
+
+	s.repMu.RLock()
+	docs := make([]string, 0, len(s.replicas))
+	for doc := range s.replicas {
+		docs = append(docs, doc)
+	}
+	reps := make(map[string][]string, len(s.replicas))
+	for doc, addrs := range s.replicas {
+		reps[doc] = append([]string(nil), addrs...)
+	}
+	s.repMu.RUnlock()
+	sort.Strings(docs)
+	buf = binary.AppendUvarint(buf, uint64(len(docs)))
+	for _, doc := range docs {
+		buf = putStr(buf, doc)
+		addrs := reps[doc]
+		buf = binary.AppendUvarint(buf, uint64(len(addrs)))
+		for _, a := range addrs {
+			buf = putStr(buf, a)
+		}
+	}
+
+	peers := s.table.Servers()
+	buf = binary.AppendUvarint(buf, uint64(len(peers)))
+	for _, p := range peers {
+		buf = putStr(buf, p)
+	}
+	return buf
+}
+
+// decodeServerSnapshot is the inverse of encodeServerSnapshot.
+func decodeServerSnapshot(data []byte) (*recoveredState, error) {
+	if len(data) == 0 || data[0] != serverSnapVersion {
+		return nil, fmt.Errorf("dcws: unsupported snapshot version")
+	}
+	data = data[1:]
+	n, data, err := getUvarint(data)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(data)) < n {
+		return nil, errors.New("dcws: snapshot truncated at LDG")
+	}
+	ldg, err := graph.DecodeSnapshot(data[:n])
+	if err != nil {
+		return nil, err
+	}
+	data = data[n:]
+	rec := &recoveredState{
+		ldg:          ldg,
+		coops:        make(map[string]*coopSeed),
+		ledger:       policy.NewLedger(),
+		replicas:     make(map[string][]string),
+		fromSnapshot: true,
+	}
+
+	count, data, err := getUvarint(data)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < count; i++ {
+		var c coopSeed
+		var homeAddr string
+		if c.key, data, err = getStr(data); err != nil {
+			return nil, err
+		}
+		if homeAddr, data, err = getStr(data); err != nil {
+			return nil, err
+		}
+		if c.home, err = naming.ParseOrigin(homeAddr); err != nil {
+			return nil, err
+		}
+		if c.name, data, err = getStr(data); err != nil {
+			return nil, err
+		}
+		if len(data) < 1 {
+			return nil, errors.New("dcws: snapshot truncated at coop flags")
+		}
+		c.present = data[0] == 1
+		data = data[1:]
+		var size, hash uint64
+		if size, data, err = getUvarint(data); err != nil {
+			return nil, err
+		}
+		if hash, data, err = getUvarint(data); err != nil {
+			return nil, err
+		}
+		c.size = int64(size)
+		c.hash = hash
+		rec.coops[c.key] = &c
+	}
+
+	if count, data, err = getUvarint(data); err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < count; i++ {
+		var doc, coop string
+		var ns uint64
+		if doc, data, err = getStr(data); err != nil {
+			return nil, err
+		}
+		if coop, data, err = getStr(data); err != nil {
+			return nil, err
+		}
+		if ns, data, err = getUvarint(data); err != nil {
+			return nil, err
+		}
+		rec.ledger.Record(doc, coop, time.Unix(0, int64(ns)))
+	}
+
+	if count, data, err = getUvarint(data); err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < count; i++ {
+		var doc string
+		var nAddrs uint64
+		if doc, data, err = getStr(data); err != nil {
+			return nil, err
+		}
+		if nAddrs, data, err = getUvarint(data); err != nil {
+			return nil, err
+		}
+		addrs := make([]string, 0, nAddrs)
+		for j := uint64(0); j < nAddrs; j++ {
+			var a string
+			if a, data, err = getStr(data); err != nil {
+				return nil, err
+			}
+			addrs = append(addrs, a)
+		}
+		rec.replicas[doc] = addrs
+	}
+
+	if count, data, err = getUvarint(data); err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < count; i++ {
+		var p string
+		if p, data, err = getStr(data); err != nil {
+			return nil, err
+		}
+		rec.peers = append(rec.peers, p)
+	}
+	return rec, nil
+}
+
+// ---- recovery -----------------------------------------------------------
+
+// recoverState loads the newest snapshot (or builds the LDG from the store
+// when none exists) and replays every WAL record appended since, yielding
+// the state a crashed server had accumulated. The store itself is the
+// document byte authority; the WAL carries the metadata that §4.5 would
+// otherwise force the cluster to revoke and rebuild.
+func recoverState(wlog *wal.Log, st store.Store, resolve func(base, raw string) string) (*recoveredState, error) {
+	var rec *recoveredState
+	if data, lsn, ok := wlog.SnapshotData(); ok {
+		var err error
+		rec, err = decodeServerSnapshot(data)
+		if err != nil {
+			return nil, fmt.Errorf("dcws: decode snapshot: %w", err)
+		}
+		rec.snapshotLSN = lsn
+	} else {
+		ldg, err := graph.BuildWithResolver(st, resolve)
+		if err != nil {
+			return nil, err
+		}
+		rec = &recoveredState{
+			ldg:      ldg,
+			coops:    make(map[string]*coopSeed),
+			ledger:   policy.NewLedger(),
+			replicas: make(map[string][]string),
+		}
+	}
+	err := wlog.Replay(func(r wal.Record) error {
+		rec.replayed++
+		return rec.apply(r, st)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dcws: replay WAL: %w", err)
+	}
+	return rec, nil
+}
+
+// apply folds one replayed record into the recovering state. Decode
+// failures on individual records are tolerated (the record is skipped):
+// a WAL written by a newer version must not brick an older server.
+func (rec *recoveredState) apply(r wal.Record, st store.Store) error {
+	switch r.Type {
+	case recDocPut:
+		name, _, err := getStr(r.Data)
+		if err != nil {
+			return nil
+		}
+		size, err := st.Size(name)
+		if err != nil {
+			return nil // deleted again later; a recDocDelete follows
+		}
+		var content []byte
+		if graph.IsHTML(name) {
+			content, _ = st.Get(name)
+		}
+		rec.ldg.AddDoc(name, size, content)
+	case recDocDelete:
+		name, _, err := getStr(r.Data)
+		if err != nil {
+			return nil
+		}
+		rec.ldg.Remove(name)
+	case recCoopAdmit:
+		c, err := decodeCoopAdmit(r.Data)
+		if err != nil {
+			return nil
+		}
+		rec.coops[c.key] = &c
+	case recCoopEvict:
+		key, _, err := getStr(r.Data)
+		if err != nil {
+			return nil
+		}
+		if c, ok := rec.coops[key]; ok {
+			c.present = false
+			c.size = 0
+		}
+	case recCoopForget:
+		key, _, err := getStr(r.Data)
+		if err != nil {
+			return nil
+		}
+		delete(rec.coops, key)
+	case recMigrate:
+		doc, coop, at, err := decodeMigrate(r.Data)
+		if err != nil {
+			return nil
+		}
+		rec.ldg.MarkMigrated(doc, coop)
+		rec.ledger.Record(doc, coop, at)
+		rec.replicas[doc] = []string{coop}
+	case recRevoke:
+		doc, _, err := getStr(r.Data)
+		if err != nil {
+			return nil
+		}
+		rec.ldg.MarkRevoked(doc)
+		rec.ledger.Forget(doc)
+		delete(rec.replicas, doc)
+	case recReplicas:
+		doc, addrs, err := decodeReplicas(r.Data)
+		if err != nil {
+			return nil
+		}
+		rec.replicas[doc] = addrs
+	}
+	return nil
+}
+
+// reconcile checks the recovered metadata against what actually survived
+// in the store: hosted copies whose bytes are gone flip to absent (they
+// re-fetch lazily), orphaned /~migrate files with no hosting record are
+// deleted, and home documents that appeared while the server was down are
+// parsed into the graph.
+func (rec *recoveredState) reconcile(st store.Store, stats *recoveryStats) error {
+	names, err := st.List()
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		if naming.IsMigrated(name) {
+			if _, hosted := rec.coops[name]; !hosted {
+				st.Delete(name)
+				stats.coopDropped++
+			}
+			continue
+		}
+		if !rec.ldg.Has(name) {
+			size, err := st.Size(name)
+			if err != nil {
+				continue
+			}
+			var content []byte
+			if graph.IsHTML(name) {
+				content, _ = st.Get(name)
+			}
+			rec.ldg.AddDoc(name, size, content)
+			stats.docsRestored++
+		}
+	}
+	for _, c := range rec.coops {
+		if c.present && !st.Has(c.key) {
+			c.present = false
+			c.size = 0
+		}
+		if c.present {
+			stats.coopRestored++
+		}
+	}
+	return nil
+}
+
+// ---- live appends -------------------------------------------------------
+
+// walAppend logs one durable state change; a no-op without a WAL. Append
+// failures are logged, not fatal: the server keeps serving and the
+// operator sees the durability gap.
+func (s *Server) walAppend(typ uint8, data []byte) {
+	if s.wal == nil {
+		return
+	}
+	if _, err := s.wal.Append(typ, data); err != nil {
+		s.log.Printf("dcws %s: wal append type %d: %v", s.Addr(), typ, err)
+	}
+}
+
+// walCoopAdmit logs a hosted copy's admission or refresh, reading the
+// record's durable fields back from the coopSet so the log always
+// carries what the set actually holds.
+func (s *Server) walCoopAdmit(key string) {
+	if s.wal == nil {
+		return
+	}
+	if seed, ok := s.coops.seedOf(key); ok && seed.present {
+		s.walAppend(recCoopAdmit, encodeCoopAdmit(seed))
+	}
+}
+
+// writeSnapshot persists the full server state and prunes obsolete WAL
+// segments. Called by the snapshot loop, on clean shutdown, and by
+// TickSnapshot in deterministic tests.
+func (s *Server) writeSnapshot() error {
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.WriteSnapshot(s.encodeServerSnapshot()); err != nil {
+		s.log.Printf("dcws %s: write snapshot: %v", s.Addr(), err)
+		return err
+	}
+	return nil
+}
+
+// snapshotLoop periodically checkpoints the durable state so recovery
+// replays a short tail instead of the whole history.
+func (s *Server) snapshotLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stopped:
+			return
+		case <-s.cfg.Clock.After(s.params.SnapshotInterval):
+		}
+		s.writeSnapshot()
+	}
+}
+
+// TickSnapshot writes one state snapshot synchronously (deterministic
+// harness hook; a no-op without a WAL).
+func (s *Server) TickSnapshot() { s.writeSnapshot() }
+
+// WAL exposes the underlying log (status tooling, tests); nil when the
+// durable tier is disabled.
+func (s *Server) WAL() *wal.Log { return s.wal }
+
+// Recovery reports the last startup recovery's statistics (all zero when
+// the server started fresh or has no WAL).
+func (s *Server) Recovery() RecoveryInfo {
+	return RecoveryInfo{
+		Recovered:    s.recovery.recovered,
+		Seconds:      s.recovery.seconds,
+		ReplayedRecs: s.recovery.replayed,
+		SnapshotLSN:  s.recovery.snapshotLSN,
+		DocsRestored: s.recovery.docsRestored,
+		CoopRestored: s.recovery.coopRestored,
+		CoopDropped:  s.recovery.coopDropped,
+	}
+}
+
+// RecoveryInfo is the public form of the last recovery's statistics.
+type RecoveryInfo struct {
+	// Recovered is true when startup state came from snapshot+replay
+	// rather than a cold store scan.
+	Recovered bool `json:"recovered"`
+	// Seconds is the wall time recovery took inside New.
+	Seconds float64 `json:"seconds"`
+	// ReplayedRecs counts WAL records replayed since the snapshot.
+	ReplayedRecs int `json:"replayed_records"`
+	// SnapshotLSN is the LSN the loaded snapshot covered (0: none).
+	SnapshotLSN uint64 `json:"snapshot_lsn"`
+	// DocsRestored counts home documents found in the store but missing
+	// from the recovered graph (parsed back in during reconciliation).
+	DocsRestored int `json:"docs_restored"`
+	// CoopRestored counts hosted co-op copies that survived with their
+	// bytes intact — the copies §4.5 would have revoked cluster-wide.
+	CoopRestored int `json:"coop_restored"`
+	// CoopDropped counts orphaned /~migrate files deleted because no
+	// hosting record claimed them.
+	CoopDropped int `json:"coop_dropped"`
+}

@@ -121,6 +121,7 @@ func (s *Server) handleRevoke(req *httpx.Request) *httpx.Response {
 		if err := s.cfg.Store.Delete(cleaned); err != nil {
 			s.log.Printf("dcws %s: delete revoked copy %s: %v", s.Addr(), cleaned, err)
 		}
+		s.walAppend(recCoopForget, encodeNameRecord(cleaned))
 	}
 	s.log.Printf("dcws %s: revoked %s", s.Addr(), cleaned)
 	return status(200, "revoked")
@@ -592,12 +593,15 @@ func (s *Server) finishFetch(key string, resp *httpx.Response) *httpx.Response {
 		}
 		s.coops.markFetched(key, int64(len(resp.Body)), h, s.now())
 		s.stats.Fetches.Inc()
+		s.walCoopAdmit(key)
 		s.enforceCoopBudget(key)
 		return nil
 	case 301:
 		// Not assigned to us (revoked or re-migrated): relay the redirect
 		// and forget the document.
-		s.coops.remove(key)
+		if s.coops.remove(key) {
+			s.walAppend(recCoopForget, encodeNameRecord(key))
+		}
 		out := httpx.NewResponse(301)
 		out.Header.Set("Location", resp.Header.Get("Location"))
 		s.stats.Redirects.Inc()
@@ -635,6 +639,7 @@ func (s *Server) enforceCoopBudget(keep string) {
 		if err := s.cfg.Store.Delete(key); err != nil {
 			s.log.Printf("dcws %s: evict %s: %v", s.Addr(), key, err)
 		}
+		s.walAppend(recCoopEvict, encodeNameRecord(key))
 		s.log.Printf("dcws %s: evicted %s (co-op cache over %d bytes)", s.Addr(), key, s.params.CoopCacheBytes)
 	}
 }

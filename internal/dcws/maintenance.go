@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"dcws/internal/glt"
 	"dcws/internal/httpx"
 	"dcws/internal/naming"
 	"dcws/internal/policy"
@@ -72,6 +73,9 @@ func (s *Server) maybeMigrate(selfLoad float64) {
 // rate gate, and reports whether migrating is justified at all. Suspect
 // peers — failing probes or a tripped breaker — are skipped: migrating a
 // document to a server we may be about to declare down would strand it.
+// So are peers with stale load entries: an advertised load nobody has
+// refreshed within PlacementMaxStaleness may be a long-gone idle reading,
+// and migrating toward it would chase a ghost.
 func (s *Server) chooseCoop(selfLoad float64) (string, bool) {
 	exclude := map[string]bool{s.Addr(): true}
 	for {
@@ -83,11 +87,23 @@ func (s *Server) chooseCoop(selfLoad float64) (string, bool) {
 		if selfLoad <= e.Load*s.params.ImbalanceRatio || selfLoad <= 0 {
 			return "", false
 		}
-		if !s.peerSuspect(e.Server) && s.gate.Eligible(e.Server, s.now()) {
+		if !s.peerSuspect(e.Server) && !s.entryStale(e) && s.gate.Eligible(e.Server, s.now()) {
 			return e.Server, true
 		}
 		exclude[e.Server] = true
 	}
+}
+
+// entryStale reports whether a load-table entry is too old to justify
+// placing documents on its server. Entries with no timestamp are exempt:
+// they are statically configured peers never heard from, and first
+// contact has to start somewhere.
+func (s *Server) entryStale(e glt.Entry) bool {
+	max := s.params.PlacementMaxStaleness
+	if max <= 0 || e.Updated.IsZero() {
+		return false
+	}
+	return s.now().Sub(e.Updated) > max
 }
 
 // buildCandidates converts the LDG snapshot into Algorithm 1 candidates.
@@ -128,12 +144,14 @@ func (s *Server) migrate(doc, coop string) {
 		s.log.Printf("dcws %s: migrate %s: %v", s.Addr(), doc, err)
 		return
 	}
-	s.ledger.Record(doc, coop, s.now())
+	at := s.now()
+	s.ledger.Record(doc, coop, at)
 	s.repMu.Lock()
 	s.replicas[doc] = []string{coop}
 	s.rrCounter[doc] = new(uint32)
 	s.repMu.Unlock()
 	s.rcache.invalidate(doc)
+	s.walAppend(recMigrate, encodeMigrate(doc, coop, at))
 	s.tel.migrations.Inc()
 	s.log.Printf("dcws %s: migrated %s -> %s (dirtied %d)", s.Addr(), doc, coop, len(dirtied))
 }
@@ -173,6 +191,7 @@ func (s *Server) revoke(doc string) {
 		s.log.Printf("dcws %s: revoke %s: %v", s.Addr(), doc, err)
 	}
 	s.ledger.Forget(doc)
+	s.walAppend(recRevoke, encodeNameRecord(doc))
 	s.hotMu.Lock()
 	delete(s.hotHints, doc)
 	s.hotMu.Unlock()
@@ -285,9 +304,10 @@ func (s *Server) addReplica(doc string) {
 		if !found {
 			return
 		}
-		if s.peerSuspect(e.Server) {
-			// Same rule as chooseCoop: never place a replica on a peer
-			// that is wobbling toward a down declaration.
+		if s.peerSuspect(e.Server) || s.entryStale(e) {
+			// Same rules as chooseCoop: never place a replica on a peer
+			// that is wobbling toward a down declaration, or whose load
+			// entry is too stale to trust.
 			exclude[e.Server] = true
 			continue
 		}
@@ -296,11 +316,13 @@ func (s *Server) addReplica(doc string) {
 	}
 	s.repMu.Lock()
 	// Install a fresh slice: pickReplica readers may hold the old one.
-	s.replicas[doc] = append(append(make([]string, 0, len(reps)+1), reps...), target)
+	newReps := append(append(make([]string, 0, len(reps)+1), reps...), target)
+	s.replicas[doc] = newReps
 	if s.rrCounter[doc] == nil {
 		s.rrCounter[doc] = new(uint32)
 	}
 	s.repMu.Unlock()
+	s.walAppend(recReplicas, encodeReplicas(doc, newReps))
 	// Re-dirty the LinkFrom set so future regenerations rotate links.
 	if _, err := s.ldg.MarkMigrated(doc, loc); err != nil {
 		s.log.Printf("dcws %s: replicate %s: %v", s.Addr(), doc, err)
@@ -568,11 +590,14 @@ func (s *Server) validateOne(key string) {
 			h = contentHash(resp.Body)
 		}
 		s.coops.refresh(key, int64(len(resp.Body)), h, s.now())
+		s.walCoopAdmit(key)
 		s.enforceCoopBudget(key)
 		s.tel.validation("refreshed")
 	default:
 		// Revoked or re-migrated behind our back: stop hosting.
-		s.coops.remove(key)
+		if s.coops.remove(key) {
+			s.walAppend(recCoopForget, encodeNameRecord(key))
+		}
 		s.cfg.Store.Delete(key)
 		s.tel.validation("dropped")
 	}

@@ -157,6 +157,33 @@ type Params struct {
 	// exposition with per-peer labels at cluster scale. Default 1024;
 	// negative removes the cap.
 	MetricsSeriesLimit int
+
+	// WALSync selects the write-ahead-log fsync policy when Config.WALDir
+	// is set: "always" fsyncs every append (group-committed), "interval"
+	// fsyncs on a timer (default), "none" never fsyncs (the OS page cache
+	// is the only durability; a process crash still loses nothing because
+	// appends are single write(2) calls).
+	WALSync string
+	// WALSyncInterval paces background fsyncs under the "interval" policy
+	// (default 100 ms).
+	WALSyncInterval time.Duration
+	// WALSegmentBytes rotates the active WAL segment once it exceeds this
+	// size (default 16 MiB).
+	WALSegmentBytes int64
+	// SnapshotInterval paces full-state snapshots that bound recovery
+	// replay time and let old WAL segments be pruned. Default 5 m;
+	// negative disables periodic snapshots (one is still written on clean
+	// shutdown).
+	SnapshotInterval time.Duration
+
+	// PlacementMaxStaleness bounds how old a peer's load-table entry may
+	// be before migration and replication stop selecting that peer: a
+	// stale entry means gossip from the peer has dried up, so its
+	// advertised load — possibly a long-gone idle reading — must not
+	// attract documents. Entries with no timestamp (statically configured
+	// peers never heard from) are exempt, as first contact happens through
+	// placement probes. Default 60 s; negative disables the check.
+	PlacementMaxStaleness time.Duration
 }
 
 // DefaultParams returns the configuration of Table 1: 12 worker threads, a
@@ -198,6 +225,11 @@ func DefaultParams() Params {
 		MaxPiggybackEntries:   12,
 		AntiEntropyInterval:   60 * time.Second,
 		MetricsSeriesLimit:    1024,
+		WALSync:               "interval",
+		WALSyncInterval:       100 * time.Millisecond,
+		WALSegmentBytes:       16 << 20,
+		SnapshotInterval:      5 * time.Minute,
+		PlacementMaxStaleness: 60 * time.Second,
 	}
 }
 
@@ -310,6 +342,23 @@ func (p Params) withDefaults() Params {
 	}
 	if p.MetricsSeriesLimit == 0 {
 		p.MetricsSeriesLimit = d.MetricsSeriesLimit
+	}
+	if p.WALSync == "" {
+		p.WALSync = d.WALSync
+	}
+	if p.WALSyncInterval <= 0 {
+		p.WALSyncInterval = d.WALSyncInterval
+	}
+	if p.WALSegmentBytes <= 0 {
+		p.WALSegmentBytes = d.WALSegmentBytes
+	}
+	// SnapshotInterval and PlacementMaxStaleness keep negative values:
+	// they mean "feature disabled".
+	if p.SnapshotInterval == 0 {
+		p.SnapshotInterval = d.SnapshotInterval
+	}
+	if p.PlacementMaxStaleness == 0 {
+		p.PlacementMaxStaleness = d.PlacementMaxStaleness
 	}
 	return p
 }

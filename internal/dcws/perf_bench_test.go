@@ -16,3 +16,10 @@ func BenchmarkRPCDialPerRequest(b *testing.B)    { BenchRPCDialPerRequest(b) }
 func BenchmarkRPCPooled(b *testing.B)            { BenchRPCPooled(b) }
 func BenchmarkRPCDialPerRequestTCP(b *testing.B) { BenchRPCDialPerRequestTCP(b) }
 func BenchmarkRPCPooledTCP(b *testing.B)         { BenchRPCPooledTCP(b) }
+
+// Durable-tier benchmarks (cmd/dcwsperf emits BENCH_wal.json from these and
+// gates append cost plus WAL-on serve-path parity in CI).
+
+func BenchmarkWALAppendInterval(b *testing.B) { BenchWALAppendInterval(b) }
+func BenchmarkWALAppendAlways(b *testing.B)   { BenchWALAppendAlways(b) }
+func BenchmarkServeHomeWAL(b *testing.B)      { BenchServeHomeWAL(b) }

@@ -1,0 +1,79 @@
+package dcws
+
+import (
+	"testing"
+	"time"
+
+	"dcws/internal/clock"
+	"dcws/internal/httpx"
+	"dcws/internal/memnet"
+	"dcws/internal/naming"
+	"dcws/internal/store"
+	"dcws/internal/wal"
+)
+
+// WAL micro-benchmarks, exported for cmd/dcwsperf (BENCH_wal.json and the
+// -check-wal gate) next to the serve-path pairs in perf.go. Two questions
+// matter for the durable tier: what one append costs off the hot path, and
+// whether a WAL-enabled server serves home documents with the same
+// allocation profile as a plain one (it must — the serve path appends
+// nothing).
+
+// benchWALAppend measures one migration-record append under the given sync
+// policy. The payload is a realistic recMigrate record (~40 bytes).
+func benchWALAppend(b *testing.B, sync wal.SyncPolicy) {
+	w, err := wal.Open(wal.Options{Dir: b.TempDir(), Sync: sync})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	payload := encodeMigrate("/dir07/page13.html", "coop09:8080", time.Unix(1_000_000, 0))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Append(recMigrate, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchWALAppendInterval measures appends under the default interval-fsync
+// policy: one write(2) per record, background fsync.
+func BenchWALAppendInterval(b *testing.B) { benchWALAppend(b, wal.SyncInterval) }
+
+// BenchWALAppendAlways measures appends under fsync-per-record with group
+// commit — the upper bound a durability-maximal deployment pays.
+func BenchWALAppendAlways(b *testing.B) { benchWALAppend(b, wal.SyncAlways) }
+
+// BenchServeHomeWAL is BenchServeHome with the durable tier enabled: same
+// document, same request, but the server carries an open WAL. The serve
+// path appends nothing, so this must match the plain ServeHome profile.
+func BenchServeHomeWAL(b *testing.B) {
+	st := store.NewMem()
+	st.Put("/index.html", perfDoc([]string{"/big.html", "/a.html"}, 2<<10))
+	st.Put("/a.html", perfDoc(nil, 4<<10))
+	st.Put("/big.html", perfDoc([]string{"/a.html", "/index.html"}, 100<<10))
+	s, err := New(Config{
+		Origin:  naming.Origin{Host: "bench-home", Port: 80},
+		Store:   st,
+		Network: memnet.NewFabric(),
+		Clock:   clock.Real{},
+		WALDir:  b.TempDir(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	req := httpx.NewRequest("GET", "/big.html")
+	if resp := s.handle(req); resp.Status != 200 {
+		b.Fatalf("warmup status %d", resp.Status)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp := s.handle(req)
+		if resp.Status != 200 {
+			b.Fatalf("status %d", resp.Status)
+		}
+	}
+}

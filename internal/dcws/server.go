@@ -20,6 +20,7 @@ import (
 	"dcws/internal/resilience"
 	"dcws/internal/store"
 	"dcws/internal/telemetry"
+	"dcws/internal/wal"
 )
 
 // Extension header names used between cooperating servers. All ride on
@@ -82,6 +83,14 @@ type Config struct {
 	// including the response's trace ID, so slow requests in the log can
 	// be joined against /~dcws/trace. Nil disables access logging.
 	AccessLog *log.Logger
+	// WALDir, when non-empty, enables the durable tier: every migration,
+	// revocation, co-op admission/eviction, and document change is
+	// appended to a write-ahead log in this directory, with periodic
+	// full-state snapshots. On startup the server recovers from
+	// snapshot+replay instead of a cold store scan, so a crashed server
+	// rejoins with its hosted co-op documents still valid. Empty disables
+	// the tier (state is rebuilt from the store alone).
+	WALDir string
 }
 
 // coopDoc is a document this server hosts on behalf of a home server.
@@ -144,8 +153,12 @@ type Server struct {
 	hotMu    sync.Mutex
 	hotHints map[string]int64 // home side: migrated doc -> last reported coop hits
 
+	wal      *wal.Log // nil when the durable tier is disabled
+	recovery recoveryStats
+
 	startOnce sync.Once
 	stopOnce  sync.Once
+	walOnce   sync.Once
 	stopped   chan struct{}
 	wg        sync.WaitGroup
 }
@@ -172,9 +185,54 @@ func New(cfg Config) (*Server, error) {
 	// previous run may carry absolute ~migrate URLs for this server's own
 	// content, and those links must survive a restart as graph edges.
 	resolver := originResolver(cfg.Origin)
-	ldg, err := graph.BuildWithResolver(cfg.Store, resolver)
-	if err != nil {
-		return nil, fmt.Errorf("dcws: build document graph: %w", err)
+
+	// With a WAL configured, startup state comes from snapshot+replay —
+	// the §4.5 fast-rejoin path: migrations, hosted co-op copies, and
+	// replica sets all survive a crash, so peers' revocation timers never
+	// fire. Without one, the graph is rebuilt by the cold store scan.
+	var (
+		wlog     *wal.Log
+		rec      *recoveredState
+		recStats recoveryStats
+	)
+	recStart := time.Now()
+	if cfg.WALDir != "" {
+		syncPolicy, err := wal.ParseSyncPolicy(params.WALSync)
+		if err != nil {
+			return nil, fmt.Errorf("dcws: %w", err)
+		}
+		wlog, err = wal.Open(wal.Options{
+			Dir:          cfg.WALDir,
+			SegmentBytes: params.WALSegmentBytes,
+			Sync:         syncPolicy,
+			SyncInterval: params.WALSyncInterval,
+			Logger:       cfg.Logger,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dcws: open WAL: %w", err)
+		}
+		rec, err = recoverState(wlog, cfg.Store, resolver)
+		if err != nil {
+			wlog.Close()
+			return nil, err
+		}
+		if err := rec.reconcile(cfg.Store, &recStats); err != nil {
+			wlog.Close()
+			return nil, fmt.Errorf("dcws: reconcile recovered state: %w", err)
+		}
+		recStats.recovered = rec.fromSnapshot || rec.replayed > 0
+		recStats.replayed = rec.replayed
+		recStats.snapshotLSN = rec.snapshotLSN
+	}
+	var ldg *graph.LDG
+	if rec != nil {
+		ldg = rec.ldg
+	} else {
+		var err error
+		ldg, err = graph.BuildWithResolver(cfg.Store, resolver)
+		if err != nil {
+			return nil, fmt.Errorf("dcws: build document graph: %w", err)
+		}
 	}
 	for _, ep := range cfg.EntryPoints {
 		name, err := store.CleanName(ep)
@@ -196,6 +254,26 @@ func New(cfg Config) (*Server, error) {
 			table.Observe(glt.Entry{Server: p, Load: 0, Updated: time.Time{}})
 		}
 	}
+	if rec != nil {
+		// Peers remembered in the snapshot rejoin the table with no
+		// timestamp (their load is unknown until gossip resumes), so a
+		// restarted server knows the cluster even when its static peer
+		// list is incomplete.
+		for _, p := range rec.peers {
+			if p != self {
+				table.Observe(glt.Entry{Server: p, Load: 0, Updated: time.Time{}})
+			}
+		}
+	}
+
+	ledger := policy.NewLedger()
+	replicas := make(map[string][]string)
+	if rec != nil {
+		ledger = rec.ledger
+		if rec.replicas != nil {
+			replicas = rec.replicas
+		}
+	}
 
 	logger := cfg.Logger
 	if logger == nil {
@@ -210,7 +288,7 @@ func New(cfg Config) (*Server, error) {
 		ldg:    ldg,
 		table:  table,
 		stats:  metrics.NewServerStats(params.RateWindow),
-		ledger: policy.NewLedger(),
+		ledger: ledger,
 		gate:   policy.NewRateGate(params.StatsInterval, params.CoopMigrateInterval),
 		client: httpx.NewPooledClient(httpx.DialerFunc(cfg.Network.Dial), httpx.PoolConfig{
 			MaxIdlePerHost: params.PoolMaxIdlePerPeer,
@@ -236,7 +314,8 @@ func New(cfg Config) (*Server, error) {
 		rcache:    newRenderCache(params.RenderCacheBytes),
 		coops:     newCoopSet(),
 		tel:       newServerTelemetry(params.TraceRingSize),
-		replicas:  make(map[string][]string),
+		wal:       wlog,
+		replicas:  replicas,
 		rrCounter: make(map[string]*uint32),
 		pingFail:  make(map[string]int),
 		downAt:    make(map[string]time.Time),
@@ -258,6 +337,19 @@ func New(cfg Config) (*Server, error) {
 		TraceHeader: telemetry.TraceHeader,
 	}, httpx.HandlerFunc(s.handle))
 	s.tel.reg.SetSeriesLimit(params.MetricsSeriesLimit)
+	if rec != nil {
+		now := s.now()
+		for _, seed := range rec.coops {
+			s.coops.restore(*seed, now)
+		}
+		recStats.seconds = time.Since(recStart).Seconds()
+		s.recovery = recStats
+		if recStats.recovered {
+			s.log.Printf("dcws %s: recovered in %.3fs: snapshot LSN %d, %d records replayed, %d coop docs restored (%d dropped), %d home docs rescanned",
+				s.Addr(), recStats.seconds, recStats.snapshotLSN, recStats.replayed,
+				recStats.coopRestored, recStats.coopDropped, recStats.docsRestored)
+		}
+	}
 	s.tel.bindServer(s)
 	return s, nil
 }
@@ -297,19 +389,44 @@ func (s *Server) Start() error {
 			s.wg.Add(1)
 			go s.antiEntropyLoop()
 		}
+		if s.wal != nil && s.params.SnapshotInterval > 0 {
+			s.wg.Add(1)
+			go s.snapshotLoop()
+		}
 		s.log.Printf("dcws %s: started with %d documents", s.Addr(), s.ldg.Len())
 	})
 	return startErr
 }
 
-// Close stops the server and waits for its threads.
-func (s *Server) Close() error {
+// Close stops the server and waits for its threads. With a WAL it writes
+// a final state snapshot and syncs the log, so the next startup recovers
+// instantly with zero replay.
+func (s *Server) Close() error { return s.shutdown(false) }
+
+// Abort stops the server WITHOUT the final snapshot or WAL sync — the
+// crash-simulation path: whatever reached the log (one write(2) call per
+// append) is what recovery gets, exactly as after a kill -9.
+func (s *Server) Abort() error { return s.shutdown(true) }
+
+func (s *Server) shutdown(abort bool) error {
 	s.stopOnce.Do(func() {
 		close(s.stopped)
 		s.httpSrv.Close()
 		s.client.CloseIdle()
 	})
 	s.wg.Wait()
+	if s.wal != nil {
+		s.walOnce.Do(func() {
+			if abort {
+				s.wal.Abandon()
+				return
+			}
+			s.writeSnapshot()
+			if err := s.wal.Close(); err != nil {
+				s.log.Printf("dcws %s: close WAL: %v", s.Addr(), err)
+			}
+		})
+	}
 	return nil
 }
 
@@ -356,6 +473,27 @@ func (s *Server) UpdateDocument(name string, content []byte) error {
 	}
 	s.ldg.AddDoc(cleaned, int64(len(content)), content)
 	s.rcache.invalidate(cleaned)
+	s.walAppend(recDocPut, encodeNameRecord(cleaned))
+	return nil
+}
+
+// DeleteDocument removes a home document at run time. Peers hosting a
+// migrated copy learn of the removal through their next validation pass.
+func (s *Server) DeleteDocument(name string) error {
+	cleaned, err := store.CleanName(name)
+	if err != nil {
+		return err
+	}
+	if err := s.cfg.Store.Delete(cleaned); err != nil {
+		return err
+	}
+	s.ldg.Remove(cleaned)
+	s.rcache.invalidate(cleaned)
+	s.ledger.Forget(cleaned)
+	s.repMu.Lock()
+	delete(s.replicas, cleaned)
+	s.repMu.Unlock()
+	s.walAppend(recDocDelete, encodeNameRecord(cleaned))
 	return nil
 }
 

@@ -56,6 +56,34 @@ type Status struct {
 	// QueueDepth is the number of accepted connections waiting in the
 	// socket queue right now; it feeds the queue-aware load metric.
 	QueueDepth int `json:"queue_depth"`
+
+	// Durability summarizes the WAL-backed durable tier and the last
+	// startup recovery.
+	Durability DurabilityStatus `json:"durability"`
+}
+
+// DurabilityStatus is the durable tier's row in Status: WAL progress and
+// what the last startup recovery restored.
+type DurabilityStatus struct {
+	// Enabled is true when Config.WALDir is set.
+	Enabled bool `json:"enabled"`
+	// SyncPolicy is the fsync policy in force: always, interval, or none.
+	SyncPolicy string `json:"sync_policy,omitempty"`
+	// LSN is the newest appended record's log sequence number.
+	LSN uint64 `json:"lsn,omitempty"`
+	// SnapshotLSN is the highest LSN the newest snapshot covers.
+	SnapshotLSN uint64 `json:"snapshot_lsn,omitempty"`
+	// Segments is how many WAL segment files are on disk.
+	Segments int `json:"segments,omitempty"`
+	// Appends / AppendedBytes / Syncs / Snapshots / Truncations are the
+	// log's cumulative counters.
+	Appends       int64 `json:"appends,omitempty"`
+	AppendedBytes int64 `json:"appended_bytes,omitempty"`
+	Syncs         int64 `json:"syncs,omitempty"`
+	Snapshots     int64 `json:"snapshots,omitempty"`
+	Truncations   int64 `json:"truncations,omitempty"`
+	// Recovery is the last startup recovery's summary.
+	Recovery RecoveryInfo `json:"recovery"`
 }
 
 // PeerResilienceStatus is one peer's row in Status.PeerResilience.
@@ -220,6 +248,19 @@ func (s *Server) Status() Status {
 	}
 	s.peerMu.Unlock()
 	st.CoopHosted = s.coops.keys()
+	st.Durability = DurabilityStatus{Recovery: s.Recovery()}
+	if s.wal != nil {
+		st.Durability.Enabled = true
+		st.Durability.SyncPolicy = s.wal.SyncPolicy().String()
+		st.Durability.LSN = s.wal.LSN()
+		st.Durability.SnapshotLSN = s.wal.SnapshotLSN()
+		st.Durability.Segments = s.wal.Segments()
+		st.Durability.Appends = s.wal.Appends()
+		st.Durability.AppendedBytes = s.wal.AppendedBytes()
+		st.Durability.Syncs = s.wal.Syncs()
+		st.Durability.Snapshots = s.wal.Snapshots()
+		st.Durability.Truncations = s.wal.Truncations()
+	}
 	return st
 }
 

@@ -11,6 +11,7 @@ import (
 	"dcws/internal/metrics"
 	"dcws/internal/resilience"
 	"dcws/internal/telemetry"
+	"dcws/internal/wal"
 )
 
 // serverTelemetry owns one server's metrics registry and trace-span ring
@@ -373,6 +374,66 @@ func (t *serverTelemetry) bindServer(s *Server) {
 	reg.CounterFunc("dcws_trace_spans_total",
 		"trace spans recorded, including ones the ring has overwritten",
 		func() float64 { return float64(t.ring.Total()) })
+
+	// Durable tier. The families exist even with the WAL disabled (all
+	// zero), so dashboards and `dcwsctl metrics -check` can rely on them
+	// unconditionally.
+	walStat := func(f func(*wal.Log) float64) func() float64 {
+		return func() float64 {
+			if s.wal == nil {
+				return 0
+			}
+			return f(s.wal)
+		}
+	}
+	reg.GaugeFunc("dcws_wal_enabled",
+		"1 when the durable tier (WAL + snapshots) is active",
+		walStat(func(*wal.Log) float64 { return 1 }))
+	reg.CounterFunc("dcws_wal_appends_total",
+		"records appended to the write-ahead log",
+		walStat(func(l *wal.Log) float64 { return float64(l.Appends()) }))
+	reg.CounterFunc("dcws_wal_appended_bytes_total",
+		"bytes appended to the write-ahead log (framing included)",
+		walStat(func(l *wal.Log) float64 { return float64(l.AppendedBytes()) }))
+	reg.CounterFunc("dcws_wal_syncs_total",
+		"fsync batches issued against the active WAL segment",
+		walStat(func(l *wal.Log) float64 { return float64(l.Syncs()) }))
+	reg.CounterFunc("dcws_wal_snapshots_total",
+		"full-state snapshots written",
+		walStat(func(l *wal.Log) float64 { return float64(l.Snapshots()) }))
+	reg.CounterFunc("dcws_wal_truncations_total",
+		"corrupt or torn WAL tails truncated during recovery",
+		walStat(func(l *wal.Log) float64 { return float64(l.Truncations()) }))
+	reg.GaugeFunc("dcws_wal_lsn",
+		"log sequence number of the newest appended record",
+		walStat(func(l *wal.Log) float64 { return float64(l.LSN()) }))
+	reg.GaugeFunc("dcws_wal_snapshot_lsn",
+		"highest LSN covered by the newest snapshot",
+		walStat(func(l *wal.Log) float64 { return float64(l.SnapshotLSN()) }))
+	reg.GaugeFunc("dcws_wal_segments",
+		"WAL segment files currently on disk",
+		walStat(func(l *wal.Log) float64 { return float64(l.Segments()) }))
+
+	reg.GaugeFunc("dcws_recovery_last_seconds",
+		"wall time the last startup recovery took (0: cold start)",
+		func() float64 { return s.recovery.seconds })
+	reg.GaugeFunc("dcws_recovery_recovered",
+		"1 when the last startup restored state from snapshot+replay",
+		func() float64 {
+			if s.recovery.recovered {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("dcws_recovery_replayed_records",
+		"WAL records replayed at the last startup",
+		func() float64 { return float64(s.recovery.replayed) })
+	reg.GaugeFunc("dcws_recovery_coop_docs_restored",
+		"hosted co-op copies that survived the last restart with bytes intact",
+		func() float64 { return float64(s.recovery.coopRestored) })
+	reg.GaugeFunc("dcws_recovery_home_docs_rescanned",
+		"home documents found only by the post-replay store scan",
+		func() float64 { return float64(s.recovery.docsRestored) })
 }
 
 // handleMetrics serves the registry in the Prometheus text exposition

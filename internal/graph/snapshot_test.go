@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+
+	"dcws/internal/store"
+)
+
+func buildSample(t *testing.T) *LDG {
+	t.Helper()
+	st := store.NewMem()
+	st.Put("/index.html", []byte(`<a href="/a.html">a</a> <a href="b.html">b</a>`))
+	st.Put("/a.html", []byte(`<a href="/b.html">b</a> <a href="/img.png">i</a>`))
+	st.Put("/b.html", []byte(`plain`))
+	st.Put("/img.png", []byte{0xff, 0xd8})
+	g, err := Build(st)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	g.SetEntryPoint("/index.html", true)
+	g.RecordHit("/a.html")
+	g.RecordHit("/a.html")
+	if _, err := g.MarkMigrated("/b.html", "coop:9001"); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestSnapshotRoundTrip: decode(encode(g)) must reproduce every tuple —
+// including locations, generations, dirty bits, and both link directions —
+// except WindowHits, which restarts at zero.
+func TestSnapshotRoundTrip(t *testing.T) {
+	g := buildSample(t)
+	g2, err := DecodeSnapshot(g.EncodeSnapshot())
+	if err != nil {
+		t.Fatalf("DecodeSnapshot: %v", err)
+	}
+	want := g.Snapshot()
+	for i := range want {
+		want[i].WindowHits = 0
+	}
+	got := g2.Snapshot()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSnapshotRebuildsLinkFrom(t *testing.T) {
+	g := buildSample(t)
+	g2, err := DecodeSnapshot(g.EncodeSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := g2.Get("/b.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d.LinkFrom, []string{"/a.html", "/index.html"}) {
+		t.Fatalf("LinkFrom = %v", d.LinkFrom)
+	}
+	if d.Location != "coop:9001" {
+		t.Fatalf("Location = %q", d.Location)
+	}
+	if n, err := g2.RemoteLinkFromCount("/img.png"); err != nil || n != 0 {
+		t.Fatalf("RemoteLinkFromCount = %d, %v", n, err)
+	}
+}
+
+func TestDecodeSnapshotRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{99},           // bad version
+		{1},            // missing count
+		{1, 5},         // count with no docs
+		{1, 1, 3, 'a'}, // truncated name
+		append(buildSample(t).EncodeSnapshot(), 0xEE), // trailing bytes
+	}
+	for i, c := range cases {
+		if _, err := DecodeSnapshot(c); err == nil {
+			t.Errorf("case %d: decoded garbage without error", i)
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	g := buildSample(t)
+	dirtied := g.Remove("/b.html")
+	if !reflect.DeepEqual(dirtied, []string{"/a.html", "/index.html"}) {
+		t.Fatalf("dirtied = %v", dirtied)
+	}
+	if g.Has("/b.html") {
+		t.Fatal("/b.html still present")
+	}
+	d, err := g.Get("/a.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Dirty {
+		t.Fatal("/a.html not dirtied by Remove")
+	}
+	for _, to := range d.LinkTo {
+		if to == "/b.html" {
+			t.Fatal("stale LinkTo edge survived Remove")
+		}
+	}
+	if g.Remove("/nope") != nil {
+		t.Fatal("removing unknown doc returned dirtied names")
+	}
+}
+
+func TestRestoreHome(t *testing.T) {
+	g := buildSample(t)
+	before, _ := g.Get("/b.html")
+	idxBefore, _ := g.Get("/index.html")
+	g.RestoreHome("/b.html")
+	after, err := g.Get("/b.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Location != "" || after.Gen <= before.Gen {
+		t.Fatalf("RestoreHome: location=%q gen %d -> %d", after.Location, before.Gen, after.Gen)
+	}
+	// Neighbours must NOT be touched (recovery decides separately).
+	idx, _ := g.Get("/index.html")
+	if idx.Gen != idxBefore.Gen || idx.Dirty != idxBefore.Dirty {
+		t.Fatal("RestoreHome touched a neighbour")
+	}
+}

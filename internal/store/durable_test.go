@@ -1,0 +1,264 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDirPutLeftoverTempIgnored: a crash mid-Put leaves a temp file
+// behind; it must never surface as a document through List/Has/Get, and a
+// retried Put must succeed around it.
+func TestDirPutLeftoverTempIgnored(t *testing.T) {
+	root := t.TempDir()
+	d, err := NewDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Put("/dir/doc.html", []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the torn write a crash leaves: a partial temp file next to
+	// the document.
+	torn := filepath.Join(root, "dir", ".put-crashed.tmp")
+	if err := os.WriteFile(torn, []byte("par"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	names, err := d.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if n != "/dir/doc.html" {
+			t.Fatalf("List surfaced %q", n)
+		}
+	}
+	if d.Has("/dir/.put-crashed.tmp") {
+		t.Fatal("Has reported the torn temp file")
+	}
+	got, err := d.Get("/dir/doc.html")
+	if err != nil || string(got) != "good" {
+		t.Fatalf("Get after torn write: %q, %v", got, err)
+	}
+	if err := d.Put("/dir/doc.html", []byte("newer")); err != nil {
+		t.Fatalf("Put with leftover temp present: %v", err)
+	}
+	got, _ = d.Get("/dir/doc.html")
+	if string(got) != "newer" {
+		t.Fatalf("after retry Get = %q", got)
+	}
+}
+
+// TestDirPutConcurrentSameName: unique temp names mean concurrent Puts to
+// one document can never clobber each other's temp file; the final content
+// is one of the writers' payloads, whole.
+func TestDirPutConcurrentSameName(t *testing.T) {
+	d, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	var wg sync.WaitGroup
+	payloads := make([][]byte, 8)
+	for i := range payloads {
+		payloads[i] = bytes.Repeat([]byte{byte('a' + i)}, 1024)
+		wg.Add(1)
+		go func(p []byte) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if err := d.Put("/contended.html", p); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}(payloads[i])
+	}
+	wg.Wait()
+	got, err := d.Get("/contended.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := false
+	for _, p := range payloads {
+		if bytes.Equal(got, p) {
+			whole = true
+			break
+		}
+	}
+	if !whole {
+		t.Fatalf("document torn after concurrent Put: %d bytes, first byte %q", len(got), got[0])
+	}
+	// No temp debris left behind.
+	debris, _ := filepath.Glob(filepath.Join(d.root, ".put-*.tmp"))
+	if len(debris) != 0 {
+		t.Fatalf("leftover temp files: %v", debris)
+	}
+}
+
+func TestDirGetSharedSmallCopies(t *testing.T) {
+	d, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	d.Put("/small.html", []byte("tiny"))
+	got, err := d.GetShared("/small.html")
+	if err != nil || string(got) != "tiny" {
+		t.Fatalf("GetShared small: %q, %v", got, err)
+	}
+}
+
+func TestDirGetSharedLargeMmap(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("mmap unsupported on this platform")
+	}
+	d, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	big := bytes.Repeat([]byte("0123456789abcdef"), mmapThreshold/16+16)
+	if err := d.Put("/big.bin", big); err != nil {
+		t.Fatal(err)
+	}
+	a, err := d.GetShared("/big.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, big) {
+		t.Fatal("mmap body mismatch")
+	}
+	b, err := d.GetShared("/big.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("second GetShared did not reuse the cached mapping")
+	}
+	if len(d.maps) != 1 {
+		t.Fatalf("mapping cache holds %d entries, want 1", len(d.maps))
+	}
+}
+
+// TestDirGetSharedRetireOnPut: replacing a document retires its mapping —
+// the old slice stays readable (grace period) while new readers see the
+// new content.
+func TestDirGetSharedRetireOnPut(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("mmap unsupported on this platform")
+	}
+	d, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	v1 := bytes.Repeat([]byte("v1v1"), mmapThreshold/4+64)
+	v2 := bytes.Repeat([]byte("v2v2"), mmapThreshold/4+64)
+	d.Put("/doc.bin", v1)
+	old, err := d.GetShared("/doc.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rename gives the new content a new inode; mtime may be equal at
+	// coarse resolution, so nudge it to make the staleness check fire.
+	if err := d.Put("/doc.bin", v2); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := d.path("/doc.bin")
+	os.Chtimes(p, time.Now(), time.Now().Add(time.Second))
+	cur, err := d.GetShared("/doc.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cur, v2) {
+		t.Fatal("GetShared served stale content after Put")
+	}
+	if !bytes.Equal(old, v1) {
+		t.Fatal("retired mapping no longer readable within grace period")
+	}
+	d.mu.Lock()
+	retired := len(d.retired)
+	d.mu.Unlock()
+	if retired == 0 {
+		t.Fatal("old mapping was not retired")
+	}
+	// Force the sweep past the grace period; the retired mapping unmaps.
+	d.mu.Lock()
+	for _, m := range d.retired {
+		m.retiredAt = m.retiredAt.Add(-2 * retireGrace)
+	}
+	d.sweepRetiredLocked(time.Now())
+	retired = len(d.retired)
+	d.mu.Unlock()
+	if retired != 0 {
+		t.Fatalf("sweep left %d retired mappings", retired)
+	}
+}
+
+func TestDirGetSharedDeleteRetires(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("mmap unsupported on this platform")
+	}
+	d, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	big := bytes.Repeat([]byte("x"), mmapThreshold+128)
+	d.Put("/gone.bin", big)
+	if _, err := d.GetShared("/gone.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete("/gone.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.GetShared("/gone.bin"); err == nil {
+		t.Fatal("GetShared served a deleted document")
+	}
+	d.mu.Lock()
+	live, retired := len(d.maps), len(d.retired)
+	d.mu.Unlock()
+	if live != 0 || retired != 1 {
+		t.Fatalf("after delete: %d live, %d retired mappings", live, retired)
+	}
+}
+
+func TestDirGetSharedConcurrent(t *testing.T) {
+	d, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	big := bytes.Repeat([]byte("concurrency"), mmapThreshold/11+32)
+	for i := 0; i < 4; i++ {
+		d.Put(fmt.Sprintf("/doc-%d.bin", i), big)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				name := fmt.Sprintf("/doc-%d.bin", i%4)
+				data, err := d.GetShared(name)
+				if err != nil {
+					t.Errorf("GetShared: %v", err)
+					return
+				}
+				if len(data) != len(big) {
+					t.Errorf("short body: %d", len(data))
+					return
+				}
+				if g == 0 && i%10 == 0 {
+					d.Put(name, big)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

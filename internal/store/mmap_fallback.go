@@ -1,0 +1,15 @@
+//go:build !unix
+
+package store
+
+import "errors"
+
+// mmapSupported gates the zero-copy GetShared path at compile time; on
+// platforms without Unix mmap GetShared always falls back to a copy.
+const mmapSupported = false
+
+func mmapFile(path string, size int64) ([]byte, error) {
+	return nil, errors.New("store: mmap unsupported on this platform")
+}
+
+func munmapFile(data []byte) {}

@@ -1,0 +1,32 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy GetShared path at compile time.
+const mmapSupported = true
+
+// mmapFile maps size bytes of the file at path read-only and private.
+func mmapFile(path string, size int64) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// munmapFile releases a mapping created by mmapFile.
+func munmapFile(data []byte) {
+	if data != nil {
+		syscall.Munmap(data)
+	}
+}

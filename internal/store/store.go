@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // ErrNotFound is returned when a document does not exist in the store.
@@ -208,9 +209,36 @@ func (m *Mem) Size(name string) (int64, error) {
 }
 
 // Dir is a Store backed by a directory tree on the real filesystem.
+// Large documents are served zero-copy through a per-file mmap cache (see
+// GetShared); writes are crash-atomic (see Put).
 type Dir struct {
 	root string
+
+	mu      sync.Mutex
+	maps    map[string]*mapping // live mappings by absolute path
+	retired []*mapping          // unmapped only after a grace period
+	closed  bool
 }
+
+// mapping is one mmap'd document body. Once created its data is
+// immutable: Put never rewrites a document file in place (temp + rename
+// gives the new content a new inode), so readers holding the slice are
+// safe until the pages are unmapped.
+type mapping struct {
+	data      []byte
+	size      int64
+	mtime     time.Time
+	retiredAt time.Time
+}
+
+// mmapThreshold is the body size below which GetShared copies instead of
+// mapping — page-granular mmap bookkeeping costs more than a small copy.
+const mmapThreshold = 64 << 10
+
+// retireGrace is how long a superseded mapping stays valid after being
+// retired, protecting readers that obtained the shared slice just before
+// the document was replaced.
+const retireGrace = time.Minute
 
 // NewDir returns a store rooted at dir, creating it if necessary.
 func NewDir(dir string) (*Dir, error) {
@@ -221,13 +249,18 @@ func NewDir(dir string) (*Dir, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Dir{root: abs}, nil
+	return &Dir{root: abs, maps: make(map[string]*mapping)}, nil
 }
 
 func (d *Dir) path(name string) (string, error) {
 	name, err := CleanName(name)
 	if err != nil {
 		return "", err
+	}
+	// The ".tmp" suffix is reserved for in-flight Put temp files; torn
+	// leftovers from a crash must not be addressable as documents.
+	if strings.HasSuffix(name, ".tmp") {
+		return "", fmt.Errorf("store: name %q uses reserved suffix .tmp", name)
 	}
 	return filepath.Join(d.root, filepath.FromSlash(name)), nil
 }
@@ -245,25 +278,150 @@ func (d *Dir) Get(name string) ([]byte, error) {
 	return data, err
 }
 
-// GetShared implements SharedGetter. Every ReadFile already returns a
-// fresh buffer, so the plain Get is the zero-copy path.
-func (d *Dir) GetShared(name string) ([]byte, error) { return d.Get(name) }
+// GetShared implements SharedGetter. Bodies at or above mmapThreshold are
+// served from an mmap of the document file — no copy, no heap allocation
+// for the body — keyed by path and validated against the file's current
+// size and mtime. Smaller bodies, and platforms without mmap support, fall
+// back to an ordinary read. The returned slice is immutable (Put replaces
+// files by rename, never in place) and stays mapped for at least
+// retireGrace after the document changes.
+func (d *Dir) GetShared(name string) ([]byte, error) {
+	p, err := d.path(name)
+	if err != nil {
+		return nil, err
+	}
+	info, err := os.Stat(p)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if info.Size() < mmapThreshold || !mmapSupported {
+		return d.Get(name)
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return d.Get(name)
+	}
+	d.sweepRetiredLocked(time.Now())
+	if m, ok := d.maps[p]; ok {
+		if m.size == info.Size() && m.mtime.Equal(info.ModTime()) {
+			data := m.data
+			d.mu.Unlock()
+			return data, nil
+		}
+		d.retireLocked(p)
+	}
+	d.mu.Unlock()
 
-// Put implements Store.
+	data, err := mmapFile(p, info.Size())
+	if err != nil {
+		return d.Get(name) // mmap failure is not fatal; copy instead
+	}
+	m := &mapping{data: data, size: info.Size(), mtime: info.ModTime()}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		munmapFile(data)
+		return d.Get(name)
+	}
+	if prev, ok := d.maps[p]; ok {
+		// Lost a race with another GetShared; serve the winner's mapping.
+		d.mu.Unlock()
+		munmapFile(data)
+		return prev.data, nil
+	}
+	d.maps[p] = m
+	d.mu.Unlock()
+	return data, nil
+}
+
+// retireLocked moves the mapping for p (if any) to the retired list; the
+// pages stay valid for retireGrace so in-flight readers finish safely.
+func (d *Dir) retireLocked(p string) {
+	if m, ok := d.maps[p]; ok {
+		m.retiredAt = time.Now()
+		d.retired = append(d.retired, m)
+		delete(d.maps, p)
+	}
+}
+
+// sweepRetiredLocked unmaps retired mappings older than the grace period.
+func (d *Dir) sweepRetiredLocked(now time.Time) {
+	kept := d.retired[:0]
+	for _, m := range d.retired {
+		if now.Sub(m.retiredAt) >= retireGrace {
+			munmapFile(m.data)
+		} else {
+			kept = append(kept, m)
+		}
+	}
+	d.retired = kept
+}
+
+// Close unmaps every cached document body. Callers must not use slices
+// previously returned by GetShared after Close.
+func (d *Dir) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	for p, m := range d.maps {
+		munmapFile(m.data)
+		delete(d.maps, p)
+	}
+	for _, m := range d.retired {
+		munmapFile(m.data)
+	}
+	d.retired = nil
+	return nil
+}
+
+// Put implements Store. The write is crash-atomic: data goes to a
+// uniquely named temp file, is fsynced, renamed over the target, and the
+// parent directory entry fsynced — a crash at any point leaves either the
+// old document or the new one, never a torn body.
 func (d *Dir) Put(name string, data []byte) error {
 	p, err := d.path(name)
 	if err != nil {
 		return err
 	}
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+	parent := filepath.Dir(p)
+	if err := os.MkdirAll(parent, 0o755); err != nil {
 		return err
 	}
-	// Write-then-rename so readers never observe a torn document.
-	tmp := p + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.CreateTemp(parent, ".put-*.tmp")
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, p)
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(parent)
+	d.mu.Lock()
+	d.retireLocked(p)
+	d.mu.Unlock()
+	return nil
 }
 
 // Delete implements Store.
@@ -272,11 +430,26 @@ func (d *Dir) Delete(name string) error {
 	if err != nil {
 		return err
 	}
+	d.mu.Lock()
+	d.retireLocked(p)
+	d.mu.Unlock()
 	err = os.Remove(p)
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil
 	}
 	return err
+}
+
+// syncDir best-effort fsyncs a directory so a just-renamed entry survives
+// an OS crash. Platforms that cannot fsync directories report errors,
+// which are ignored.
+func syncDir(dir string) {
+	f, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	f.Sync()
+	f.Close()
 }
 
 // Has implements Store.
