@@ -67,6 +67,11 @@ func main() {
 			st.Pool.Reuses, st.Pool.Dials, 100*st.Pool.ReuseRatio, sumRetires(st.Pool.Retires))
 		fmt.Printf("hedging      launched=%d won=%d miss=%d wasted=%d\n",
 			st.Hedge.Launched, st.Hedge.Won, st.Hedge.Miss, st.Hedge.Wasted)
+		fmt.Printf("replication  hot_triggers=%d pushes=%d push_bytes=%d relays=%d stored=%d\n",
+			st.Replication.HotTriggers, st.Replication.Pushes, st.Replication.PushBytes,
+			st.Replication.Relays, st.Replication.Stored)
+		fmt.Printf("             chain_skips=%d revoke_chains=%d revoke_fallbacks=%d\n",
+			st.Replication.ChainSkips, st.Replication.RevokeChains, st.Replication.RevokeFallbacks)
 		if !st.Durability.Enabled {
 			fmt.Println("durability   disabled (no WAL directory)")
 		} else {
@@ -314,6 +319,7 @@ func missingFamilies(families map[string]bool) []string {
 		"dcws_resilience_", "dcws_glt_", "dcws_glt_shard_",
 		"dcws_glt_emits_total", "dcws_pool_",
 		"dcws_wal_", "dcws_recovery_",
+		"dcws_replicate_",
 	} {
 		found := false
 		for f := range families {

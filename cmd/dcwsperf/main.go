@@ -23,9 +23,12 @@ import (
 	"log"
 	"os"
 	"testing"
+	"time"
 
+	"dcws/internal/dataset"
 	"dcws/internal/dcws"
 	"dcws/internal/glt"
+	"dcws/internal/sim"
 )
 
 // Result is one benchmark measurement.
@@ -86,6 +89,42 @@ type WALReport struct {
 	ServeHomeWAL   Result `json:"serve_home_wal"`
 }
 
+// ReplicateReport records the chain-dissemination scenario: a 16-node
+// cluster and one hot document brought up to k replicas proactively. The
+// egress rows come from a live in-memory cluster (real servers, real
+// requests) and prove the home uploads ~one document copy per
+// dissemination at every fan-out; the throughput rows come from the
+// discrete-event simulator under a flash-crowd workload and prove the
+// cluster's serve rate scales as the replica set grows.
+type ReplicateReport struct {
+	Cluster    int                      `json:"cluster"`
+	Egress     []dcws.ChainEgressReport `json:"egress"`
+	Throughput []ReplicateThroughput    `json:"throughput"`
+	// ScalingX is simulated PeakCPS at k=8 over k=2.
+	ScalingX float64 `json:"scaling_x"`
+}
+
+// ReplicateThroughput is one fan-out row of the simulated flash crowd.
+type ReplicateThroughput struct {
+	K              int     `json:"k"`
+	PeakCPS        float64 `json:"peak_cps"`
+	ChainPushes    int64   `json:"chain_pushes"`
+	ChainPushBytes int64   `json:"chain_push_bytes"`
+	Drops          int64   `json:"drops"`
+}
+
+// Gates for -check-replication: the home's upload per hot document must
+// stay within 2x of a single transfer however many replicas the chain
+// installs (the whole point of relaying instead of fanning out), no
+// replica may fall back to a lazy fetch from the home, and the simulated
+// flash-crowd throughput must scale >= 3x from k=2 to k=8. The simulator
+// is seed-deterministic, so the scaling gate is exact, not statistical.
+const (
+	replicateCluster = 16
+	maxChainEgressX  = 2.0
+	minChainScalingX = 3.0
+)
+
 // Conservative floors for -check-rpc: far below the ratios a quiet machine
 // measures (~5x ns, ~2.2x allocs), so the gate only fires when pooling
 // genuinely regresses, not on CI noise.
@@ -119,6 +158,61 @@ var baselines = map[string]Result{
 	"ServeHome":   {NsPerOp: 18042, BytesPerOp: 107419, AllocsPerOp: 26},
 	"ServeCoop":   {NsPerOp: 19543, BytesPerOp: 107467, AllocsPerOp: 24},
 	"RegenCached": {NsPerOp: 189925, BytesPerOp: 439094, AllocsPerOp: 82},
+}
+
+// chainHotSite is the flash-crowd data set: 30 small pages all embedding
+// one 400 KB image — a single document that dominates the byte budget, so
+// overall throughput is bounded by how many servers hold it.
+func chainHotSite() *dataset.Site {
+	const pages = 30
+	var docs []dataset.Doc
+	docs = append(docs, dataset.Doc{Name: "/big.jpg", Size: 400 * 1024})
+	var idxLinks []dataset.Link
+	for i := 0; i < pages; i++ {
+		name := fmt.Sprintf("/pages/p%02d.html", i)
+		docs = append(docs, dataset.Doc{Name: name, Size: 1024, Links: []dataset.Link{
+			{URL: "/big.jpg", Image: true},
+			{URL: fmt.Sprintf("/pages/p%02d.html", (i+1)%pages)},
+			{URL: "/index.html"},
+		}})
+		idxLinks = append(idxLinks, dataset.Link{URL: name})
+	}
+	docs = append(docs, dataset.Doc{Name: "/index.html", Size: 1024, Links: idxLinks})
+	return &dataset.Site{Name: "ChainHot", Docs: docs, EntryPoints: []string{"/index.html"}}
+}
+
+// runChainSim simulates the flash crowd at one chain fan-out. Everything
+// is pinned — seed, intervals, client count — so the row is reproducible
+// bit for bit.
+func runChainSim(k int) ReplicateThroughput {
+	params := dcws.Params{
+		StatsInterval:       2 * time.Second,
+		PingerInterval:      4 * time.Second,
+		ValidateInterval:    5 * time.Second,
+		CoopMigrateInterval: 4 * time.Second,
+		MigrationThreshold:  1,
+		HotReplicateRate:    10,
+		HotReplicaCount:     k,
+	}
+	res, err := sim.Run(sim.Config{
+		Site:      chainHotSite(),
+		Servers:   replicateCluster,
+		Clients:   1200,
+		WarmStart: true,
+		Duration:  120 * time.Second,
+		Params:    params,
+		Seed:      42,
+	})
+	if err != nil {
+		log.Fatalf("dcwsperf: chain flash-crowd sim at k=%d: %v", k, err)
+	}
+	return ReplicateThroughput{
+		K:              k,
+		PeakCPS:        res.PeakCPS,
+		ChainPushes:    res.ChainPushes,
+		ChainPushBytes: res.ChainPushBytes,
+		Drops:          res.Drops,
+	}
 }
 
 // run executes one benchmark function and converts its result.
@@ -155,9 +249,11 @@ func main() {
 	rpcOut := flag.String("rpc-out", "BENCH_rpc.json", "RPC round-trip output file (\"-\" for stdout, \"\" to skip)")
 	gltOut := flag.String("glt-out", "BENCH_glt.json", "GLT gossip-exchange output file (\"-\" for stdout, \"\" to skip)")
 	walOut := flag.String("wal-out", "BENCH_wal.json", "durable-tier output file (\"-\" for stdout, \"\" to skip)")
+	replicateOut := flag.String("replicate-out", "BENCH_replicate.json", "chain-replication output file (\"-\" for stdout, \"\" to skip)")
 	checkRPC := flag.Bool("check-rpc", false, "exit nonzero unless pooled RPCs beat dial-per-request by the gate ratios")
 	checkGLT := flag.Bool("check-glt", false, "exit nonzero unless sharded delta gossip beats the full-table baseline by the gate ratios")
 	checkWAL := flag.Bool("check-wal", false, "exit nonzero unless WAL append cost and WAL-on serve allocations stay under the gate bounds")
+	checkReplication := flag.Bool("check-replication", false, "exit nonzero unless chain dissemination keeps home egress flat and flash-crowd throughput scales with the replica count")
 	benchtime := flag.String("benchtime", "", "override -test.benchtime (e.g. 1000x for a smoke run)")
 	testing.Init()
 	flag.Parse()
@@ -251,6 +347,59 @@ func main() {
 					walRep.ServeHomeWAL.AllocsPerOp, maxServeHomeWALAllocs)
 			}
 			fmt.Fprintln(os.Stderr, "dcwsperf: WAL overhead gate passed")
+		}
+	}
+
+	if *replicateOut != "" || *checkReplication {
+		replicate := ReplicateReport{Cluster: replicateCluster}
+		for _, k := range []int{2, 4, 8} {
+			eg, err := dcws.MeasureChainEgress(replicateCluster, k)
+			if err != nil {
+				log.Fatalf("dcwsperf: chain egress at k=%d: %v", k, err)
+			}
+			replicate.Egress = append(replicate.Egress, eg)
+			fmt.Fprintf(os.Stderr, "chain k=%d   home egress %7d B (doc %d B), %d replicas, %d relays, %d lazy fetches\n",
+				eg.K, eg.HomePushBytes, eg.DocBytes, eg.Replicas, eg.Relays, eg.HomeLazyFetches)
+		}
+		var peak2, peak8 float64
+		for _, k := range []int{2, 4, 8} {
+			row := runChainSim(k)
+			replicate.Throughput = append(replicate.Throughput, row)
+			switch k {
+			case 2:
+				peak2 = row.PeakCPS
+			case 8:
+				peak8 = row.PeakCPS
+			}
+			fmt.Fprintf(os.Stderr, "chain k=%d   flash crowd peak %6.0f CPS (%d pushes, %d B pushed, %d drops)\n",
+				row.K, row.PeakCPS, row.ChainPushes, row.ChainPushBytes, row.Drops)
+		}
+		if peak2 > 0 {
+			replicate.ScalingX = peak8 / peak2
+		}
+		fmt.Fprintf(os.Stderr, "chain scaling %.2fx from k=2 to k=8\n", replicate.ScalingX)
+		if *replicateOut != "" {
+			writeJSON(*replicateOut, replicate)
+		}
+		if *checkReplication {
+			for _, eg := range replicate.Egress {
+				if float64(eg.HomePushBytes) > maxChainEgressX*float64(eg.DocBytes) {
+					log.Fatalf("dcwsperf: home pushed %d B for a %d B document at k=%d, above the %.0fx gate",
+						eg.HomePushBytes, eg.DocBytes, eg.K, maxChainEgressX)
+				}
+				if eg.Replicas != eg.K {
+					log.Fatalf("dcwsperf: chain installed %d replicas at k=%d", eg.Replicas, eg.K)
+				}
+				if eg.HomeLazyFetches != 0 {
+					log.Fatalf("dcwsperf: %d replicas fell back to lazy fetches from the home at k=%d",
+						eg.HomeLazyFetches, eg.K)
+				}
+			}
+			if replicate.ScalingX < minChainScalingX {
+				log.Fatalf("dcwsperf: flash-crowd throughput scaled %.2fx from k=2 to k=8, below gate %.1fx",
+					replicate.ScalingX, minChainScalingX)
+			}
+			fmt.Fprintln(os.Stderr, "dcwsperf: chain replication gate passed")
 		}
 	}
 

@@ -2,6 +2,7 @@ package dcws
 
 import (
 	"testing"
+	"time"
 
 	"dcws/internal/glt"
 )
@@ -61,5 +62,63 @@ func TestAntiEntropyExchangeRepairsTable(t *testing.T) {
 	coopRow, ok := coop.Status().GLT.Peers["home:80"]
 	if !ok || coopRow.Seen == 0 {
 		t.Fatalf("coop gossip row for home = %+v, %v", coopRow, ok)
+	}
+}
+
+// TestAdaptiveAntiEntropyCadence drives the aeSkip decision directly: the
+// interval backs off (doubling, capped at 4x) while every peer's acked
+// version is current, the full exchange is skipped during backoff, and
+// any churn — here a suspect peer — snaps the cadence back to the floor
+// and forces the next round.
+func TestAdaptiveAntiEntropyCadence(t *testing.T) {
+	w := newWorld(t)
+	home := w.addServer("home", 80, siteAB(), []string{"/index.html"}, Params{})
+	w.addServer("coop", 81, nil, nil, Params{})
+	base := home.params.AntiEntropyInterval
+
+	// First decision: the peer set is new (nil -> [coop]) — churn, forced.
+	if home.aeSkip() {
+		t.Fatal("first cadence decision skipped the round")
+	}
+	if home.Status().GLT.AntiEntropyForced != 1 {
+		t.Fatalf("forced = %d, want 1", home.Status().GLT.AntiEntropyForced)
+	}
+
+	// A full exchange gets the peer's ack current.
+	home.TickAntiEntropy()
+	home.TickAntiEntropy()
+
+	// Quiet rounds: skip and back off 2x, 4x, then stay capped at 4x.
+	for i, want := range []time.Duration{2 * base, 4 * base, 4 * base} {
+		if !home.aeSkip() {
+			t.Fatalf("quiet round %d not skipped", i)
+		}
+		home.aeMu.Lock()
+		got := home.aeInterval
+		home.aeMu.Unlock()
+		if got != want {
+			t.Fatalf("interval after quiet round %d = %v, want %v", i, got, want)
+		}
+	}
+	if skipped := home.Status().GLT.AntiEntropySkipped; skipped != 3 {
+		t.Fatalf("skipped = %d, want 3", skipped)
+	}
+
+	// Churn: the peer starts failing probes; the cadence resets and the
+	// round runs.
+	home.peerMu.Lock()
+	home.pingFail["coop:81"] = 1
+	home.peerMu.Unlock()
+	if home.aeSkip() {
+		t.Fatal("churn round skipped")
+	}
+	home.aeMu.Lock()
+	got := home.aeInterval
+	home.aeMu.Unlock()
+	if got != base {
+		t.Fatalf("interval after churn = %v, want floor %v", got, base)
+	}
+	if forced := home.Status().GLT.AntiEntropyForced; forced != 2 {
+		t.Fatalf("forced = %d, want 2", forced)
 	}
 }

@@ -207,6 +207,57 @@ func (cs *coopSet) setSiblings(key string, sibs []string) {
 	cs.mu.Unlock()
 }
 
+// dropSibling removes one address from key's sibling list — the peer
+// answered a hedge probe without a usable copy, so its replica is gone
+// (revoked or evicted) and racing toward it again would only burn a leg.
+func (cs *coopSet) dropSibling(key, peer string) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cd, ok := cs.docs[key]
+	if !ok {
+		return
+	}
+	cd.siblings = removeAddr(cd.siblings, peer)
+}
+
+// evictSibling removes peer from every hosted document's sibling list
+// (the peer was declared down) and reports how many lists shrank.
+func (cs *coopSet) evictSibling(peer string) int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	n := 0
+	for _, cd := range cs.docs {
+		if sibs := removeAddr(cd.siblings, peer); len(sibs) != len(cd.siblings) {
+			cd.siblings = sibs
+			n++
+		}
+	}
+	return n
+}
+
+// removeAddr returns addrs without peer, building a fresh slice only on a
+// hit: siblingsOf readers copy under the lock, but an in-place shuffle
+// would still corrupt a slice captured by a prior setSiblings caller.
+func removeAddr(addrs []string, peer string) []string {
+	for i, a := range addrs {
+		if a != peer {
+			continue
+		}
+		out := make([]string, 0, len(addrs)-1)
+		out = append(out, addrs[:i]...)
+		for _, b := range addrs[i+1:] {
+			if b != peer {
+				out = append(out, b)
+			}
+		}
+		if len(out) == 0 {
+			return nil
+		}
+		return out
+	}
+	return addrs
+}
+
 // siblingsOf returns a copy of the known sibling-replica addresses for
 // key; nil when the key is unknown or has no siblings.
 func (cs *coopSet) siblingsOf(key string) []string {

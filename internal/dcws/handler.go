@@ -40,6 +40,8 @@ func (s *Server) handle(req *httpx.Request) *httpx.Response {
 		resp = s.handleMetrics()
 	case req.Path == tracePath:
 		resp = s.handleTrace()
+	case req.Path == replicatePath:
+		resp = s.handleReplicate(req)
 	case strings.HasPrefix(req.Path, revokePath):
 		resp = s.handleRevoke(req)
 	case req.Path == recallPath:
@@ -124,7 +126,16 @@ func (s *Server) handleRevoke(req *httpx.Request) *httpx.Response {
 		s.walAppend(recCoopForget, encodeNameRecord(cleaned))
 	}
 	s.log.Printf("dcws %s: revoked %s", s.Addr(), cleaned)
-	return status(200, "revoked")
+	// Chain-ordered revocation: relay down the remaining replica hosts and
+	// answer the home with the aggregated ack list, self included, so one
+	// home RPC revokes the whole set.
+	acked := []string{s.addr}
+	if rest := splitAddrs(req.Header.Get(headerChain)); len(rest) > 0 {
+		acked = append(acked, s.relayRevoke(key, rest, req.Header.Get(telemetry.TraceHeader))...)
+	}
+	resp := status(200, "revoked")
+	resp.Header.Set(headerAcked, strings.Join(acked, ","))
+	return resp
 }
 
 // handleRecall is the operator-facing recall endpoint: the home server
@@ -526,9 +537,12 @@ func (s *Server) fetchHedged(key, homeAddr, docName, traceID, sib string) *httpx
 			}
 			// Only the primary can win now. A sibling that answered but
 			// had no usable copy is a miss — the replica list was stale —
-			// not a lost race; only errors count as wasted here.
+			// not a lost race; only errors count as wasted here. The stale
+			// entry is dropped so the next fetch does not race toward a
+			// sibling whose replica was revoked.
 			if h.err == nil {
 				s.tel.hedgeMiss.Inc()
+				s.coops.dropSibling(key, sib)
 			} else {
 				s.tel.hedgeWasted.Inc()
 			}

@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"dcws/internal/httpx"
+	"dcws/internal/memnet"
+	"dcws/internal/naming"
 	"dcws/internal/resilience"
 )
 
@@ -213,5 +215,101 @@ func TestHedgeProbeNeverRecurses(t *testing.T) {
 	if resp.Status != 200 || resp.Header.Get(headerValidate) == "" {
 		t.Fatalf("hedge probe with copy = %d (validate=%q), want 200 with hash",
 			resp.Status, resp.Header.Get(headerValidate))
+	}
+}
+
+// TestEvictSiblingOnPeerDown: declaring a peer down must purge it from
+// every hosted document's hedge-sibling list, so no future fetch races
+// toward a dead server.
+func TestEvictSiblingOnPeerDown(t *testing.T) {
+	_, _, _, coop2 := hedgeWorld(t, Params{})
+	// A second hosted document also listing coop1 as a sibling.
+	otherKey := "/~migrate/home/80/pic.gif"
+	coop2.coops.touch(otherKey, naming.Origin{Host: "home", Port: 80}, "/pic.gif", coop2.now())
+	coop2.coops.setSiblings(otherKey, []string{"coop1:81", "coop3:99"})
+
+	coop2.declareDown("coop1:81")
+
+	if sibs := coop2.coops.siblingsOf(hedgeKey); len(sibs) != 0 {
+		t.Fatalf("siblings after down declaration = %v, want none", sibs)
+	}
+	if sibs := coop2.coops.siblingsOf(otherKey); len(sibs) != 1 || sibs[0] != "coop3:99" {
+		t.Fatalf("other doc siblings = %v, want [coop3:99]", sibs)
+	}
+}
+
+// TestRevocationRacesHedgedFetch: the home revokes the document while one
+// co-op (coop2) is unreachable, so coop2 still believes it hosts the
+// document with coop1 as a hedge sibling. Its next refetch races a slow
+// home against that revoked sibling: the probe answers 404 (a miss, not a
+// win), the primary leg gets the home's 301, and the client lands on the
+// home's own copy — a revoked copy is never served.
+func TestRevocationRacesHedgedFetch(t *testing.T) {
+	w, home, _, coop2 := hedgeWorld(t, Params{
+		HedgeDelay:   10 * time.Millisecond,
+		FetchTimeout: 2 * time.Second,
+	})
+	// Revoke with coop2 unreachable: coop1's copy is discarded, coop2
+	// keeps its stale record and sibling list.
+	w.fabric.SetDialFailRate(memnet.Wildcard, "coop2:82", 1.0)
+	home.client.Pool.FlushAddr("coop2:82")
+	home.revoke("/page.html")
+	w.fabric.SetDialFailRate(memnet.Wildcard, "coop2:82", 0)
+	if sibs := coop2.coops.siblingsOf(hedgeKey); len(sibs) != 1 {
+		t.Fatalf("stale sibling list = %v, want the revoked coop1 entry", sibs)
+	}
+
+	// Home is slow enough that the hedge launches, but well within the
+	// fetch timeout, so the primary leg still completes.
+	w.fabric.SetStall("coop2:82", "home:80", 100*time.Millisecond)
+	coop2.client.Pool.FlushAddr("home:80")
+
+	fetchesBefore := home.Stats().Fetches.Value()
+	resp := w.follow("coop2:82", hedgeKey)
+	if resp.Status != 200 || !strings.Contains(string(resp.Body), "pic.gif") {
+		t.Fatalf("refetch = %d %q", resp.Status, resp.Body)
+	}
+	st := coop2.Status()
+	if st.Hedge.Launched != 1 || st.Hedge.Won != 0 || st.Hedge.Miss != 1 || st.Hedge.Wasted != 0 {
+		t.Fatalf("hedge counters = %+v, want launched=1 won=0 miss=1 wasted=0", st.Hedge)
+	}
+	// The 301 told coop2 it no longer hosts the document.
+	if _, ok := coop2.coops.view(hedgeKey); ok {
+		t.Fatal("coop2 still hosts the revoked document")
+	}
+	// And the home served its own copy directly — the revoked document was
+	// never re-fetched by anyone.
+	if got := home.Stats().Fetches.Value(); got != fetchesBefore {
+		t.Fatalf("home fetches = %d, want %d", got, fetchesBefore)
+	}
+}
+
+// TestHedgeMissDropsStaleSibling: a sibling that answers a hedge probe
+// without a copy is evicted from the sibling list, so later refetches do
+// not race toward a replica known to be gone.
+func TestHedgeMissDropsStaleSibling(t *testing.T) {
+	w, _, coop1, coop2 := hedgeWorld(t, Params{
+		HedgeDelay:    10 * time.Millisecond,
+		FetchTimeout:  50 * time.Millisecond,
+		FetchAttempts: 1,
+	})
+	// Home stalls past the fetch timeout and the sibling's copy is gone:
+	// the refetch fails outright, but the probe's 404 must still evict the
+	// stale sibling entry.
+	w.fabric.SetStall("coop2:82", "home:80", 300*time.Millisecond)
+	coop2.client.Pool.FlushAddr("home:80")
+	coop1.coops.markAbsent(hedgeKey)
+	if err := coop1.cfg.Store.Delete(hedgeKey); err != nil {
+		t.Fatal(err)
+	}
+
+	if resp := w.get("coop2:82", hedgeKey); resp.Status == 200 {
+		t.Fatal("refetch succeeded with no reachable source")
+	}
+	if st := coop2.Status(); st.Hedge.Miss != 1 {
+		t.Fatalf("hedge counters = %+v, want miss=1", st.Hedge)
+	}
+	if sibs := coop2.coops.siblingsOf(hedgeKey); len(sibs) != 0 {
+		t.Fatalf("siblings after miss = %v, want none", sibs)
 	}
 }

@@ -42,8 +42,15 @@ func (s *Server) runStatsTick() {
 	s.table.RefreshSelf(s.quantizeLoad(load), now, 0)
 
 	s.maybeRevokeExpired(load)
+	// Drain the coop hot-report hints once and share them between the two
+	// replication paths: the proactive chain disseminator runs first
+	// (EWMA-triggered, pushes bytes eagerly), then the reactive
+	// one-replica-per-tick extension covers whatever the chain did not
+	// handle.
+	hints := s.takeHotHints()
+	handled := s.maybeChainReplicate(hints)
 	if s.params.Replicate {
-		s.maybeReplicate()
+		s.maybeReplicate(hints, handled)
 	}
 	s.maybeMigrate(load)
 	s.ldg.RollWindow()
@@ -194,8 +201,28 @@ func (s *Server) revoke(doc string) {
 	s.walAppend(recRevoke, encodeNameRecord(doc))
 	s.hotMu.Lock()
 	delete(s.hotHints, doc)
+	delete(s.hotRate, doc)
 	s.hotMu.Unlock()
-	for _, coop := range hosts {
+	// Multi-host replica sets are revoked along the dissemination chain:
+	// one RPC to the head, relayed host to host, acks aggregated back up.
+	// Hosts the chain missed (dead links) fall back to per-peer revokes,
+	// whose failures the validator eventually cleans up anyway.
+	remaining := hosts
+	if len(hosts) > 1 {
+		s.tel.replicateRevokeChains.Inc()
+		ackSet := make(map[string]bool)
+		for _, a := range s.sendChainRevoke(hosts, doc) {
+			ackSet[a] = true
+		}
+		remaining = remaining[:0:0]
+		for _, h := range hosts {
+			if !ackSet[h] {
+				remaining = append(remaining, h)
+			}
+		}
+		s.tel.replicateRevokeFallbacks.Add(int64(len(remaining)))
+	}
+	for _, coop := range remaining {
 		s.sendRevoke(coop, doc)
 	}
 	s.tel.revokes.Inc()
@@ -246,22 +273,15 @@ func (s *Server) RecallFrom(coop string) int {
 // maybeReplicate applies the hot-spot replication extension: any migrated
 // document whose hosting co-op reports more window hits than the threshold
 // gains another replica on the least-loaded server not already hosting it.
-func (s *Server) maybeReplicate() {
-	s.hotMu.Lock()
-	hints := make(map[string]int64, len(s.hotHints))
-	for k, v := range s.hotHints {
-		hints[k] = v
-	}
-	s.hotHints = make(map[string]int64)
-	s.hotMu.Unlock()
-
+// Documents in handled were chain-replicated this tick and are skipped.
+func (s *Server) maybeReplicate(hints map[string]int64, handled map[string]bool) {
 	type hot struct {
 		doc  string
 		hits int64
 	}
 	var hots []hot
 	for doc, hits := range hints {
-		if hits >= s.params.ReplicateThreshold {
+		if hits >= s.params.ReplicateThreshold && !handled[doc] {
 			hots = append(hots, hot{doc, hits})
 		}
 	}
@@ -448,24 +468,111 @@ func (s *Server) declareDown(peer string) {
 	s.tel.declaredDown.Inc()
 	n := s.RecallFrom(peer)
 	s.table.Remove(peer)
+	// A dead peer must stop appearing as a hedge target: purge it from
+	// every hosted document's sibling list so no fetch races toward it.
+	if evicted := s.coops.evictSibling(peer); evicted > 0 {
+		s.log.Printf("dcws %s: dropped %s from %d sibling lists", s.Addr(), peer, evicted)
+	}
 	s.log.Printf("dcws %s: declared %s down, recalled %d documents", s.Addr(), peer, n)
 }
 
-// antiEntropyLoop is the safety net under delta piggybacking: every
-// AntiEntropyInterval it exchanges complete load tables with the peer
-// whose last full exchange is oldest, so entries lost to dropped
-// responses, capped deltas, or peer restarts reconverge within one sweep
-// of the cluster even if no delta ever carries them again.
+// antiEntropyLoop is the safety net under delta piggybacking: it
+// exchanges complete load tables with the peer whose last full exchange
+// is oldest, so entries lost to dropped responses, capped deltas, or peer
+// restarts reconverge within one sweep of the cluster even if no delta
+// ever carries them again. The cadence adapts: while the piggyback
+// channel alone keeps every healthy peer's acked version current, each
+// quiet round doubles the wait (capped at 4x AntiEntropyInterval) and the
+// full exchange is skipped; any churn — a suspect or down peer, a
+// peer-set change — snaps the interval back to the floor and forces the
+// next round.
 func (s *Server) antiEntropyLoop() {
 	defer s.wg.Done()
 	for {
+		s.aeMu.Lock()
+		wait := s.aeInterval
+		s.aeMu.Unlock()
 		select {
 		case <-s.stopped:
 			return
-		case <-s.cfg.Clock.After(s.params.AntiEntropyInterval):
+		case <-s.cfg.Clock.After(wait):
+		}
+		if s.aeSkip() {
+			continue
 		}
 		s.runAntiEntropyTick()
 	}
+}
+
+// aeSkip decides one adaptive-cadence round: it reports whether the
+// full-table exchange can be skipped, and adjusts the interval for the
+// next round (backing off while deltas suffice, resetting under churn).
+func (s *Server) aeSkip() bool {
+	base := s.params.AntiEntropyInterval
+	var peers []string
+	for _, p := range s.table.Servers() {
+		if p != s.addr {
+			peers = append(peers, p)
+		}
+	}
+	churn := false
+	for _, p := range peers {
+		if s.peerSuspect(p) {
+			churn = true
+			break
+		}
+	}
+	s.peerMu.Lock()
+	if len(s.downAt) > 0 {
+		churn = true
+	}
+	s.peerMu.Unlock()
+	ver := s.table.Version()
+	gossip := s.table.GossipPeers()
+
+	s.aeMu.Lock()
+	defer s.aeMu.Unlock()
+	if !churn && !equalStrings(peers, s.aeLastPeers) {
+		churn = true
+	}
+	prevVer := s.aeLastVer
+	s.aeLastPeers = peers
+	s.aeLastVer = ver
+	if churn {
+		s.aeInterval = base
+		s.tel.aeForced.Inc()
+		return false
+	}
+	// Quiet only counts when every peer acked everything that existed at
+	// the LAST cadence decision: a version bumped mid-interval gets one
+	// more interval to propagate through deltas before it forces a round.
+	current := prevVer > 0 && len(peers) > 0
+	for _, p := range peers {
+		if gossip[p].Acked < prevVer {
+			current = false
+			break
+		}
+	}
+	if current {
+		s.aeInterval = min(s.aeInterval*2, 4*base)
+		s.tel.aeSkipped.Inc()
+		return true
+	}
+	s.aeInterval = base
+	return false
+}
+
+// equalStrings reports whether two sorted string slices are equal.
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // runAntiEntropyTick performs one full-table exchange: a ping carrying

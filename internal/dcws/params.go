@@ -184,6 +184,22 @@ type Params struct {
 	// peers never heard from) are exempt, as first contact happens through
 	// placement probes. Default 60 s; negative disables the check.
 	PlacementMaxStaleness time.Duration
+
+	// HotReplicateRate is the proactive-replication trigger: when the
+	// EWMA of a document's serve rate (hits per second, home serves plus
+	// coop-reported hits) crosses this threshold, the home pushes the
+	// rendered bytes to HotReplicaCount co-op servers along a CDTP-style
+	// dissemination chain instead of waiting for lazy per-coop fetches.
+	// Default 50 hits/s; negative disables proactive chain replication
+	// (the reactive Replicate extension is independent).
+	HotReplicateRate float64
+	// HotReplicaCount is k: how many replicas a chain-replicated hot
+	// document is brought up to in one dissemination round (default 2).
+	HotReplicaCount int
+	// ReplicateTimeout bounds each link of a chain push — the home's
+	// upload to the chain head, and each relay hop — so one slow link
+	// cannot stall the whole dissemination (default 10 s).
+	ReplicateTimeout time.Duration
 }
 
 // DefaultParams returns the configuration of Table 1: 12 worker threads, a
@@ -230,6 +246,9 @@ func DefaultParams() Params {
 		WALSegmentBytes:       16 << 20,
 		SnapshotInterval:      5 * time.Minute,
 		PlacementMaxStaleness: 60 * time.Second,
+		HotReplicateRate:      50,
+		HotReplicaCount:       2,
+		ReplicateTimeout:      10 * time.Second,
 	}
 }
 
@@ -359,6 +378,17 @@ func (p Params) withDefaults() Params {
 	}
 	if p.PlacementMaxStaleness == 0 {
 		p.PlacementMaxStaleness = d.PlacementMaxStaleness
+	}
+	// HotReplicateRate keeps negative values: they mean "proactive chain
+	// replication disabled".
+	if p.HotReplicateRate == 0 {
+		p.HotReplicateRate = d.HotReplicateRate
+	}
+	if p.HotReplicaCount <= 0 {
+		p.HotReplicaCount = d.HotReplicaCount
+	}
+	if p.ReplicateTimeout <= 0 {
+		p.ReplicateTimeout = d.ReplicateTimeout
 	}
 	return p
 }

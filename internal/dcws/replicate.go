@@ -1,0 +1,430 @@
+package dcws
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"dcws/internal/httpx"
+	"dcws/internal/naming"
+	"dcws/internal/store"
+	"dcws/internal/telemetry"
+)
+
+// Proactive hot-document replication with CDTP-style chain dissemination.
+//
+// The paper's lazy migration copies a document only after a co-op takes a
+// request for it, so under a flash crowd the home server still uploads the
+// bytes once per co-op and its egress link becomes the bottleneck. Here
+// the home notices a hot document itself — an EWMA of the per-document
+// serve rate crossing Params.HotReplicateRate — picks the k least-loaded
+// healthy peers from the global load table, orders them into a chain, and
+// uploads the rendered bytes ONCE to the chain head; each link stores its
+// copy and relays the remainder of the chain to its successor, so home
+// egress is ~one upload per hot document regardless of k.
+
+// takeHotHints drains the coop-reported hot-document hint table.
+func (s *Server) takeHotHints() map[string]int64 {
+	s.hotMu.Lock()
+	hints := s.hotHints
+	s.hotHints = make(map[string]int64)
+	s.hotMu.Unlock()
+	return hints
+}
+
+// maybeChainReplicate folds this window's hit counts — home serves from
+// the LDG plus coop-reported hits — into the per-document serve-rate
+// EWMAs, and chain-replicates every non-entry-point document whose rate
+// crosses the trigger, hottest first. It returns the set of documents it
+// handled, so the legacy one-replica-per-tick path skips them.
+func (s *Server) maybeChainReplicate(hints map[string]int64) map[string]bool {
+	rate := s.params.HotReplicateRate
+	if rate <= 0 {
+		return nil
+	}
+	interval := s.params.StatsInterval.Seconds()
+	if interval <= 0 {
+		interval = 1
+	}
+	type cand struct {
+		doc  string
+		ewma float64
+	}
+	var hot []cand
+	docs := s.ldg.Snapshot()
+	s.hotMu.Lock()
+	seen := make(map[string]bool, len(docs))
+	for _, d := range docs {
+		seen[d.Name] = true
+		r := float64(d.WindowHits+hints[d.Name]) / interval
+		ew := 0.5*s.hotRate[d.Name] + 0.5*r
+		if ew < 0.01 {
+			delete(s.hotRate, d.Name)
+		} else {
+			s.hotRate[d.Name] = ew
+		}
+		if ew >= rate && !d.EntryPoint {
+			hot = append(hot, cand{d.Name, ew})
+		}
+	}
+	for doc := range s.hotRate {
+		if !seen[doc] {
+			delete(s.hotRate, doc) // document left the graph
+		}
+	}
+	s.hotMu.Unlock()
+	if len(hot) == 0 {
+		return nil
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].ewma != hot[j].ewma {
+			return hot[i].ewma > hot[j].ewma
+		}
+		return hot[i].doc < hot[j].doc
+	})
+	handled := make(map[string]bool, len(hot))
+	for _, c := range hot {
+		s.tel.replicateHotTriggers.Inc()
+		if s.chainReplicate(c.doc) {
+			handled[c.doc] = true
+		}
+	}
+	return handled
+}
+
+// chainReplicate pushes one hot document to enough new co-op servers to
+// reach HotReplicaCount replicas, over a single chain upload. It reports
+// whether at least one new replica was installed.
+func (s *Server) chainReplicate(doc string) bool {
+	loc, known := s.ldg.Location(doc)
+	if !known {
+		return false
+	}
+	s.repMu.RLock()
+	existing := append([]string(nil), s.replicas[doc]...)
+	s.repMu.RUnlock()
+	if len(existing) == 0 && loc != "" {
+		existing = []string{loc}
+	}
+	want := s.params.HotReplicaCount - len(existing)
+	if want <= 0 {
+		return false
+	}
+	exclude := map[string]bool{s.addr: true}
+	for _, r := range existing {
+		exclude[r] = true
+	}
+	// Ask for every eligible entry, then apply the placement filters: the
+	// same suspect/staleness rules as migration, so a wobbling peer or a
+	// ghost load entry never joins the chain.
+	var chain []string
+	for _, e := range s.table.LeastLoadedK(s.table.Len(), exclude) {
+		if len(chain) >= want {
+			break
+		}
+		if s.peerSuspect(e.Server) || s.entryStale(e) {
+			continue
+		}
+		chain = append(chain, e.Server)
+	}
+	if len(chain) == 0 {
+		return false
+	}
+	payload, err := s.prepareForMigration(doc)
+	if err != nil {
+		s.log.Printf("dcws %s: chain replicate %s: render: %v", s.Addr(), doc, err)
+		return false
+	}
+	key, err := naming.Encode(s.cfg.Origin, doc)
+	if err != nil {
+		return false
+	}
+	intended := append(append(make([]string, 0, len(existing)+len(chain)), existing...), chain...)
+	acked := s.pushChain(key, doc, payload, contentHash(payload), chain, intended)
+	if len(acked) == 0 {
+		return false
+	}
+	// Install the replica set from the acks only: a chain member that was
+	// skipped (link failure) holds no copy and must not receive 301s.
+	newReps := append(append(make([]string, 0, len(existing)+len(acked)), existing...), acked...)
+	now := s.now()
+	wasHome := loc == ""
+	if wasHome {
+		if _, err := s.ldg.MarkMigrated(doc, newReps[0]); err != nil {
+			s.log.Printf("dcws %s: chain replicate %s: %v", s.Addr(), doc, err)
+			return false
+		}
+		s.ledger.Record(doc, newReps[0], now)
+	} else if _, err := s.ldg.MarkMigrated(doc, loc); err != nil {
+		// Re-dirty the LinkFrom set so regenerated links rotate across the
+		// enlarged replica set.
+		s.log.Printf("dcws %s: chain replicate %s: %v", s.Addr(), doc, err)
+		return false
+	}
+	s.repMu.Lock()
+	s.replicas[doc] = newReps
+	if s.rrCounter[doc] == nil {
+		s.rrCounter[doc] = new(uint32)
+	}
+	s.repMu.Unlock()
+	s.rcache.invalidate(doc)
+	if wasHome {
+		s.walAppend(recMigrate, encodeMigrate(doc, newReps[0], now))
+		s.tel.migrations.Inc()
+	}
+	s.walAppend(recReplicas, encodeReplicas(doc, newReps))
+	s.tel.replications.Add(int64(len(acked)))
+	s.log.Printf("dcws %s: chain-replicated %s -> %v (%d of %d links acked, %d bytes uploaded once)",
+		s.Addr(), doc, acked, len(acked), len(chain), len(payload))
+	return true
+}
+
+// pushChain uploads the rendered document once, to the first reachable
+// chain member; that member stores its copy and relays the remaining
+// chain to its successor. Unreachable heads are skipped (the next member
+// is promoted), so one dead peer costs a retry, not the round. It returns
+// the addresses that acked storing a copy, in chain order.
+func (s *Server) pushChain(key, doc string, payload []byte, h uint64, chain, intended []string) []string {
+	traceID := telemetry.NewTraceID()
+	for i, head := range chain {
+		start := time.Now()
+		startClk := s.now()
+		extra := make(httpx.Header)
+		extra.Set(headerRevokeDoc, key)
+		if i+1 < len(chain) {
+			extra.Set(headerChain, strings.Join(chain[i+1:], ","))
+		}
+		extra.Set(headerValidate, strconv.FormatUint(h, 16))
+		extra.Set(headerReplicas, strings.Join(intended, ","))
+		extra.Set(telemetry.TraceHeader, traceID)
+		s.piggybackTo(extra, head, false)
+		resp, err := s.client.PostTimeout(head, replicatePath, extra, payload, s.params.ReplicateTimeout)
+		span := telemetry.Span{
+			TraceID: traceID, Server: s.addr, Op: "replicate-push",
+			Target: doc, Peer: head, Start: startClk, Duration: time.Since(start),
+		}
+		if err != nil || resp.Status != 200 {
+			if err != nil {
+				span.Err = err.Error()
+			} else {
+				span.Status = resp.Status
+			}
+			s.tel.ring.Record(span)
+			s.tel.replicateChainSkips.Inc()
+			s.log.Printf("dcws %s: chain push %s to %s failed, promoting next link", s.Addr(), doc, head)
+			continue
+		}
+		span.Status = resp.Status
+		s.tel.ring.Record(span)
+		s.absorb(resp.Header)
+		s.tel.replicatePushes.Inc()
+		s.tel.replicatePushBytes.Add(int64(len(payload)))
+		return splitAddrs(resp.Header.Get(headerAcked))
+	}
+	return nil
+}
+
+// handleReplicate is the co-op side of a chain push: store the copy as if
+// it had been lazily fetched, relay the remaining chain to the first
+// reachable successor, and answer with the aggregated ack list (self plus
+// everything downstream).
+func (s *Server) handleReplicate(req *httpx.Request) *httpx.Response {
+	if req.Method != "POST" {
+		return status(405, "replicate requires POST")
+	}
+	key := req.Header.Get(headerRevokeDoc)
+	if key == "" || !naming.IsMigrated(key) {
+		return status(400, "missing or invalid "+headerRevokeDoc+" header")
+	}
+	cleaned, err := store.CleanName(key)
+	if err != nil {
+		return status(400, err.Error())
+	}
+	home, docName, err := naming.Decode(cleaned)
+	if err != nil {
+		return status(400, err.Error())
+	}
+	if home == s.cfg.Origin {
+		return status(400, "cannot host a replica of my own document")
+	}
+	if len(req.Body) == 0 {
+		return status(400, "empty replicate body")
+	}
+	hashHex := req.Header.Get(headerValidate)
+	var h uint64
+	if hashHex != "" {
+		h, _ = strconv.ParseUint(hashHex, 16, 64)
+	}
+	if h == 0 {
+		h = contentHash(req.Body)
+	}
+	if err := s.cfg.Store.Put(cleaned, req.Body); err != nil {
+		return status(500, err.Error())
+	}
+	now := s.now()
+	s.coops.touch(cleaned, home, docName, now)
+	s.coops.markFetched(cleaned, int64(len(req.Body)), h, now)
+	s.absorbReplicas(cleaned, req.Header)
+	s.walCoopAdmit(cleaned)
+	s.enforceCoopBudget(cleaned)
+	s.tel.replicateStored.Inc()
+
+	acked := []string{s.addr}
+	if rest := splitAddrs(req.Header.Get(headerChain)); len(rest) > 0 {
+		down := s.relayChain(cleaned, docName, req.Body, hashHex,
+			req.Header.Get(headerReplicas), rest, req.Header.Get(telemetry.TraceHeader))
+		acked = append(acked, down...)
+	}
+	resp := status(200, "replicated")
+	resp.Header.Set(headerAcked, strings.Join(acked, ","))
+	return resp
+}
+
+// relayChain forwards a chain push to the first reachable successor,
+// CDTP-style: this link has stored its copy and now pays one upload so
+// the home does not have to. Failed successors are skipped — they end up
+// outside the acked set and the home leaves them out of the replica set.
+func (s *Server) relayChain(key, doc string, payload []byte, hashHex, replicas string, chain []string, traceID string) []string {
+	if traceID == "" {
+		traceID = telemetry.NewTraceID()
+	}
+	for i, next := range chain {
+		start := time.Now()
+		startClk := s.now()
+		extra := make(httpx.Header)
+		extra.Set(headerRevokeDoc, key)
+		if i+1 < len(chain) {
+			extra.Set(headerChain, strings.Join(chain[i+1:], ","))
+		}
+		if hashHex != "" {
+			extra.Set(headerValidate, hashHex)
+		}
+		if replicas != "" {
+			extra.Set(headerReplicas, replicas)
+		}
+		extra.Set(telemetry.TraceHeader, traceID)
+		s.piggybackTo(extra, next, false)
+		resp, err := s.client.PostTimeout(next, replicatePath, extra, payload, s.params.ReplicateTimeout)
+		span := telemetry.Span{
+			TraceID: traceID, Server: s.addr, Op: "replicate-relay",
+			Target: doc, Peer: next, Start: startClk, Duration: time.Since(start),
+		}
+		if err != nil || resp.Status != 200 {
+			if err != nil {
+				span.Err = err.Error()
+			} else {
+				span.Status = resp.Status
+			}
+			s.tel.ring.Record(span)
+			s.tel.replicateChainSkips.Inc()
+			s.log.Printf("dcws %s: chain relay %s to %s failed, promoting next link", s.Addr(), doc, next)
+			continue
+		}
+		span.Status = resp.Status
+		s.tel.ring.Record(span)
+		s.absorb(resp.Header)
+		s.tel.replicateRelays.Inc()
+		return splitAddrs(resp.Header.Get(headerAcked))
+	}
+	return nil
+}
+
+// sendChainRevoke asks the chain head to revoke doc and relay the
+// revocation down the remaining hosts, answering with the aggregated ack
+// list. It returns the hosts that confirmed; nil means the head itself
+// was unreachable and the caller falls back to per-peer revokes.
+func (s *Server) sendChainRevoke(hosts []string, doc string) []string {
+	key, err := naming.Encode(s.cfg.Origin, doc)
+	if err != nil {
+		return nil
+	}
+	head := hosts[0]
+	traceID := telemetry.NewTraceID()
+	start := time.Now()
+	startClk := s.now()
+	req := httpx.NewRequest("POST", revokePath)
+	req.Header.Set(headerRevokeDoc, key)
+	req.Header.Set(headerChain, strings.Join(hosts[1:], ","))
+	req.Header.Set(telemetry.TraceHeader, traceID)
+	s.piggybackTo(req.Header, head, false)
+	resp, err := s.client.DoTimeout(head, req, s.params.MaintenanceTimeout)
+	span := telemetry.Span{
+		TraceID: traceID, Server: s.addr, Op: "revoke-chain",
+		Target: doc, Peer: head, Start: startClk, Duration: time.Since(start),
+	}
+	if err != nil {
+		span.Err = err.Error()
+		s.tel.ring.Record(span)
+		s.log.Printf("dcws %s: chain revoke %s at %s: %v", s.Addr(), doc, head, err)
+		return nil
+	}
+	span.Status = resp.Status
+	s.tel.ring.Record(span)
+	s.absorb(resp.Header)
+	if resp.Status != 200 {
+		return nil
+	}
+	return splitAddrs(resp.Header.Get(headerAcked))
+}
+
+// relayRevoke forwards a chain revocation to the first reachable
+// successor and returns the downstream ack list. Unreachable links are
+// skipped; the home covers them with per-peer fallback revokes.
+func (s *Server) relayRevoke(key string, chain []string, traceID string) []string {
+	if traceID == "" {
+		traceID = telemetry.NewTraceID()
+	}
+	for i, next := range chain {
+		start := time.Now()
+		startClk := s.now()
+		req := httpx.NewRequest("POST", revokePath)
+		req.Header.Set(headerRevokeDoc, key)
+		if i+1 < len(chain) {
+			req.Header.Set(headerChain, strings.Join(chain[i+1:], ","))
+		}
+		req.Header.Set(telemetry.TraceHeader, traceID)
+		s.piggybackTo(req.Header, next, false)
+		resp, err := s.client.DoTimeout(next, req, s.params.MaintenanceTimeout)
+		span := telemetry.Span{
+			TraceID: traceID, Server: s.addr, Op: "revoke-relay",
+			Target: key, Peer: next, Start: startClk, Duration: time.Since(start),
+		}
+		if err != nil || resp.Status != 200 {
+			if err != nil {
+				span.Err = err.Error()
+			} else {
+				span.Status = resp.Status
+			}
+			s.tel.ring.Record(span)
+			s.tel.replicateChainSkips.Inc()
+			continue
+		}
+		span.Status = resp.Status
+		s.tel.ring.Record(span)
+		s.absorb(resp.Header)
+		return splitAddrs(resp.Header.Get(headerAcked))
+	}
+	return nil
+}
+
+// splitAddrs parses a comma-separated address list header value.
+func splitAddrs(v string) []string {
+	if v == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(v, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// HotRate reports a document's current serve-rate EWMA (tests, status).
+func (s *Server) HotRate(doc string) float64 {
+	s.hotMu.Lock()
+	defer s.hotMu.Unlock()
+	return s.hotRate[doc]
+}

@@ -1,0 +1,283 @@
+package dcws
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dcws/internal/memnet"
+	"dcws/internal/store"
+)
+
+const chainKey = "/~migrate/home/80/page.html"
+
+// chainParams make one statistics tick enough to trigger chain
+// replication: a 1-second window and a 1 hit/s threshold, so a handful of
+// serves pushes the EWMA over the line.
+func chainParams() Params {
+	return Params{StatsInterval: time.Second, HotReplicateRate: 1}
+}
+
+// heatUp serves /page.html at the home server enough times that the next
+// statistics tick's EWMA crosses the chainParams threshold.
+func heatUp(t *testing.T, w *testWorld) {
+	t.Helper()
+	for i := 0; i < 8; i++ {
+		if resp := w.get("home:80", "/page.html"); resp.Status != 200 {
+			t.Fatalf("warm-up serve = %d", resp.Status)
+		}
+	}
+}
+
+// TestChainReplicationPushesOnce is the tentpole scenario: a hot document
+// reaches k=2 co-op servers off ONE home upload — the home pushes to the
+// chain head, the head relays to its successor, and no co-op ever fetches
+// back from home.
+func TestChainReplicationPushesOnce(t *testing.T) {
+	w := newWorld(t)
+	home := w.addServer("home", 80, siteAB(), []string{"/index.html"}, chainParams())
+	coop1 := w.addServer("coop1", 81, nil, nil, Params{})
+	coop2 := w.addServer("coop2", 82, nil, nil, Params{})
+
+	heatUp(t, w)
+	home.TickStats()
+
+	if reps := home.Replicas("/page.html"); len(reps) != 2 ||
+		reps[0] != "coop1:81" || reps[1] != "coop2:82" {
+		t.Fatalf("replicas = %v, want [coop1:81 coop2:82]", reps)
+	}
+	st := home.Status().Replication
+	if st.HotTriggers != 1 || st.Pushes != 1 {
+		t.Fatalf("home replication = %+v, want 1 trigger and 1 push", st)
+	}
+	if st.PushBytes == 0 {
+		t.Fatal("home recorded no pushed bytes")
+	}
+	if r1 := coop1.Status().Replication; r1.Stored != 1 || r1.Relays != 1 {
+		t.Fatalf("coop1 replication = %+v, want stored=1 relays=1", r1)
+	}
+	if r2 := coop2.Status().Replication; r2.Stored != 1 || r2.Relays != 0 {
+		t.Fatalf("coop2 replication = %+v, want stored=1 relays=0", r2)
+	}
+	// The whole point: nobody lazily pulled from home.
+	if f := home.Stats().Fetches.Value(); f != 0 {
+		t.Fatalf("home answered %d fetches; the chain push should have been the only transfer", f)
+	}
+	// Both co-ops serve the pushed copy directly.
+	for _, addr := range []string{"coop1:81", "coop2:82"} {
+		resp := w.get(addr, chainKey)
+		if resp.Status != 200 || !strings.Contains(string(resp.Body), "pic.gif") {
+			t.Fatalf("%s serve = %d %q", addr, resp.Status, resp.Body)
+		}
+	}
+	if f := home.Stats().Fetches.Value(); f != 0 {
+		t.Fatalf("serving the pushed copies caused %d home fetches", f)
+	}
+	// The home now redirects, and each co-op learned the other as a hedge
+	// sibling from the X-DCWS-Replicas header riding the push.
+	if resp := w.get("home:80", "/page.html"); resp.Status != 301 {
+		t.Fatalf("home serve after replication = %d, want 301", resp.Status)
+	}
+	if sibs := coop1.coops.siblingsOf(chainKey); len(sibs) != 1 || sibs[0] != "coop2:82" {
+		t.Fatalf("coop1 siblings = %v, want [coop2:82]", sibs)
+	}
+	if sibs := coop2.coops.siblingsOf(chainKey); len(sibs) != 1 || sibs[0] != "coop1:81" {
+		t.Fatalf("coop2 siblings = %v, want [coop1:81]", sibs)
+	}
+}
+
+// TestChainSkipsDeadLink: an unreachable mid-chain server is promoted
+// past — the relay skips to the next link, the dead peer never enters the
+// replica set, and the dissemination still completes.
+func TestChainSkipsDeadLink(t *testing.T) {
+	w := newWorld(t)
+	params := chainParams()
+	params.HotReplicaCount = 3
+	home := w.addServer("home", 80, siteAB(), []string{"/index.html"}, params)
+	coop1 := w.addServer("coop1", 81, nil, nil, Params{})
+	w.addServer("coop2", 82, nil, nil, Params{})
+	coop3 := w.addServer("coop3", 83, nil, nil, Params{})
+
+	// coop2 (second chain link) drops every dial.
+	w.fabric.SetDialFailRate(memnet.Wildcard, "coop2:82", 1.0)
+
+	heatUp(t, w)
+	home.TickStats()
+
+	if reps := home.Replicas("/page.html"); len(reps) != 2 ||
+		reps[0] != "coop1:81" || reps[1] != "coop3:83" {
+		t.Fatalf("replicas = %v, want [coop1:81 coop3:83]", reps)
+	}
+	if r1 := coop1.Status().Replication; r1.Stored != 1 || r1.Relays != 1 || r1.ChainSkips != 1 {
+		t.Fatalf("coop1 replication = %+v, want stored=1 relays=1 chain_skips=1", r1)
+	}
+	if r3 := coop3.Status().Replication; r3.Stored != 1 {
+		t.Fatalf("coop3 replication = %+v, want stored=1", r3)
+	}
+	if resp := w.get("coop3:83", chainKey); resp.Status != 200 {
+		t.Fatalf("coop3 serve = %d", resp.Status)
+	}
+	if f := home.Stats().Fetches.Value(); f != 0 {
+		t.Fatalf("dead link forced %d lazy fetches from home", f)
+	}
+}
+
+// TestChainRevocationFanout: revoking a chain-replicated document reuses
+// the chain — one home RPC, relayed host to host, acks aggregated back —
+// and every replica is discarded with no per-peer fallback needed.
+func TestChainRevocationFanout(t *testing.T) {
+	w := newWorld(t)
+	home := w.addServer("home", 80, siteAB(), []string{"/index.html"}, chainParams())
+	coop1 := w.addServer("coop1", 81, nil, nil, Params{})
+	coop2 := w.addServer("coop2", 82, nil, nil, Params{})
+
+	heatUp(t, w)
+	home.TickStats()
+	if len(home.Replicas("/page.html")) != 2 {
+		t.Fatalf("replicas = %v", home.Replicas("/page.html"))
+	}
+
+	home.revoke("/page.html")
+
+	st := home.Status().Replication
+	if st.RevokeChains != 1 || st.RevokeFallbacks != 0 {
+		t.Fatalf("revocation = %+v, want revoke_chains=1 revoke_fallbacks=0", st)
+	}
+	for name, coop := range map[string]*Server{"coop1": coop1, "coop2": coop2} {
+		if _, ok := coop.coops.view(chainKey); ok {
+			t.Fatalf("%s still hosts %s after chain revocation", name, chainKey)
+		}
+	}
+	if resp := w.get("home:80", "/page.html"); resp.Status != 200 {
+		t.Fatalf("home serve after revocation = %d, want 200", resp.Status)
+	}
+}
+
+// TestChainRevocationFallsBackPerPeer: when the chain head is dead the
+// home falls back to the existing per-peer revokes, so the reachable
+// survivors still discard their copies.
+func TestChainRevocationFallsBackPerPeer(t *testing.T) {
+	w := newWorld(t)
+	home := w.addServer("home", 80, siteAB(), []string{"/index.html"}, chainParams())
+	w.addServer("coop1", 81, nil, nil, Params{})
+	coop2 := w.addServer("coop2", 82, nil, nil, Params{})
+
+	heatUp(t, w)
+	home.TickStats()
+	if len(home.Replicas("/page.html")) != 2 {
+		t.Fatalf("replicas = %v", home.Replicas("/page.html"))
+	}
+
+	// The chain head goes dark before the revocation.
+	w.fabric.SetDialFailRate(memnet.Wildcard, "coop1:81", 1.0)
+	home.client.Pool.FlushAddr("coop1:81")
+	home.revoke("/page.html")
+
+	st := home.Status().Replication
+	if st.RevokeChains != 1 || st.RevokeFallbacks != 2 {
+		t.Fatalf("revocation = %+v, want revoke_chains=1 revoke_fallbacks=2", st)
+	}
+	if _, ok := coop2.coops.view(chainKey); ok {
+		t.Fatal("reachable survivor still hosts the revoked copy")
+	}
+	if resp := w.get("home:80", "/page.html"); resp.Status != 200 {
+		t.Fatalf("home serve after revocation = %d, want 200", resp.Status)
+	}
+}
+
+// TestChainReplicationWALRecovery: the chain-installed replica set is
+// WAL-logged, so a crashed home comes back remembering every replica —
+// redirects resume and a revocation after recovery still reaches all
+// hosts.
+func TestChainReplicationWALRecovery(t *testing.T) {
+	w := newWorld(t)
+	homeStore := store.NewMem()
+	for name, body := range siteAB() {
+		if err := homeStore.Put(name, []byte(body)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	home := w.bootServer("home", 80, homeStore, []string{"/index.html"}, chainParams(), t.TempDir()+"/wal")
+	coop1 := w.addServer("coop1", 81, nil, nil, Params{})
+	coop2 := w.addServer("coop2", 82, nil, nil, Params{})
+
+	heatUp(t, w)
+	home.TickStats()
+	want := home.Replicas("/page.html")
+	if len(want) != 2 {
+		t.Fatalf("replicas before crash = %v", want)
+	}
+
+	// kill -9 the home: no final snapshot, no final sync.
+	if err := home.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	reborn := w.bootServer("home", 80, homeStore, []string{"/index.html"}, chainParams(), home.cfg.WALDir)
+	if !reborn.Recovery().Recovered {
+		t.Fatal("restart did not recover from the WAL")
+	}
+	got := reborn.Replicas("/page.html")
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("replicas after recovery = %v, want %v", got, want)
+	}
+	if resp := w.get("home:80", "/page.html"); resp.Status != 301 {
+		t.Fatalf("reborn home serve = %d, want 301", resp.Status)
+	}
+	// Revocation after recovery fans out along the recovered chain.
+	reborn.revoke("/page.html")
+	for name, coop := range map[string]*Server{"coop1": coop1, "coop2": coop2} {
+		if _, ok := coop.coops.view(chainKey); ok {
+			t.Fatalf("%s still hosts %s after post-recovery revocation", name, chainKey)
+		}
+	}
+	if resp := w.get("home:80", "/page.html"); resp.Status != 200 {
+		t.Fatalf("reborn home serve after revocation = %d, want 200", resp.Status)
+	}
+}
+
+// TestChainReplicationDisabled: a negative HotReplicateRate switches the
+// proactive path off entirely — no triggers, no pushes, however hot the
+// document runs.
+func TestChainReplicationDisabled(t *testing.T) {
+	w := newWorld(t)
+	params := chainParams()
+	params.HotReplicateRate = -1
+	home := w.addServer("home", 80, siteAB(), []string{"/index.html"}, params)
+	w.addServer("coop1", 81, nil, nil, Params{})
+
+	heatUp(t, w)
+	home.TickStats()
+
+	// The ordinary migration policy may still move the hot document (one
+	// replica via lazy fetch); what must not happen is any chain activity.
+	if st := home.Status().Replication; st.HotTriggers != 0 || st.Pushes != 0 || st.PushBytes != 0 {
+		t.Fatalf("replication counters = %+v, want all zero", st)
+	}
+}
+
+// TestHotRateEWMADecays: the serve-rate EWMA halves each idle tick and
+// the tracking entry is dropped once it decays to noise, so a burst long
+// past cannot trigger replication.
+func TestHotRateEWMADecays(t *testing.T) {
+	w := newWorld(t)
+	params := chainParams()
+	params.HotReplicateRate = 100 // never triggers in this test
+	home := w.addServer("home", 80, siteAB(), []string{"/index.html"}, params)
+
+	heatUp(t, w)
+	home.TickStats()
+	first := home.HotRate("/page.html")
+	if first <= 0 {
+		t.Fatalf("EWMA after hot tick = %v, want > 0", first)
+	}
+	home.TickStats()
+	if second := home.HotRate("/page.html"); second >= first || second != first/2 {
+		t.Fatalf("EWMA after idle tick = %v, want %v", second, first/2)
+	}
+	for i := 0; i < 12; i++ {
+		home.TickStats()
+	}
+	if rate := home.HotRate("/page.html"); rate != 0 {
+		t.Fatalf("EWMA after long idle = %v, want dropped to 0", rate)
+	}
+}

@@ -44,18 +44,27 @@ const (
 	// headerHot carries a coop's hottest hosted documents back to homes
 	// (replication extension).
 	headerHot = "X-DCWS-Hot"
+	// headerChain carries the remaining dissemination chain on a
+	// /~dcws/replicate push or a chain revocation: a comma-separated list
+	// of successor coop addresses each link relays to, CDTP-style.
+	headerChain = "X-DCWS-Chain"
+	// headerAcked aggregates, back up the chain, which coops stored the
+	// pushed copy (or applied the revocation): each link prepends itself
+	// to its successor's list before answering.
+	headerAcked = "X-DCWS-Acked"
 )
 
 // Internal control paths. The "~dcws" first component cannot collide with
 // stored documents, mirroring the "~migrate" convention.
 const (
-	pingPath    = "/~dcws/ping"
-	revokePath  = "/~dcws/revoke"
-	statusPath  = "/~dcws/status"
-	recallPath  = "/~dcws/recall"
-	graphPath   = "/~dcws/graph"
-	metricsPath = "/~dcws/metrics"
-	tracePath   = "/~dcws/trace"
+	pingPath      = "/~dcws/ping"
+	revokePath    = "/~dcws/revoke"
+	replicatePath = "/~dcws/replicate"
+	statusPath    = "/~dcws/status"
+	recallPath    = "/~dcws/recall"
+	graphPath     = "/~dcws/graph"
+	metricsPath   = "/~dcws/metrics"
+	tracePath     = "/~dcws/trace"
 )
 
 // Config assembles a server's identity and dependencies.
@@ -152,6 +161,19 @@ type Server struct {
 
 	hotMu    sync.Mutex
 	hotHints map[string]int64 // home side: migrated doc -> last reported coop hits
+	// hotRate is the per-document EWMA of the serve rate (hits/s, home
+	// window hits plus coop-reported hits) that triggers proactive chain
+	// replication when it crosses HotReplicateRate.
+	hotRate map[string]float64
+
+	// aeMu guards the adaptive anti-entropy cadence: the loop backs the
+	// interval off (up to 4x AntiEntropyInterval) while piggyback deltas
+	// keep every healthy peer's acked version current, and snaps back to
+	// the floor under churn (peer-set change, suspect or down peers).
+	aeMu        sync.Mutex
+	aeInterval  time.Duration
+	aeLastVer   uint64   // table version at the last cadence decision
+	aeLastPeers []string // peer set at the last cadence decision (sorted)
 
 	wal      *wal.Log // nil when the durable tier is disabled
 	recovery recoveryStats
@@ -320,8 +342,10 @@ func New(cfg Config) (*Server, error) {
 		pingFail:  make(map[string]int),
 		downAt:    make(map[string]time.Time),
 		hotHints:  make(map[string]int64),
+		hotRate:   make(map[string]float64),
 		stopped:   make(chan struct{}),
 	}
+	s.aeInterval = params.AntiEntropyInterval
 	s.gate.HomeInterval = params.StatsInterval
 	s.gate.CoopInterval = params.CoopMigrateInterval
 	// A tripped breaker means the peer's recent calls all failed: idle

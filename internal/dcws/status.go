@@ -49,6 +49,9 @@ type Status struct {
 	Pool PoolStatus `json:"pool"`
 	// Hedge summarizes hedged lazy-migration fetches.
 	Hedge HedgeStatus `json:"hedge"`
+	// Replication summarizes proactive chain dissemination of hot
+	// documents and chain-ordered revocation.
+	Replication ReplicationStatus `json:"replication"`
 
 	// CacheHits / CacheMisses count rendered-document cache lookups.
 	CacheHits   int64 `json:"cache_hits"`
@@ -114,6 +117,14 @@ type GLTStatus struct {
 	ClientEmits int64 `json:"client_emits"`
 	// AntiEntropyRounds counts full-table exchanges this server initiated.
 	AntiEntropyRounds int64 `json:"anti_entropy_rounds"`
+	// AntiEntropySkipped / AntiEntropyForced are the adaptive cadence's
+	// counters: rounds skipped because piggyback deltas already had every
+	// peer current, and backoff resets forced by churn.
+	AntiEntropySkipped int64 `json:"anti_entropy_skipped"`
+	AntiEntropyForced  int64 `json:"anti_entropy_forced"`
+	// AntiEntropyIntervalSeconds is the adaptive interval currently in
+	// force (between 1x and 4x Params.AntiEntropyInterval).
+	AntiEntropyIntervalSeconds float64 `json:"anti_entropy_interval_seconds"`
 	// Peers is the per-peer gossip state, keyed by peer address.
 	Peers map[string]GLTPeerStatus `json:"peers,omitempty"`
 }
@@ -155,6 +166,20 @@ type HedgeStatus struct {
 	Wasted   int64 `json:"wasted"`
 }
 
+// ReplicationStatus summarizes proactive chain replication. PushBytes is
+// the home's total upload into dissemination chains — the number the
+// chain topology keeps flat as the replica count grows.
+type ReplicationStatus struct {
+	HotTriggers     int64 `json:"hot_triggers"`
+	Pushes          int64 `json:"pushes"`
+	PushBytes       int64 `json:"push_bytes"`
+	Relays          int64 `json:"relays"`
+	Stored          int64 `json:"stored"`
+	ChainSkips      int64 `json:"chain_skips"`
+	RevokeChains    int64 `json:"revoke_chains"`
+	RevokeFallbacks int64 `json:"revoke_fallbacks"`
+}
+
 // Status returns the server's current operational snapshot.
 func (s *Server) Status() Status {
 	now := s.now()
@@ -183,16 +208,32 @@ func (s *Server) Status() Status {
 		Miss:     s.tel.hedgeMiss.Value(),
 		Wasted:   s.tel.hedgeWasted.Value(),
 	}
+	st.Replication = ReplicationStatus{
+		HotTriggers:     s.tel.replicateHotTriggers.Value(),
+		Pushes:          s.tel.replicatePushes.Value(),
+		PushBytes:       s.tel.replicatePushBytes.Value(),
+		Relays:          s.tel.replicateRelays.Value(),
+		Stored:          s.tel.replicateStored.Value(),
+		ChainSkips:      s.tel.replicateChainSkips.Value(),
+		RevokeChains:    s.tel.replicateRevokeChains.Value(),
+		RevokeFallbacks: s.tel.replicateRevokeFallbacks.Value(),
+	}
 	st.CacheHits, st.CacheMisses = s.rcache.counts()
 	st.QueueDepth = s.httpSrv.QueueDepth()
+	s.aeMu.Lock()
+	aeInterval := s.aeInterval
+	s.aeMu.Unlock()
 	st.GLT = GLTStatus{
-		Shards:            s.table.ShardCount(),
-		Version:           s.table.Version(),
-		Entries:           s.table.Len(),
-		DeltaEmits:        s.table.DeltaEmits(),
-		FullEmits:         s.table.FullEmits(),
-		ClientEmits:       s.table.ClientEmits(),
-		AntiEntropyRounds: s.tel.antiEntropyRounds.Value(),
+		Shards:                     s.table.ShardCount(),
+		Version:                    s.table.Version(),
+		Entries:                    s.table.Len(),
+		DeltaEmits:                 s.table.DeltaEmits(),
+		FullEmits:                  s.table.FullEmits(),
+		ClientEmits:                s.table.ClientEmits(),
+		AntiEntropyRounds:          s.tel.antiEntropyRounds.Value(),
+		AntiEntropySkipped:         s.tel.aeSkipped.Value(),
+		AntiEntropyForced:          s.tel.aeForced.Value(),
+		AntiEntropyIntervalSeconds: aeInterval.Seconds(),
 	}
 	for p, g := range s.table.GossipPeers() {
 		row := GLTPeerStatus{Acked: g.Acked, Seen: g.Seen}

@@ -61,6 +61,27 @@ type serverTelemetry struct {
 	hedgeWon      *telemetry.Counter
 	hedgeMiss     *telemetry.Counter
 	hedgeWasted   *telemetry.Counter
+
+	// Proactive chain replication. pushes/pushBytes measure the home's
+	// upload cost (the number the chain exists to keep flat); relays and
+	// stored count the work the co-op side absorbs; chainSkips count dead
+	// links promoted past. Revocation reuses the chain: revokeChains are
+	// chain-ordered fan-outs, revokeFallbacks the per-peer revokes still
+	// needed for hosts the chain did not reach.
+	replicateHotTriggers     *telemetry.Counter
+	replicatePushes          *telemetry.Counter
+	replicatePushBytes       *telemetry.Counter
+	replicateRelays          *telemetry.Counter
+	replicateStored          *telemetry.Counter
+	replicateChainSkips      *telemetry.Counter
+	replicateRevokeChains    *telemetry.Counter
+	replicateRevokeFallbacks *telemetry.Counter
+
+	// Adaptive anti-entropy cadence: rounds skipped because piggyback
+	// deltas already had every peer current, and rounds forced back to the
+	// floor interval by churn.
+	aeSkipped *telemetry.Counter
+	aeForced  *telemetry.Counter
 }
 
 func newServerTelemetry(ringSize int) *serverTelemetry {
@@ -112,6 +133,28 @@ func newServerTelemetry(ringSize int) *serverTelemetry {
 		"hedge probes answered by a sibling that had no usable copy")
 	t.hedgeWasted = reg.Counter("dcws_hedge_wasted_total",
 		"hedge legs that lost the race to the primary or errored outright")
+
+	t.replicateHotTriggers = reg.Counter("dcws_replicate_hot_triggers_total",
+		"documents whose serve-rate EWMA crossed the chain-replication threshold")
+	t.replicatePushes = reg.Counter("dcws_replicate_pushes_total",
+		"chain uploads sent by this home server (one per dissemination round)")
+	t.replicatePushBytes = reg.Counter("dcws_replicate_push_bytes_total",
+		"document bytes uploaded by this home server into dissemination chains")
+	t.replicateRelays = reg.Counter("dcws_replicate_relays_total",
+		"chain pushes this co-op relayed onward to its successor")
+	t.replicateStored = reg.Counter("dcws_replicate_stored_total",
+		"replica copies stored on this co-op via chain pushes")
+	t.replicateChainSkips = reg.Counter("dcws_replicate_chain_skips_total",
+		"unreachable chain links skipped during pushes, relays, or revocations")
+	t.replicateRevokeChains = reg.Counter("dcws_replicate_revoke_chains_total",
+		"revocations fanned out along the replica chain")
+	t.replicateRevokeFallbacks = reg.Counter("dcws_replicate_revoke_fallbacks_total",
+		"per-peer fallback revokes for hosts the revocation chain missed")
+
+	t.aeSkipped = reg.Counter("dcws_glt_anti_entropy_skipped_total",
+		"anti-entropy rounds skipped because every peer had acked the current table")
+	t.aeForced = reg.Counter("dcws_glt_anti_entropy_forced_total",
+		"anti-entropy backoff resets forced by churn (peer-set change or suspect peers)")
 	return t
 }
 

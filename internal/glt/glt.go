@@ -361,6 +361,39 @@ func (t *Table) LeastLoaded(exclude map[string]bool) (Entry, bool) {
 	return best, found
 }
 
+// LeastLoadedK returns up to k entries ordered by ascending load (ties by
+// address), skipping the excluded addresses — the chain-replication target
+// selector: the k least-loaded eligible peers become the dissemination
+// chain, ordered so the least-loaded server is the chain head and absorbs
+// the relay work first. k <= 0 returns nil.
+func (t *Table) LeastLoadedK(k int, exclude map[string]bool) []Entry {
+	if k <= 0 {
+		return nil
+	}
+	var all []Entry
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for _, rec := range sh.entries {
+			if exclude[rec.e.Server] {
+				continue
+			}
+			all = append(all, rec.e)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Load != all[j].Load {
+			return all[i].Load < all[j].Load
+		}
+		return all[i].Server < all[j].Server
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
 // StaleServers returns servers whose entries are older than maxAge as of
 // now — the servers the pinger thread must contact artificially (§4.5).
 // The owning server itself is never reported stale.

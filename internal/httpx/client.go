@@ -214,6 +214,21 @@ func (c *Client) GetTimeout(addr, path string, extra Header, timeout time.Durati
 	return c.DoTimeout(addr, req, timeout)
 }
 
+// PostTimeout issues a POST for path at addr carrying body and the given
+// extra headers (may be nil), with a per-request deadline. The body rides
+// the request Content-Length framing, so relays (chain dissemination) can
+// forward it byte-for-byte.
+func (c *Client) PostTimeout(addr, path string, extra Header, body []byte, timeout time.Duration) (*Response, error) {
+	req := NewRequest("POST", path)
+	for k, vs := range extra {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	req.Body = body
+	return c.DoTimeout(addr, req, timeout)
+}
+
 // CloseIdle retires the client's idle pooled connections, if pooling is
 // enabled. Safe to call multiple times.
 func (c *Client) CloseIdle() {

@@ -44,8 +44,9 @@ var canonicalKnown = map[string]string{}
 
 func init() {
 	for _, k := range []string{
-		"X-DCWS-Doc", "X-DCWS-Fetch", "X-DCWS-Hedge", "X-DCWS-Hot",
-		"X-DCWS-Load", "X-DCWS-Replicas", "X-DCWS-Trace", "X-DCWS-Validate",
+		"X-DCWS-Acked", "X-DCWS-Chain", "X-DCWS-Doc", "X-DCWS-Fetch",
+		"X-DCWS-Hedge", "X-DCWS-Hot", "X-DCWS-Load", "X-DCWS-Replicas",
+		"X-DCWS-Trace", "X-DCWS-Validate",
 	} {
 		canonicalKnown[k] = canonicalizeKey(k)
 	}

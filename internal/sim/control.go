@@ -94,6 +94,9 @@ func (s *simServer) statsTick() {
 	s.table.UpdateSelf(load, w.now)
 
 	s.revokeExpired(load)
+	if w.params.HotReplicateRate > 0 {
+		s.chainReplicateHot()
+	}
 	if w.params.Replicate {
 		s.replicateHot()
 	}
@@ -204,6 +207,7 @@ func (s *simServer) revoke(name string) {
 	delete(s.replicas, name)
 	delete(s.rr, name)
 	delete(s.hotHints, name)
+	delete(s.hotRate, name)
 	for _, hAddr := range hosts {
 		if host := s.w.servers[hAddr]; host != nil {
 			host.dropHosted(s.addr, name)
@@ -223,6 +227,97 @@ func (s *simServer) revokeExpired(selfLoad float64) {
 		if e.Load > selfLoad*s.w.params.ImbalanceRatio {
 			s.revoke(mig.Doc)
 		}
+	}
+}
+
+// chainReplicateHot mirrors dcws.Server.maybeChainReplicate: fold this
+// window's serve rate (home hits plus the hottest co-op report) into a
+// per-document EWMA, and when a document crosses HotReplicateRate bring it
+// up to HotReplicaCount replicas in ONE dissemination — the home uploads
+// once to the chain head and each link relays to its successor, so the
+// home's egress stays one document transfer regardless of the fan-out.
+func (s *simServer) chainReplicateHot() {
+	w := s.w
+	dt := w.params.StatsInterval.Seconds()
+	for name, d := range s.docs {
+		rate := float64(d.windowHits+s.hotHints[name]) / dt
+		next := 0.5*s.hotRate[name] + 0.5*rate
+		if next < 0.01 {
+			delete(s.hotRate, name)
+			continue
+		}
+		s.hotRate[name] = next
+	}
+	names := make([]string, 0, len(s.hotRate))
+	for name := range s.hotRate {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		d := s.docs[name]
+		if d == nil || d.entry || s.hotRate[name] < w.params.HotReplicateRate {
+			continue
+		}
+		existing := s.replicas[name]
+		if len(existing) == 0 && d.location != "" {
+			existing = []string{d.location}
+		}
+		want := w.params.HotReplicaCount - len(existing)
+		if want <= 0 {
+			continue
+		}
+		exclude := map[string]bool{s.addr: true}
+		for _, r := range existing {
+			exclude[r] = true
+		}
+		var chain []string
+		for _, e := range s.table.LeastLoadedK(s.table.Len(), exclude) {
+			if w.servers[e.Server] == nil {
+				continue
+			}
+			chain = append(chain, e.Server)
+			if len(chain) == want {
+				break
+			}
+		}
+		if len(chain) == 0 {
+			continue
+		}
+		// The home renders once and uploads once; every chain link but the
+		// last relays that same payload downstream.
+		if d.snapshot == nil || d.dirty {
+			s.rebuildSnapshot(d)
+		}
+		pushed := d.snapshot
+		for i, addr := range chain {
+			host := w.servers[addr]
+			host.hosted[s.addr+"|"+name] = &hostedDoc{
+				present: true,
+				doc:     pushed,
+				version: pushed.version,
+			}
+			if i < len(chain)-1 {
+				host.finish(reply{status: 200, bytes: d.spec.Size}, 0, func(reply) {})
+			}
+		}
+		s.chainPushes++
+		s.chainPushBytes += d.spec.Size
+		s.finish(reply{status: 200, bytes: d.spec.Size}, s.cost.ParseCost, func(reply) {})
+		newReps := append(append([]string(nil), existing...), chain...)
+		wasHome := d.location == ""
+		d.location = newReps[0]
+		d.version++
+		for _, from := range d.linkFrom {
+			if fd, ok := s.docs[from]; ok {
+				fd.dirty = true
+			}
+		}
+		if wasHome {
+			s.ledger.Record(name, newReps[0], w.now)
+			s.migrations++
+		}
+		s.replicas[name] = newReps
+		delete(s.hotHints, name)
 	}
 }
 
@@ -334,14 +429,16 @@ func (s *simServer) validatorTick() {
 			s.dropHosted(homeAddr, name)
 			continue
 		}
+		// The live validator re-renders a dirty document before answering
+		// (its hyperlinks re-rotate over current replica sets), so the
+		// version comparison must see the post-render version.
+		if d.snapshot == nil || d.dirty {
+			home.rebuildSnapshot(d)
+		}
 		if d.version == h.version {
 			// 304: conditional check only.
 			home.finish(reply{status: 200, bytes: 256}, 0, func(reply) {})
 			continue
-		}
-		// Full refresh.
-		if d.snapshot == nil || d.dirty {
-			home.rebuildSnapshot(d)
 		}
 		hh := h
 		doc := d.snapshot

@@ -91,21 +91,24 @@ type simServer struct {
 	replicas map[string][]string
 	rr       map[string]int
 	hotHints map[string]int64
+	hotRate  map[string]float64 // per-document serve-rate EWMA (chain trigger)
 
 	// Co-op-side state.
 	hosted map[string]*hostedDoc
 
 	// Counters.
-	conns       int64
-	windowConns int64
-	windowBytes int64
-	bytesOut    int64
-	drops       int64
-	redirects   int64
-	fetches     int64
-	rebuilds    int64
-	migrations  int64
-	revocations int64
+	conns          int64
+	windowConns    int64
+	windowBytes    int64
+	bytesOut       int64
+	drops          int64
+	redirects      int64
+	fetches        int64
+	rebuilds       int64
+	migrations     int64
+	revocations    int64
+	chainPushes    int64
+	chainPushBytes int64
 }
 
 func newSimServer(w *World, addr string, params dcws.Params, cost CostModel) *simServer {
@@ -122,6 +125,7 @@ func newSimServer(w *World, addr string, params dcws.Params, cost CostModel) *si
 		replicas: make(map[string][]string),
 		rr:       make(map[string]int),
 		hotHints: make(map[string]int64),
+		hotRate:  make(map[string]float64),
 		hosted:   make(map[string]*hostedDoc),
 	}
 }

@@ -183,6 +183,47 @@ func TestReplicationRelievesHotSpot(t *testing.T) {
 	}
 }
 
+func TestChainReplicationRelievesHotSpotInSim(t *testing.T) {
+	// The proactive chain disseminator must lift HotImage throughput the
+	// same way the lazy replication extension does, while the home pays
+	// exactly one upload per dissemination (ChainPushBytes counts one
+	// document copy per push, never one per installed replica).
+	run := func(rate float64, k int) *Result {
+		p := fastParams()
+		p.HotReplicateRate = rate
+		p.HotReplicaCount = k
+		res, err := Run(Config{
+			Site:      dataset.HotImage(),
+			Servers:   8,
+			Clients:   400,
+			WarmStart: true,
+			Duration:  90 * time.Second,
+			Params:    p,
+			Seed:      42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	off := run(0, 0)
+	// 25 hits/s over a 2 s window matches the lazy extension's 50-hit
+	// ReplicateThreshold, so the same documents qualify as hot.
+	on := run(25, 4)
+	if off.ChainPushes != 0 || off.ChainPushBytes != 0 {
+		t.Fatalf("disabled run recorded chain pushes: %d (%d bytes)", off.ChainPushes, off.ChainPushBytes)
+	}
+	if on.ChainPushes == 0 {
+		t.Fatal("no chain disseminations triggered under hot-spot load")
+	}
+	if on.ChainPushBytes > on.ChainPushes*100*1024 {
+		t.Fatalf("chain push bytes %d exceed one copy per push (%d pushes)", on.ChainPushBytes, on.ChainPushes)
+	}
+	if on.PeakCPS <= off.PeakCPS*1.1 {
+		t.Fatalf("chain replication peak %.0f CPS <= baseline %.0f CPS; dissemination ineffective", on.PeakCPS, off.PeakCPS)
+	}
+}
+
 func TestColdStartWarmsUp(t *testing.T) {
 	// Figure 8's shape: from a cold start, later CPS samples must
 	// substantially exceed early ones as documents migrate out.

@@ -113,6 +113,12 @@ type Result struct {
 	Migrations  int64 // documents migrated, summed over servers
 	Revocations int64
 	Rebuilds    int64 // dirty-document regenerations
+	// ChainPushes / ChainPushBytes count proactive chain-replication
+	// disseminations and the bytes uploaded by the documents' home servers
+	// for them (one upload per dissemination, however many replicas the
+	// chain installs).
+	ChainPushes    int64
+	ChainPushBytes int64
 	// PerServer maps server address to connections served (balance check).
 	PerServer map[string]int64
 	// PerServerBytes maps server address to bytes served (the byte-balance
@@ -247,6 +253,13 @@ func mergeParams(p dcws.Params) dcws.Params {
 	if p.AntiEntropyInterval == 0 {
 		p.AntiEntropyInterval = d.AntiEntropyInterval
 	}
+	if p.HotReplicaCount <= 0 {
+		p.HotReplicaCount = d.HotReplicaCount
+	}
+	// HotReplicateRate keeps its zero value: unlike the live server, the
+	// simulator treats 0 as "chain replication off" so the established
+	// scenarios (hotspot, federation, paper figures) keep their exact
+	// behaviour unless a run opts in with an explicit rate.
 	return p
 }
 
@@ -471,6 +484,8 @@ func (w *World) collect() {
 		w.res.Migrations += s.migrations
 		w.res.Revocations += s.revocations
 		w.res.Rebuilds += s.rebuilds
+		w.res.ChainPushes += s.chainPushes
+		w.res.ChainPushBytes += s.chainPushBytes
 	}
 }
 
