@@ -8,6 +8,11 @@
 //	dcwsctl metrics -check 127.0.0.1:8080   validate the exposition instead
 //	dcwsctl trace  127.0.0.1:8080           recent request trace spans
 //	dcwsctl trace  -id abc123 127.0.0.1:8080  spans of one trace only
+//	dcwsctl trace  -id abc123 -cluster 127.0.0.1:8080
+//	                                        fan out to every server in the
+//	                                        load table and print the
+//	                                        stitched span tree
+//	dcwsctl slow   127.0.0.1:8080           error/slow spans (tail ring)
 //	dcwsctl recall 127.0.0.1:8080 127.0.0.1:8081
 //	                                        recall all docs migrated to the
 //	                                        second server (e.g. before
@@ -33,7 +38,8 @@ import (
 func main() {
 	full := flag.Bool("full", false, "graph: print every tuple instead of a summary")
 	check := flag.Bool("check", false, "metrics: validate the exposition format instead of printing it")
-	traceID := flag.String("id", "", "trace: only print spans of this trace ID")
+	traceID := flag.String("id", "", "trace/slow: only print spans of this trace ID")
+	cluster := flag.Bool("cluster", false, "trace: fan out to every server in the load table and stitch one tree (requires -id)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
@@ -72,6 +78,23 @@ func main() {
 			st.Replication.Relays, st.Replication.Stored)
 		fmt.Printf("             chain_skips=%d revoke_chains=%d revoke_fallbacks=%d\n",
 			st.Replication.ChainSkips, st.Replication.RevokeChains, st.Replication.RevokeFallbacks)
+		fmt.Printf("slo          alerting=%v checks=%d alerts=%d profiles=%d\n",
+			st.SLO.Alerting, st.SLO.Checks, st.SLO.Alerts, st.SLO.Profiles)
+		if len(st.SLO.Ops) > 0 {
+			ops := make([]string, 0, len(st.SLO.Ops))
+			for op := range st.SLO.Ops {
+				ops = append(ops, op)
+			}
+			sort.Strings(ops)
+			for _, op := range ops {
+				o := st.SLO.Ops[op]
+				fmt.Printf("             %-6s p50=%.4fs p99=%.4fs burn=%.2f/%.2f (short/long)\n",
+					op, o.P50Seconds, o.P99Seconds, o.BurnShort, o.BurnLong)
+			}
+			fmt.Printf("             shed rate=%.4f/%.4f burn=%.2f/%.2f (short/long)\n",
+				st.SLO.ShedRate["short"], st.SLO.ShedRate["long"],
+				st.SLO.ShedBurn["short"], st.SLO.ShedBurn["long"])
+		}
 		if !st.Durability.Enabled {
 			fmt.Println("durability   disabled (no WAL directory)")
 		} else {
@@ -201,7 +224,7 @@ func main() {
 			fmt.Print(string(resp.Body))
 			return
 		}
-		families, err := checkExposition(string(resp.Body))
+		families, exemplars, err := checkExposition(string(resp.Body))
 		if err != nil {
 			log.Fatalf("dcwsctl: %v", err)
 		}
@@ -209,36 +232,30 @@ func main() {
 		if len(missing) > 0 {
 			log.Fatalf("dcwsctl: exposition missing metric families: %s", strings.Join(missing, ", "))
 		}
-		fmt.Printf("ok: %d metric families, all layers covered\n", len(families))
+		if exemplars == 0 {
+			log.Fatalf("dcwsctl: exposition carries no latency exemplars (serve a traced request first)")
+		}
+		fmt.Printf("ok: %d metric families, %d exemplars, all layers covered\n", len(families), exemplars)
 	case "trace":
+		if *cluster {
+			clusterTrace(client, addr, *traceID)
+			return
+		}
 		var spans []telemetry.Span
-		getJSON(client, addr, "/~dcws/trace", &spans)
+		path := "/~dcws/trace"
 		if *traceID != "" {
-			kept := spans[:0]
-			for _, sp := range spans {
-				if sp.TraceID == *traceID {
-					kept = append(kept, sp)
-				}
-			}
-			spans = kept
+			path += "?id=" + *traceID
 		}
-		for _, sp := range spans {
-			peer := ""
-			if sp.Peer != "" {
-				peer = " peer=" + sp.Peer
-			}
-			outcome := fmt.Sprintf("status=%d", sp.Status)
-			if sp.Err != "" {
-				outcome = "err=" + sp.Err
-			}
-			attempts := ""
-			if sp.Attempts > 1 {
-				attempts = fmt.Sprintf(" attempts=%d", sp.Attempts)
-			}
-			fmt.Printf("%s  %-22s %-12s %-30s %s%s%s (%s)\n",
-				sp.Start.UTC().Format(time.RFC3339), sp.TraceID, sp.Op,
-				sp.Target, outcome, peer, attempts, sp.Duration)
+		getJSON(client, addr, path, &spans)
+		printSpans(spans)
+	case "slow":
+		var spans []telemetry.Span
+		path := "/~dcws/slow"
+		if *traceID != "" {
+			path += "?id=" + *traceID
 		}
+		getJSON(client, addr, path, &spans)
+		printSpans(spans)
 	case "recall":
 		if len(args) < 2 {
 			usage()
@@ -258,6 +275,146 @@ func main() {
 	}
 }
 
+// printSpans renders spans one per line, flat, newest last.
+func printSpans(spans []telemetry.Span) {
+	for _, sp := range spans {
+		fmt.Printf("%s  %-22s %-14s %-30s %s (%s)\n",
+			sp.Start.UTC().Format(time.RFC3339), sp.TraceID, sp.Op,
+			sp.Target, spanOutcome(sp), sp.Duration)
+	}
+}
+
+func spanOutcome(sp telemetry.Span) string {
+	outcome := fmt.Sprintf("status=%d", sp.Status)
+	if sp.Err != "" {
+		outcome = "err=" + sp.Err
+	}
+	if sp.Peer != "" {
+		outcome += " peer=" + sp.Peer
+	}
+	if sp.Attempts > 1 {
+		outcome += fmt.Sprintf(" attempts=%d", sp.Attempts)
+	}
+	return outcome
+}
+
+// clusterTrace fans /~dcws/trace?id= out to every server the seed node's
+// load table knows, deduplicates the answers, and prints the stitched span
+// tree with per-hop timings. Unreachable peers are reported and skipped —
+// a partial tree from a live cluster beats no tree.
+func clusterTrace(client *httpx.Client, addr, traceID string) {
+	if traceID == "" {
+		log.Fatalf("dcwsctl: trace -cluster requires -id <trace-id>")
+	}
+	var st idcws.Status
+	getJSON(client, addr, "/~dcws/status", &st)
+	peerSet := map[string]bool{addr: true}
+	if st.Addr != "" {
+		peerSet[st.Addr] = true
+	}
+	for p := range st.LoadTable {
+		peerSet[p] = true
+	}
+	peers := make([]string, 0, len(peerSet))
+	for p := range peerSet {
+		peers = append(peers, p)
+	}
+	sort.Strings(peers)
+
+	var spans []telemetry.Span
+	seen := make(map[string]bool)
+	servers := make(map[string]bool)
+	for _, p := range peers {
+		resp, err := client.Get(p, "/~dcws/trace?id="+traceID, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcwsctl: %s unreachable: %v\n", p, err)
+			continue
+		}
+		if resp.Status != 200 {
+			fmt.Fprintf(os.Stderr, "dcwsctl: %s/~dcws/trace answered %d\n", p, resp.Status)
+			continue
+		}
+		var got []telemetry.Span
+		if err := json.Unmarshal(resp.Body, &got); err != nil {
+			fmt.Fprintf(os.Stderr, "dcwsctl: bad JSON from %s: %v\n", p, err)
+			continue
+		}
+		for _, sp := range got {
+			// The same span can come back twice when two dial addresses
+			// reach one server; span IDs are process-unique so the pair
+			// (server, id) identifies it.
+			key := sp.Server + "\x00" + sp.ID
+			if sp.ID != "" && seen[key] {
+				continue
+			}
+			seen[key] = true
+			spans = append(spans, sp)
+			if sp.Server != "" {
+				servers[sp.Server] = true
+			}
+		}
+	}
+	if len(spans) == 0 {
+		log.Fatalf("dcwsctl: no spans found for trace %s on %d servers", traceID, len(peers))
+	}
+	printSpanTree(spans)
+	fmt.Printf("stitched %d spans across %d servers\n", len(spans), len(servers))
+}
+
+// spanNode is one span in the stitched tree.
+type spanNode struct {
+	span     telemetry.Span
+	children []*spanNode
+}
+
+// printSpanTree assembles spans into parent/child trees by ParentID and
+// prints them indented, roots (and siblings) in start order. Spans whose
+// parent was not retained anywhere print as roots, so a partially wrapped
+// ring still renders its surviving fragments.
+func printSpanTree(spans []telemetry.Span) {
+	byID := make(map[string]*spanNode, len(spans))
+	nodes := make([]*spanNode, 0, len(spans))
+	for _, sp := range spans {
+		n := &spanNode{span: sp}
+		nodes = append(nodes, n)
+		if sp.ID != "" {
+			byID[sp.ID] = n
+		}
+	}
+	var roots []*spanNode
+	for _, n := range nodes {
+		if p := byID[n.span.ParentID]; n.span.ParentID != "" && p != nil && p != n {
+			p.children = append(p.children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	order := func(ns []*spanNode) {
+		sort.Slice(ns, func(i, j int) bool {
+			a, b := ns[i].span, ns[j].span
+			if !a.Start.Equal(b.Start) {
+				return a.Start.Before(b.Start)
+			}
+			return a.ID < b.ID
+		})
+	}
+	order(roots)
+	var walk func(n *spanNode, depth int)
+	walk = func(n *spanNode, depth int) {
+		sp := n.span
+		fmt.Printf("%s%-16s %-20s %-34s %s (%s)\n",
+			strings.Repeat("  ", depth), sp.Op, sp.Server, sp.Target,
+			spanOutcome(sp), sp.Duration)
+		order(n.children)
+		for _, c := range n.children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}
+
 func getJSON(client *httpx.Client, addr, path string, out interface{}) {
 	resp, err := client.Get(addr, path, nil)
 	if err != nil {
@@ -273,10 +430,13 @@ func getJSON(client *httpx.Client, addr, path string, out interface{}) {
 
 // checkExposition validates Prometheus text-format 0.0.4: every
 // non-comment line must be "name[{labels}] value" with a balanced label
-// block, and every "# TYPE" comment well-formed. It returns the set of
-// family names declared or sampled.
-func checkExposition(body string) (map[string]bool, error) {
+// block, every "# TYPE" comment well-formed, and every OpenMetrics-style
+// exemplar suffix ("... # {trace_id=\"x\"} value") complete. It returns the
+// set of family names declared or sampled and how many exemplars the
+// exposition carried.
+func checkExposition(body string) (map[string]bool, int, error) {
 	families := make(map[string]bool)
+	exemplars := 0
 	for i, line := range strings.Split(body, "\n") {
 		if line == "" {
 			continue
@@ -285,29 +445,38 @@ func checkExposition(body string) (map[string]bool, error) {
 			f := strings.Fields(line)
 			if len(f) >= 2 && (f[1] == "TYPE" || f[1] == "HELP") {
 				if len(f) < 3 {
-					return nil, fmt.Errorf("line %d: truncated %s comment: %q", i+1, f[1], line)
+					return nil, 0, fmt.Errorf("line %d: truncated %s comment: %q", i+1, f[1], line)
 				}
 				families[f[2]] = true
 			}
 			continue
 		}
+		if idx := strings.Index(line, " # {"); idx >= 0 {
+			ex := line[idx+len(" # "):]
+			end := strings.IndexByte(ex, '}')
+			if end < 0 || strings.TrimSpace(ex[end+1:]) == "" {
+				return nil, 0, fmt.Errorf("line %d: malformed exemplar in %q", i+1, line)
+			}
+			exemplars++
+			line = line[:idx]
+		}
 		sp := strings.LastIndexByte(line, ' ')
 		if sp <= 0 || sp == len(line)-1 {
-			return nil, fmt.Errorf("line %d: malformed sample %q", i+1, line)
+			return nil, 0, fmt.Errorf("line %d: malformed sample %q", i+1, line)
 		}
 		name := line[:sp]
 		if b := strings.IndexByte(name, '{'); b >= 0 {
 			if !strings.HasSuffix(name, "}") {
-				return nil, fmt.Errorf("line %d: unbalanced label block in %q", i+1, line)
+				return nil, 0, fmt.Errorf("line %d: unbalanced label block in %q", i+1, line)
 			}
 			name = name[:b]
 		}
 		if name == "" {
-			return nil, fmt.Errorf("line %d: empty metric name in %q", i+1, line)
+			return nil, 0, fmt.Errorf("line %d: empty metric name in %q", i+1, line)
 		}
 		families[name] = true
 	}
-	return families, nil
+	return families, exemplars, nil
 }
 
 // missingFamilies reports which instrumented layers are absent from a
@@ -319,7 +488,7 @@ func missingFamilies(families map[string]bool) []string {
 		"dcws_resilience_", "dcws_glt_", "dcws_glt_shard_",
 		"dcws_glt_emits_total", "dcws_pool_",
 		"dcws_wal_", "dcws_recovery_",
-		"dcws_replicate_",
+		"dcws_replicate_", "dcws_slo_", "dcws_trace_",
 	} {
 		found := false
 		for f := range families {
@@ -360,6 +529,6 @@ func orDash(s string) string {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dcwsctl status <addr> | graph [-full] <addr> | metrics [-check] <addr> | trace [-id <trace-id>] <addr> | recall <home-addr> <coop-addr>")
+	fmt.Fprintln(os.Stderr, "usage: dcwsctl status <addr> | graph [-full] <addr> | metrics [-check] <addr> | trace [-id <trace-id>] [-cluster] <addr> | slow [-id <trace-id>] <addr> | recall <home-addr> <coop-addr>")
 	os.Exit(2)
 }

@@ -40,6 +40,7 @@ func main() {
 		access = flag.String("access-log", "", "access-log destination: a file path, \"-\" for stderr (empty: disabled); lines carry trace= IDs joinable against /~dcws/trace")
 		walDir = flag.String("wal", "", "durable-tier directory for the WAL and snapshots (empty: state is lost on crash)")
 		walFS  = flag.String("wal-sync", "", "WAL fsync policy: always, interval, or none (default: interval)")
+		profs  = flag.String("profiles", "", "directory for automatic pprof captures on SLO burn-rate alerts, served at /~dcws/profiles (empty: disabled)")
 	)
 	flag.Parse()
 
@@ -103,6 +104,7 @@ func main() {
 		Logger:      log.New(os.Stderr, "", log.LstdFlags),
 		AccessLog:   accessLog,
 		WALDir:      *walDir,
+		ProfileDir:  *profs,
 	})
 	if err != nil {
 		log.Fatalf("dcwsd: %v", err)

@@ -139,6 +139,32 @@ const (
 // the issue's bound on per-request gossip overhead at cluster scale.
 const minGLTNsImprovement = 2.0
 
+// SLOReport records the -check-slo replay: the deterministic flash-crowd
+// simulation at full chain fan-out, measured the way the SLO watcher
+// measures a live cluster — client-observed latency quantiles plus the
+// shed rate. The sim is seed-pinned, so the row reproduces bit for bit and
+// the gate catches genuine serving-path regressions, not noise.
+type SLOReport struct {
+	K           int     `json:"k"`
+	Connections int64   `json:"connections"`
+	Drops       int64   `json:"drops"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+	ShedRate    float64 `json:"shed_rate"`
+}
+
+// Gates for -check-slo, frozen from the seed-42 flash-crowd replay at k=8
+// (measured p99 = 1.12 s, shed rate = 0.047; the sim's virtual clock makes
+// both exact, not statistical, so the ~35% headroom is against future code
+// changes, not host noise). The flash crowd intentionally saturates the
+// cluster — the gate bounds how badly the tail and the shed budget degrade
+// under overload, which is exactly what the live SLO watcher alerts on.
+const (
+	sloSimFanout     = 8
+	maxSLOP99Seconds = 1.5
+	maxSLOShedRate   = 0.08
+)
+
 // Gates for -check-wal: an interval-policy append must stay off the
 // microsecond-tens scale (a quiet machine measures ~1.5 µs; the bound only
 // fires on a genuine regression like an fsync leaking onto the append
@@ -181,10 +207,10 @@ func chainHotSite() *dataset.Site {
 	return &dataset.Site{Name: "ChainHot", Docs: docs, EntryPoints: []string{"/index.html"}}
 }
 
-// runChainSim simulates the flash crowd at one chain fan-out. Everything
-// is pinned — seed, intervals, client count — so the row is reproducible
-// bit for bit.
-func runChainSim(k int) ReplicateThroughput {
+// chainSimResult runs the pinned flash-crowd simulation at one chain
+// fan-out. Everything is pinned — seed, intervals, client count — so the
+// result is reproducible bit for bit.
+func chainSimResult(k int) *sim.Result {
 	params := dcws.Params{
 		StatsInterval:       2 * time.Second,
 		PingerInterval:      4 * time.Second,
@@ -206,6 +232,12 @@ func runChainSim(k int) ReplicateThroughput {
 	if err != nil {
 		log.Fatalf("dcwsperf: chain flash-crowd sim at k=%d: %v", k, err)
 	}
+	return res
+}
+
+// runChainSim reduces one flash-crowd run to its throughput row.
+func runChainSim(k int) ReplicateThroughput {
+	res := chainSimResult(k)
 	return ReplicateThroughput{
 		K:              k,
 		PeakCPS:        res.PeakCPS,
@@ -250,10 +282,12 @@ func main() {
 	gltOut := flag.String("glt-out", "BENCH_glt.json", "GLT gossip-exchange output file (\"-\" for stdout, \"\" to skip)")
 	walOut := flag.String("wal-out", "BENCH_wal.json", "durable-tier output file (\"-\" for stdout, \"\" to skip)")
 	replicateOut := flag.String("replicate-out", "BENCH_replicate.json", "chain-replication output file (\"-\" for stdout, \"\" to skip)")
+	sloOut := flag.String("slo-out", "BENCH_slo.json", "SLO flash-crowd replay output file (\"-\" for stdout, \"\" to skip)")
 	checkRPC := flag.Bool("check-rpc", false, "exit nonzero unless pooled RPCs beat dial-per-request by the gate ratios")
 	checkGLT := flag.Bool("check-glt", false, "exit nonzero unless sharded delta gossip beats the full-table baseline by the gate ratios")
 	checkWAL := flag.Bool("check-wal", false, "exit nonzero unless WAL append cost and WAL-on serve allocations stay under the gate bounds")
 	checkReplication := flag.Bool("check-replication", false, "exit nonzero unless chain dissemination keeps home egress flat and flash-crowd throughput scales with the replica count")
+	checkSLO := flag.Bool("check-slo", false, "exit nonzero unless the deterministic flash-crowd replay keeps p99 latency and shed rate inside the SLO gates")
 	benchtime := flag.String("benchtime", "", "override -test.benchtime (e.g. 1000x for a smoke run)")
 	testing.Init()
 	flag.Parse()
@@ -400,6 +434,34 @@ func main() {
 					replicate.ScalingX, minChainScalingX)
 			}
 			fmt.Fprintln(os.Stderr, "dcwsperf: chain replication gate passed")
+		}
+	}
+
+	if *sloOut != "" || *checkSLO {
+		res := chainSimResult(sloSimFanout)
+		slo := SLOReport{
+			K:           sloSimFanout,
+			Connections: res.Connections,
+			Drops:       res.Drops,
+			P50Seconds:  res.Latency.Quantile(0.50).Seconds(),
+			P99Seconds:  res.Latency.Quantile(0.99).Seconds(),
+			ShedRate:    res.ShedRate(),
+		}
+		fmt.Fprintf(os.Stderr, "SLO replay   k=%d conns=%d drops=%d p50=%.4fs p99=%.4fs shed=%.4f\n",
+			slo.K, slo.Connections, slo.Drops, slo.P50Seconds, slo.P99Seconds, slo.ShedRate)
+		if *sloOut != "" {
+			writeJSON(*sloOut, slo)
+		}
+		if *checkSLO {
+			if slo.P99Seconds > maxSLOP99Seconds {
+				log.Fatalf("dcwsperf: flash-crowd p99 %.4fs above SLO gate %.2fs",
+					slo.P99Seconds, maxSLOP99Seconds)
+			}
+			if slo.ShedRate > maxSLOShedRate {
+				log.Fatalf("dcwsperf: flash-crowd shed rate %.4f above SLO gate %.3f",
+					slo.ShedRate, maxSLOShedRate)
+			}
+			fmt.Fprintln(os.Stderr, "dcwsperf: SLO gate passed")
 		}
 	}
 

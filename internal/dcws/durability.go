@@ -70,6 +70,11 @@ type recoveredState struct {
 	fromSnapshot bool
 	snapshotLSN  uint64
 	replayed     int
+
+	// Phase timings for the startup "recovery" trace recorded once the
+	// telemetry ring exists (the recovery itself runs before it is built).
+	snapshotDur time.Duration
+	replayDur   time.Duration
 }
 
 // recoveryStats summarizes the last startup recovery for status and the
@@ -82,6 +87,12 @@ type recoveryStats struct {
 	docsRestored int
 	coopRestored int
 	coopDropped  int
+
+	// Per-phase wall times, re-recorded as child spans of the startup
+	// "recovery" trace once the telemetry ring exists.
+	snapshotDur  time.Duration
+	replayDur    time.Duration
+	reconcileDur time.Duration
 }
 
 // ---- record payload encoding -------------------------------------------
@@ -394,6 +405,7 @@ func decodeServerSnapshot(data []byte) (*recoveredState, error) {
 // otherwise force the cluster to revoke and rebuild.
 func recoverState(wlog *wal.Log, st store.Store, resolve func(base, raw string) string) (*recoveredState, error) {
 	var rec *recoveredState
+	phase := time.Now()
 	if data, lsn, ok := wlog.SnapshotData(); ok {
 		var err error
 		rec, err = decodeServerSnapshot(data)
@@ -413,6 +425,8 @@ func recoverState(wlog *wal.Log, st store.Store, resolve func(base, raw string) 
 			replicas: make(map[string][]string),
 		}
 	}
+	rec.snapshotDur = time.Since(phase)
+	phase = time.Now()
 	err := wlog.Replay(func(r wal.Record) error {
 		rec.replayed++
 		return rec.apply(r, st)
@@ -420,6 +434,7 @@ func recoverState(wlog *wal.Log, st store.Store, resolve func(base, raw string) 
 	if err != nil {
 		return nil, fmt.Errorf("dcws: replay WAL: %w", err)
 	}
+	rec.replayDur = time.Since(phase)
 	return rec, nil
 }
 

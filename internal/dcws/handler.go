@@ -27,6 +27,11 @@ func (s *Server) handle(req *httpx.Request) *httpx.Response {
 	if traceID == "" {
 		traceID = telemetry.NewTraceID()
 	}
+	// The caller's span ID (a peer's RPC span) parents our server-side
+	// span; our span's ID in turn parents every RPC we issue while
+	// serving, so the cluster-wide spans of one trace form a tree.
+	parent := req.Header.Get(telemetry.ParentHeader)
+	spanID := telemetry.NewSpanID()
 	op, hist := s.classifyServe(req)
 	start := time.Now()
 	startClk := s.now()
@@ -38,8 +43,12 @@ func (s *Server) handle(req *httpx.Request) *httpx.Response {
 		resp = s.handleStatus()
 	case req.Path == metricsPath:
 		resp = s.handleMetrics()
-	case req.Path == tracePath:
-		resp = s.handleTrace()
+	case req.Path == tracePath || strings.HasPrefix(req.Path, tracePath+"?"):
+		resp = s.handleTrace(req)
+	case req.Path == slowPath || strings.HasPrefix(req.Path, slowPath+"?"):
+		resp = s.handleSlow(req)
+	case req.Path == profilesPath || strings.HasPrefix(req.Path, profilesPath+"/"):
+		resp = s.handleProfiles(req)
 	case req.Path == replicatePath:
 		resp = s.handleReplicate(req)
 	case strings.HasPrefix(req.Path, revokePath):
@@ -49,7 +58,7 @@ func (s *Server) handle(req *httpx.Request) *httpx.Response {
 	case req.Path == graphPath:
 		resp = s.handleGraph()
 	case naming.IsMigrated(req.Path):
-		resp = s.serveAsCoop(req, traceID)
+		resp = s.serveAsCoop(req, traceID, spanID)
 	default:
 		resp = s.serveAsHome(req)
 	}
@@ -66,15 +75,32 @@ func (s *Server) handle(req *httpx.Request) *httpx.Response {
 	resp.Header.Set(telemetry.TraceHeader, traceID)
 	if op != "" {
 		d := time.Since(start)
-		hist.Observe(d)
-		s.tel.ring.Record(telemetry.Span{
+		hist.ObserveTrace(d, traceID)
+		s.tel.record(telemetry.Span{
 			TraceID:  traceID,
+			ID:       spanID,
+			ParentID: parent,
 			Server:   s.addr,
 			Op:       op,
 			Target:   req.Path,
 			Status:   resp.Status,
 			Start:    startClk,
 			Duration: d,
+		})
+	} else if wantFull && from != "" {
+		// The responder side of an anti-entropy full exchange: cold-start
+		// and convergence cost shows up in traces on both ends.
+		s.tel.record(telemetry.Span{
+			TraceID:  traceID,
+			ID:       spanID,
+			ParentID: parent,
+			Server:   s.addr,
+			Op:       "serve-anti-entropy",
+			Target:   req.Path,
+			Peer:     from,
+			Status:   resp.Status,
+			Start:    startClk,
+			Duration: time.Since(start),
 		})
 	}
 	return resp
@@ -131,7 +157,8 @@ func (s *Server) handleRevoke(req *httpx.Request) *httpx.Response {
 	// home RPC revokes the whole set.
 	acked := []string{s.addr}
 	if rest := splitAddrs(req.Header.Get(headerChain)); len(rest) > 0 {
-		acked = append(acked, s.relayRevoke(key, rest, req.Header.Get(telemetry.TraceHeader))...)
+		acked = append(acked, s.relayRevoke(key, rest,
+			req.Header.Get(telemetry.TraceHeader), req.Header.Get(telemetry.ParentHeader))...)
 	}
 	resp := status(200, "revoked")
 	resp.Header.Set(headerAcked, strings.Join(acked, ","))
@@ -311,8 +338,9 @@ func (s *Server) serveFetch(req *httpx.Request, name string, gen uint64) *httpx.
 
 // serveAsCoop handles /~migrate requests: serve the local copy, or perform
 // the lazy physical migration by fetching from the home server first
-// (§4.2). traceID is propagated to the home server on that fetch.
-func (s *Server) serveAsCoop(req *httpx.Request, traceID string) *httpx.Response {
+// (§4.2). traceID is propagated to the home server on that fetch, and
+// spanID — this request's serve span — parents the fetch legs.
+func (s *Server) serveAsCoop(req *httpx.Request, traceID, spanID string) *httpx.Response {
 	if req.Method != "GET" && req.Method != "HEAD" {
 		return status(405, "only GET and HEAD are supported")
 	}
@@ -347,7 +375,7 @@ func (s *Server) serveAsCoop(req *httpx.Request, traceID string) *httpx.Response
 	v := s.coops.touch(key, home, docName, s.now())
 
 	if !v.present {
-		if resp := s.fetchFromHome(key, home, docName, traceID); resp != nil {
+		if resp := s.fetchFromHome(key, home, docName, traceID, spanID); resp != nil {
 			return resp // relay of a redirect or an error
 		}
 	}
@@ -356,7 +384,7 @@ func (s *Server) serveAsCoop(req *httpx.Request, traceID string) *httpx.Response
 	if err != nil {
 		// Copy vanished (e.g. revoked between check and read): refetch once.
 		s.coops.markAbsent(key)
-		if resp := s.fetchFromHome(key, home, docName, traceID); resp != nil {
+		if resp := s.fetchFromHome(key, home, docName, traceID, spanID); resp != nil {
 			return resp
 		}
 		if data, err = store.GetShared(s.cfg.Store, key); err != nil {
@@ -405,12 +433,12 @@ func (s *Server) serveHedged(key string, home naming.Origin, docName string) *ht
 // the breaker is open the fetch degrades to an immediate 503 without
 // tying a worker up in doomed connection attempts. When a healthy sibling
 // replica of the document is known, the fetch is hedged against it.
-func (s *Server) fetchFromHome(key string, home naming.Origin, docName, traceID string) *httpx.Response {
+func (s *Server) fetchFromHome(key string, home naming.Origin, docName, traceID, parent string) *httpx.Response {
 	homeAddr := home.Addr()
 	if sib := s.pickHedgeSibling(key, homeAddr); sib != "" {
-		return s.fetchHedged(key, homeAddr, docName, traceID, sib)
+		return s.fetchHedged(key, homeAddr, docName, traceID, parent, sib)
 	}
-	resp, err := s.fetchLeg(homeAddr, docName, "fetch-home", false, traceID, nil, s.fetchPolicy)
+	resp, err := s.fetchLeg(homeAddr, docName, "fetch-home", false, traceID, parent, nil, s.fetchPolicy)
 	if err != nil {
 		return s.fetchFailure(homeAddr, docName, err)
 	}
@@ -423,10 +451,11 @@ func (s *Server) fetchFromHome(key string, home naming.Origin, docName, traceID 
 // hedge header set, so the sibling serves only a present copy. The
 // cancel token, when given, lets the losing leg of a race be aborted
 // mid-flight without charging the abort to the peer's breaker.
-func (s *Server) fetchLeg(peer, path, op string, hedge bool, traceID string, tok *httpx.CancelToken, policy resilience.Policy) (*httpx.Response, error) {
+func (s *Server) fetchLeg(peer, path, op string, hedge bool, traceID, parent string, tok *httpx.CancelToken, policy resilience.Policy) (*httpx.Response, error) {
 	start := time.Now()
 	startClk := s.now()
 	attempts := 0
+	spanID := telemetry.NewSpanID()
 	var resp *httpx.Response
 	err := s.res.Execute(policy, peer, func() error {
 		if tok != nil && tok.Canceled() {
@@ -438,6 +467,7 @@ func (s *Server) fetchLeg(peer, path, op string, hedge bool, traceID string, tok
 		extra := make(httpx.Header)
 		extra.Set(headerFetch, s.Addr())
 		extra.Set(telemetry.TraceHeader, traceID)
+		extra.Set(telemetry.ParentHeader, spanID)
 		if hedge {
 			extra.Set(headerHedge, "1")
 		} else {
@@ -462,6 +492,8 @@ func (s *Server) fetchLeg(peer, path, op string, hedge bool, traceID string, tok
 	})
 	span := telemetry.Span{
 		TraceID:  traceID,
+		ID:       spanID,
+		ParentID: parent,
 		Server:   s.addr,
 		Op:       op,
 		Target:   path,
@@ -475,7 +507,7 @@ func (s *Server) fetchLeg(peer, path, op string, hedge bool, traceID string, tok
 	} else {
 		span.Status = resp.Status
 	}
-	s.tel.ring.Record(span)
+	s.tel.record(span)
 	return resp, err
 }
 
@@ -485,7 +517,7 @@ func (s *Server) fetchLeg(peer, path, op string, hedge bool, traceID string, tok
 // single-attempt hedge leg asks the sibling for its copy. The first
 // usable response wins and the loser is canceled mid-flight, retiring
 // its connection.
-func (s *Server) fetchHedged(key, homeAddr, docName, traceID, sib string) *httpx.Response {
+func (s *Server) fetchHedged(key, homeAddr, docName, traceID, parent, sib string) *httpx.Response {
 	type leg struct {
 		resp *httpx.Response
 		err  error
@@ -494,7 +526,7 @@ func (s *Server) fetchHedged(key, homeAddr, docName, traceID, sib string) *httpx
 	tokH := &httpx.CancelToken{}
 	primary := make(chan leg, 1)
 	go func() {
-		r, err := s.fetchLeg(homeAddr, docName, "fetch-home", false, traceID, tokP, s.fetchPolicy)
+		r, err := s.fetchLeg(homeAddr, docName, "fetch-home", false, traceID, parent, tokP, s.fetchPolicy)
 		primary <- leg{r, err}
 	}()
 
@@ -516,7 +548,7 @@ func (s *Server) fetchHedged(key, homeAddr, docName, traceID, sib string) *httpx
 	s.tel.hedgeLaunched.Inc()
 	hedge := make(chan leg, 1)
 	go func() {
-		r, err := s.fetchLeg(sib, key, "fetch-hedge", true, traceID, tokH, resilience.Policy{MaxAttempts: 1})
+		r, err := s.fetchLeg(sib, key, "fetch-hedge", true, traceID, parent, tokH, resilience.Policy{MaxAttempts: 1})
 		hedge <- leg{r, err}
 	}()
 

@@ -237,25 +237,25 @@ func (s *Server) sendRevoke(coop, doc string) {
 		return
 	}
 	traceID := telemetry.NewTraceID()
+	span := telemetry.NewSpan(traceID, "", s.addr, "revoke-rpc")
+	span.Target, span.Peer = doc, coop
 	start := time.Now()
-	startClk := s.now()
+	span.Start = s.now()
 	req := httpx.NewRequest("POST", revokePath)
 	req.Header.Set(headerRevokeDoc, key)
 	req.Header.Set(telemetry.TraceHeader, traceID)
+	req.Header.Set(telemetry.ParentHeader, span.ID)
 	s.piggybackTo(req.Header, coop, false)
 	resp, err := s.client.DoTimeout(coop, req, s.params.MaintenanceTimeout)
-	span := telemetry.Span{
-		TraceID: traceID, Server: s.addr, Op: "revoke-rpc",
-		Target: doc, Peer: coop, Start: startClk, Duration: time.Since(start),
-	}
+	span.Duration = time.Since(start)
 	if err != nil {
 		span.Err = err.Error()
-		s.tel.ring.Record(span)
+		s.tel.record(span)
 		s.log.Printf("dcws %s: revoke %s at %s: %v", s.Addr(), doc, coop, err)
 		return
 	}
 	span.Status = resp.Status
-	s.tel.ring.Record(span)
+	s.tel.record(span)
 	s.absorb(resp.Header)
 }
 
@@ -400,14 +400,17 @@ func (s *Server) runPingerTick() {
 		go func(i int, peer string) {
 			defer wg.Done()
 			traceID := telemetry.NewTraceID()
+			span := telemetry.NewSpan(traceID, "", s.addr, "probe")
+			span.Target, span.Peer = pingPath, peer
 			start := time.Now()
-			startClk := s.now()
+			span.Start = s.now()
 			attempts := 0
 			var resp *httpx.Response
 			err := s.res.Probe(s.probePolicy, peer, func() error {
 				attempts++
 				extra := make(httpx.Header)
 				extra.Set(telemetry.TraceHeader, traceID)
+				extra.Set(telemetry.ParentHeader, span.ID)
 				s.piggybackTo(extra, peer, false)
 				r, err := s.client.GetTimeout(peer, pingPath, extra, s.params.MaintenanceTimeout)
 				if err != nil {
@@ -419,17 +422,14 @@ func (s *Server) runPingerTick() {
 				resp = r
 				return nil
 			})
-			span := telemetry.Span{
-				TraceID: traceID, Server: s.addr, Op: "probe",
-				Target: pingPath, Peer: peer, Attempts: attempts,
-				Start: startClk, Duration: time.Since(start),
-			}
+			span.Attempts = attempts
+			span.Duration = time.Since(start)
 			if err != nil {
 				span.Err = err.Error()
 			} else {
 				span.Status = resp.Status
 			}
-			s.tel.ring.Record(span)
+			s.tel.record(span)
 			results[i] = probeResult{resp: resp, err: err}
 		}(i, peer)
 	}
@@ -584,24 +584,24 @@ func (s *Server) runAntiEntropyTick() {
 	}
 	s.tel.antiEntropyRounds.Inc()
 	traceID := telemetry.NewTraceID()
+	span := telemetry.NewSpan(traceID, "", s.addr, "anti-entropy")
+	span.Target, span.Peer = pingPath, peer
 	start := time.Now()
-	startClk := s.now()
+	span.Start = s.now()
 	extra := make(httpx.Header)
 	extra.Set(telemetry.TraceHeader, traceID)
+	extra.Set(telemetry.ParentHeader, span.ID)
 	s.piggybackTo(extra, peer, true)
 	resp, err := s.client.GetTimeout(peer, pingPath, extra, s.params.MaintenanceTimeout)
-	span := telemetry.Span{
-		TraceID: traceID, Server: s.addr, Op: "anti-entropy",
-		Target: pingPath, Peer: peer, Start: startClk, Duration: time.Since(start),
-	}
+	span.Duration = time.Since(start)
 	if err != nil {
 		span.Err = err.Error()
-		s.tel.ring.Record(span)
+		s.tel.record(span)
 		s.log.Printf("dcws %s: anti-entropy with %s: %v", s.Addr(), peer, err)
 		return
 	}
 	span.Status = resp.Status
-	s.tel.ring.Record(span)
+	s.tel.record(span)
 	s.absorb(resp.Header)
 }
 
@@ -655,28 +655,28 @@ func (s *Server) validateOne(key string) {
 	}
 
 	traceID := telemetry.NewTraceID()
+	span := telemetry.NewSpan(traceID, "", s.addr, "validate")
+	span.Target, span.Peer = v.name, v.home.Addr()
 	start := time.Now()
-	startClk := s.now()
+	span.Start = s.now()
 	extra := make(httpx.Header)
 	extra.Set(headerFetch, s.Addr())
 	extra.Set(headerValidate, strconv.FormatUint(v.hash, 16))
 	extra.Set(telemetry.TraceHeader, traceID)
+	extra.Set(telemetry.ParentHeader, span.ID)
 	s.piggybackTo(extra, v.home.Addr(), false)
 	s.attachHotReport(extra, v.home.Addr())
 	resp, err := s.client.GetTimeout(v.home.Addr(), v.name, extra, s.params.MaintenanceTimeout)
-	span := telemetry.Span{
-		TraceID: traceID, Server: s.addr, Op: "validate",
-		Target: v.name, Peer: v.home.Addr(), Start: startClk, Duration: time.Since(start),
-	}
+	span.Duration = time.Since(start)
 	if err != nil {
 		span.Err = err.Error()
-		s.tel.ring.Record(span)
+		s.tel.record(span)
 		s.tel.validation("error")
 		s.log.Printf("dcws %s: validate %s: %v", s.Addr(), v.name, err)
 		return
 	}
 	span.Status = resp.Status
-	s.tel.ring.Record(span)
+	s.tel.record(span)
 	s.absorb(resp.Header)
 	// Validation responses carry the document's replica set too, keeping the
 	// hedge-sibling list fresh between fetches.

@@ -200,6 +200,49 @@ type Params struct {
 	// upload to the chain head, and each relay hop — so one slow link
 	// cannot stall the whole dissemination (default 10 s).
 	ReplicateTimeout time.Duration
+
+	// SlowTraceThreshold marks a span slow: any span at least this long —
+	// and any span that ended in an error — is copied into the tail-
+	// retention ring, which only such spans compete for, so the evidence
+	// of a p99 spike survives long after the main trace ring has wrapped.
+	// Default 500 ms; negative disables slow capture (error spans are
+	// still retained).
+	SlowTraceThreshold time.Duration
+	// TailRingSize bounds the tail-retention ring (default 256 spans).
+	TailRingSize int
+
+	// SLOLatencyTarget is the per-request latency objective: a request
+	// answered within this duration is "good" for burn-rate accounting
+	// (default 250 ms).
+	SLOLatencyTarget time.Duration
+	// SLOLatencyObjective is the fraction of requests that must meet
+	// SLOLatencyTarget (default 0.999); 1 - objective is the error
+	// budget the burn rate is measured against.
+	SLOLatencyObjective float64
+	// SLOMaxShedRate is the shed-rate objective: the tolerated fraction
+	// of connections dropped by the overload gate (default 0.01).
+	SLOMaxShedRate float64
+	// SLOBurnThreshold is the multi-window burn-rate alarm level: the
+	// watcher alerts (and captures profiles) only while BOTH the short
+	// and the long window burn their error budget at at least this
+	// multiple of the sustainable rate — the standard fast-burn pattern
+	// that ignores one-off blips but catches sustained regressions.
+	// Default 4.
+	SLOBurnThreshold float64
+	// SLOWindowShort is the fast burn-rate window (default 1 m).
+	SLOWindowShort time.Duration
+	// SLOWindowLong is the slow burn-rate window (default 10 m).
+	SLOWindowLong time.Duration
+	// SLOCheckInterval paces the SLO watcher's rolling-window evaluation
+	// (default 10 s; negative disables the watcher).
+	SLOCheckInterval time.Duration
+	// SLOProfileSeconds is how long an auto-captured CPU profile runs
+	// once sustained burn is detected (default 5 s).
+	SLOProfileSeconds time.Duration
+	// ProfileRingSize bounds the on-disk ring of auto-captured profile
+	// pairs (cpu+heap) under Config.ProfileDir; older captures are
+	// deleted as new ones land (default 4 pairs).
+	ProfileRingSize int
 }
 
 // DefaultParams returns the configuration of Table 1: 12 worker threads, a
@@ -249,6 +292,17 @@ func DefaultParams() Params {
 		HotReplicateRate:      50,
 		HotReplicaCount:       2,
 		ReplicateTimeout:      10 * time.Second,
+		SlowTraceThreshold:    500 * time.Millisecond,
+		TailRingSize:          256,
+		SLOLatencyTarget:      250 * time.Millisecond,
+		SLOLatencyObjective:   0.999,
+		SLOMaxShedRate:        0.01,
+		SLOBurnThreshold:      4,
+		SLOWindowShort:        time.Minute,
+		SLOWindowLong:         10 * time.Minute,
+		SLOCheckInterval:      10 * time.Second,
+		SLOProfileSeconds:     5 * time.Second,
+		ProfileRingSize:       4,
 	}
 }
 
@@ -389,6 +443,44 @@ func (p Params) withDefaults() Params {
 	}
 	if p.ReplicateTimeout <= 0 {
 		p.ReplicateTimeout = d.ReplicateTimeout
+	}
+	// SlowTraceThreshold and SLOCheckInterval keep negative values: they
+	// mean "slow capture off" / "watcher disabled".
+	if p.SlowTraceThreshold == 0 {
+		p.SlowTraceThreshold = d.SlowTraceThreshold
+	}
+	if p.TailRingSize <= 0 {
+		p.TailRingSize = d.TailRingSize
+	}
+	if p.SLOLatencyTarget <= 0 {
+		p.SLOLatencyTarget = d.SLOLatencyTarget
+	}
+	if p.SLOLatencyObjective <= 0 || p.SLOLatencyObjective >= 1 {
+		p.SLOLatencyObjective = d.SLOLatencyObjective
+	}
+	if p.SLOMaxShedRate <= 0 || p.SLOMaxShedRate > 1 {
+		p.SLOMaxShedRate = d.SLOMaxShedRate
+	}
+	if p.SLOBurnThreshold <= 0 {
+		p.SLOBurnThreshold = d.SLOBurnThreshold
+	}
+	if p.SLOWindowShort <= 0 {
+		p.SLOWindowShort = d.SLOWindowShort
+	}
+	if p.SLOWindowLong <= p.SLOWindowShort {
+		p.SLOWindowLong = d.SLOWindowLong
+		if p.SLOWindowLong <= p.SLOWindowShort {
+			p.SLOWindowLong = 10 * p.SLOWindowShort
+		}
+	}
+	if p.SLOCheckInterval == 0 {
+		p.SLOCheckInterval = d.SLOCheckInterval
+	}
+	if p.SLOProfileSeconds <= 0 {
+		p.SLOProfileSeconds = d.SLOProfileSeconds
+	}
+	if p.ProfileRingSize <= 0 {
+		p.ProfileRingSize = d.ProfileRingSize
 	}
 	return p
 }

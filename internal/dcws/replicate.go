@@ -188,8 +188,10 @@ func (s *Server) chainReplicate(doc string) bool {
 func (s *Server) pushChain(key, doc string, payload []byte, h uint64, chain, intended []string) []string {
 	traceID := telemetry.NewTraceID()
 	for i, head := range chain {
+		span := telemetry.NewSpan(traceID, "", s.addr, "replicate-push")
+		span.Target, span.Peer = doc, head
 		start := time.Now()
-		startClk := s.now()
+		span.Start = s.now()
 		extra := make(httpx.Header)
 		extra.Set(headerRevokeDoc, key)
 		if i+1 < len(chain) {
@@ -198,25 +200,23 @@ func (s *Server) pushChain(key, doc string, payload []byte, h uint64, chain, int
 		extra.Set(headerValidate, strconv.FormatUint(h, 16))
 		extra.Set(headerReplicas, strings.Join(intended, ","))
 		extra.Set(telemetry.TraceHeader, traceID)
+		extra.Set(telemetry.ParentHeader, span.ID)
 		s.piggybackTo(extra, head, false)
 		resp, err := s.client.PostTimeout(head, replicatePath, extra, payload, s.params.ReplicateTimeout)
-		span := telemetry.Span{
-			TraceID: traceID, Server: s.addr, Op: "replicate-push",
-			Target: doc, Peer: head, Start: startClk, Duration: time.Since(start),
-		}
+		span.Duration = time.Since(start)
 		if err != nil || resp.Status != 200 {
 			if err != nil {
 				span.Err = err.Error()
 			} else {
 				span.Status = resp.Status
 			}
-			s.tel.ring.Record(span)
+			s.tel.record(span)
 			s.tel.replicateChainSkips.Inc()
 			s.log.Printf("dcws %s: chain push %s to %s failed, promoting next link", s.Addr(), doc, head)
 			continue
 		}
 		span.Status = resp.Status
-		s.tel.ring.Record(span)
+		s.tel.record(span)
 		s.absorb(resp.Header)
 		s.tel.replicatePushes.Inc()
 		s.tel.replicatePushBytes.Add(int64(len(payload)))
@@ -273,7 +273,8 @@ func (s *Server) handleReplicate(req *httpx.Request) *httpx.Response {
 	acked := []string{s.addr}
 	if rest := splitAddrs(req.Header.Get(headerChain)); len(rest) > 0 {
 		down := s.relayChain(cleaned, docName, req.Body, hashHex,
-			req.Header.Get(headerReplicas), rest, req.Header.Get(telemetry.TraceHeader))
+			req.Header.Get(headerReplicas), rest,
+			req.Header.Get(telemetry.TraceHeader), req.Header.Get(telemetry.ParentHeader))
 		acked = append(acked, down...)
 	}
 	resp := status(200, "replicated")
@@ -285,13 +286,15 @@ func (s *Server) handleReplicate(req *httpx.Request) *httpx.Response {
 // CDTP-style: this link has stored its copy and now pays one upload so
 // the home does not have to. Failed successors are skipped — they end up
 // outside the acked set and the home leaves them out of the replica set.
-func (s *Server) relayChain(key, doc string, payload []byte, hashHex, replicas string, chain []string, traceID string) []string {
+func (s *Server) relayChain(key, doc string, payload []byte, hashHex, replicas string, chain []string, traceID, parent string) []string {
 	if traceID == "" {
 		traceID = telemetry.NewTraceID()
 	}
 	for i, next := range chain {
+		span := telemetry.NewSpan(traceID, parent, s.addr, "replicate-relay")
+		span.Target, span.Peer = doc, next
 		start := time.Now()
-		startClk := s.now()
+		span.Start = s.now()
 		extra := make(httpx.Header)
 		extra.Set(headerRevokeDoc, key)
 		if i+1 < len(chain) {
@@ -304,25 +307,23 @@ func (s *Server) relayChain(key, doc string, payload []byte, hashHex, replicas s
 			extra.Set(headerReplicas, replicas)
 		}
 		extra.Set(telemetry.TraceHeader, traceID)
+		extra.Set(telemetry.ParentHeader, span.ID)
 		s.piggybackTo(extra, next, false)
 		resp, err := s.client.PostTimeout(next, replicatePath, extra, payload, s.params.ReplicateTimeout)
-		span := telemetry.Span{
-			TraceID: traceID, Server: s.addr, Op: "replicate-relay",
-			Target: doc, Peer: next, Start: startClk, Duration: time.Since(start),
-		}
+		span.Duration = time.Since(start)
 		if err != nil || resp.Status != 200 {
 			if err != nil {
 				span.Err = err.Error()
 			} else {
 				span.Status = resp.Status
 			}
-			s.tel.ring.Record(span)
+			s.tel.record(span)
 			s.tel.replicateChainSkips.Inc()
 			s.log.Printf("dcws %s: chain relay %s to %s failed, promoting next link", s.Addr(), doc, next)
 			continue
 		}
 		span.Status = resp.Status
-		s.tel.ring.Record(span)
+		s.tel.record(span)
 		s.absorb(resp.Header)
 		s.tel.replicateRelays.Inc()
 		return splitAddrs(resp.Header.Get(headerAcked))
@@ -340,27 +341,26 @@ func (s *Server) sendChainRevoke(hosts []string, doc string) []string {
 		return nil
 	}
 	head := hosts[0]
-	traceID := telemetry.NewTraceID()
+	span := telemetry.NewSpan(telemetry.NewTraceID(), "", s.addr, "revoke-chain")
+	span.Target, span.Peer = doc, head
 	start := time.Now()
-	startClk := s.now()
+	span.Start = s.now()
 	req := httpx.NewRequest("POST", revokePath)
 	req.Header.Set(headerRevokeDoc, key)
 	req.Header.Set(headerChain, strings.Join(hosts[1:], ","))
-	req.Header.Set(telemetry.TraceHeader, traceID)
+	req.Header.Set(telemetry.TraceHeader, span.TraceID)
+	req.Header.Set(telemetry.ParentHeader, span.ID)
 	s.piggybackTo(req.Header, head, false)
 	resp, err := s.client.DoTimeout(head, req, s.params.MaintenanceTimeout)
-	span := telemetry.Span{
-		TraceID: traceID, Server: s.addr, Op: "revoke-chain",
-		Target: doc, Peer: head, Start: startClk, Duration: time.Since(start),
-	}
+	span.Duration = time.Since(start)
 	if err != nil {
 		span.Err = err.Error()
-		s.tel.ring.Record(span)
+		s.tel.record(span)
 		s.log.Printf("dcws %s: chain revoke %s at %s: %v", s.Addr(), doc, head, err)
 		return nil
 	}
 	span.Status = resp.Status
-	s.tel.ring.Record(span)
+	s.tel.record(span)
 	s.absorb(resp.Header)
 	if resp.Status != 200 {
 		return nil
@@ -371,37 +371,37 @@ func (s *Server) sendChainRevoke(hosts []string, doc string) []string {
 // relayRevoke forwards a chain revocation to the first reachable
 // successor and returns the downstream ack list. Unreachable links are
 // skipped; the home covers them with per-peer fallback revokes.
-func (s *Server) relayRevoke(key string, chain []string, traceID string) []string {
+func (s *Server) relayRevoke(key string, chain []string, traceID, parent string) []string {
 	if traceID == "" {
 		traceID = telemetry.NewTraceID()
 	}
 	for i, next := range chain {
+		span := telemetry.NewSpan(traceID, parent, s.addr, "revoke-relay")
+		span.Target, span.Peer = key, next
 		start := time.Now()
-		startClk := s.now()
+		span.Start = s.now()
 		req := httpx.NewRequest("POST", revokePath)
 		req.Header.Set(headerRevokeDoc, key)
 		if i+1 < len(chain) {
 			req.Header.Set(headerChain, strings.Join(chain[i+1:], ","))
 		}
 		req.Header.Set(telemetry.TraceHeader, traceID)
+		req.Header.Set(telemetry.ParentHeader, span.ID)
 		s.piggybackTo(req.Header, next, false)
 		resp, err := s.client.DoTimeout(next, req, s.params.MaintenanceTimeout)
-		span := telemetry.Span{
-			TraceID: traceID, Server: s.addr, Op: "revoke-relay",
-			Target: key, Peer: next, Start: startClk, Duration: time.Since(start),
-		}
+		span.Duration = time.Since(start)
 		if err != nil || resp.Status != 200 {
 			if err != nil {
 				span.Err = err.Error()
 			} else {
 				span.Status = resp.Status
 			}
-			s.tel.ring.Record(span)
+			s.tel.record(span)
 			s.tel.replicateChainSkips.Inc()
 			continue
 		}
 		span.Status = resp.Status
-		s.tel.ring.Record(span)
+		s.tel.record(span)
 		s.absorb(resp.Header)
 		return splitAddrs(resp.Header.Get(headerAcked))
 	}

@@ -65,6 +65,8 @@ const (
 	graphPath     = "/~dcws/graph"
 	metricsPath   = "/~dcws/metrics"
 	tracePath     = "/~dcws/trace"
+	slowPath      = "/~dcws/slow"
+	profilesPath  = "/~dcws/profiles"
 )
 
 // Config assembles a server's identity and dependencies.
@@ -100,6 +102,11 @@ type Config struct {
 	// rejoins with its hosted co-op documents still valid. Empty disables
 	// the tier (state is rebuilt from the store alone).
 	WALDir string
+	// ProfileDir, when non-empty, is where the SLO watcher drops pprof
+	// CPU+heap profile pairs on sustained burn-rate alerts (a bounded ring
+	// of Params.ProfileRingSize captures, served at /~dcws/profiles).
+	// Empty disables automatic profile capture.
+	ProfileDir string
 }
 
 // coopDoc is a document this server hosts on behalf of a home server.
@@ -143,6 +150,7 @@ type Server struct {
 	rcache *renderCache
 	coops  *coopSet
 	tel    *serverTelemetry
+	slo    *sloWatcher
 
 	// fetchPolicy retries lazy-migration fetches; probePolicy retries
 	// pinger probes inside one tick (both derived from Params).
@@ -238,13 +246,17 @@ func New(cfg Config) (*Server, error) {
 			wlog.Close()
 			return nil, err
 		}
+		reconcileStart := time.Now()
 		if err := rec.reconcile(cfg.Store, &recStats); err != nil {
 			wlog.Close()
 			return nil, fmt.Errorf("dcws: reconcile recovered state: %w", err)
 		}
+		recStats.reconcileDur = time.Since(reconcileStart)
 		recStats.recovered = rec.fromSnapshot || rec.replayed > 0
 		recStats.replayed = rec.replayed
 		recStats.snapshotLSN = rec.snapshotLSN
+		recStats.snapshotDur = rec.snapshotDur
+		recStats.replayDur = rec.replayDur
 	}
 	var ldg *graph.LDG
 	if rec != nil {
@@ -335,7 +347,7 @@ func New(cfg Config) (*Server, error) {
 		},
 		rcache:    newRenderCache(params.RenderCacheBytes),
 		coops:     newCoopSet(),
-		tel:       newServerTelemetry(params.TraceRingSize),
+		tel:       newServerTelemetry(params.TraceRingSize, params.TailRingSize, params.SlowTraceThreshold),
 		wal:       wlog,
 		replicas:  replicas,
 		rrCounter: make(map[string]*uint32),
@@ -373,7 +385,29 @@ func New(cfg Config) (*Server, error) {
 				s.Addr(), recStats.seconds, recStats.snapshotLSN, recStats.replayed,
 				recStats.coopRestored, recStats.coopDropped, recStats.docsRestored)
 		}
+		// Record the startup recovery as a trace: one root span plus one
+		// child per phase. The phases ran before the telemetry ring was
+		// built, so they are recorded retroactively from buffered timings;
+		// `dcwsctl trace` shows where a slow rejoin spent its time.
+		root := telemetry.NewSpan(telemetry.NewTraceID(), "", self, "recovery")
+		root.Start = s.now()
+		root.Duration = time.Since(recStart)
+		for _, ph := range []struct {
+			op  string
+			dur time.Duration
+		}{
+			{"snapshot-load", recStats.snapshotDur},
+			{"replay", recStats.replayDur},
+			{"reconcile", recStats.reconcileDur},
+		} {
+			child := root.Child(ph.op)
+			child.Start = root.Start
+			child.Duration = ph.dur
+			s.tel.record(child)
+		}
+		s.tel.record(root)
 	}
+	s.slo = newSLOWatcher(s)
 	s.tel.bindServer(s)
 	return s, nil
 }
@@ -416,6 +450,10 @@ func (s *Server) Start() error {
 		if s.wal != nil && s.params.SnapshotInterval > 0 {
 			s.wg.Add(1)
 			go s.snapshotLoop()
+		}
+		if s.params.SLOCheckInterval > 0 {
+			s.wg.Add(1)
+			go s.sloLoop()
 		}
 		s.log.Printf("dcws %s: started with %d documents", s.Addr(), s.ldg.Len())
 	})

@@ -63,6 +63,37 @@ type Status struct {
 	// Durability summarizes the WAL-backed durable tier and the last
 	// startup recovery.
 	Durability DurabilityStatus `json:"durability"`
+
+	// SLO is the burn-rate watcher's latest evaluation.
+	SLO SLOStatus `json:"slo"`
+}
+
+// SLOStatus is the SLO watcher's row in Status: the most recent
+// multi-window burn-rate evaluation per serve role, plus the shed budget
+// and the profile-capture counters.
+type SLOStatus struct {
+	// Alerting is true while some burn rate exceeds the threshold in both
+	// windows.
+	Alerting bool `json:"alerting"`
+	// Checks / Alerts / Profiles are the watcher's cumulative counters.
+	Checks   int64 `json:"checks"`
+	Alerts   int64 `json:"alerts"`
+	Profiles int64 `json:"profiles"`
+	// Ops is the per-role evaluation (home, coop, fetch).
+	Ops map[string]SLOOpStatus `json:"ops,omitempty"`
+	// ShedRate / ShedBurn are the shed budget's short- and long-window
+	// figures, keyed "short" / "long".
+	ShedRate map[string]float64 `json:"shed_rate,omitempty"`
+	ShedBurn map[string]float64 `json:"shed_burn,omitempty"`
+}
+
+// SLOOpStatus is one serve role's row in SLOStatus.Ops.
+type SLOOpStatus struct {
+	P50Seconds float64 `json:"p50_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
+	BurnShort  float64 `json:"burn_short"`
+	BurnLong   float64 `json:"burn_long"`
+	Alerting   bool    `json:"alerting,omitempty"`
 }
 
 // DurabilityStatus is the durable tier's row in Status: WAL progress and
@@ -289,6 +320,7 @@ func (s *Server) Status() Status {
 	}
 	s.peerMu.Unlock()
 	st.CoopHosted = s.coops.keys()
+	st.SLO = s.slo.status()
 	st.Durability = DurabilityStatus{Recovery: s.Recovery()}
 	if s.wal != nil {
 		st.Durability.Enabled = true

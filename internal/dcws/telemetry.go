@@ -24,6 +24,14 @@ import (
 type serverTelemetry struct {
 	reg  *telemetry.Registry
 	ring *telemetry.Ring
+	// tail is the tail-retention ring: every span that ended in an error,
+	// and every span at least slowThreshold long, is copied here. Only
+	// such spans compete for tail slots, so the evidence of a tail-latency
+	// incident survives long after ordinary traffic has wrapped the main
+	// ring. slowThreshold < 0 disables the slow criterion (errors are
+	// still kept).
+	tail          *telemetry.Ring
+	slowThreshold time.Duration
 
 	// httpx layer (fed by the Observer callbacks).
 	queued     *telemetry.Counter
@@ -84,9 +92,14 @@ type serverTelemetry struct {
 	aeForced  *telemetry.Counter
 }
 
-func newServerTelemetry(ringSize int) *serverTelemetry {
+func newServerTelemetry(ringSize, tailSize int, slowThreshold time.Duration) *serverTelemetry {
 	reg := telemetry.NewRegistry()
-	t := &serverTelemetry{reg: reg, ring: telemetry.NewRing(ringSize)}
+	t := &serverTelemetry{
+		reg:           reg,
+		ring:          telemetry.NewRing(ringSize),
+		tail:          telemetry.NewRing(tailSize),
+		slowThreshold: slowThreshold,
+	}
 
 	t.queued = reg.Counter("dcws_httpx_connections_queued_total",
 		"accepted connections that entered the socket queue")
@@ -156,6 +169,15 @@ func newServerTelemetry(ringSize int) *serverTelemetry {
 	t.aeForced = reg.Counter("dcws_glt_anti_entropy_forced_total",
 		"anti-entropy backoff resets forced by churn (peer-set change or suspect peers)")
 	return t
+}
+
+// record files one finished span: always into the main ring, and into the
+// tail-retention ring when it ended in an error or ran slow.
+func (t *serverTelemetry) record(sp telemetry.Span) {
+	t.ring.Record(sp)
+	if sp.Err != "" || (t.slowThreshold >= 0 && sp.Duration >= t.slowThreshold) {
+		t.tail.Record(sp)
+	}
 }
 
 // ConnQueued implements httpx.Observer.
@@ -413,10 +435,13 @@ func (t *serverTelemetry) bindServer(s *Server) {
 			return out
 		})
 
-	// Trace ring.
+	// Trace rings.
 	reg.CounterFunc("dcws_trace_spans_total",
 		"trace spans recorded, including ones the ring has overwritten",
 		func() float64 { return float64(t.ring.Total()) })
+	reg.CounterFunc("dcws_trace_tail_spans_total",
+		"error or slow spans copied into the tail-retention ring",
+		func() float64 { return float64(t.tail.Total()) })
 
 	// Durable tier. The families exist even with the WAL disabled (all
 	// zero), so dashboards and `dcwsctl metrics -check` can rely on them
@@ -492,9 +517,46 @@ func (s *Server) handleMetrics() *httpx.Response {
 	return resp
 }
 
-// handleTrace serves the retained trace spans as JSON, oldest first.
-func (s *Server) handleTrace() *httpx.Response {
-	spans := s.tel.ring.Snapshot()
+// handleTrace serves retained trace spans as JSON, oldest first. With an
+// ?id= query it returns only that trace's spans, merged from the main and
+// tail rings (deduplicated by span ID) — the fan-out target of
+// `dcwsctl trace -cluster`, which stitches the per-node results into one
+// tree.
+func (s *Server) handleTrace(req *httpx.Request) *httpx.Response {
+	_, query := httpx.SplitQuery(req.Path)
+	if id := httpx.QueryParam(query, "id"); id != "" {
+		return spanJSON(s.spansForTrace(id))
+	}
+	return spanJSON(s.tel.ring.Snapshot())
+}
+
+// handleSlow serves the tail-retention ring: the error and slow spans that
+// survive main-ring wraparound. ?id= filters to one trace.
+func (s *Server) handleSlow(req *httpx.Request) *httpx.Response {
+	_, query := httpx.SplitQuery(req.Path)
+	if id := httpx.QueryParam(query, "id"); id != "" {
+		return spanJSON(s.tel.tail.ByTrace(id))
+	}
+	return spanJSON(s.tel.tail.Snapshot())
+}
+
+// spansForTrace merges one trace's spans from the main and tail rings,
+// deduplicating by span ID (a slow span lives in both rings).
+func (s *Server) spansForTrace(id string) []telemetry.Span {
+	spans := s.tel.ring.ByTrace(id)
+	seen := make(map[string]bool, len(spans))
+	for _, sp := range spans {
+		seen[sp.ID] = true
+	}
+	for _, sp := range s.tel.tail.ByTrace(id) {
+		if sp.ID == "" || !seen[sp.ID] {
+			spans = append(spans, sp)
+		}
+	}
+	return spans
+}
+
+func spanJSON(spans []telemetry.Span) *httpx.Response {
 	if spans == nil {
 		spans = []telemetry.Span{}
 	}
@@ -513,3 +575,6 @@ func (s *Server) Telemetry() *telemetry.Registry { return s.tel.reg }
 
 // Traces exposes the server's trace-span ring.
 func (s *Server) Traces() *telemetry.Ring { return s.tel.ring }
+
+// TailTraces exposes the tail-retention ring of error and slow spans.
+func (s *Server) TailTraces() *telemetry.Ring { return s.tel.tail }

@@ -11,7 +11,8 @@ import (
 )
 
 // checkExposition validates Prometheus text-format lines: every
-// non-comment line must be "name{labels} value" with a parseable value.
+// non-comment line must be "name{labels} value", optionally followed by
+// an OpenMetrics-style exemplar (" # {trace_id=\"...\"} value").
 // Returns the family names seen.
 func checkExposition(t *testing.T, body string) map[string]bool {
 	t.Helper()
@@ -27,6 +28,14 @@ func checkExposition(t *testing.T, body string) map[string]bool {
 				families[f[2]] = true
 			}
 			continue
+		}
+		if idx := strings.Index(line, " # {"); idx >= 0 {
+			ex := line[idx+len(" # "):]
+			end := strings.IndexByte(ex, '}')
+			if end < 0 || strings.TrimSpace(ex[end+1:]) == "" {
+				t.Fatalf("malformed exemplar in %q", line)
+			}
+			line = line[:idx]
 		}
 		sp := strings.LastIndexByte(line, ' ')
 		if sp <= 0 {
@@ -93,6 +102,14 @@ func TestMetricsEndpointCoversEveryLayer(t *testing.T) {
 		"dcws_glt_header_regens_total",
 		// traces
 		"dcws_trace_spans_total",
+		"dcws_trace_tail_spans_total",
+		// SLO watcher
+		"dcws_slo_checks_total",
+		"dcws_slo_alerts_total",
+		"dcws_slo_burn_rate",
+		"dcws_slo_latency_p99_seconds",
+		"dcws_slo_shed_rate",
+		"dcws_slo_alerting",
 	} {
 		if !families[want] {
 			t.Errorf("exposition missing family %s", want)

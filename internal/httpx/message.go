@@ -45,8 +45,8 @@ var canonicalKnown = map[string]string{}
 func init() {
 	for _, k := range []string{
 		"X-DCWS-Acked", "X-DCWS-Chain", "X-DCWS-Doc", "X-DCWS-Fetch",
-		"X-DCWS-Hedge", "X-DCWS-Hot", "X-DCWS-Load", "X-DCWS-Replicas",
-		"X-DCWS-Trace", "X-DCWS-Validate",
+		"X-DCWS-Hedge", "X-DCWS-Hot", "X-DCWS-Load", "X-DCWS-Parent",
+		"X-DCWS-Replicas", "X-DCWS-Trace", "X-DCWS-Validate",
 	} {
 		canonicalKnown[k] = canonicalizeKey(k)
 	}
@@ -135,6 +135,35 @@ type Request struct {
 // NewRequest returns a GET request for path with an empty header map.
 func NewRequest(method, path string) *Request {
 	return &Request{Method: method, Path: path, Proto: "HTTP/1.0", Header: make(Header)}
+}
+
+// SplitQuery splits a request target into its path and raw query string
+// (without the '?'). The wire layer deliberately keeps Path verbatim —
+// document names never contain queries — so control endpoints that accept
+// parameters (/~dcws/trace?id=...) split on demand.
+func SplitQuery(target string) (path, query string) {
+	if i := strings.IndexByte(target, '?'); i >= 0 {
+		return target[:i], target[i+1:]
+	}
+	return target, ""
+}
+
+// QueryParam extracts one key's value from a raw query string produced by
+// SplitQuery. It handles the simple k=v&k2=v2 shape the control endpoints
+// use; no percent-decoding (trace and span IDs are plain hex).
+func QueryParam(query, key string) string {
+	for query != "" {
+		pair := query
+		if i := strings.IndexByte(query, '&'); i >= 0 {
+			pair, query = query[:i], query[i+1:]
+		} else {
+			query = ""
+		}
+		if k, v, ok := strings.Cut(pair, "="); ok && k == key {
+			return v
+		}
+	}
+	return ""
 }
 
 // Response is an HTTP response.

@@ -14,11 +14,20 @@ import (
 // operationally; the simulator has no such difficulty, so client-observed
 // request latency is recorded with this type.
 type Histogram struct {
-	mu      sync.Mutex
-	buckets [40]int64 // bucket i counts d with 2^i <= d/µs < 2^(i+1)
-	count   int64
-	sum     time.Duration
-	max     time.Duration
+	mu        sync.Mutex
+	buckets   [40]int64 // bucket i counts d with 2^i <= d/µs < 2^(i+1)
+	exemplars [40]Exemplar
+	count     int64
+	sum       time.Duration
+	max       time.Duration
+}
+
+// Exemplar links a bucket to one concrete trace that landed in it: the
+// most recent traced observation. A scraped p99 bucket then points
+// straight at a stitched trace instead of an anonymous count.
+type Exemplar struct {
+	TraceID string
+	Value   time.Duration
 }
 
 func bucketOf(d time.Duration) int {
@@ -42,6 +51,26 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 	h.mu.Lock()
 	h.buckets[bucketOf(d)]++
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	h.mu.Unlock()
+}
+
+// ObserveTrace records one duration and stamps the bucket's exemplar with
+// the observation's trace ID. An empty trace ID degrades to Observe.
+func (h *Histogram) ObserveTrace(d time.Duration, traceID string) {
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	b := bucketOf(d)
+	h.buckets[b]++
+	if traceID != "" {
+		h.exemplars[b] = Exemplar{TraceID: traceID, Value: d}
+	}
 	h.count++
 	h.sum += d
 	if d > h.max {
@@ -125,10 +154,11 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 // the telemetry exposition writer. Bucket i counts observations d with
 // 2^i <= d/µs < 2^(i+1) (bucket 0 also holds sub-microsecond values).
 type HistogramSnapshot struct {
-	Buckets [40]int64
-	Count   int64
-	Sum     time.Duration
-	Max     time.Duration
+	Buckets   [40]int64
+	Exemplars [40]Exemplar
+	Count     int64
+	Sum       time.Duration
+	Max       time.Duration
 }
 
 // Snapshot returns a consistent copy of the histogram's buckets and
@@ -136,7 +166,79 @@ type HistogramSnapshot struct {
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return HistogramSnapshot{Buckets: h.buckets, Count: h.count, Sum: h.sum, Max: h.max}
+	return HistogramSnapshot{Buckets: h.buckets, Exemplars: h.exemplars, Count: h.count, Sum: h.sum, Max: h.max}
+}
+
+// Sub returns the window delta s minus prev: the observations recorded
+// between two snapshots of the same histogram. Exemplars and Max carry the
+// later snapshot's values (they are not differentiable).
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	out := s
+	for i := range out.Buckets {
+		out.Buckets[i] -= prev.Buckets[i]
+	}
+	out.Count -= prev.Count
+	out.Sum -= prev.Sum
+	return out
+}
+
+// Quantile estimates the q-quantile of the snapshot with the same
+// bucket-interpolation scheme as Histogram.Quantile, except the estimate
+// is bounded by the bucket's upper edge rather than an observed max (a
+// window delta has no max of its own).
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, n := range s.Buckets {
+		if n <= 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= target {
+			var lower time.Duration
+			if i > 0 {
+				lower = time.Duration(1) << uint(i) * time.Microsecond
+			}
+			upper := time.Duration(1) << uint(i+1) * time.Microsecond
+			frac := (target - float64(cum)) / float64(n)
+			return lower + time.Duration(frac*float64(upper-lower))
+		}
+		cum += n
+	}
+	return time.Duration(1) << 40 * time.Microsecond
+}
+
+// CountAbove reports how many observations in the snapshot exceeded the
+// threshold, counting a bucket as violating when its lower edge is at or
+// past the threshold — the conservative reading of bucketed data, used by
+// the SLO burn-rate math.
+func (s HistogramSnapshot) CountAbove(threshold time.Duration) int64 {
+	var above int64
+	for i, n := range s.Buckets {
+		if n <= 0 {
+			continue
+		}
+		var lower time.Duration
+		if i > 0 {
+			lower = time.Duration(1) << uint(i) * time.Microsecond
+		}
+		if lower >= threshold {
+			above += n
+		}
+	}
+	return above
 }
 
 // String summarizes the distribution.

@@ -131,6 +131,16 @@ type Result struct {
 	Latency *metrics.Histogram
 }
 
+// ShedRate reports the fraction of resolved client transfers answered 503
+// — the figure the SLO shed budget is written against.
+func (r Result) ShedRate() float64 {
+	total := r.Connections + r.Drops
+	if total <= 0 {
+		return 0
+	}
+	return float64(r.Drops) / float64(total)
+}
+
 // World is a running simulation.
 type World struct {
 	cfg    Config

@@ -315,6 +315,10 @@ func appendSample(buf []byte, name, labelKey string, v float64) []byte {
 // appendHistogram renders the cumulative bucket series of one histogram.
 // Buckets are emitted up to the highest occupied power-of-two bound plus
 // the mandatory +Inf bucket; _sum is in seconds per Prometheus convention.
+// A bucket carrying an exemplar gets an OpenMetrics-style suffix
+// ("... # {trace_id=\"x\"} value") linking the bucket to a concrete trace;
+// parsers of the plain 0.0.4 format that split on the last space must
+// strip the " # {...}" tail first (dcwsctl metrics -check does).
 func appendHistogram(buf []byte, name string, labels []Label, snap metrics.HistogramSnapshot) []byte {
 	top := -1
 	for i, n := range snap.Buckets {
@@ -331,6 +335,12 @@ func appendHistogram(buf []byte, name string, labels []Label, snap metrics.Histo
 		buf = append(buf, renderLabels(append(append([]Label(nil), labels...), Label{"le", formatFloat(le)}))...)
 		buf = append(buf, ' ')
 		buf = strconv.AppendInt(buf, cum, 10)
+		if ex := snap.Exemplars[i]; ex.TraceID != "" {
+			buf = append(buf, " # {trace_id=\""...)
+			buf = appendEscapedValue(buf, ex.TraceID)
+			buf = append(buf, "\"} "...)
+			buf = appendValue(buf, ex.Value.Seconds())
+		}
 		buf = append(buf, '\n')
 	}
 	buf = append(buf, name...)

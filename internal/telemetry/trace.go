@@ -16,6 +16,11 @@ import (
 // systems.
 const TraceHeader = "X-DCWS-Trace"
 
+// ParentHeader carries the caller's span ID on inter-server RPCs, so the
+// remote server records its span as a child and a cross-node trace
+// assembles into one tree.
+const ParentHeader = "X-DCWS-Parent"
+
 // tracePrefix is a per-process random component so trace IDs minted by
 // different servers never collide; traceSeq disambiguates within the
 // process without a syscall per request.
@@ -29,6 +34,7 @@ var (
 		return hex.EncodeToString(b[:])
 	}()
 	traceSeq atomic.Uint64
+	spanSeq  atomic.Uint64
 )
 
 // NewTraceID mints a process-unique trace identifier: a random per-process
@@ -37,13 +43,26 @@ func NewTraceID() string {
 	return fmt.Sprintf("%s-%06x", tracePrefix, traceSeq.Add(1))
 }
 
+// NewSpanID mints a span identifier unique across the cluster: the same
+// per-process random prefix keeps IDs from different servers of one trace
+// distinct when the spans are stitched together.
+func NewSpanID() string {
+	return fmt.Sprintf("%s.%06x", tracePrefix, spanSeq.Add(1))
+}
+
 // Span is one hop of a request's path through the cluster: a server either
 // serving a request (server-side span) or issuing an inter-server RPC
 // (client-side span). Spans sharing a TraceID describe one logical client
-// request followed hop by hop.
+// request followed hop by hop; ParentID links them into a tree.
 type Span struct {
 	// TraceID groups the spans of one logical request.
 	TraceID string `json:"trace_id"`
+	// ID identifies this span within its trace (cluster-unique).
+	ID string `json:"id,omitempty"`
+	// ParentID is the ID of the span that caused this one: the serve span
+	// for RPCs it issued, the calling RPC span for the remote serve span.
+	// Empty for roots.
+	ParentID string `json:"parent_id,omitempty"`
 	// Server is the address of the server that recorded the span.
 	Server string `json:"server"`
 	// Op names the operation: serve-home, serve-coop, serve-fetch,
@@ -66,15 +85,35 @@ type Span struct {
 	Duration time.Duration `json:"duration_ns"`
 }
 
+// NewSpan starts a span: mints an ID and stamps the parent. The caller
+// fills in outcome fields (Status, Err, Duration, ...) before recording.
+func NewSpan(traceID, parentID, server, op string) Span {
+	return Span{TraceID: traceID, ID: NewSpanID(), ParentID: parentID, Server: server, Op: op}
+}
+
+// Child starts a child span of s on the same server, for a sub-operation
+// the recording server performs itself (e.g. a recovery phase).
+func (s Span) Child(op string) Span {
+	return Span{TraceID: s.TraceID, ID: NewSpanID(), ParentID: s.ID, Server: s.Server, Op: op}
+}
+
+// MaxTraceSpans bounds how many spans of a single trace the ring indexes:
+// a pathological trace (e.g. a retry storm reusing one ID) cannot grow its
+// index entry without bound. Older spans of the trace stay in the ring
+// buffer but drop out of the by-trace index.
+const MaxTraceSpans = 128
+
 // Ring is a bounded, concurrency-safe buffer of recent spans. When full,
 // new spans overwrite the oldest — memory stays constant no matter how
-// long the server runs.
+// long the server runs. A trace-ID index is maintained on every record and
+// overwrite, so ByTrace is O(spans of that trace), not O(capacity).
 type Ring struct {
 	mu    sync.Mutex
 	buf   []Span
 	next  int
 	full  bool
 	total int64
+	index map[string][]int
 }
 
 // DefaultRingSize is the span capacity used when none is configured.
@@ -86,13 +125,26 @@ func NewRing(capacity int) *Ring {
 	if capacity <= 0 {
 		capacity = DefaultRingSize
 	}
-	return &Ring{buf: make([]Span, capacity)}
+	return &Ring{buf: make([]Span, capacity), index: make(map[string][]int)}
 }
 
 // Record appends one span, overwriting the oldest when full.
 func (r *Ring) Record(s Span) {
 	r.mu.Lock()
-	r.buf[r.next] = s
+	slot := r.next
+	if r.full {
+		r.unindex(r.buf[slot].TraceID, slot)
+	}
+	r.buf[slot] = s
+	if s.TraceID != "" {
+		slots := r.index[s.TraceID]
+		if len(slots) >= MaxTraceSpans {
+			// Bound the per-trace index: forget the trace's oldest span.
+			copy(slots, slots[1:])
+			slots = slots[:len(slots)-1]
+		}
+		r.index[s.TraceID] = append(slots, slot)
+	}
 	r.next++
 	if r.next == len(r.buf) {
 		r.next = 0
@@ -100,6 +152,27 @@ func (r *Ring) Record(s Span) {
 	}
 	r.total++
 	r.mu.Unlock()
+}
+
+// unindex removes one slot from a trace's index entry, preserving order.
+// The slot may already be absent when the per-trace bound evicted it.
+func (r *Ring) unindex(trace string, slot int) {
+	if trace == "" {
+		return
+	}
+	slots := r.index[trace]
+	for i, sl := range slots {
+		if sl == slot {
+			copy(slots[i:], slots[i+1:])
+			slots = slots[:len(slots)-1]
+			break
+		}
+	}
+	if len(slots) == 0 {
+		delete(r.index, trace)
+	} else {
+		r.index[trace] = slots
+	}
 }
 
 // Snapshot returns the retained spans, oldest first.
@@ -117,13 +190,18 @@ func (r *Ring) Snapshot() []Span {
 	return out
 }
 
-// ByTrace returns the retained spans of one trace, oldest first.
+// ByTrace returns the retained spans of one trace, oldest first, via the
+// index — O(spans of the trace) under the lock.
 func (r *Ring) ByTrace(id string) []Span {
-	var out []Span
-	for _, s := range r.Snapshot() {
-		if s.TraceID == id {
-			out = append(out, s)
-		}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	slots := r.index[id]
+	if len(slots) == 0 {
+		return nil
+	}
+	out := make([]Span, len(slots))
+	for i, sl := range slots {
+		out[i] = r.buf[sl]
 	}
 	return out
 }

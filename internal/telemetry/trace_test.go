@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRingWraparoundIndex drives the ring through several full wraps and
+// checks the by-trace index against a straight scan of the snapshot: every
+// trace must yield exactly its retained spans, oldest first, and traces
+// fully overwritten must vanish from the index.
+func TestRingWraparoundIndex(t *testing.T) {
+	r := NewRing(8)
+	traces := []string{"t-a", "t-b", "t-c"}
+	for i := 0; i < 20; i++ {
+		sp := NewSpan(traces[i%len(traces)], "", "srv", "op")
+		sp.Target = fmt.Sprintf("/doc/%d", i)
+		r.Record(sp)
+	}
+	if got := r.Total(); got != 20 {
+		t.Fatalf("Total = %d, want 20", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("Snapshot retains %d spans, want 8", len(snap))
+	}
+	for _, tr := range traces {
+		var want []string
+		for _, sp := range snap {
+			if sp.TraceID == tr {
+				want = append(want, sp.Target)
+			}
+		}
+		got := r.ByTrace(tr)
+		if len(got) != len(want) {
+			t.Fatalf("ByTrace(%q) = %d spans, want %d", tr, len(got), len(want))
+		}
+		for i, sp := range got {
+			if sp.TraceID != tr || sp.Target != want[i] {
+				t.Fatalf("ByTrace(%q)[%d] = {%s %s}, want target %s",
+					tr, i, sp.TraceID, sp.Target, want[i])
+			}
+		}
+	}
+	// A trace whose spans were all overwritten must be gone from the index.
+	r2 := NewRing(4)
+	r2.Record(NewSpan("gone", "", "srv", "op"))
+	for i := 0; i < 4; i++ {
+		r2.Record(NewSpan("keep", "", "srv", "op"))
+	}
+	if got := r2.ByTrace("gone"); got != nil {
+		t.Fatalf("ByTrace of overwritten trace = %v, want nil", got)
+	}
+	if got := len(r2.ByTrace("keep")); got != 4 {
+		t.Fatalf("ByTrace(keep) = %d spans, want 4", got)
+	}
+}
+
+// TestRingPerTraceBound: one trace recording far more spans than
+// MaxTraceSpans keeps only the newest MaxTraceSpans entries in its index —
+// a retry storm reusing one ID cannot grow the index without bound.
+func TestRingPerTraceBound(t *testing.T) {
+	r := NewRing(MaxTraceSpans * 4)
+	n := MaxTraceSpans + 50
+	for i := 0; i < n; i++ {
+		sp := NewSpan("storm", "", "srv", "op")
+		sp.Target = fmt.Sprintf("/doc/%d", i)
+		r.Record(sp)
+	}
+	got := r.ByTrace("storm")
+	if len(got) != MaxTraceSpans {
+		t.Fatalf("ByTrace = %d spans, want the MaxTraceSpans bound %d", len(got), MaxTraceSpans)
+	}
+	// The retained window is the newest MaxTraceSpans spans, oldest first.
+	for i, sp := range got {
+		want := fmt.Sprintf("/doc/%d", n-MaxTraceSpans+i)
+		if sp.Target != want {
+			t.Fatalf("ByTrace[%d].Target = %s, want %s", i, sp.Target, want)
+		}
+	}
+}
+
+// TestRingConcurrentSoak hammers one small ring from writer and reader
+// goroutines so it wraps constantly while snapshots and index lookups run;
+// under -race this doubles as the data-race soak for the index
+// maintenance in Record/unindex.
+func TestRingConcurrentSoak(t *testing.T) {
+	r := NewRing(16)
+	traces := []string{"t-0", "t-1", "t-2", "t-3"}
+	const writers, readers, perWriter = 4, 4, 500
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				sp := NewSpan(traces[(id+j)%len(traces)], "", "srv", "op")
+				sp.Duration = time.Duration(j)
+				r.Record(sp)
+			}
+		}(i)
+	}
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if snap := r.Snapshot(); len(snap) > 16 {
+					t.Errorf("snapshot exceeds capacity: %d", len(snap))
+					return
+				}
+				for _, tr := range traces {
+					for _, sp := range r.ByTrace(tr) {
+						if sp.TraceID != tr {
+							t.Errorf("ByTrace(%q) returned span of trace %q", tr, sp.TraceID)
+							return
+						}
+					}
+				}
+			}
+		}(i)
+	}
+	// Readers run until every writer's span is recorded, so lookups overlap
+	// wraparound the whole time.
+	for r.Total() < writers*perWriter {
+		time.Sleep(time.Millisecond)
+	}
+	close(done)
+	wg.Wait()
+
+	if got := r.Total(); got != writers*perWriter {
+		t.Fatalf("Total = %d, want %d", got, writers*perWriter)
+	}
+	if snap := r.Snapshot(); len(snap) != 16 {
+		t.Fatalf("retained %d spans, want full capacity 16", len(snap))
+	}
+}
