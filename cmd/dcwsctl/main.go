@@ -17,6 +17,9 @@
 //	                                        recall all docs migrated to the
 //	                                        second server (e.g. before
 //	                                        taking it down for maintenance)
+//	dcwsctl migrate 127.0.0.1:8080 /index.html 127.0.0.1:8081
+//	                                        migrate one document from its
+//	                                        home to the named co-op
 package main
 
 import (
@@ -76,8 +79,18 @@ func main() {
 		fmt.Printf("replication  hot_triggers=%d pushes=%d push_bytes=%d relays=%d stored=%d\n",
 			st.Replication.HotTriggers, st.Replication.Pushes, st.Replication.PushBytes,
 			st.Replication.Relays, st.Replication.Stored)
-		fmt.Printf("             chain_skips=%d revoke_chains=%d revoke_fallbacks=%d\n",
-			st.Replication.ChainSkips, st.Replication.RevokeChains, st.Replication.RevokeFallbacks)
+		fmt.Printf("             chain_skips=%d revoke_chains=%d revoke_fallbacks=%d shrinks=%d\n",
+			st.Replication.ChainSkips, st.Replication.RevokeChains, st.Replication.RevokeFallbacks,
+			st.Invalidation.Shrinks)
+		if !st.Invalidation.Enabled {
+			fmt.Println("invalidation disabled (polling validation)")
+		} else {
+			iv := st.Invalidation
+			fmt.Printf("invalidation subscribers=%d/%d leased=%d pushes=%d acks=%d received=%d\n",
+				iv.Subscribers, iv.SubscribersKnown, iv.Leased, iv.Pushes, iv.Acks, iv.Received)
+			fmt.Printf("             lease_skips=%d validate_polls=%d lease_expired=%d reconnects=%d\n",
+				iv.LeaseSkips, iv.ValidatePolls, iv.LeaseExpired, iv.Reconnects)
+		}
 		fmt.Printf("slo          alerting=%v checks=%d alerts=%d profiles=%d\n",
 			st.SLO.Alerting, st.SLO.Checks, st.SLO.Alerts, st.SLO.Profiles)
 		if len(st.SLO.Ops) > 0 {
@@ -262,6 +275,21 @@ func main() {
 		}
 		req := httpx.NewRequest("POST", "/~dcws/recall")
 		req.Header.Set("X-DCWS-Fetch", args[1])
+		resp, err := client.Do(addr, req)
+		if err != nil {
+			log.Fatalf("dcwsctl: %v", err)
+		}
+		fmt.Print(string(resp.Body))
+		if resp.Status != 200 {
+			os.Exit(1)
+		}
+	case "migrate":
+		if len(args) < 3 {
+			usage()
+		}
+		req := httpx.NewRequest("POST", "/~dcws/migrate")
+		req.Header.Set("X-DCWS-Doc", args[1])
+		req.Header.Set("X-DCWS-Fetch", args[2])
 		resp, err := client.Do(addr, req)
 		if err != nil {
 			log.Fatalf("dcwsctl: %v", err)
@@ -489,6 +517,7 @@ func missingFamilies(families map[string]bool) []string {
 		"dcws_glt_emits_total", "dcws_pool_",
 		"dcws_wal_", "dcws_recovery_",
 		"dcws_replicate_", "dcws_slo_", "dcws_trace_",
+		"dcws_invalidate_", "dcws_validate_polls_total",
 	} {
 		found := false
 		for f := range families {
@@ -529,6 +558,6 @@ func orDash(s string) string {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dcwsctl status <addr> | graph [-full] <addr> | metrics [-check] <addr> | trace [-id <trace-id>] [-cluster] <addr> | slow [-id <trace-id>] <addr> | recall <home-addr> <coop-addr>")
+	fmt.Fprintln(os.Stderr, "usage: dcwsctl status <addr> | graph [-full] <addr> | metrics [-check] <addr> | trace [-id <trace-id>] [-cluster] <addr> | slow [-id <trace-id>] <addr> | recall <home-addr> <coop-addr> | migrate <home-addr> <doc> <coop-addr>")
 	os.Exit(2)
 }

@@ -23,6 +23,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"dcws"
 )
@@ -41,6 +42,7 @@ func main() {
 		walDir = flag.String("wal", "", "durable-tier directory for the WAL and snapshots (empty: state is lost on crash)")
 		walFS  = flag.String("wal-sync", "", "WAL fsync policy: always, interval, or none (default: interval)")
 		profs  = flag.String("profiles", "", "directory for automatic pprof captures on SLO burn-rate alerts, served at /~dcws/profiles (empty: disabled)")
+		lease  = flag.Duration("lease", 30*time.Second, "push-invalidation lease duration for hosted copies; 0 reverts to pure polling validation")
 	)
 	flag.Parse()
 
@@ -75,6 +77,7 @@ func main() {
 	params := dcws.DefaultParams()
 	params.UseBPSMetric = *useBPS
 	params.Replicate = *repl
+	params.LeaseDuration = *lease
 	if *walFS != "" {
 		params.WALSync = *walFS
 	}

@@ -165,6 +165,19 @@ const (
 	maxSLOShedRate   = 0.08
 )
 
+// Gates for -check-invalidate, from the issue's acceptance criteria: with
+// leases on, steady-state validation RPCs must collapse by >= 100x versus
+// the polling baseline (in practice the push cluster issues zero polls, so
+// the measured ratio is PollingRPCs over a floor of 1), and an update at
+// the home must reach a subscribed co-op's served bytes in under 100 ms.
+// The staleness bound is wall-clock — one invalidation frame's flight time
+// over the in-memory fabric plus the co-op's re-fetch — so the ~40x
+// headroom absorbs CI scheduling jitter, not protocol cost.
+const (
+	minInvalidateRPCReductionX    = 100.0
+	maxInvalidateStalenessSeconds = 0.1
+)
+
 // Gates for -check-wal: an interval-policy append must stay off the
 // microsecond-tens scale (a quiet machine measures ~1.5 µs; the bound only
 // fires on a genuine regression like an fsync leaking onto the append
@@ -283,11 +296,13 @@ func main() {
 	walOut := flag.String("wal-out", "BENCH_wal.json", "durable-tier output file (\"-\" for stdout, \"\" to skip)")
 	replicateOut := flag.String("replicate-out", "BENCH_replicate.json", "chain-replication output file (\"-\" for stdout, \"\" to skip)")
 	sloOut := flag.String("slo-out", "BENCH_slo.json", "SLO flash-crowd replay output file (\"-\" for stdout, \"\" to skip)")
+	invalidateOut := flag.String("invalidate-out", "BENCH_invalidate.json", "push-invalidation output file (\"-\" for stdout, \"\" to skip)")
 	checkRPC := flag.Bool("check-rpc", false, "exit nonzero unless pooled RPCs beat dial-per-request by the gate ratios")
 	checkGLT := flag.Bool("check-glt", false, "exit nonzero unless sharded delta gossip beats the full-table baseline by the gate ratios")
 	checkWAL := flag.Bool("check-wal", false, "exit nonzero unless WAL append cost and WAL-on serve allocations stay under the gate bounds")
 	checkReplication := flag.Bool("check-replication", false, "exit nonzero unless chain dissemination keeps home egress flat and flash-crowd throughput scales with the replica count")
 	checkSLO := flag.Bool("check-slo", false, "exit nonzero unless the deterministic flash-crowd replay keeps p99 latency and shed rate inside the SLO gates")
+	checkInvalidate := flag.Bool("check-invalidate", false, "exit nonzero unless push invalidation collapses validation RPCs and keeps update staleness under the gate bound")
 	benchtime := flag.String("benchtime", "", "override -test.benchtime (e.g. 1000x for a smoke run)")
 	testing.Init()
 	flag.Parse()
@@ -462,6 +477,35 @@ func main() {
 					slo.ShedRate, maxSLOShedRate)
 			}
 			fmt.Fprintln(os.Stderr, "dcwsperf: SLO gate passed")
+		}
+	}
+
+	if *invalidateOut != "" || *checkInvalidate {
+		inval, err := dcws.MeasureInvalidation(replicateCluster)
+		if err != nil {
+			log.Fatalf("dcwsperf: invalidation measurement: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "invalidate   n=%d docs=%d rounds=%d polling=%d RPCs, push=%d RPCs (%d lease skips) -> %.0fx; staleness %.4fs (%d pushes, %d received)\n",
+			inval.Nodes, inval.Docs, inval.Rounds, inval.PollingRPCs, inval.PushRPCs,
+			inval.LeaseSkips, inval.RPCReductionX, inval.StalenessSeconds,
+			inval.Pushes, inval.Received)
+		if *invalidateOut != "" {
+			writeJSON(*invalidateOut, inval)
+		}
+		if *checkInvalidate {
+			if inval.RPCReductionX < minInvalidateRPCReductionX {
+				log.Fatalf("dcwsperf: validation RPC reduction %.1fx below gate %.0fx",
+					inval.RPCReductionX, minInvalidateRPCReductionX)
+			}
+			if inval.StalenessSeconds >= maxInvalidateStalenessSeconds {
+				log.Fatalf("dcwsperf: update staleness %.4fs at or above gate %.2fs",
+					inval.StalenessSeconds, maxInvalidateStalenessSeconds)
+			}
+			if inval.Pushes == 0 || inval.Received == 0 {
+				log.Fatalf("dcwsperf: no invalidation frames observed (pushes=%d received=%d) — the co-op refreshed some other way",
+					inval.Pushes, inval.Received)
+			}
+			fmt.Fprintln(os.Stderr, "dcwsperf: push invalidation gate passed")
 		}
 	}
 

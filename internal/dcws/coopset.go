@@ -17,6 +17,10 @@ type coopView struct {
 	name    string
 	present bool
 	hash    uint64
+	// leased / leaseUntil mirror the record's lease state (push
+	// invalidation); a never-leased record reports leased == false.
+	leased     bool
+	leaseUntil time.Time
 }
 
 // coopSet owns every document this server hosts on behalf of other
@@ -51,7 +55,7 @@ func (cs *coopSet) touch(key string, home naming.Origin, name string, now time.T
 	if cd.elem != nil {
 		cs.lru.MoveToFront(cd.elem)
 	}
-	v := coopView{home: cd.home, name: cd.name, present: cd.present, hash: cd.hash}
+	v := cd.viewLocked()
 	cs.mu.Unlock()
 	return v
 }
@@ -64,9 +68,16 @@ func (cs *coopSet) view(key string) (coopView, bool) {
 		cs.mu.RUnlock()
 		return coopView{}, false
 	}
-	v := coopView{home: cd.home, name: cd.name, present: cd.present, hash: cd.hash}
+	v := cd.viewLocked()
 	cs.mu.RUnlock()
 	return v, true
+}
+
+func (cd *coopDoc) viewLocked() coopView {
+	return coopView{
+		home: cd.home, name: cd.name, present: cd.present, hash: cd.hash,
+		leased: cd.leased, leaseUntil: cd.leaseUntil,
+	}
 }
 
 // markFetched records that the physical copy for key is now in the store.
@@ -357,6 +368,78 @@ func (cs *coopSet) snapshotSeeds() []coopSeed {
 	cs.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
 	return out
+}
+
+// ---- leases (push invalidation) -----------------------------------------
+
+// renewLease grants or extends one document's lease.
+func (cs *coopSet) renewLease(key string, until time.Time) {
+	cs.mu.Lock()
+	if cd, ok := cs.docs[key]; ok {
+		cd.leased = true
+		cd.leaseUntil = until
+	}
+	cs.mu.Unlock()
+}
+
+// renewHome extends the lease of every document hosted from one home
+// server — the bulk renewal applied whenever a frame arrives on that
+// home's subscription channel (channel liveness IS the renewal).
+func (cs *coopSet) renewHome(homeAddr string, until time.Time) {
+	cs.mu.Lock()
+	for _, cd := range cs.docs {
+		if cd.home.Addr() == homeAddr {
+			cd.leased = true
+			cd.leaseUntil = until
+		}
+	}
+	cs.mu.Unlock()
+}
+
+// inventory returns the (name, hash) pairs of documents hosted from one
+// home server, sorted by name — the frameSubscribe payload.
+func (cs *coopSet) inventory(homeAddr string) []invDoc {
+	cs.mu.RLock()
+	var out []invDoc
+	for _, cd := range cs.docs {
+		if cd.home.Addr() == homeAddr {
+			out = append(out, invDoc{name: cd.name, hash: cd.hash})
+		}
+	}
+	cs.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// homes returns every distinct home address documents are hosted for,
+// sorted (the recovery path re-subscribes to each).
+func (cs *coopSet) homes() []string {
+	cs.mu.RLock()
+	seen := make(map[string]bool)
+	for _, cd := range cs.docs {
+		seen[cd.home.Addr()] = true
+	}
+	cs.mu.RUnlock()
+	out := make([]string, 0, len(seen))
+	for h := range seen {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// leasedCount reports how many hosted documents hold an unexpired lease
+// at now (status, metrics).
+func (cs *coopSet) leasedCount(now time.Time) int {
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	n := 0
+	for _, cd := range cs.docs {
+		if cd.leased && cd.leaseUntil.After(now) {
+			n++
+		}
+	}
+	return n
 }
 
 func (cd *coopDoc) presentSize() int64 {

@@ -40,11 +40,19 @@ const (
 	// recReplicas: a migrated document's replica set changed (payload:
 	// doc, addr list).
 	recReplicas uint8 = 8
+	// recSubAdd: a co-op subscribed to invalidation pushes for one of our
+	// documents (payload: coop addr, doc name). Survives restarts so the
+	// recovered home keeps pushing when the co-op reconnects.
+	recSubAdd uint8 = 9
+	// recSubDel: an invalidation subscription ended — unsubscribe, revoke,
+	// or delete (payload: coop addr, doc name).
+	recSubDel uint8 = 10
 )
 
 // serverSnapVersion versions the full-state snapshot payload layered on
-// the LDG snapshot encoding.
-const serverSnapVersion = 1
+// the LDG snapshot encoding. Version 2 appends the invalidation
+// subscriber table after the peer list; version-1 snapshots still decode.
+const serverSnapVersion = 2
 
 // coopSeed is one hosted document's durable record, as carried through
 // snapshots and recovery before the live coopSet exists.
@@ -66,6 +74,9 @@ type recoveredState struct {
 	ledger   *policy.Ledger
 	replicas map[string][]string
 	peers    []string
+	// subscribers maps co-op addr → document names it was subscribed to
+	// for invalidation pushes when the server went down.
+	subscribers map[string][]string
 
 	fromSnapshot bool
 	snapshotLSN  uint64
@@ -277,14 +288,31 @@ func (s *Server) encodeServerSnapshot() []byte {
 	for _, p := range peers {
 		buf = putStr(buf, p)
 	}
+
+	subs := s.hub.snapshot()
+	addrs := make([]string, 0, len(subs))
+	for addr := range subs {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	buf = binary.AppendUvarint(buf, uint64(len(addrs)))
+	for _, addr := range addrs {
+		buf = putStr(buf, addr)
+		docs := subs[addr]
+		buf = binary.AppendUvarint(buf, uint64(len(docs)))
+		for _, d := range docs {
+			buf = putStr(buf, d)
+		}
+	}
 	return buf
 }
 
 // decodeServerSnapshot is the inverse of encodeServerSnapshot.
 func decodeServerSnapshot(data []byte) (*recoveredState, error) {
-	if len(data) == 0 || data[0] != serverSnapVersion {
+	if len(data) == 0 || data[0] < 1 || data[0] > serverSnapVersion {
 		return nil, fmt.Errorf("dcws: unsupported snapshot version")
 	}
+	version := data[0]
 	data = data[1:]
 	n, data, err := getUvarint(data)
 	if err != nil {
@@ -303,6 +331,7 @@ func decodeServerSnapshot(data []byte) (*recoveredState, error) {
 		coops:        make(map[string]*coopSeed),
 		ledger:       policy.NewLedger(),
 		replicas:     make(map[string][]string),
+		subscribers:  make(map[string][]string),
 		fromSnapshot: true,
 	}
 
@@ -393,6 +422,31 @@ func decodeServerSnapshot(data []byte) (*recoveredState, error) {
 		}
 		rec.peers = append(rec.peers, p)
 	}
+
+	if version >= 2 {
+		if count, data, err = getUvarint(data); err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < count; i++ {
+			var addr string
+			var nDocs uint64
+			if addr, data, err = getStr(data); err != nil {
+				return nil, err
+			}
+			if nDocs, data, err = getUvarint(data); err != nil {
+				return nil, err
+			}
+			docs := make([]string, 0, nDocs)
+			for j := uint64(0); j < nDocs; j++ {
+				var d string
+				if d, data, err = getStr(data); err != nil {
+					return nil, err
+				}
+				docs = append(docs, d)
+			}
+			rec.subscribers[addr] = docs
+		}
+	}
 	return rec, nil
 }
 
@@ -419,10 +473,11 @@ func recoverState(wlog *wal.Log, st store.Store, resolve func(base, raw string) 
 			return nil, err
 		}
 		rec = &recoveredState{
-			ldg:      ldg,
-			coops:    make(map[string]*coopSeed),
-			ledger:   policy.NewLedger(),
-			replicas: make(map[string][]string),
+			ldg:         ldg,
+			coops:       make(map[string]*coopSeed),
+			ledger:      policy.NewLedger(),
+			replicas:    make(map[string][]string),
+			subscribers: make(map[string][]string),
 		}
 	}
 	rec.snapshotDur = time.Since(phase)
@@ -506,6 +561,32 @@ func (rec *recoveredState) apply(r wal.Record, st store.Store) error {
 			return nil
 		}
 		rec.replicas[doc] = addrs
+	case recSubAdd:
+		addr, name, err := decodeSubRecord(r.Data)
+		if err != nil {
+			return nil
+		}
+		for _, d := range rec.subscribers[addr] {
+			if d == name {
+				return nil
+			}
+		}
+		rec.subscribers[addr] = append(rec.subscribers[addr], name)
+	case recSubDel:
+		addr, name, err := decodeSubRecord(r.Data)
+		if err != nil {
+			return nil
+		}
+		docs := rec.subscribers[addr]
+		for i, d := range docs {
+			if d == name {
+				rec.subscribers[addr] = append(docs[:i], docs[i+1:]...)
+				break
+			}
+		}
+		if len(rec.subscribers[addr]) == 0 {
+			delete(rec.subscribers, addr)
+		}
 	}
 	return nil
 }

@@ -49,12 +49,18 @@ func (s *Server) handle(req *httpx.Request) *httpx.Response {
 		resp = s.handleSlow(req)
 	case req.Path == profilesPath || strings.HasPrefix(req.Path, profilesPath+"/"):
 		resp = s.handleProfiles(req)
+	case req.Path == subscribePath:
+		resp = s.hub.handleSubscribe(req)
 	case req.Path == replicatePath:
 		resp = s.handleReplicate(req)
 	case strings.HasPrefix(req.Path, revokePath):
 		resp = s.handleRevoke(req)
 	case req.Path == recallPath:
 		resp = s.handleRecall(req)
+	case req.Path == migratePath:
+		resp = s.handleMigrate(req)
+	case req.Path == updatePath:
+		resp = s.handleUpdate(req)
 	case req.Path == graphPath:
 		resp = s.handleGraph()
 	case naming.IsMigrated(req.Path):
@@ -179,6 +185,57 @@ func (s *Server) handleRecall(req *httpx.Request) *httpx.Response {
 	}
 	n := s.RecallFrom(coop)
 	return status(200, fmt.Sprintf("recalled %d documents from %s", n, coop))
+}
+
+// handleMigrate is the operator-facing counterpart of recall: the home
+// server hands one of its documents to the named co-op (POST with the
+// document name in the X-DCWS-Doc header and the co-op's address in
+// X-DCWS-Fetch). The copy stays lazy — the co-op fetches it on first
+// touch, exactly like a load-driven migration (§4.2).
+func (s *Server) handleMigrate(req *httpx.Request) *httpx.Response {
+	if req.Method != "POST" {
+		return status(405, "migrate requires POST")
+	}
+	name := req.Header.Get(headerRevokeDoc)
+	coop := req.Header.Get(headerFetch)
+	if name == "" || coop == "" {
+		return status(400, "migrate requires "+headerRevokeDoc+" and "+headerFetch+" headers")
+	}
+	name, err := store.CleanName(name)
+	if err != nil {
+		return status(400, err.Error())
+	}
+	if coop == s.addr {
+		return status(400, "cannot migrate a document to its own home")
+	}
+	loc, _, _, known := s.ldg.ServeInfo(name)
+	if !known {
+		return status(404, "no such document: "+name)
+	}
+	if loc != "" {
+		return status(409, fmt.Sprintf("%s is already migrated to %s", name, loc))
+	}
+	s.migrate(name, coop)
+	return status(200, fmt.Sprintf("migrated %s to %s", name, coop))
+}
+
+// handleUpdate replaces one home document's content (operational
+// endpoint, like recall): POST /~dcws/update with the document name in
+// the X-DCWS-Doc header and the new bytes as the body. Runs the full
+// update path — reparse, dirty propagation, WAL append, and an
+// invalidation push to every subscribed co-op.
+func (s *Server) handleUpdate(req *httpx.Request) *httpx.Response {
+	if req.Method != "POST" {
+		return status(405, "update requires POST")
+	}
+	name := req.Header.Get(headerRevokeDoc)
+	if name == "" {
+		return status(400, "missing "+headerRevokeDoc+" header naming the document")
+	}
+	if err := s.UpdateDocument(name, req.Body); err != nil {
+		return status(400, err.Error())
+	}
+	return status(200, fmt.Sprintf("updated %s (%d bytes)", name, len(req.Body)))
 }
 
 // serveAsHome handles requests for this server's own documents: serve them
@@ -372,7 +429,23 @@ func (s *Server) serveAsCoop(req *httpx.Request, traceID, spanID string) *httpx.
 	// One critical section per request: lookup (creating the record for a
 	// first-touch lazy migration), the windowHit bump, the lastUsed stamp,
 	// and the LRU re-ordering all happen inside coopSet.touch.
-	v := s.coops.touch(key, home, docName, s.now())
+	now := s.now()
+	v := s.coops.touch(key, home, docName, now)
+
+	if s.params.LeaseDuration > 0 && v.present && v.leased && !v.leaseUntil.After(now) {
+		// The copy's lease expired without renewal — the home is
+		// unreachable past the partition tolerance. Fail closed: a
+		// synchronous conditional GET either re-validates (and re-leases)
+		// the copy or proves we cannot vouch for its freshness.
+		if s.validateOne(key) == "error" {
+			s.tel.invalLeaseExpired.Inc()
+			return status(503, "lease expired and home unreachable")
+		}
+		v, _ = s.coops.view(key)
+		if !v.present {
+			return status(404, "no longer hosted here")
+		}
+	}
 
 	if !v.present {
 		if resp := s.fetchFromHome(key, home, docName, traceID, spanID); resp != nil {
@@ -641,6 +714,13 @@ func (s *Server) finishFetch(key string, resp *httpx.Response) *httpx.Response {
 		s.stats.Fetches.Inc()
 		s.walCoopAdmit(key)
 		s.enforceCoopBudget(key)
+		if s.params.LeaseDuration > 0 {
+			// A fresh validation is as good as a pushed frame.
+			s.coops.renewLease(key, s.now().Add(s.params.LeaseDuration))
+			if home, _, err := naming.Decode(key); err == nil {
+				s.subs.ensureSubscribed(home.Addr())
+			}
+		}
 		return nil
 	case 301:
 		// Not assigned to us (revoked or re-migrated): relay the redirect

@@ -1,0 +1,853 @@
+package dcws
+
+import (
+	"bufio"
+	"encoding/binary"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dcws/internal/httpx"
+	"dcws/internal/naming"
+	"dcws/internal/resilience"
+	"dcws/internal/telemetry"
+)
+
+// Push invalidation with leases over a persistent subscription channel.
+//
+// The paper's §4.5 validator polls every hosted copy every T_val, so a
+// 16-node cluster in steady state burns hundreds of validation RPCs per
+// second telling each other nothing changed. This extension inverts the
+// flow: each co-op opens ONE long-lived upgraded connection per home
+// server (a 101 handshake on /~dcws/subscribe, then length-prefixed
+// frames), the home remembers which documents each subscriber hosts and
+// pushes an invalidation frame the moment a document changes, and every
+// hosted copy holds a lease of Params.LeaseDuration renewed implicitly by
+// channel liveness. While the channel is live and the lease unexpired the
+// validator skips the copy entirely; when the channel drops — or goes
+// silent for three heartbeats — the co-op degrades to the paper's
+// timeout-polled validation, so a partitioned node is never less safe
+// than the base design. Subscriber sets are WAL-logged on the home, so a
+// crashed home recovers knowing who to push to once they reconnect.
+
+// Frame types exchanged on an upgraded subscription connection. Both
+// directions share the codec in httpx/frames.go.
+const (
+	// frameSubscribe (coop -> home): the coop's inventory of hosted
+	// documents for this home — uvarint count, then per document the
+	// home-side name and the coop's content hash. The home registers the
+	// subscriber and answers with catch-up invalidations for any document
+	// whose current hash differs (changes missed while disconnected).
+	frameSubscribe byte = 1
+	// frameInvalidate (home -> coop): one document changed — a kind byte
+	// (invalUpdate/invalDelete/invalRevoke), the home-side name, and the
+	// new content hash (zero for delete/revoke).
+	frameInvalidate byte = 2
+	// framePing (either direction): empty keepalive; receipt renews every
+	// lease held from the peer.
+	framePing byte = 3
+	// frameAck (coop -> home): the named document's invalidation was
+	// applied (refetched, or dropped for delete/revoke).
+	frameAck byte = 4
+	// frameUnsubscribe (coop -> home): the coop stopped hosting the named
+	// document (evicted past re-fetch, or forgotten); the home stops
+	// pushing for it.
+	frameUnsubscribe byte = 5
+)
+
+// Invalidation kinds carried by frameInvalidate.
+const (
+	invalUpdate byte = 0 // content changed: revalidate now
+	invalDelete byte = 1 // document deleted at home: drop the copy
+	invalRevoke byte = 2 // hosting revoked: drop the copy
+)
+
+// invalHeartbeat resolves the heartbeat interval from Params: explicit
+// when set, LeaseDuration/4 when zero (three missed beats < one lease, so
+// a silent partition degrades to polling before any lease expires), and
+// disabled when negative.
+func (p Params) invalHeartbeat() time.Duration {
+	switch {
+	case p.InvalidateHeartbeat > 0:
+		return p.InvalidateHeartbeat
+	case p.InvalidateHeartbeat < 0:
+		return 0
+	default:
+		return p.LeaseDuration / 4
+	}
+}
+
+// ---- frame payload encoding ---------------------------------------------
+
+// encodeInventory builds a frameSubscribe payload from (name, hash) pairs.
+func encodeInventory(docs []invDoc) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(docs)))
+	for _, d := range docs {
+		buf = putStr(buf, d.name)
+		buf = binary.AppendUvarint(buf, d.hash)
+	}
+	return buf
+}
+
+// invDoc is one (home-side name, content hash) inventory entry.
+type invDoc struct {
+	name string
+	hash uint64
+}
+
+func decodeInventory(data []byte) ([]invDoc, error) {
+	n, data, err := getUvarint(data)
+	if err != nil {
+		return nil, err
+	}
+	docs := make([]invDoc, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var d invDoc
+		if d.name, data, err = getStr(data); err != nil {
+			return nil, err
+		}
+		if d.hash, data, err = getUvarint(data); err != nil {
+			return nil, err
+		}
+		docs = append(docs, d)
+	}
+	return docs, nil
+}
+
+func encodeInvalidate(kind byte, name string, hash uint64) []byte {
+	buf := make([]byte, 0, len(name)+12)
+	buf = append(buf, kind)
+	buf = putStr(buf, name)
+	return binary.AppendUvarint(buf, hash)
+}
+
+func decodeInvalidate(data []byte) (kind byte, name string, hash uint64, err error) {
+	if len(data) < 1 {
+		return 0, "", 0, errInvalFrame
+	}
+	kind = data[0]
+	if name, data, err = getStr(data[1:]); err != nil {
+		return 0, "", 0, err
+	}
+	hash, _, err = getUvarint(data)
+	return kind, name, hash, err
+}
+
+var errInvalFrame = errStr("dcws: truncated invalidation frame")
+
+type errStr string
+
+func (e errStr) Error() string { return string(e) }
+
+// encodeName / decodeName frame a single document name (frameAck,
+// frameUnsubscribe).
+func encodeName(name string) []byte { return putStr(nil, name) }
+
+func decodeName(data []byte) (string, error) {
+	name, _, err := getStr(data)
+	return name, err
+}
+
+// ---- home side: the invalidation hub ------------------------------------
+
+// invalSubscriber is one co-op's subscription as the home sees it: the
+// documents it hosts (home-side names) and, while connected, the upgraded
+// connection to push frames down. The docs set survives disconnection —
+// and, via the WAL, a home crash — so a reconnecting subscriber gets
+// catch-up invalidations for everything that changed while it was away.
+type invalSubscriber struct {
+	addr string
+	docs map[string]bool
+
+	conn    net.Conn // nil while disconnected
+	writeMu sync.Mutex
+}
+
+// invalHub is the home side of push invalidation: the subscriber table,
+// the upgrade handler, and the push fan-out called from every mutation
+// path (update, delete, revoke, migration link-rewrite).
+type invalHub struct {
+	s  *Server
+	mu sync.Mutex
+	// subs is keyed by subscriber (co-op) address.
+	subs map[string]*invalSubscriber
+}
+
+func newInvalHub(s *Server) *invalHub {
+	return &invalHub{s: s, subs: make(map[string]*invalSubscriber)}
+}
+
+// restore re-installs a recovered subscriber (disconnected) with its doc
+// set, so pushes resume after it reconnects.
+func (h *invalHub) restore(addr string, docs []string) {
+	h.mu.Lock()
+	sub, ok := h.subs[addr]
+	if !ok {
+		sub = &invalSubscriber{addr: addr, docs: make(map[string]bool)}
+		h.subs[addr] = sub
+	}
+	for _, d := range docs {
+		sub.docs[d] = true
+	}
+	h.mu.Unlock()
+}
+
+// snapshot captures the subscriber table in durable form, sorted by
+// address (the subscribers section of the state snapshot).
+func (h *invalHub) snapshot() map[string][]string {
+	h.mu.Lock()
+	out := make(map[string][]string, len(h.subs))
+	for addr, sub := range h.subs {
+		docs := make([]string, 0, len(sub.docs))
+		for d := range sub.docs {
+			docs = append(docs, d)
+		}
+		out[addr] = docs
+	}
+	h.mu.Unlock()
+	return out
+}
+
+// subscriberCount reports connected and total subscribers (status,
+// metrics).
+func (h *invalHub) subscriberCount() (connected, total int) {
+	h.mu.Lock()
+	for _, sub := range h.subs {
+		if sub.conn != nil {
+			connected++
+		}
+	}
+	total = len(h.subs)
+	h.mu.Unlock()
+	return connected, total
+}
+
+// handleSubscribe answers a co-op's GET /~dcws/subscribe with a 101 whose
+// Hijack takes over the connection for framed traffic. The hijack
+// callback runs on a bounded httpx worker and must not block: it spawns
+// the reader and heartbeat goroutines and returns immediately.
+func (h *invalHub) handleSubscribe(req *httpx.Request) *httpx.Response {
+	if h.s.params.LeaseDuration <= 0 {
+		return status(404, "push invalidation disabled")
+	}
+	coopAddr := req.Header.Get(headerFetch)
+	if coopAddr == "" {
+		return status(400, "missing "+headerFetch+" header naming the subscriber")
+	}
+	resp := httpx.NewResponse(101)
+	resp.Header.Set("Connection", "keep-alive")
+	resp.Hijack = func(conn net.Conn, br *bufio.Reader) {
+		h.attach(coopAddr, conn, br)
+	}
+	return resp
+}
+
+// attach binds an upgraded connection to the subscriber record for addr,
+// replacing any previous connection, and spawns its reader and heartbeat
+// goroutines. Runs on an httpx worker; must not block.
+func (h *invalHub) attach(addr string, conn net.Conn, br *bufio.Reader) {
+	h.mu.Lock()
+	sub, ok := h.subs[addr]
+	if !ok {
+		sub = &invalSubscriber{addr: addr, docs: make(map[string]bool)}
+		h.subs[addr] = sub
+	}
+	old := sub.conn
+	sub.conn = conn
+	h.mu.Unlock()
+	if old != nil {
+		old.Close() // stale reconnect raced us; its reader exits
+	}
+	s := h.s
+	var lastRecv atomic.Int64
+	lastRecv.Store(s.now().UnixNano())
+	// The reader and heartbeat goroutines ride s.wg so shutdown waits for
+	// them; guard against a subscribe racing Close.
+	select {
+	case <-s.stopped:
+		conn.Close()
+		return
+	default:
+	}
+	s.wg.Add(2)
+	go func() {
+		defer s.wg.Done()
+		h.readLoop(sub, conn, br, &lastRecv)
+	}()
+	go func() {
+		defer s.wg.Done()
+		s.heartbeatLoop(conn, &sub.writeMu, &lastRecv)
+	}()
+}
+
+// readLoop consumes frames from one subscriber until the connection
+// fails. The connection staying open IS the liveness signal; every frame
+// received bumps lastRecv for the heartbeat monitor.
+func (h *invalHub) readLoop(sub *invalSubscriber, conn net.Conn, br *bufio.Reader, lastRecv *atomic.Int64) {
+	s := h.s
+	defer func() {
+		conn.Close()
+		h.mu.Lock()
+		if sub.conn == conn {
+			sub.conn = nil // keep docs: reconnect gets catch-up
+		}
+		h.mu.Unlock()
+	}()
+	for {
+		typ, payload, err := httpx.ReadFrame(br)
+		if err != nil {
+			return
+		}
+		lastRecv.Store(s.now().UnixNano())
+		switch typ {
+		case frameSubscribe:
+			docs, err := decodeInventory(payload)
+			if err != nil {
+				return
+			}
+			h.register(sub, conn, docs)
+		case frameAck:
+			if _, err := decodeName(payload); err == nil {
+				s.tel.invalAcks.Inc()
+			}
+		case frameUnsubscribe:
+			name, err := decodeName(payload)
+			if err != nil {
+				continue
+			}
+			h.mu.Lock()
+			delete(sub.docs, name)
+			h.mu.Unlock()
+			s.walAppend(recSubDel, encodeSubRecord(sub.addr, name))
+		case framePing:
+			// lastRecv bump above is the whole point.
+		}
+	}
+}
+
+// register records which documents a subscriber hosts and sends catch-up
+// invalidations for any whose current content differs from the hash the
+// coop reported — the changes it missed while disconnected. Documents the
+// coop is no longer authorized for get a revoke frame instead.
+func (h *invalHub) register(sub *invalSubscriber, conn net.Conn, docs []invDoc) {
+	s := h.s
+	start := time.Now()
+	span := telemetry.NewSpan(telemetry.NewTraceID(), "", s.addr, "subscribe")
+	span.Peer = sub.addr
+	span.Start = s.now()
+	added := 0
+	for _, d := range docs {
+		if !s.subscribeAuthorized(d.name, sub.addr) {
+			s.writeInvalFrame(conn, &sub.writeMu, invalRevoke, d.name, 0)
+			continue
+		}
+		h.mu.Lock()
+		fresh := !sub.docs[d.name]
+		sub.docs[d.name] = true
+		h.mu.Unlock()
+		if fresh {
+			s.walAppend(recSubAdd, encodeSubRecord(sub.addr, d.name))
+		}
+		added++
+		if cur, ok := s.migrationHash(d.name); ok && cur != d.hash {
+			// Missed an update while disconnected: catch it up now.
+			s.pushTo(sub, invalUpdate, d.name, cur)
+		}
+	}
+	span.Target = "docs=" + strconv.Itoa(added)
+	span.Duration = time.Since(start)
+	s.tel.record(span)
+}
+
+// subscribeAuthorized mirrors serveFetch's authorization: the coop must be
+// the document's assigned co-op or a member of its replica set.
+func (s *Server) subscribeAuthorized(name, coopAddr string) bool {
+	if mig, ok := s.ledger.Get(name); ok && mig.Coop == coopAddr {
+		return true
+	}
+	s.repMu.RLock()
+	defer s.repMu.RUnlock()
+	for _, r := range s.replicas[name] {
+		if r == coopAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// migrationHash returns the current migration-prepared content hash for a
+// home document, rendering on a cache miss. ok is false when the document
+// is unknown or fails to render.
+func (s *Server) migrationHash(name string) (uint64, bool) {
+	_, _, gen, known := s.ldg.ServeInfo(name)
+	if !known {
+		return 0, false
+	}
+	if _, h, ok := s.rcache.get(name, renderMigration, gen); ok {
+		return h, true
+	}
+	data, err := s.prepareForMigration(name)
+	if err != nil {
+		return 0, false
+	}
+	h := contentHash(data)
+	s.rcache.put(name, renderMigration, gen, data, h)
+	return h, true
+}
+
+// push fans one invalidation out to every connected subscriber hosting
+// the document. The hash is computed lazily — only when some connected
+// subscriber actually holds the doc — and only for updates (delete and
+// revoke carry zero). Safe to call with no server locks held.
+func (h *invalHub) push(kind byte, name string) {
+	if h == nil || h.s.params.LeaseDuration <= 0 {
+		return
+	}
+	h.mu.Lock()
+	var targets []*invalSubscriber
+	var dropped []string
+	for _, sub := range h.subs {
+		if sub.conn != nil && sub.docs[name] {
+			targets = append(targets, sub)
+		}
+		// Hosting ends with a delete or revoke: the subscription entry
+		// goes too, connected or not, so a later reconnect is not caught
+		// up on a document it must no longer serve.
+		if kind != invalUpdate && sub.docs[name] {
+			delete(sub.docs, name)
+			dropped = append(dropped, sub.addr)
+		}
+	}
+	h.mu.Unlock()
+	for _, addr := range dropped {
+		h.s.walAppend(recSubDel, encodeSubRecord(addr, name))
+	}
+	if len(targets) == 0 {
+		return
+	}
+	var hash uint64
+	if kind == invalUpdate {
+		hash, _ = h.s.migrationHash(name)
+	}
+	for _, sub := range targets {
+		h.s.pushTo(sub, kind, name, hash)
+	}
+}
+
+// pushRevokeTo sends revoke frames for name to a specific subset of
+// subscribers — the partial-shrink path, where the kept replicas must NOT
+// be told to drop their copies. Their subscription entries go too.
+func (h *invalHub) pushRevokeTo(name string, addrs []string) {
+	if h == nil || h.s.params.LeaseDuration <= 0 {
+		return
+	}
+	for _, addr := range addrs {
+		h.mu.Lock()
+		sub := h.subs[addr]
+		var had, send bool
+		if sub != nil && sub.docs[name] {
+			had = true
+			delete(sub.docs, name)
+			send = sub.conn != nil
+		}
+		h.mu.Unlock()
+		if !had {
+			continue
+		}
+		h.s.walAppend(recSubDel, encodeSubRecord(addr, name))
+		if send {
+			h.s.pushTo(sub, invalRevoke, name, 0)
+		}
+	}
+}
+
+// pushTo sends one invalidation frame to one subscriber. Write failures
+// close the connection; the coop reconnects with backoff and catches up.
+func (s *Server) pushTo(sub *invalSubscriber, kind byte, name string, hash uint64) {
+	s.hub.mu.Lock()
+	conn := sub.conn
+	s.hub.mu.Unlock()
+	if conn == nil {
+		return
+	}
+	if s.writeInvalFrame(conn, &sub.writeMu, kind, name, hash) {
+		s.tel.invalPushes.Inc()
+	}
+}
+
+// writeInvalFrame writes one frameInvalidate under the connection's write
+// mutex with a short real-time deadline (frames are tiny; a peer that
+// cannot drain them within it is effectively partitioned). Returns
+// whether the write succeeded; on failure the connection is closed, which
+// unblocks its reader.
+func (s *Server) writeInvalFrame(conn net.Conn, mu *sync.Mutex, kind byte, name string, hash uint64) bool {
+	mu.Lock()
+	defer mu.Unlock()
+	conn.SetWriteDeadline(time.Now().Add(invalWriteTimeout))
+	err := httpx.WriteFrame(conn, frameInvalidate, encodeInvalidate(kind, name, hash))
+	conn.SetWriteDeadline(time.Time{})
+	if err != nil {
+		conn.Close()
+		return false
+	}
+	return true
+}
+
+// invalWriteTimeout bounds a single frame write on an upgraded
+// connection. Real time, not the configured clock: it guards the wire,
+// not the protocol.
+const invalWriteTimeout = 10 * time.Second
+
+// heartbeatLoop paces keepalives on one upgraded connection and enforces
+// liveness: a peer silent for three heartbeats is presumed partitioned
+// and the connection is force-closed, unblocking its reader. Both sides
+// run one; receipt of ANY frame counts as life. Driven by the configured
+// clock so deterministic tests control it.
+func (s *Server) heartbeatLoop(conn net.Conn, writeMu *sync.Mutex, lastRecv *atomic.Int64) {
+	hb := s.params.invalHeartbeat()
+	if hb <= 0 {
+		return
+	}
+	for {
+		select {
+		case <-s.stopped:
+			return
+		case <-s.cfg.Clock.After(hb):
+		}
+		if s.now().Sub(time.Unix(0, lastRecv.Load())) > 3*hb {
+			conn.Close()
+			return
+		}
+		writeMu.Lock()
+		conn.SetWriteDeadline(time.Now().Add(invalWriteTimeout))
+		err := httpx.WriteFrame(conn, framePing, nil)
+		conn.SetWriteDeadline(time.Time{})
+		writeMu.Unlock()
+		if err != nil {
+			conn.Close()
+			return
+		}
+	}
+}
+
+// ---- coop side: the subscription manager --------------------------------
+
+// subConn is one live (or reconnecting) subscription from this co-op to a
+// home server.
+type subConn struct {
+	home string
+
+	mu      sync.Mutex
+	conn    net.Conn // nil while disconnected
+	writeMu sync.Mutex
+}
+
+// subManager owns this co-op's outbound subscriptions, one per home
+// server it hosts documents for. Each runs a connect/read/reconnect loop
+// goroutine; lease renewal happens in the read loop (every frame from the
+// home renews every lease held from it).
+type subManager struct {
+	s  *Server
+	mu sync.Mutex
+	// homes is keyed by home server address; presence means a loop is
+	// running (or winding down after stop).
+	homes map[string]*subConn
+}
+
+func newSubManager(s *Server) *subManager {
+	return &subManager{s: s, homes: make(map[string]*subConn)}
+}
+
+// reconnectPolicy paces subscription reconnects. Deliberately not derived
+// from Params.RetryBaseDelay (test worlds set it negative to make RPC
+// retries immediate, which here would busy-loop against a down home).
+var reconnectPolicy = resilience.Policy{
+	BaseDelay: time.Second,
+	MaxDelay:  time.Minute,
+	Jitter:    0.2,
+}
+
+// ensureSubscribed starts (or pokes) the subscription loop for a home.
+// Called from every path that admits a hosted document: lazy fetch, chain
+// replication, and recovery. Cheap when the loop already runs.
+func (m *subManager) ensureSubscribed(homeAddr string) {
+	if m == nil || m.s.params.LeaseDuration <= 0 {
+		return
+	}
+	m.mu.Lock()
+	sc, ok := m.homes[homeAddr]
+	if !ok {
+		sc = &subConn{home: homeAddr}
+		m.homes[homeAddr] = sc
+	}
+	m.mu.Unlock()
+	if ok {
+		// Loop already running: send an incremental inventory for any
+		// newly admitted docs over the live channel.
+		m.s.sendInventory(sc)
+		return
+	}
+	s := m.s
+	select {
+	case <-s.stopped:
+		return
+	default:
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		m.subscribeLoop(sc)
+	}()
+}
+
+// subscribeLoop is one home's connect / subscribe / read / reconnect
+// cycle. It runs until server shutdown; while disconnected the per-doc
+// leases silently expire and the polling validator takes back over, so
+// losing the channel only ever degrades to the paper's behaviour.
+func (m *subManager) subscribeLoop(sc *subConn) {
+	s := m.s
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-s.stopped:
+			return
+		default:
+		}
+		if attempt > 0 {
+			delay := reconnectPolicy.Backoff(sc.home, attempt)
+			select {
+			case <-s.stopped:
+				return
+			case <-s.cfg.Clock.After(delay):
+			}
+		}
+		req := httpx.NewRequest("GET", subscribePath)
+		req.Header.Set(headerFetch, s.addr)
+		conn, br, err := s.client.Subscribe(sc.home, req, s.params.MaintenanceTimeout)
+		if err != nil {
+			s.tel.invalReconnects.Inc()
+			continue
+		}
+		attempt = 0
+		sc.mu.Lock()
+		sc.conn = conn
+		sc.mu.Unlock()
+		s.coops.renewHome(sc.home, s.now().Add(s.params.LeaseDuration))
+		s.sendInventory(sc)
+		var lastRecv atomic.Int64
+		lastRecv.Store(s.now().UnixNano())
+		hbDone := make(chan struct{})
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer close(hbDone)
+			s.heartbeatLoop(conn, &sc.writeMu, &lastRecv)
+		}()
+		m.readLoop(sc, conn, br, &lastRecv)
+		conn.Close()
+		<-hbDone
+		sc.mu.Lock()
+		sc.conn = nil
+		sc.mu.Unlock()
+		s.tel.invalReconnects.Inc()
+	}
+}
+
+// sendInventory sends the coop's current hosted-document inventory for
+// sc.home as a frameSubscribe — full on connect, and re-sent on each new
+// admission (idempotent on the home side; known docs just re-register).
+func (s *Server) sendInventory(sc *subConn) {
+	sc.mu.Lock()
+	conn := sc.conn
+	sc.mu.Unlock()
+	if conn == nil {
+		return
+	}
+	docs := s.coops.inventory(sc.home)
+	if len(docs) == 0 {
+		return
+	}
+	sc.writeMu.Lock()
+	conn.SetWriteDeadline(time.Now().Add(invalWriteTimeout))
+	err := httpx.WriteFrame(conn, frameSubscribe, encodeInventory(docs))
+	conn.SetWriteDeadline(time.Time{})
+	sc.writeMu.Unlock()
+	if err != nil {
+		conn.Close()
+	}
+}
+
+// unsubscribe tells a home this co-op no longer hosts name (best-effort;
+// the home's authorization check also revokes on the next subscribe).
+func (m *subManager) unsubscribe(homeAddr, name string) {
+	if m == nil || m.s.params.LeaseDuration <= 0 {
+		return
+	}
+	m.mu.Lock()
+	sc := m.homes[homeAddr]
+	m.mu.Unlock()
+	if sc == nil {
+		return
+	}
+	sc.mu.Lock()
+	conn := sc.conn
+	sc.mu.Unlock()
+	if conn == nil {
+		return
+	}
+	sc.writeMu.Lock()
+	conn.SetWriteDeadline(time.Now().Add(invalWriteTimeout))
+	err := httpx.WriteFrame(conn, frameUnsubscribe, encodeName(name))
+	conn.SetWriteDeadline(time.Time{})
+	sc.writeMu.Unlock()
+	if err != nil {
+		conn.Close()
+	}
+}
+
+// readLoop consumes frames pushed by one home server. EVERY frame —
+// invalidation, ping, anything — renews the leases of all documents
+// hosted from that home: the channel being alive is the proof the home
+// can still reach us with invalidations.
+func (m *subManager) readLoop(sc *subConn, conn net.Conn, br *bufio.Reader, lastRecv *atomic.Int64) {
+	s := m.s
+	for {
+		typ, payload, err := httpx.ReadFrame(br)
+		if err != nil {
+			return
+		}
+		lastRecv.Store(s.now().UnixNano())
+		s.coops.renewHome(sc.home, s.now().Add(s.params.LeaseDuration))
+		switch typ {
+		case frameInvalidate:
+			kind, name, _, derr := decodeInvalidate(payload)
+			if derr != nil {
+				return
+			}
+			s.tel.invalReceived.Inc()
+			s.applyInvalidation(sc, kind, name)
+		case framePing:
+			// Renewal above is the work.
+		}
+	}
+}
+
+// applyInvalidation reacts to one pushed invalidation: updates re-fetch
+// the copy immediately (conditional GET — the staleness window collapses
+// from T_val to one RPC), deletes and revokes drop it. An ack goes back
+// so the home can count convergence.
+func (s *Server) applyInvalidation(sc *subConn, kind byte, name string) {
+	home, err := naming.ParseOrigin(sc.home)
+	if err != nil {
+		return
+	}
+	key, err := naming.Encode(home, name)
+	if err != nil {
+		return
+	}
+	start := time.Now()
+	span := telemetry.NewSpan(telemetry.NewTraceID(), "", s.addr, "invalidate-apply")
+	span.Target, span.Peer = name, sc.home
+	span.Start = s.now()
+	switch kind {
+	case invalUpdate:
+		s.validateOne(key)
+	case invalDelete, invalRevoke:
+		if s.coops.remove(key) {
+			s.cfg.Store.Delete(key)
+			s.walAppend(recCoopForget, encodeNameRecord(key))
+		}
+	}
+	span.Duration = time.Since(start)
+	s.tel.record(span)
+	sc.mu.Lock()
+	conn := sc.conn
+	sc.mu.Unlock()
+	if conn == nil {
+		return
+	}
+	sc.writeMu.Lock()
+	conn.SetWriteDeadline(time.Now().Add(invalWriteTimeout))
+	werr := httpx.WriteFrame(conn, frameAck, encodeName(name))
+	conn.SetWriteDeadline(time.Time{})
+	sc.writeMu.Unlock()
+	if werr != nil {
+		conn.Close()
+	}
+}
+
+// subscriptionLive reports whether the channel to homeAddr is currently
+// connected (the validator's skip condition, together with an unexpired
+// lease).
+func (m *subManager) subscriptionLive(homeAddr string) bool {
+	if m == nil {
+		return false
+	}
+	m.mu.Lock()
+	sc := m.homes[homeAddr]
+	m.mu.Unlock()
+	if sc == nil {
+		return false
+	}
+	sc.mu.Lock()
+	live := sc.conn != nil
+	sc.mu.Unlock()
+	return live
+}
+
+// closeAll force-closes every live subscription connection so reader
+// goroutines unblock during shutdown.
+func (m *subManager) closeAll() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	conns := make([]net.Conn, 0, len(m.homes))
+	for _, sc := range m.homes {
+		sc.mu.Lock()
+		if sc.conn != nil {
+			conns = append(conns, sc.conn)
+		}
+		sc.mu.Unlock()
+	}
+	m.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// closeAll force-closes every connected subscriber so the home's reader
+// goroutines unblock during shutdown.
+func (h *invalHub) closeAll() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	conns := make([]net.Conn, 0, len(h.subs))
+	for _, sub := range h.subs {
+		if sub.conn != nil {
+			conns = append(conns, sub.conn)
+		}
+	}
+	h.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// encodeSubRecord / decodeSubRecord frame a (subscriber addr, doc name)
+// pair for recSubAdd / recSubDel WAL records.
+func encodeSubRecord(addr, name string) []byte {
+	buf := make([]byte, 0, len(addr)+len(name)+4)
+	buf = putStr(buf, addr)
+	return putStr(buf, name)
+}
+
+func decodeSubRecord(data []byte) (addr, name string, err error) {
+	if addr, data, err = getStr(data); err != nil {
+		return
+	}
+	name, _, err = getStr(data)
+	return
+}

@@ -160,14 +160,47 @@ func (s *Server) migrate(doc, coop string) {
 	s.rcache.invalidate(doc)
 	s.walAppend(recMigrate, encodeMigrate(doc, coop, at))
 	s.tel.migrations.Inc()
+	// Link-rewritten referrers changed content: push so subscribed co-ops
+	// hosting them refresh now instead of waiting out their lease.
+	s.pushDirtied(dirtied)
 	s.log.Printf("dcws %s: migrated %s -> %s (dirtied %d)", s.Addr(), doc, coop, len(dirtied))
+}
+
+// pushDirtied fans update invalidations out for documents whose rendered
+// content changed as a side effect (link rewrites on migrate / revoke /
+// replicate).
+func (s *Server) pushDirtied(dirtied []string) {
+	for _, d := range dirtied {
+		s.hub.push(invalUpdate, d)
+	}
 }
 
 // maybeRevokeExpired walks migrations older than T_home and recalls any
 // whose co-op is now substantially busier than we are (§4.5 case 2: the
-// workload shifted and the placement no longer helps).
+// workload shifted and the placement no longer helps). Chain-replicated
+// documents get a middle path: a merely-warm document — one whose serve
+// rate cooled below the replication trigger but is still non-zero —
+// shrinks to two replicas instead of losing the whole chain, so the next
+// warm-up re-disseminates one copy, not k; a still-hot chain is left
+// alone regardless of the co-op's load.
 func (s *Server) maybeRevokeExpired(selfLoad float64) {
+	rate := s.params.HotReplicateRate
 	for _, mig := range s.ledger.Expired(s.now(), s.params.HomeReMigrateInterval) {
+		s.repMu.RLock()
+		nreps := len(s.replicas[mig.Doc])
+		s.repMu.RUnlock()
+		if nreps > 2 && rate > 0 {
+			ew := s.HotRate(mig.Doc)
+			if ew >= rate {
+				continue // still hot: the chain earns its keep
+			}
+			if ew > 0 {
+				s.shrinkReplicas(mig.Doc, 2)
+				continue
+			}
+			// Cold (EWMA decayed to zero): fall through to the legacy
+			// full-revocation check below.
+		}
 		e, ok := s.table.Get(mig.Coop)
 		if !ok {
 			continue
@@ -176,6 +209,53 @@ func (s *Server) maybeRevokeExpired(selfLoad float64) {
 			s.revoke(mig.Doc)
 		}
 	}
+}
+
+// shrinkReplicas trims a document's replica set down to keep hosts (the
+// primary co-op stays; the chain tail goes), revoking the dropped copies
+// chain-style and re-dirtying referrers so regenerated links rotate over
+// the smaller set.
+func (s *Server) shrinkReplicas(doc string, keep int) {
+	s.repMu.Lock()
+	reps := s.replicas[doc]
+	if len(reps) <= keep {
+		s.repMu.Unlock()
+		return
+	}
+	kept := append([]string(nil), reps[:keep]...)
+	droppedHosts := append([]string(nil), reps[keep:]...)
+	s.replicas[doc] = kept
+	s.repMu.Unlock()
+	s.rcache.invalidate(doc)
+	s.walAppend(recReplicas, encodeReplicas(doc, kept))
+	dirtied, err := s.ldg.MarkMigrated(doc, kept[0])
+	if err != nil {
+		s.log.Printf("dcws %s: shrink %s: %v", s.Addr(), doc, err)
+	}
+	// Chain-revoke the dropped subset; stragglers fall back to per-peer
+	// revokes, and pushed revoke frames cover subscribed hosts besides.
+	remaining := droppedHosts
+	if len(droppedHosts) > 1 {
+		s.tel.replicateRevokeChains.Inc()
+		ackSet := make(map[string]bool)
+		for _, a := range s.sendChainRevoke(droppedHosts, doc) {
+			ackSet[a] = true
+		}
+		remaining = remaining[:0:0]
+		for _, h := range droppedHosts {
+			if !ackSet[h] {
+				remaining = append(remaining, h)
+			}
+		}
+		s.tel.replicateRevokeFallbacks.Add(int64(len(remaining)))
+	}
+	for _, coop := range remaining {
+		s.sendRevoke(coop, doc)
+	}
+	s.hub.pushRevokeTo(doc, droppedHosts)
+	s.pushDirtied(dirtied)
+	s.tel.replicateShrinks.Inc()
+	s.log.Printf("dcws %s: shrank %s to %v (dropped %v)", s.Addr(), doc, kept, droppedHosts)
 }
 
 // revoke returns a document to this home server: the LDG is updated (the
@@ -194,7 +274,8 @@ func (s *Server) revoke(doc string) {
 			hosts = []string{mig.Coop}
 		}
 	}
-	if _, err := s.ldg.MarkRevoked(doc); err != nil {
+	dirtied, err := s.ldg.MarkRevoked(doc)
+	if err != nil {
 		s.log.Printf("dcws %s: revoke %s: %v", s.Addr(), doc, err)
 	}
 	s.ledger.Forget(doc)
@@ -225,6 +306,10 @@ func (s *Server) revoke(doc string) {
 	for _, coop := range remaining {
 		s.sendRevoke(coop, doc)
 	}
+	// Subscribed hosts drop the copy on the pushed frame even when the
+	// revoke RPC path missed them; referrers with rewritten links refresh.
+	s.hub.push(invalRevoke, doc)
+	s.pushDirtied(dirtied)
 	s.tel.revokes.Inc()
 	s.log.Printf("dcws %s: revoked %s from %v", s.Addr(), doc, hosts)
 }
@@ -344,10 +429,12 @@ func (s *Server) addReplica(doc string) {
 	s.repMu.Unlock()
 	s.walAppend(recReplicas, encodeReplicas(doc, newReps))
 	// Re-dirty the LinkFrom set so future regenerations rotate links.
-	if _, err := s.ldg.MarkMigrated(doc, loc); err != nil {
+	dirtied, err := s.ldg.MarkMigrated(doc, loc)
+	if err != nil {
 		s.log.Printf("dcws %s: replicate %s: %v", s.Addr(), doc, err)
 		return
 	}
+	s.pushDirtied(dirtied)
 	s.tel.replications.Inc()
 	s.log.Printf("dcws %s: replicated %s -> %s (now %d hosts)", s.Addr(), doc, target, len(reps)+1)
 }
@@ -640,18 +727,36 @@ func (s *Server) validatorLoop() {
 }
 
 // runValidatorTick revalidates every physically present co-op copy.
+// With push invalidation active, copies whose lease is unexpired and
+// whose home subscription channel is live are skipped: the home promises
+// to push changes, so polling them is pure waste — the collapse this
+// extension exists for. Copies without that cover (never leased, channel
+// down, lease run out) fall back to the paper's conditional GET.
 func (s *Server) runValidatorTick() {
 	s.tel.validatorPasses.Inc()
+	leases := s.params.LeaseDuration > 0
+	now := s.now()
 	for _, key := range s.coops.presentKeys() {
+		if leases {
+			if v, ok := s.coops.view(key); ok && v.leased && v.leaseUntil.After(now) &&
+				s.subs.subscriptionLive(v.home.Addr()) {
+				s.tel.invalLeaseSkips.Inc()
+				continue
+			}
+		}
+		s.tel.validatePolls.Inc()
 		s.validateOne(key)
 	}
 }
 
-// validateOne re-requests one hosted document conditionally.
-func (s *Server) validateOne(key string) {
+// validateOne re-requests one hosted document conditionally. It returns
+// the outcome — "current", "refreshed", "dropped", or "error" — so the
+// lease paths (expiry re-validation, pushed invalidations) can branch on
+// it; "" means the key is no longer hosted.
+func (s *Server) validateOne(key string) string {
 	v, ok := s.coops.view(key)
 	if !ok {
-		return
+		return ""
 	}
 
 	traceID := telemetry.NewTraceID()
@@ -673,7 +778,7 @@ func (s *Server) validateOne(key string) {
 		s.tel.record(span)
 		s.tel.validation("error")
 		s.log.Printf("dcws %s: validate %s: %v", s.Addr(), v.name, err)
-		return
+		return "error"
 	}
 	span.Status = resp.Status
 	s.tel.record(span)
@@ -684,11 +789,13 @@ func (s *Server) validateOne(key string) {
 	switch resp.Status {
 	case 304:
 		// Copy is current.
+		s.renewAfterValidate(key)
 		s.tel.validation("current")
+		return "current"
 	case 200:
 		if err := s.cfg.Store.Put(key, resp.Body); err != nil {
 			s.log.Printf("dcws %s: refresh %s: %v", s.Addr(), key, err)
-			return
+			return "error"
 		}
 		var h uint64
 		if val := resp.Header.Get(headerValidate); val != "" {
@@ -699,7 +806,9 @@ func (s *Server) validateOne(key string) {
 		s.coops.refresh(key, int64(len(resp.Body)), h, s.now())
 		s.walCoopAdmit(key)
 		s.enforceCoopBudget(key)
+		s.renewAfterValidate(key)
 		s.tel.validation("refreshed")
+		return "refreshed"
 	default:
 		// Revoked or re-migrated behind our back: stop hosting.
 		if s.coops.remove(key) {
@@ -707,6 +816,16 @@ func (s *Server) validateOne(key string) {
 		}
 		s.cfg.Store.Delete(key)
 		s.tel.validation("dropped")
+		return "dropped"
+	}
+}
+
+// renewAfterValidate re-leases a copy the home just vouched for: a
+// successful conditional GET proves the home reachable and the copy
+// fresh, which is exactly what a pushed frame proves.
+func (s *Server) renewAfterValidate(key string) {
+	if s.params.LeaseDuration > 0 {
+		s.coops.renewLease(key, s.now().Add(s.params.LeaseDuration))
 	}
 }
 

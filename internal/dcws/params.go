@@ -201,6 +201,26 @@ type Params struct {
 	// cannot stall the whole dissemination (default 10 s).
 	ReplicateTimeout time.Duration
 
+	// LeaseDuration enables push invalidation with leases, the extension
+	// that retires the polling validator's steady-state traffic: each
+	// co-op opens one long-lived subscription channel per home server and
+	// every hosted copy holds a lease of this duration, renewed implicitly
+	// by channel liveness. While a copy's subscription channel is live and
+	// its lease unexpired, the home pushes invalidation frames on every
+	// update/revoke/migration and the periodic validator skips the copy
+	// entirely; when the channel drops or the lease runs out, the co-op
+	// degrades to the paper's §4.5 timeout-polled validation, so a
+	// partitioned node is never less safe than the base design. Zero
+	// disables the extension (pure polling, the paper's behaviour).
+	LeaseDuration time.Duration
+	// InvalidateHeartbeat paces the subscription channel's keepalive
+	// frames; a peer silent for three heartbeats is considered gone and
+	// the channel is torn down for reconnection. Zero derives
+	// LeaseDuration/4 — so a silent partition is detected, and polling
+	// resumed, before the lease expires; negative disables heartbeats
+	// (tests that drive frames by hand).
+	InvalidateHeartbeat time.Duration
+
 	// SlowTraceThreshold marks a span slow: any span at least this long —
 	// and any span that ended in an error — is copied into the tail-
 	// retention ring, which only such spans compete for, so the evidence
@@ -444,6 +464,11 @@ func (p Params) withDefaults() Params {
 	if p.ReplicateTimeout <= 0 {
 		p.ReplicateTimeout = d.ReplicateTimeout
 	}
+	// LeaseDuration keeps its zero value: zero means "push invalidation
+	// disabled" — the extension is opt-in, like Replicate, because the
+	// paper's design has no leases. InvalidateHeartbeat zero derives from
+	// LeaseDuration at use; negative means "no heartbeats".
+
 	// SlowTraceThreshold and SLOCheckInterval keep negative values: they
 	// mean "slow capture off" / "watcher disabled".
 	if p.SlowTraceThreshold == 0 {

@@ -24,6 +24,26 @@ import (
 // copy and relays the remainder of the chain to its successor, so home
 // egress is ~one upload per hot document regardless of k.
 
+// sizeWeight scales a document's serve rate by its rendered size before
+// the EWMA, so a large document at a modest hit rate still replicates —
+// its egress dominates the home's uplink long before its request count
+// looks hot. The weight is linear in size above a 64 KiB pivot, capped at
+// 2 so size nudges the trigger rather than dominating it — a huge
+// lukewarm file must still earn half the hit-rate threshold. Below the
+// pivot the weight stays 1: small documents are cheap to replicate and
+// their pressure is per-connection overhead, not bytes, so down-weighting
+// them would only delay relief the raw hit rate already justifies.
+func sizeWeight(size int64) float64 {
+	w := float64(size) / float64(64<<10)
+	if w <= 1 {
+		return 1
+	}
+	if w > 2 {
+		return 2
+	}
+	return w
+}
+
 // takeHotHints drains the coop-reported hot-document hint table.
 func (s *Server) takeHotHints() map[string]int64 {
 	s.hotMu.Lock()
@@ -58,6 +78,7 @@ func (s *Server) maybeChainReplicate(hints map[string]int64) map[string]bool {
 	for _, d := range docs {
 		seen[d.Name] = true
 		r := float64(d.WindowHits+hints[d.Name]) / interval
+		r *= sizeWeight(d.Size)
 		ew := 0.5*s.hotRate[d.Name] + 0.5*r
 		if ew < 0.01 {
 			delete(s.hotRate, d.Name)
@@ -150,13 +171,14 @@ func (s *Server) chainReplicate(doc string) bool {
 	newReps := append(append(make([]string, 0, len(existing)+len(acked)), existing...), acked...)
 	now := s.now()
 	wasHome := loc == ""
+	var dirtied []string
 	if wasHome {
-		if _, err := s.ldg.MarkMigrated(doc, newReps[0]); err != nil {
+		if dirtied, err = s.ldg.MarkMigrated(doc, newReps[0]); err != nil {
 			s.log.Printf("dcws %s: chain replicate %s: %v", s.Addr(), doc, err)
 			return false
 		}
 		s.ledger.Record(doc, newReps[0], now)
-	} else if _, err := s.ldg.MarkMigrated(doc, loc); err != nil {
+	} else if dirtied, err = s.ldg.MarkMigrated(doc, loc); err != nil {
 		// Re-dirty the LinkFrom set so regenerated links rotate across the
 		// enlarged replica set.
 		s.log.Printf("dcws %s: chain replicate %s: %v", s.Addr(), doc, err)
@@ -174,6 +196,7 @@ func (s *Server) chainReplicate(doc string) bool {
 		s.tel.migrations.Inc()
 	}
 	s.walAppend(recReplicas, encodeReplicas(doc, newReps))
+	s.pushDirtied(dirtied)
 	s.tel.replications.Add(int64(len(acked)))
 	s.log.Printf("dcws %s: chain-replicated %s -> %v (%d of %d links acked, %d bytes uploaded once)",
 		s.Addr(), doc, acked, len(acked), len(chain), len(payload))
@@ -268,6 +291,10 @@ func (s *Server) handleReplicate(req *httpx.Request) *httpx.Response {
 	s.absorbReplicas(cleaned, req.Header)
 	s.walCoopAdmit(cleaned)
 	s.enforceCoopBudget(cleaned)
+	if s.params.LeaseDuration > 0 {
+		s.coops.renewLease(cleaned, now.Add(s.params.LeaseDuration))
+		s.subs.ensureSubscribed(home.Addr())
+	}
 	s.tel.replicateStored.Inc()
 
 	acked := []string{s.addr}

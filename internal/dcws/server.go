@@ -60,8 +60,11 @@ const (
 	pingPath      = "/~dcws/ping"
 	revokePath    = "/~dcws/revoke"
 	replicatePath = "/~dcws/replicate"
+	subscribePath = "/~dcws/subscribe"
 	statusPath    = "/~dcws/status"
 	recallPath    = "/~dcws/recall"
+	migratePath   = "/~dcws/migrate"
+	updatePath    = "/~dcws/update"
 	graphPath     = "/~dcws/graph"
 	metricsPath   = "/~dcws/metrics"
 	tracePath     = "/~dcws/trace"
@@ -125,6 +128,14 @@ type coopDoc struct {
 	siblings  []string      // other coops hosting replicas of this document,
 	// learned from X-DCWS-Replicas on fetch/validation responses; hedged
 	// fetches race one of these against the home server
+
+	// leased / leaseUntil implement push invalidation's lease state: while
+	// leaseUntil is in the future the copy may be served without polling
+	// (the home pushes invalidations instead). Renewed in bulk by channel
+	// liveness and per-doc by successful validations. A record that never
+	// subscribed keeps leased == false and the legacy polling semantics.
+	leased     bool
+	leaseUntil time.Time
 }
 
 // Server is one DCWS node.
@@ -151,6 +162,11 @@ type Server struct {
 	coops  *coopSet
 	tel    *serverTelemetry
 	slo    *sloWatcher
+
+	// hub is the home side of push invalidation (subscriber table and
+	// fan-out); subs the co-op side (outbound subscription channels).
+	hub  *invalHub
+	subs *subManager
 
 	// fetchPolicy retries lazy-migration fetches; probePolicy retries
 	// pinger probes inside one tick (both derived from Params).
@@ -407,6 +423,15 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.tel.record(root)
 	}
+	s.hub = newInvalHub(s)
+	s.subs = newSubManager(s)
+	if rec != nil {
+		// Recovered subscribers rejoin disconnected; their reconnect
+		// triggers catch-up invalidations for whatever changed meanwhile.
+		for addr, docs := range rec.subscribers {
+			s.hub.restore(addr, docs)
+		}
+	}
 	s.slo = newSLOWatcher(s)
 	s.tel.bindServer(s)
 	return s, nil
@@ -455,6 +480,13 @@ func (s *Server) Start() error {
 			s.wg.Add(1)
 			go s.sloLoop()
 		}
+		if s.params.LeaseDuration > 0 {
+			// Re-subscribe for every home we host recovered documents for;
+			// fresh admissions subscribe from their own fetch paths.
+			for _, home := range s.coops.homes() {
+				s.subs.ensureSubscribed(home)
+			}
+		}
 		s.log.Printf("dcws %s: started with %d documents", s.Addr(), s.ldg.Len())
 	})
 	return startErr
@@ -473,6 +505,10 @@ func (s *Server) Abort() error { return s.shutdown(true) }
 func (s *Server) shutdown(abort bool) error {
 	s.stopOnce.Do(func() {
 		close(s.stopped)
+		// Force-close upgraded subscription connections on both sides so
+		// their reader goroutines unblock before wg.Wait below.
+		s.hub.closeAll()
+		s.subs.closeAll()
 		s.httpSrv.Close()
 		s.client.CloseIdle()
 	})
@@ -536,6 +572,9 @@ func (s *Server) UpdateDocument(name string, content []byte) error {
 	s.ldg.AddDoc(cleaned, int64(len(content)), content)
 	s.rcache.invalidate(cleaned)
 	s.walAppend(recDocPut, encodeNameRecord(cleaned))
+	// Push invalidation: subscribed co-ops learn of the change now, not at
+	// their next validation tick.
+	s.hub.push(invalUpdate, cleaned)
 	return nil
 }
 
@@ -556,6 +595,7 @@ func (s *Server) DeleteDocument(name string) error {
 	delete(s.replicas, cleaned)
 	s.repMu.Unlock()
 	s.walAppend(recDocDelete, encodeNameRecord(cleaned))
+	s.hub.push(invalDelete, cleaned)
 	return nil
 }
 

@@ -52,6 +52,9 @@ type Status struct {
 	// Replication summarizes proactive chain dissemination of hot
 	// documents and chain-ordered revocation.
 	Replication ReplicationStatus `json:"replication"`
+	// Invalidation summarizes push invalidation and leases: the home-side
+	// subscriber table and push counters, and the co-op-side lease cover.
+	Invalidation InvalidationStatus `json:"invalidation"`
 
 	// CacheHits / CacheMisses count rendered-document cache lookups.
 	CacheHits   int64 `json:"cache_hits"`
@@ -211,6 +214,38 @@ type ReplicationStatus struct {
 	RevokeFallbacks int64 `json:"revoke_fallbacks"`
 }
 
+// InvalidationStatus summarizes the push-invalidation subsystem. With
+// leases disabled (Params.LeaseDuration zero) every field stays zero and
+// the server validates by polling exactly as the paper describes.
+type InvalidationStatus struct {
+	// Enabled is true when Params.LeaseDuration > 0.
+	Enabled bool `json:"enabled"`
+	// Subscribers / SubscribersKnown are the home-side subscriber table:
+	// co-ops with a live channel right now vs all co-ops with durable
+	// subscription records (including crashed or partitioned ones).
+	Subscribers      int `json:"subscribers"`
+	SubscribersKnown int `json:"subscribers_known"`
+	// Leased counts hosted copies currently covered by an unexpired lease.
+	Leased int `json:"leased"`
+	// Pushes / Acks are the home side's cumulative frame counters;
+	// Received / Reconnects the co-op side's.
+	Pushes     int64 `json:"pushes"`
+	Acks       int64 `json:"acks"`
+	Received   int64 `json:"received"`
+	Reconnects int64 `json:"reconnects"`
+	// LeaseSkips counts validator polls elided under lease cover;
+	// ValidatePolls counts the polls actually issued. Their ratio is the
+	// §4.5 validation traffic this subsystem removed.
+	LeaseSkips    int64 `json:"lease_skips"`
+	ValidatePolls int64 `json:"validate_polls"`
+	// LeaseExpired counts requests failed closed on an expired lease with
+	// the home unreachable — the partition-safety path.
+	LeaseExpired int64 `json:"lease_expired"`
+	// Shrinks counts replica chains partially shrunk after T_home expiry
+	// of a warm document.
+	Shrinks int64 `json:"shrinks"`
+}
+
 // Status returns the server's current operational snapshot.
 func (s *Server) Status() Status {
 	now := s.now()
@@ -248,6 +283,21 @@ func (s *Server) Status() Status {
 		ChainSkips:      s.tel.replicateChainSkips.Value(),
 		RevokeChains:    s.tel.replicateRevokeChains.Value(),
 		RevokeFallbacks: s.tel.replicateRevokeFallbacks.Value(),
+	}
+	connected, total := s.hub.subscriberCount()
+	st.Invalidation = InvalidationStatus{
+		Enabled:          s.params.LeaseDuration > 0,
+		Subscribers:      connected,
+		SubscribersKnown: total,
+		Leased:           s.coops.leasedCount(now),
+		Pushes:           s.tel.invalPushes.Value(),
+		Acks:             s.tel.invalAcks.Value(),
+		Received:         s.tel.invalReceived.Value(),
+		Reconnects:       s.tel.invalReconnects.Value(),
+		LeaseSkips:       s.tel.invalLeaseSkips.Value(),
+		ValidatePolls:    s.tel.validatePolls.Value(),
+		LeaseExpired:     s.tel.invalLeaseExpired.Value(),
+		Shrinks:          s.tel.replicateShrinks.Value(),
 	}
 	st.CacheHits, st.CacheMisses = s.rcache.counts()
 	st.QueueDepth = s.httpSrv.QueueDepth()

@@ -90,6 +90,21 @@ type serverTelemetry struct {
 	// floor interval by churn.
 	aeSkipped *telemetry.Counter
 	aeForced  *telemetry.Counter
+
+	// Push invalidation with leases. On the home: pushes sent and acks
+	// received. On the co-op: frames received, reconnect attempts, copies
+	// skipped by the validator under lease cover vs polls actually issued,
+	// and requests failed closed on an expired lease with the home
+	// unreachable. replicateShrinks counts chains partially shrunk by the
+	// warm-document T_home path.
+	invalPushes       *telemetry.Counter
+	invalAcks         *telemetry.Counter
+	invalReceived     *telemetry.Counter
+	invalReconnects   *telemetry.Counter
+	invalLeaseExpired *telemetry.Counter
+	invalLeaseSkips   *telemetry.Counter
+	validatePolls     *telemetry.Counter
+	replicateShrinks  *telemetry.Counter
 }
 
 func newServerTelemetry(ringSize, tailSize int, slowThreshold time.Duration) *serverTelemetry {
@@ -168,6 +183,23 @@ func newServerTelemetry(ringSize, tailSize int, slowThreshold time.Duration) *se
 		"anti-entropy rounds skipped because every peer had acked the current table")
 	t.aeForced = reg.Counter("dcws_glt_anti_entropy_forced_total",
 		"anti-entropy backoff resets forced by churn (peer-set change or suspect peers)")
+
+	t.invalPushes = reg.Counter("dcws_invalidate_pushes_total",
+		"invalidation frames pushed to subscribed co-ops by this home server")
+	t.invalAcks = reg.Counter("dcws_invalidate_acks_total",
+		"invalidation acks received back from subscribed co-ops")
+	t.invalReceived = reg.Counter("dcws_invalidate_received_total",
+		"invalidation frames received over home subscription channels")
+	t.invalReconnects = reg.Counter("dcws_invalidate_reconnects_total",
+		"subscription channel connect attempts after a failure or drop")
+	t.invalLeaseExpired = reg.Counter("dcws_invalidate_lease_expired_total",
+		"requests failed closed because the copy's lease expired with the home unreachable")
+	t.invalLeaseSkips = reg.Counter("dcws_invalidate_lease_skips_total",
+		"validator polls skipped because the copy held a live lease on a live channel")
+	t.validatePolls = reg.Counter("dcws_validate_polls_total",
+		"conditional-GET validation polls issued by the periodic validator")
+	t.replicateShrinks = reg.Counter("dcws_replicate_shrinks_total",
+		"replica chains partially shrunk after T_home expiry of a warm document")
 	return t
 }
 
@@ -254,6 +286,12 @@ func (t *serverTelemetry) bindServer(s *Server) {
 	reg.GaugeFunc("dcws_coop_hosted",
 		"documents hosted on behalf of other servers",
 		func() float64 { return float64(s.coops.count()) })
+	reg.GaugeFunc("dcws_invalidate_subscribers",
+		"co-op servers holding a live invalidation subscription to this home",
+		func() float64 { c, _ := s.hub.subscriberCount(); return float64(c) })
+	reg.GaugeFunc("dcws_invalidate_leased",
+		"hosted copies currently covered by an unexpired lease",
+		func() float64 { return float64(s.coops.leasedCount(s.now())) })
 
 	// Rendered-document cache.
 	reg.CounterFunc("dcws_render_cache_hits_total",

@@ -1,6 +1,7 @@
 package httpx
 
 import (
+	"bufio"
 	"fmt"
 	"net"
 	"time"
@@ -227,6 +228,54 @@ func (c *Client) PostTimeout(addr, path string, extra Header, body []byte, timeo
 	}
 	req.Body = body
 	return c.DoTimeout(addr, req, timeout)
+}
+
+// Subscribe dials addr, sends req, and expects a 101 Switching Protocols
+// answer, after which the connection carries WriteFrame/ReadFrame traffic
+// instead of HTTP. The connection is dialed fresh — never drawn from or
+// returned to the pool, since it is long-lived by design — and ownership
+// passes to the caller along with a buffered reader positioned just past
+// the handshake response. The handshake itself is bounded by timeout; the
+// deadline is cleared before returning, so frame reads block indefinitely
+// (callers run their own heartbeat liveness).
+func (c *Client) Subscribe(addr string, req *Request, timeout time.Duration) (net.Conn, *bufio.Reader, error) {
+	if timeout <= 0 {
+		timeout = c.Timeout
+	}
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	if req.Header == nil {
+		req.Header = make(Header)
+	}
+	if req.Header.Get("Host") == "" {
+		req.Header.Set("Host", addr)
+	}
+	req.Header.Set("Connection", "keep-alive")
+	conn, err := c.Dialer.Dial(addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("httpx: dial %s: %w", addr, err)
+	}
+	conn.SetDeadline(time.Now().Add(timeout))
+	if err := WriteRequest(conn, req); err != nil {
+		conn.Close()
+		return nil, nil, fmt.Errorf("httpx: subscribe write to %s: %w", addr, err)
+	}
+	// A dedicated (unpooled) reader: this connection lives for the life of
+	// the subscription, so cycling a pooled reader through it would just
+	// pin the pool entry.
+	br := bufio.NewReader(conn)
+	resp, err := ReadResponseFor(br, req.Method)
+	if err != nil {
+		conn.Close()
+		return nil, nil, fmt.Errorf("httpx: subscribe read from %s: %w", addr, err)
+	}
+	if resp.Status != 101 {
+		conn.Close()
+		return nil, nil, fmt.Errorf("httpx: subscribe to %s: status %d", addr, resp.Status)
+	}
+	conn.SetDeadline(time.Time{})
+	return conn, br, nil
 }
 
 // CloseIdle retires the client's idle pooled connections, if pooling is

@@ -9,7 +9,9 @@
 package httpx
 
 import (
+	"bufio"
 	"fmt"
+	"net"
 	"strings"
 )
 
@@ -172,6 +174,15 @@ type Response struct {
 	Proto  string
 	Header Header
 	Body   []byte
+
+	// Hijack, when non-nil, transfers ownership of the connection to the
+	// handler after this response is written — the upgrade path for
+	// long-lived framed channels (a 101 handshake followed by WriteFrame/
+	// ReadFrame traffic). The server stops serving HTTP on the connection,
+	// does not return its buffered reader to the pool, and never closes
+	// it; the hijacker is responsible for both from then on. The reader is
+	// passed along because it may hold bytes read ahead of the request.
+	Hijack func(conn net.Conn, br *bufio.Reader)
 }
 
 // NewResponse returns a response with the given status and an empty header
@@ -183,6 +194,8 @@ func NewResponse(status int) *Response {
 // StatusText returns the reason phrase for the status codes DCWS uses.
 func StatusText(code int) string {
 	switch code {
+	case 101:
+		return "Switching Protocols"
 	case 200:
 		return "OK"
 	case 301:

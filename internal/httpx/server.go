@@ -313,6 +313,16 @@ func (s *Server) serveConn(qc queuedConn) {
 			obs.Request(resp.Status, in-prevIn, out-prevOut, time.Since(start))
 			prevIn, prevOut = in, out
 		}
+		if resp.Hijack != nil && werr == nil {
+			// Protocol upgrade: the handler takes the connection. Clear the
+			// per-request deadlines so the hijacker starts from a blank
+			// slate, keep the buffered reader (it may hold read-ahead
+			// frames), and never touch the connection again here.
+			conn.SetReadDeadline(time.Time{})
+			conn.SetWriteDeadline(time.Time{})
+			resp.Hijack(conn, br)
+			return
+		}
 		if werr != nil || !keep {
 			putReader(br)
 			conn.Close()

@@ -224,6 +224,14 @@ func (c *Conn) reset() {
 	c.writeBuf.breakPipe()
 }
 
+// isBroken reports whether the connection has been closed or reset (used
+// by the fabric to prune its established-connection registry).
+func (c *Conn) isBroken() bool {
+	c.readBuf.mu.Lock()
+	defer c.readBuf.mu.Unlock()
+	return c.readBuf.broken
+}
+
 // Close implements net.Conn. The peer sees EOF after draining buffered data.
 func (c *Conn) Close() error {
 	c.closeOnce.Do(func() {

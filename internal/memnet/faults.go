@@ -89,6 +89,31 @@ func (f *Fabric) Partition(a, b string) {
 	f.partitions[[2]string{b, a}] = true
 }
 
+// ResetLink hard-closes every established connection between a and b (in
+// either direction): both ends of each connection observe a reset, as if
+// the path's state was flushed by a failure. Either endpoint may be the
+// Wildcard. New dials are unaffected — combine with Partition to model a
+// full network split that also kills long-lived connections.
+func (f *Fabric) ResetLink(a, b string) {
+	match := func(x, y string) bool {
+		return (a == Wildcard || a == x) && (b == Wildcard || b == y)
+	}
+	f.mu.Lock()
+	live := f.conns[:0]
+	for _, cp := range f.conns {
+		if match(cp.from, cp.to) || match(cp.to, cp.from) {
+			cp.a.reset()
+			cp.b.reset()
+			continue
+		}
+		if !cp.a.isBroken() && !cp.b.isBroken() {
+			live = append(live, cp)
+		}
+	}
+	f.conns = live
+	f.mu.Unlock()
+}
+
 // Heal removes the partition between a and b.
 func (f *Fabric) Heal(a, b string) {
 	f.mu.Lock()

@@ -48,6 +48,17 @@ type Fabric struct {
 	faults     map[[2]string]*linkFaults
 	partitions map[[2]string]bool
 	rng        *rand.Rand
+	// conns tracks established connection pairs per link so ResetLink can
+	// hard-close them (a partition only refuses new dials). Dead pairs are
+	// pruned lazily on the next dial or reset.
+	conns []connPair
+}
+
+// connPair is one established connection's bookkeeping entry: the link it
+// crossed and both endpoints.
+type connPair struct {
+	from, to string
+	a, b     *Conn
 }
 
 // NewFabric returns an empty in-memory network. Connections have 64 KiB
@@ -132,6 +143,15 @@ func (f *Fabric) DialFrom(from, to string) (net.Conn, error) {
 	}
 	client, server := pipeWithAddrs(bufSize, addr(from), addr(to), lat)
 	applyConnFaults(client, server, lf)
+	f.mu.Lock()
+	live := f.conns[:0]
+	for _, cp := range f.conns {
+		if !cp.a.isBroken() && !cp.b.isBroken() {
+			live = append(live, cp)
+		}
+	}
+	f.conns = append(live, connPair{from: from, to: to, a: client, b: server})
+	f.mu.Unlock()
 	select {
 	case l.pending <- server:
 		return client, nil

@@ -184,6 +184,44 @@ func (s *simServer) migrate(name, coop string) {
 	s.ledger.Record(name, coop, s.w.now)
 	s.replicas[name] = []string{coop}
 	s.migrations++
+	s.pushDirtied(d.linkFrom)
+}
+
+// pushDirtied mirrors the live server's invalidation push on link
+// rewrites: when leases are on, every hosted copy of a just-dirtied
+// document gets the re-rendered form immediately instead of waiting for
+// its host's next validator poll.
+func (s *simServer) pushDirtied(names []string) {
+	if s.w.params.LeaseDuration <= 0 {
+		return
+	}
+	for _, name := range names {
+		d, ok := s.docs[name]
+		if !ok {
+			continue
+		}
+		hosts := s.replicas[name]
+		if len(hosts) == 0 && d.location != "" {
+			hosts = []string{d.location}
+		}
+		if len(hosts) == 0 {
+			continue
+		}
+		if d.snapshot == nil || d.dirty {
+			s.rebuildSnapshot(d)
+		}
+		for _, hAddr := range hosts {
+			host := s.w.servers[hAddr]
+			if host == nil {
+				continue
+			}
+			if h, ok := host.hosted[s.addr+"|"+name]; ok && h.present && h.version != d.version {
+				h.doc = d.snapshot
+				h.version = d.snapshot.version
+				s.invalPushes++
+			}
+		}
+	}
 }
 
 // revoke returns a document home and tells its hosts to drop their copies.
@@ -211,9 +249,13 @@ func (s *simServer) revoke(name string) {
 	for _, hAddr := range hosts {
 		if host := s.w.servers[hAddr]; host != nil {
 			host.dropHosted(s.addr, name)
+			if s.w.params.LeaseDuration > 0 {
+				s.invalPushes++
+			}
 		}
 	}
 	s.revocations++
+	s.pushDirtied(d.linkFrom)
 }
 
 // revokeExpired recalls placements older than T_home whose co-op is now
@@ -230,6 +272,21 @@ func (s *simServer) revokeExpired(selfLoad float64) {
 	}
 }
 
+// simSizeWeight mirrors the live server's size-aware replication weight
+// (dcws.sizeWeight): serve rates scale linearly with rendered size above
+// a 64 KiB pivot, capped at 2, and stay neutral below it — large
+// documents replicate earlier, small ones are never delayed.
+func simSizeWeight(size int64) float64 {
+	w := float64(size) / float64(64<<10)
+	if w <= 1 {
+		return 1
+	}
+	if w > 2 {
+		return 2
+	}
+	return w
+}
+
 // chainReplicateHot mirrors dcws.Server.maybeChainReplicate: fold this
 // window's serve rate (home hits plus the hottest co-op report) into a
 // per-document EWMA, and when a document crosses HotReplicateRate bring it
@@ -241,6 +298,7 @@ func (s *simServer) chainReplicateHot() {
 	dt := w.params.StatsInterval.Seconds()
 	for name, d := range s.docs {
 		rate := float64(d.windowHits+s.hotHints[name]) / dt
+		rate *= simSizeWeight(d.spec.Size)
 		next := 0.5*s.hotRate[name] + 0.5*rate
 		if next < 0.01 {
 			delete(s.hotRate, name)
@@ -318,6 +376,7 @@ func (s *simServer) chainReplicateHot() {
 		}
 		s.replicas[name] = newReps
 		delete(s.hotHints, name)
+		s.pushDirtied(d.linkFrom)
 	}
 }
 
@@ -413,6 +472,14 @@ func (s *simServer) validatorTick() {
 		if home == nil {
 			continue
 		}
+		// With leases on, a live home pushes invalidations itself, so the
+		// polled validation round is skipped entirely — the traffic collapse
+		// the live system's dcws_validate_polls_total counter measures.
+		if w.params.LeaseDuration > 0 {
+			s.leaseSkips++
+			continue
+		}
+		s.validations++
 		d, ok := home.docs[name]
 		if !ok {
 			continue

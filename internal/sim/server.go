@@ -109,6 +109,13 @@ type simServer struct {
 	revocations    int64
 	chainPushes    int64
 	chainPushBytes int64
+	// Push-invalidation mirror (active when Params.LeaseDuration > 0):
+	// validations counts validator polls actually issued, leaseSkips the
+	// polls elided under lease cover, invalPushes the invalidations the
+	// home delivered directly to hosted copies.
+	validations int64
+	leaseSkips  int64
+	invalPushes int64
 }
 
 func newSimServer(w *World, addr string, params dcws.Params, cost CostModel) *simServer {

@@ -119,6 +119,14 @@ type Result struct {
 	// chain installs).
 	ChainPushes    int64
 	ChainPushBytes int64
+	// Validations / LeaseSkips / InvalidatePushes mirror the live push
+	// invalidation counters: validator polls issued, polls elided under
+	// lease cover, and invalidations homes delivered directly to hosted
+	// copies. With Params.LeaseDuration zero (the paper's design) the
+	// lease and push figures stay zero and Validations counts every poll.
+	Validations      int64
+	LeaseSkips       int64
+	InvalidatePushes int64
 	// PerServer maps server address to connections served (balance check).
 	PerServer map[string]int64
 	// PerServerBytes maps server address to bytes served (the byte-balance
@@ -270,6 +278,8 @@ func mergeParams(p dcws.Params) dcws.Params {
 	// simulator treats 0 as "chain replication off" so the established
 	// scenarios (hotspot, federation, paper figures) keep their exact
 	// behaviour unless a run opts in with an explicit rate.
+	// LeaseDuration likewise keeps its zero value — zero means the paper's
+	// polling validation; a run opts into push invalidation explicitly.
 	return p
 }
 
@@ -496,6 +506,9 @@ func (w *World) collect() {
 		w.res.Rebuilds += s.rebuilds
 		w.res.ChainPushes += s.chainPushes
 		w.res.ChainPushBytes += s.chainPushBytes
+		w.res.Validations += s.validations
+		w.res.LeaseSkips += s.leaseSkips
+		w.res.InvalidatePushes += s.invalPushes
 	}
 }
 
