@@ -63,6 +63,16 @@ func main() {
 		var st idcws.Status
 		getJSON(client, addr, "/~dcws/status", &st)
 		fmt.Printf("server       %s\n", st.Addr)
+		if st.Zone != "" || st.Capacity > 0 {
+			line := "placement   "
+			if st.Zone != "" {
+				line += fmt.Sprintf(" zone=%s", st.Zone)
+			}
+			if st.Capacity > 0 {
+				line += fmt.Sprintf(" capacity=%.0f docs/s", st.Capacity)
+			}
+			fmt.Println(line)
+		}
 		fmt.Printf("documents    %d (%d migrated out, %d hosted for peers)\n",
 			st.Documents, len(st.MigratedOut), len(st.CoopHosted))
 		fmt.Printf("traffic      conns=%d bytes=%d cps=%.1f bps=%.0f\n",
@@ -90,6 +100,8 @@ func main() {
 				iv.Subscribers, iv.SubscribersKnown, iv.Leased, iv.Pushes, iv.Acks, iv.Received)
 			fmt.Printf("             lease_skips=%d validate_polls=%d lease_expired=%d reconnects=%d\n",
 				iv.LeaseSkips, iv.ValidatePolls, iv.LeaseExpired, iv.Reconnects)
+			fmt.Printf("             batches=%d batch_docs=%d seq_gaps=%d\n",
+				iv.Batches, iv.BatchDocs, iv.Gaps)
 		}
 		fmt.Printf("slo          alerting=%v checks=%d alerts=%d profiles=%d\n",
 			st.SLO.Alerting, st.SLO.Checks, st.SLO.Alerts, st.SLO.Profiles)
@@ -124,6 +136,9 @@ func main() {
 		fmt.Printf("glt          shards=%d version=%d entries=%d emits(delta/full/client)=%d/%d/%d anti_entropy=%d\n",
 			st.GLT.Shards, st.GLT.Version, st.GLT.Entries,
 			st.GLT.DeltaEmits, st.GLT.FullEmits, st.GLT.ClientEmits, st.GLT.AntiEntropyRounds)
+		fmt.Printf("             digest rounds=%d answered=%d shards_sent=%d pushbacks=%d fallbacks=%d\n",
+			st.GLT.DigestRounds, st.GLT.DigestResponses, st.GLT.DigestShardsSent,
+			st.GLT.DigestPushbacks, st.GLT.DigestFallbacks)
 		if len(st.GLT.Peers) > 0 {
 			fmt.Println("glt gossip:")
 			peers := make([]string, 0, len(st.GLT.Peers))
@@ -191,6 +206,19 @@ func main() {
 		}
 		sort.Strings(servers)
 		for _, s := range servers {
+			// With capacity metadata the gossiped load is a utilization;
+			// render the full placement view the ranking actually uses.
+			if pl, ok := st.Placement[s]; ok && (pl.Capacity > 0 || pl.Zone != "") {
+				line := fmt.Sprintf("  %-24s load=%.2f", s, pl.Load)
+				if pl.Capacity > 0 {
+					line += fmt.Sprintf(" capacity=%.0f headroom=%.0f", pl.Capacity, pl.Headroom)
+				}
+				if pl.Zone != "" {
+					line += " zone=" + pl.Zone
+				}
+				fmt.Println(line)
+				continue
+			}
 			fmt.Printf("  %-24s %.2f\n", s, st.LoadTable[s])
 		}
 		for doc, coop := range st.MigratedOut {

@@ -30,19 +30,21 @@ import (
 
 func main() {
 	var (
-		addr   = flag.String("addr", "127.0.0.1:8080", "host:port to listen on and announce to peers")
-		root   = flag.String("root", "", "document root directory (empty: pure co-op server)")
-		entry  = flag.String("entry", "", "comma-separated well-known entry points, e.g. /index.html")
-		peers  = flag.String("peers", "", "comma-separated peer servers (host:port)")
-		speed  = flag.Int("speedup", 1, "clock speed-up factor (compresses the Table 1 intervals for demos)")
-		useBPS = flag.Bool("bps-metric", false, "balance on bytes/s instead of connections/s")
-		repl   = flag.Bool("replicate", false, "enable the hot-spot replication extension")
-		pprof  = flag.String("pprof", "", "side listener for net/http/pprof, e.g. 127.0.0.1:6060 (empty: disabled)")
-		access = flag.String("access-log", "", "access-log destination: a file path, \"-\" for stderr (empty: disabled); lines carry trace= IDs joinable against /~dcws/trace")
-		walDir = flag.String("wal", "", "durable-tier directory for the WAL and snapshots (empty: state is lost on crash)")
-		walFS  = flag.String("wal-sync", "", "WAL fsync policy: always, interval, or none (default: interval)")
-		profs  = flag.String("profiles", "", "directory for automatic pprof captures on SLO burn-rate alerts, served at /~dcws/profiles (empty: disabled)")
-		lease  = flag.Duration("lease", 30*time.Second, "push-invalidation lease duration for hosted copies; 0 reverts to pure polling validation")
+		addr    = flag.String("addr", "127.0.0.1:8080", "host:port to listen on and announce to peers")
+		root    = flag.String("root", "", "document root directory (empty: pure co-op server)")
+		entry   = flag.String("entry", "", "comma-separated well-known entry points, e.g. /index.html")
+		peers   = flag.String("peers", "", "comma-separated peer servers (host:port)")
+		speed   = flag.Int("speedup", 1, "clock speed-up factor (compresses the Table 1 intervals for demos)")
+		useBPS  = flag.Bool("bps-metric", false, "balance on bytes/s instead of connections/s")
+		repl    = flag.Bool("replicate", false, "enable the hot-spot replication extension")
+		pprof   = flag.String("pprof", "", "side listener for net/http/pprof, e.g. 127.0.0.1:6060 (empty: disabled)")
+		access  = flag.String("access-log", "", "access-log destination: a file path, \"-\" for stderr (empty: disabled); lines carry trace= IDs joinable against /~dcws/trace")
+		walDir  = flag.String("wal", "", "durable-tier directory for the WAL and snapshots (empty: state is lost on crash)")
+		walFS   = flag.String("wal-sync", "", "WAL fsync policy: always, interval, or none (default: interval)")
+		profs   = flag.String("profiles", "", "directory for automatic pprof captures on SLO burn-rate alerts, served at /~dcws/profiles (empty: disabled)")
+		lease   = flag.Duration("lease", 30*time.Second, "push-invalidation lease duration for hosted copies; 0 reverts to pure polling validation")
+		zone    = flag.String("zone", "", "failure/locality zone label gossiped with the load entry; migrations and replicas prefer same-zone targets (empty: unzoned)")
+		workers = flag.Int("workers", 0, "worker pool size N_wk (0: Table 1 default); the calibrated capacity a server advertises scales with it")
 	)
 	flag.Parse()
 
@@ -78,6 +80,10 @@ func main() {
 	params.UseBPSMetric = *useBPS
 	params.Replicate = *repl
 	params.LeaseDuration = *lease
+	params.Zone = *zone
+	if *workers > 0 {
+		params.Workers = *workers
+	}
 	if *walFS != "" {
 		params.WALSync = *walFS
 	}

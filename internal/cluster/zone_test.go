@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dcws/internal/clock"
+	"dcws/internal/dataset"
+	"dcws/internal/dcws"
+	"dcws/internal/httpx"
+)
+
+// zoneSite is a tiny site with enough non-entry pages that several rounds
+// of migration always have a fresh candidate.
+func zoneSite() *dataset.Site {
+	site := &dataset.Site{Name: "zonetest", EntryPoints: []string{"/index.html"}}
+	var links []dataset.Link
+	for i := 1; i <= 8; i++ {
+		name := fmt.Sprintf("/d%d.html", i)
+		links = append(links, dataset.Link{URL: name})
+		site.Docs = append(site.Docs, dataset.Doc{Name: name, Size: 4096})
+	}
+	site.Docs = append(site.Docs, dataset.Doc{Name: "/index.html", Size: 2048, Links: links})
+	return site
+}
+
+// zoneParams shortens the control intervals so manual-clock phases of a few
+// seconds cover a full gate + staleness cycle.
+func zoneParams(zone string) dcws.Params {
+	return dcws.Params{
+		Zone:               zone,
+		MigrationThreshold: 1,
+		// The cluster runs on a manual clock; a real backoff sleep inside
+		// a probe would block the tick forever.
+		RetryBaseDelay:        -1,
+		StatsInterval:         2 * time.Second,
+		PingerInterval:        4 * time.Second,
+		CoopMigrateInterval:   4 * time.Second,
+		HomeReMigrateInterval: time.Hour,
+		PlacementMaxStaleness: time.Hour,
+	}
+}
+
+// TestClusterZoneSpilloverUnderPartition pins the zone placement policy
+// end to end: migrations prefer the same-zone co-op, spill over to the
+// other zone while the same-zone co-op is partitioned away, and return to
+// the local zone after the partition heals.
+func TestClusterZoneSpilloverUnderPartition(t *testing.T) {
+	mc := clock.NewManual(time.Unix(0, 0))
+	c, err := New(Config{
+		Clock: mc,
+		Servers: []ServerSpec{
+			{Host: "home", Port: 80, Site: zoneSite(), Params: zoneParams("east")},
+			{Host: "east1", Port: 81, Params: zoneParams("east")},
+			{Host: "west1", Port: 82, Params: zoneParams("west")},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	home := c.Servers[0]
+	client := httpx.NewClient(c.Dialer())
+
+	// Spread zone/capacity metadata before any placement decision.
+	c.TickPingers()
+
+	hit := func() {
+		t.Helper()
+		for i := 1; i <= 8; i++ {
+			if _, err := client.Get("home:80", fmt.Sprintf("/d%d.html", i), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	migrated := func() map[string]string { return home.Graph().Migrated() }
+	// newPlacement runs one load-then-stats round and returns the location
+	// of the migration it produced.
+	newPlacement := func(phase string) string {
+		t.Helper()
+		before := migrated()
+		hit()
+		mc.Advance(8 * time.Second)
+		home.TickStats()
+		after := migrated()
+		for name, loc := range after {
+			if before[name] != loc {
+				return loc
+			}
+		}
+		t.Fatalf("%s: no new migration (have %d)", phase, len(after))
+		return ""
+	}
+
+	if loc := newPlacement("baseline"); loc != "east1:81" {
+		t.Fatalf("baseline migration went to %s, want the same-zone co-op east1:81", loc)
+	}
+
+	// Partition the same-zone co-op away and let a failed probe mark it
+	// suspect: placement must spill over to the healthy remote zone.
+	c.Fabric().Partition("home:80", "east1:81")
+	c.Fabric().ResetLink("home:80", "east1:81")
+	mc.Advance(8 * time.Second)
+	home.TickPinger()
+	if loc := newPlacement("partitioned"); loc != "west1:82" {
+		t.Fatalf("partitioned migration went to %s, want cross-zone spillover to west1:82", loc)
+	}
+
+	// Heal; a successful probe clears the suspicion and placement returns
+	// to the local zone.
+	c.Fabric().Heal("home:80", "east1:81")
+	mc.Advance(8 * time.Second)
+	home.TickPinger()
+	if loc := newPlacement("healed"); loc != "east1:81" {
+		t.Fatalf("post-heal migration went to %s, want the same-zone co-op east1:81", loc)
+	}
+}
+
+// TestCluster16NodeMigrationsLandByHeadroom boots a 16-node group with a
+// 4x capacity spread (worker pools of 12 vs 3) and checks that the
+// capacity-normalized placement sends every migration to the fast half of
+// the co-op pool while it still has headroom.
+func TestCluster16NodeMigrationsLandByHeadroom(t *testing.T) {
+	mc := clock.NewManual(time.Unix(0, 0))
+	specs := []ServerSpec{{Host: "home", Port: 80, Site: zoneSite(), Params: zoneParams("")}}
+	fast := map[string]bool{}
+	for i := 1; i < 16; i++ {
+		p := zoneParams("")
+		host := fmt.Sprintf("coop%02d", i)
+		addr := fmt.Sprintf("%s:%d", host, 80+i)
+		if i <= 7 {
+			p.Workers = 12
+			fast[addr] = true
+		} else {
+			p.Workers = 3
+		}
+		specs = append(specs, ServerSpec{Host: host, Port: 80 + i, Params: p})
+	}
+	c, err := New(Config{Clock: mc, Servers: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	home := c.Servers[0]
+	client := httpx.NewClient(c.Dialer())
+
+	c.TickPingers()
+	for round := 0; round < 6; round++ {
+		for i := 1; i <= 8; i++ {
+			if _, err := client.Get("home:80", fmt.Sprintf("/d%d.html", i), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mc.Advance(8 * time.Second)
+		home.TickStats()
+	}
+
+	placed := home.Graph().Migrated()
+	if len(placed) < 4 {
+		t.Fatalf("only %d migrations in 6 rounds", len(placed))
+	}
+	onFast, onSlow := 0, 0
+	for name, loc := range placed {
+		if fast[loc] {
+			onFast++
+		} else {
+			onSlow++
+			t.Logf("migration %s -> %s landed on a slow node", name, loc)
+		}
+	}
+	if onSlow > 0 {
+		t.Fatalf("%d of %d migrations landed on 4x-slower nodes despite fast headroom (fast=%d)",
+			onSlow, len(placed), onFast)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"dcws/internal/glt"
 	"dcws/internal/httpx"
 	"dcws/internal/metrics"
 	"dcws/internal/naming"
@@ -22,7 +23,8 @@ import (
 // and propagated on any inter-server RPC issued while serving, so the
 // spans recorded across the cluster for one logical request share one ID.
 func (s *Server) handle(req *httpx.Request) *httpx.Response {
-	from, wantFull := s.absorb(req.Header)
+	pig := s.absorbPiggyback(req.Header)
+	from, wantFull := pig.From, pig.Full
 	traceID := req.Header.Get(telemetry.TraceHeader)
 	if traceID == "" {
 		traceID = telemetry.NewTraceID()
@@ -70,12 +72,21 @@ func (s *Server) handle(req *httpx.Request) *httpx.Response {
 	}
 	// A peer identified itself in the request header: answer with the
 	// delta it has not acked (or the full table when it asked for an
-	// anti-entropy exchange). Plain clients get the constant-size self
-	// entry — they cannot ack deltas, and relaying the whole cluster's
-	// table to browsers is O(cluster) bytes for nothing.
-	if from != "" {
+	// anti-entropy exchange). A digest frame gets the digest response —
+	// our digests of the diverged stripes plus those stripes' entries —
+	// which is what makes anti-entropy proportional to divergence instead
+	// of table size. Plain clients get the constant-size self entry — they
+	// cannot ack deltas, and relaying the whole cluster's table to
+	// browsers is O(cluster) bytes for nothing.
+	switch {
+	case from != "" && pig.HasDigests:
+		hdr, diff := s.table.EncodeDigestResponse(from, pig.Digests)
+		resp.Header.Set(glt.HeaderName, hdr)
+		s.tel.digestResponses.Inc()
+		s.tel.digestShardsSent.Add(int64(diff))
+	case from != "":
 		s.piggybackTo(resp.Header, from, wantFull)
-	} else {
+	default:
 		s.piggybackClient(resp.Header)
 	}
 	resp.Header.Set(telemetry.TraceHeader, traceID)
@@ -93,9 +104,9 @@ func (s *Server) handle(req *httpx.Request) *httpx.Response {
 			Start:    startClk,
 			Duration: d,
 		})
-	} else if wantFull && from != "" {
-		// The responder side of an anti-entropy full exchange: cold-start
-		// and convergence cost shows up in traces on both ends.
+	} else if (wantFull || pig.HasDigests) && from != "" {
+		// The responder side of an anti-entropy exchange (full or digest):
+		// cold-start and convergence cost shows up in traces on both ends.
 		s.tel.record(telemetry.Span{
 			TraceID:  traceID,
 			ID:       spanID,
@@ -190,16 +201,26 @@ func (s *Server) handleRecall(req *httpx.Request) *httpx.Response {
 // handleMigrate is the operator-facing counterpart of recall: the home
 // server hands one of its documents to the named co-op (POST with the
 // document name in the X-DCWS-Doc header and the co-op's address in
-// X-DCWS-Fetch). The copy stays lazy — the co-op fetches it on first
-// touch, exactly like a load-driven migration (§4.2).
+// X-DCWS-Fetch). With the co-op named "auto" — or omitted — the server
+// picks the target itself with the placement policy (zone-local first,
+// most headroom first), which lets operators and smoke harnesses say
+// "move this somewhere sensible" without re-implementing placement. The
+// copy stays lazy — the co-op fetches it on first touch, exactly like a
+// load-driven migration (§4.2).
 func (s *Server) handleMigrate(req *httpx.Request) *httpx.Response {
 	if req.Method != "POST" {
 		return status(405, "migrate requires POST")
 	}
 	name := req.Header.Get(headerRevokeDoc)
 	coop := req.Header.Get(headerFetch)
-	if name == "" || coop == "" {
-		return status(400, "migrate requires "+headerRevokeDoc+" and "+headerFetch+" headers")
+	if name == "" {
+		return status(400, "migrate requires the "+headerRevokeDoc+" header")
+	}
+	if coop == "" || coop == "auto" {
+		coop = s.pickPlacement()
+		if coop == "" {
+			return status(503, "no eligible co-op server for placement")
+		}
 	}
 	name, err := store.CleanName(name)
 	if err != nil {
@@ -669,19 +690,29 @@ func (s *Server) fetchHedged(key, homeAddr, docName, traceID, parent, sib string
 
 // pickHedgeSibling returns a healthy sibling replica to race against the
 // home server for key, or "" when hedging is disabled or no alternate
-// source is known. Siblings are learned from X-DCWS-Replicas headers on
-// earlier fetch and validation responses.
+// source is known. A same-zone sibling is preferred — the hedge exists to
+// shave tail latency, and a zone-local hop is the faster leg — with any
+// healthy sibling as the fallback. Siblings are learned from
+// X-DCWS-Replicas headers on earlier fetch and validation responses.
 func (s *Server) pickHedgeSibling(key, homeAddr string) string {
 	if s.params.HedgeDelay < 0 {
 		return ""
 	}
+	var fallback string
 	for _, sib := range s.coops.siblingsOf(key) {
 		if sib == homeAddr || sib == s.addr || s.peerSuspect(sib) {
 			continue
 		}
-		return sib
+		if z := s.params.Zone; z != "" {
+			if e, ok := s.table.Get(sib); ok && e.Zone == z {
+				return sib
+			}
+		}
+		if fallback == "" {
+			fallback = sib
+		}
 	}
-	return ""
+	return fallback
 }
 
 // fetchFailure maps a failed fetch to the response relayed to the client.

@@ -55,7 +55,21 @@ const (
 	// document (evicted past re-fetch, or forgotten); the home stops
 	// pushing for it.
 	frameUnsubscribe byte = 5
+	// frameInvalidateBatch (home -> coop): several documents changed at
+	// once — one migration's link-rewrite storm coalesced into a single
+	// frame per subscriber instead of a frame per document. Payload: a
+	// kind byte, a uvarint count, then per document the home-side name and
+	// new content hash, and the trailing channel sequence number.
+	frameInvalidateBatch byte = 6
 )
+
+// Invalidation frames (single and batch) carry a per-channel sequence
+// number as a trailing uvarint: the home stamps frames 1, 2, 3, … per
+// subscriber connection under the write mutex, so the co-op can detect a
+// dropped frame on a live channel — a gap — and resync by re-sending its
+// inventory (the home answers with catch-up invalidations for anything
+// whose hash is stale). Legacy frames without the trailing field decode
+// as sequence 0, which disables the check for that frame.
 
 // Invalidation kinds carried by frameInvalidate.
 const (
@@ -116,23 +130,71 @@ func decodeInventory(data []byte) ([]invDoc, error) {
 	return docs, nil
 }
 
-func encodeInvalidate(kind byte, name string, hash uint64) []byte {
-	buf := make([]byte, 0, len(name)+12)
+func encodeInvalidate(kind byte, name string, hash, seq uint64) []byte {
+	buf := make([]byte, 0, len(name)+20)
 	buf = append(buf, kind)
 	buf = putStr(buf, name)
-	return binary.AppendUvarint(buf, hash)
+	buf = binary.AppendUvarint(buf, hash)
+	return binary.AppendUvarint(buf, seq)
 }
 
-func decodeInvalidate(data []byte) (kind byte, name string, hash uint64, err error) {
+func decodeInvalidate(data []byte) (kind byte, name string, hash, seq uint64, err error) {
 	if len(data) < 1 {
-		return 0, "", 0, errInvalFrame
+		return 0, "", 0, 0, errInvalFrame
 	}
 	kind = data[0]
 	if name, data, err = getStr(data[1:]); err != nil {
-		return 0, "", 0, err
+		return 0, "", 0, 0, err
 	}
-	hash, _, err = getUvarint(data)
-	return kind, name, hash, err
+	if hash, data, err = getUvarint(data); err != nil {
+		return 0, "", 0, 0, err
+	}
+	// The sequence number is optional: a frame from a pre-numbering home
+	// simply ends here, and seq 0 means "unnumbered".
+	if len(data) > 0 {
+		seq, _, err = getUvarint(data)
+	}
+	return kind, name, hash, seq, err
+}
+
+// encodeInvalidateBatch frames several documents' invalidations of one
+// kind: kind byte, uvarint count, per-document name and hash, trailing
+// sequence number.
+func encodeInvalidateBatch(kind byte, docs []invDoc, seq uint64) []byte {
+	buf := make([]byte, 0, 16*len(docs)+12)
+	buf = append(buf, kind)
+	buf = binary.AppendUvarint(buf, uint64(len(docs)))
+	for _, d := range docs {
+		buf = putStr(buf, d.name)
+		buf = binary.AppendUvarint(buf, d.hash)
+	}
+	return binary.AppendUvarint(buf, seq)
+}
+
+func decodeInvalidateBatch(data []byte) (kind byte, docs []invDoc, seq uint64, err error) {
+	if len(data) < 1 {
+		return 0, nil, 0, errInvalFrame
+	}
+	kind = data[0]
+	n, data, err := getUvarint(data[1:])
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	docs = make([]invDoc, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var d invDoc
+		if d.name, data, err = getStr(data); err != nil {
+			return 0, nil, 0, err
+		}
+		if d.hash, data, err = getUvarint(data); err != nil {
+			return 0, nil, 0, err
+		}
+		docs = append(docs, d)
+	}
+	if len(data) > 0 {
+		seq, _, err = getUvarint(data)
+	}
+	return kind, docs, seq, err
 }
 
 var errInvalFrame = errStr("dcws: truncated invalidation frame")
@@ -163,6 +225,11 @@ type invalSubscriber struct {
 
 	conn    net.Conn // nil while disconnected
 	writeMu sync.Mutex
+	// seq numbers invalidation frames on this channel (guarded by
+	// writeMu, so wire order and sequence order agree). It deliberately
+	// survives reconnects: frames written to a dying connection consume
+	// numbers, and the coop re-baselines on its first received frame.
+	seq uint64
 }
 
 // invalHub is the home side of push invalidation: the subscriber table,
@@ -340,7 +407,7 @@ func (h *invalHub) register(sub *invalSubscriber, conn net.Conn, docs []invDoc) 
 	added := 0
 	for _, d := range docs {
 		if !s.subscribeAuthorized(d.name, sub.addr) {
-			s.writeInvalFrame(conn, &sub.writeMu, invalRevoke, d.name, 0)
+			s.writeInvalFrame(sub, conn, invalRevoke, d.name, 0)
 			continue
 		}
 		h.mu.Lock()
@@ -436,6 +503,62 @@ func (h *invalHub) push(kind byte, name string) {
 	}
 }
 
+// pushBatch fans a set of same-kind invalidations out, coalescing the
+// documents each connected subscriber hosts into one multi-document frame
+// — one migration's link-rewrite storm becomes one frame per subscriber
+// instead of a frame per rewritten document. Hashes are computed lazily
+// and shared across subscribers. A subscriber holding just one of the
+// documents gets a plain frame; the batch framing buys nothing there.
+func (h *invalHub) pushBatch(kind byte, names []string) {
+	if h == nil || h.s.params.LeaseDuration <= 0 || len(names) == 0 {
+		return
+	}
+	h.mu.Lock()
+	targets := make(map[*invalSubscriber][]string)
+	conns := make(map[*invalSubscriber]net.Conn)
+	for _, sub := range h.subs {
+		if sub.conn == nil {
+			continue
+		}
+		for _, n := range names {
+			if sub.docs[n] {
+				targets[sub] = append(targets[sub], n)
+			}
+		}
+		if len(targets[sub]) > 0 {
+			conns[sub] = sub.conn
+		}
+	}
+	h.mu.Unlock()
+	if len(targets) == 0 {
+		return
+	}
+	hashes := make(map[string]uint64)
+	hashFor := func(n string) uint64 {
+		if v, ok := hashes[n]; ok {
+			return v
+		}
+		v, _ := h.s.migrationHash(n)
+		hashes[n] = v
+		return v
+	}
+	for sub, docs := range targets {
+		if len(docs) == 1 {
+			h.s.pushTo(sub, kind, docs[0], hashFor(docs[0]))
+			continue
+		}
+		batch := make([]invDoc, 0, len(docs))
+		for _, n := range docs {
+			batch = append(batch, invDoc{name: n, hash: hashFor(n)})
+		}
+		if h.s.writeInvalBatch(sub, conns[sub], kind, batch) {
+			h.s.tel.invalPushes.Inc()
+			h.s.tel.invalBatches.Inc()
+			h.s.tel.invalBatchDocs.Add(int64(len(batch)))
+		}
+	}
+}
+
 // pushRevokeTo sends revoke frames for name to a specific subset of
 // subscribers — the partial-shrink path, where the kept replicas must NOT
 // be told to drop their copies. Their subscription entries go too.
@@ -472,21 +595,39 @@ func (s *Server) pushTo(sub *invalSubscriber, kind byte, name string, hash uint6
 	if conn == nil {
 		return
 	}
-	if s.writeInvalFrame(conn, &sub.writeMu, kind, name, hash) {
+	if s.writeInvalFrame(sub, conn, kind, name, hash) {
 		s.tel.invalPushes.Inc()
 	}
 }
 
-// writeInvalFrame writes one frameInvalidate under the connection's write
+// writeInvalFrame writes one frameInvalidate under the subscriber's write
 // mutex with a short real-time deadline (frames are tiny; a peer that
-// cannot drain them within it is effectively partitioned). Returns
-// whether the write succeeded; on failure the connection is closed, which
-// unblocks its reader.
-func (s *Server) writeInvalFrame(conn net.Conn, mu *sync.Mutex, kind byte, name string, hash uint64) bool {
-	mu.Lock()
-	defer mu.Unlock()
+// cannot drain them within it is effectively partitioned). The frame is
+// stamped with the channel's next sequence number. Returns whether the
+// write succeeded; on failure the connection is closed, which unblocks
+// its reader.
+func (s *Server) writeInvalFrame(sub *invalSubscriber, conn net.Conn, kind byte, name string, hash uint64) bool {
+	sub.writeMu.Lock()
+	defer sub.writeMu.Unlock()
+	sub.seq++
 	conn.SetWriteDeadline(time.Now().Add(invalWriteTimeout))
-	err := httpx.WriteFrame(conn, frameInvalidate, encodeInvalidate(kind, name, hash))
+	err := httpx.WriteFrame(conn, frameInvalidate, encodeInvalidate(kind, name, hash, sub.seq))
+	conn.SetWriteDeadline(time.Time{})
+	if err != nil {
+		conn.Close()
+		return false
+	}
+	return true
+}
+
+// writeInvalBatch writes one frameInvalidateBatch, with the same locking,
+// deadline, and sequence-stamping rules as writeInvalFrame.
+func (s *Server) writeInvalBatch(sub *invalSubscriber, conn net.Conn, kind byte, docs []invDoc) bool {
+	sub.writeMu.Lock()
+	defer sub.writeMu.Unlock()
+	sub.seq++
+	conn.SetWriteDeadline(time.Now().Add(invalWriteTimeout))
+	err := httpx.WriteFrame(conn, frameInvalidateBatch, encodeInvalidateBatch(kind, docs, sub.seq))
 	conn.SetWriteDeadline(time.Time{})
 	if err != nil {
 		conn.Close()
@@ -542,6 +683,11 @@ type subConn struct {
 	mu      sync.Mutex
 	conn    net.Conn // nil while disconnected
 	writeMu sync.Mutex
+	// lastSeq is the last invalidation sequence number received on the
+	// current connection, touched only by its readLoop goroutine. Reset
+	// on each reconnect: frames missed while disconnected are covered by
+	// the reconnect inventory, not the gap check.
+	lastSeq uint64
 }
 
 // subManager owns this co-op's outbound subscriptions, one per home
@@ -630,6 +776,7 @@ func (m *subManager) subscribeLoop(sc *subConn) {
 			continue
 		}
 		attempt = 0
+		sc.lastSeq = 0 // fresh channel, fresh sequence baseline
 		sc.mu.Lock()
 		sc.conn = conn
 		sc.mu.Unlock()
@@ -721,15 +868,45 @@ func (m *subManager) readLoop(sc *subConn, conn net.Conn, br *bufio.Reader, last
 		s.coops.renewHome(sc.home, s.now().Add(s.params.LeaseDuration))
 		switch typ {
 		case frameInvalidate:
-			kind, name, _, derr := decodeInvalidate(payload)
+			kind, name, _, seq, derr := decodeInvalidate(payload)
 			if derr != nil {
 				return
 			}
+			m.checkSeq(sc, seq)
 			s.tel.invalReceived.Inc()
 			s.applyInvalidation(sc, kind, name)
+		case frameInvalidateBatch:
+			kind, docs, seq, derr := decodeInvalidateBatch(payload)
+			if derr != nil {
+				return
+			}
+			m.checkSeq(sc, seq)
+			s.tel.invalReceived.Inc()
+			for _, d := range docs {
+				s.applyInvalidation(sc, kind, d.name)
+			}
 		case framePing:
 			// Renewal above is the work.
 		}
+	}
+}
+
+// checkSeq folds one received frame's sequence number into the channel's
+// gap detector: a numbered frame that is not the immediate successor of
+// the previous one means a frame was lost on a live channel, so the coop
+// resyncs by re-sending its inventory (the home answers with catch-up
+// invalidations for every stale copy). The first numbered frame on a
+// connection just sets the baseline, and unnumbered (legacy) frames are
+// exempt.
+func (m *subManager) checkSeq(sc *subConn, seq uint64) {
+	if seq == 0 {
+		return
+	}
+	last := sc.lastSeq
+	sc.lastSeq = seq
+	if last != 0 && seq != last+1 {
+		m.s.tel.invalGaps.Inc()
+		m.s.sendInventory(sc)
 	}
 }
 

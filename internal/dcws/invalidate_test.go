@@ -210,6 +210,119 @@ func TestLeasePartitionDegradedMode(t *testing.T) {
 	}
 }
 
+// TestBatchInvalidationCoalescesMigrationStorm drives the link-rewrite
+// storm one migration causes: three hosted documents all link to the moved
+// target, so their rewrites must arrive at the hosting co-op as ONE
+// multi-document frame, not three singles.
+func TestBatchInvalidationCoalescesMigrationStorm(t *testing.T) {
+	w := newWorld(t)
+	docs := map[string]string{
+		"/index.html": `<html><a href="/a.html">a</a><a href="/b.html">b</a><a href="/c.html">c</a></html>`,
+		"/a.html":     `<html><a href="/t.html">t</a> page a</html>`,
+		"/b.html":     `<html><a href="/t.html">t</a> page b</html>`,
+		"/c.html":     `<html><a href="/t.html">t</a> page c</html>`,
+		"/t.html":     `<html>target content</html>`,
+	}
+	home := w.addServer("home", 80, docs, []string{"/index.html"}, leaseParams())
+	coop := w.addServer("coop", 81, nil, nil, leaseParams())
+	w.addServer("coop2", 82, nil, nil, leaseParams())
+
+	for _, name := range []string{"/a.html", "/b.html", "/c.html"} {
+		home.migrate(name, "coop:81")
+		if resp := w.get("coop:81", "/~migrate/home/80"+name); resp.Status != 200 {
+			t.Fatalf("first touch of %s = %d, want 200", name, resp.Status)
+		}
+	}
+	waitFor(t, 5*time.Second, "subscription channel never came up", func() bool {
+		return coop.subs.subscriptionLive("home:80")
+	})
+	// The per-document subscriptions register asynchronously; the storm
+	// only coalesces fully once the home knows the coop hosts all three.
+	waitFor(t, 5*time.Second, "home never learned all three hosted docs", func() bool {
+		home.hub.mu.Lock()
+		defer home.hub.mu.Unlock()
+		sub := home.hub.subs["coop:81"]
+		return sub != nil && len(sub.docs) >= 3
+	})
+
+	// Moving /t.html dirties a, b, and c at once — the storm.
+	home.migrate("/t.html", "coop2:82")
+
+	waitFor(t, 5*time.Second, "batch invalidation never rewrote the hosted copies", func() bool {
+		for _, name := range []string{"/a.html", "/b.html", "/c.html"} {
+			resp := w.get("coop:81", "/~migrate/home/80"+name)
+			if resp.Status != 200 || !strings.Contains(string(resp.Body), "coop2") {
+				return false
+			}
+		}
+		return true
+	})
+
+	st := home.Status().Invalidation
+	if st.Batches == 0 {
+		t.Fatal("migration storm produced no batch frame")
+	}
+	if st.BatchDocs < 3 {
+		t.Fatalf("batch frames carried %d documents, want >= 3", st.BatchDocs)
+	}
+	if got := coop.Status().Invalidation.Gaps; got != 0 {
+		t.Fatalf("coop detected %d sequence gaps on a lossless channel", got)
+	}
+}
+
+// TestInvalidationSeqGapForcesResync pins the live-channel loss detector:
+// when a numbered frame goes missing, the next frame's sequence number
+// exposes the gap and the co-op resyncs by re-sending its inventory, which
+// the home answers with catch-up invalidations.
+func TestInvalidationSeqGapForcesResync(t *testing.T) {
+	w := newWorld(t)
+	docs := map[string]string{"/page.html": "<html>v1 content</html>"}
+	home := w.addServer("home", 80, docs, []string{"/page.html"}, leaseParams())
+	coop := w.addServer("coop", 81, nil, nil, leaseParams())
+
+	home.migrate("/page.html", "coop:81")
+	if resp := w.get("coop:81", "/~migrate/home/80/page.html"); resp.Status != 200 {
+		t.Fatalf("first touch = %d, want 200", resp.Status)
+	}
+	waitFor(t, 5*time.Second, "subscription channel never came up", func() bool {
+		return coop.subs.subscriptionLive("home:80")
+	})
+
+	// Establish the sequence baseline with one delivered frame.
+	if err := home.UpdateDocument("/page.html", []byte("<html>v2 content</html>")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "baseline invalidation never arrived", func() bool {
+		resp := w.get("coop:81", "/~migrate/home/80/page.html")
+		return resp.Status == 200 && strings.Contains(string(resp.Body), "v2 content")
+	})
+
+	// Simulate a frame lost in flight: consume a sequence number on the
+	// home side without writing anything to the wire.
+	home.hub.mu.Lock()
+	sub := home.hub.subs["coop:81"]
+	home.hub.mu.Unlock()
+	if sub == nil {
+		t.Fatal("no subscriber record for coop:81")
+	}
+	sub.writeMu.Lock()
+	sub.seq++
+	sub.writeMu.Unlock()
+
+	if err := home.UpdateDocument("/page.html", []byte("<html>v3 content</html>")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "sequence gap never detected", func() bool {
+		return coop.Status().Invalidation.Gaps > 0
+	})
+	// The gap-triggered inventory resync must converge the copy even if
+	// the "lost" frame were the only carrier of the update.
+	waitFor(t, 5*time.Second, "coop never converged after the gap resync", func() bool {
+		resp := w.get("coop:81", "/~migrate/home/80/page.html")
+		return resp.Status == 200 && strings.Contains(string(resp.Body), "v3 content")
+	})
+}
+
 // TestSizeWeight pins the rendered-size weighting of the hot-replication
 // trigger: at or below the 64 KiB pivot the weight is neutral (small
 // documents are never delayed), above it the weight grows linearly and

@@ -34,12 +34,20 @@ func (s *Server) statsLoop() {
 // so tests and the cluster harness can drive it deterministically.
 func (s *Server) runStatsTick() {
 	now := s.now()
-	load := s.loadMetric(now)
+	// Fold this interval's achieved serve latency into the capacity
+	// estimate first, so the load advertised below is normalized by the
+	// freshest figure.
+	s.updateCapacity()
+	// With capacity normalization on, every load figure this tick — the
+	// gossiped entry and the migration/revocation comparisons — is a
+	// fraction of capacity, the same unit peers advertise, so the
+	// imbalance trigger compares like with like.
+	load := s.normalizeLoad(s.loadMetric(now))
 	// Forced (maxAge 0) so the self entry's timestamp advances every tick
 	// even when the quantized load is unchanged: peers re-admit a
 	// recovered server only on entries measured after its down
 	// declaration. Migration decisions below use the raw load.
-	s.table.RefreshSelf(s.quantizeLoad(load), now, 0)
+	s.table.RefreshSelf(s.advertisedLoad(now), now, 0)
 
 	s.maybeRevokeExpired(load)
 	// Drain the coop hot-report hints once and share them between the two
@@ -76,29 +84,53 @@ func (s *Server) maybeMigrate(selfLoad float64) {
 	s.migrate(doc, coop)
 }
 
-// chooseCoop picks the least-loaded eligible peer, honoring the per-coop
-// rate gate, and reports whether migrating is justified at all. Suspect
-// peers — failing probes or a tripped breaker — are skipped: migrating a
-// document to a server we may be about to declare down would strand it.
-// So are peers with stale load entries: an advertised load nobody has
-// refreshed within PlacementMaxStaleness may be a long-gone idle reading,
-// and migrating toward it would chase a ghost.
+// chooseCoop picks the migration target, honoring the per-coop rate gate,
+// and reports whether migrating is justified at all. Candidates are
+// walked in headroom order — same-zone peers first, then the rest — so
+// migrations land where spare capacity actually is and stay zone-local
+// until local headroom is exhausted. A candidate must also satisfy the
+// imbalance trigger (we are meaningfully busier than it); zone-local
+// peers that fail the trigger are merely skipped, which is exactly the
+// cross-zone spillover: a distant peer with real headroom can still take
+// the document. Suspect peers — failing probes or a tripped breaker —
+// are skipped: migrating a document to a server we may be about to
+// declare down would strand it. So are peers with stale load entries: an
+// advertised load nobody has refreshed within PlacementMaxStaleness may
+// be a long-gone idle reading, and migrating toward it would chase a
+// ghost.
 func (s *Server) chooseCoop(selfLoad float64) (string, bool) {
-	exclude := map[string]bool{s.Addr(): true}
-	for {
-		e, ok := s.table.LeastLoaded(exclude)
-		if !ok {
-			return "", false
-		}
-		// Trigger condition: we are meaningfully busier than the target.
-		if selfLoad <= e.Load*s.params.ImbalanceRatio || selfLoad <= 0 {
-			return "", false
-		}
-		if !s.peerSuspect(e.Server) && !s.entryStale(e) && s.gate.Eligible(e.Server, s.now()) {
-			return e.Server, true
-		}
-		exclude[e.Server] = true
+	if selfLoad <= 0 {
+		return "", false
 	}
+	exclude := map[string]bool{s.Addr(): true}
+	now := s.now()
+	for _, e := range s.table.RankedByHeadroom(exclude, s.params.Zone) {
+		// Trigger condition: we are meaningfully busier than the target.
+		if selfLoad <= e.Load*s.params.ImbalanceRatio {
+			continue
+		}
+		if s.peerSuspect(e.Server) || s.entryStale(e) || !s.gate.Eligible(e.Server, now) {
+			continue
+		}
+		return e.Server, true
+	}
+	return "", false
+}
+
+// pickPlacement picks the best placement target regardless of the
+// imbalance trigger: the healthy peer with the most headroom, zone-local
+// first. Used by operator-driven migration ("auto" target), where the
+// operator has already decided the document should move and only the
+// destination is the server's call.
+func (s *Server) pickPlacement() string {
+	exclude := map[string]bool{s.Addr(): true}
+	for _, e := range s.table.RankedByHeadroom(exclude, s.params.Zone) {
+		if s.peerSuspect(e.Server) || s.entryStale(e) {
+			continue
+		}
+		return e.Server
+	}
+	return ""
 }
 
 // entryStale reports whether a load-table entry is too old to justify
@@ -168,11 +200,9 @@ func (s *Server) migrate(doc, coop string) {
 
 // pushDirtied fans update invalidations out for documents whose rendered
 // content changed as a side effect (link rewrites on migrate / revoke /
-// replicate).
+// replicate), batching each subscriber's share into one frame.
 func (s *Server) pushDirtied(dirtied []string) {
-	for _, d := range dirtied {
-		s.hub.push(invalUpdate, d)
-	}
+	s.hub.pushBatch(invalUpdate, dirtied)
 }
 
 // maybeRevokeExpired walks migrations older than T_home and recalls any
@@ -403,21 +433,19 @@ func (s *Server) addReplica(doc string) {
 		exclude[r] = true
 	}
 	s.repMu.Unlock()
+	// Same rules as chooseCoop: walk candidates in headroom order, zone-
+	// local first, and never place a replica on a peer that is wobbling
+	// toward a down declaration or whose load entry is too stale to trust.
 	var target string
-	for {
-		e, found := s.table.LeastLoaded(exclude)
-		if !found {
-			return
-		}
+	for _, e := range s.table.RankedByHeadroom(exclude, s.params.Zone) {
 		if s.peerSuspect(e.Server) || s.entryStale(e) {
-			// Same rules as chooseCoop: never place a replica on a peer
-			// that is wobbling toward a down declaration, or whose load
-			// entry is too stale to trust.
-			exclude[e.Server] = true
 			continue
 		}
 		target = e.Server
 		break
+	}
+	if target == "" {
+		return
 	}
 	s.repMu.Lock()
 	// Install a fresh slice: pickReplica readers may hold the old one.
@@ -662,14 +690,84 @@ func equalStrings(a, b []string) bool {
 	return true
 }
 
-// runAntiEntropyTick performs one full-table exchange: a ping carrying
-// the whole table and the !g marker, answered by the peer's whole table.
+// runAntiEntropyTick performs one anti-entropy exchange. It first tries
+// the push-pull digest protocol: the request carries per-shard version-
+// vector digests of this table (no entries), the peer answers with only
+// the stripes whose vectors differ, and a third leg pushes back any
+// stripes where this side was the fresher one. Against a legacy peer —
+// whose response carries no digests because its decoder skipped the !d
+// key — the tick falls back to the paper-era full-table exchange, so
+// mixed-version clusters still converge.
 func (s *Server) runAntiEntropyTick() {
 	peer := s.pickAntiEntropyPeer()
 	if peer == "" {
 		return
 	}
 	s.tel.antiEntropyRounds.Inc()
+	done, legacy := s.runDigestExchange(peer)
+	if done {
+		return
+	}
+	if legacy {
+		s.tel.digestFallbacks.Inc()
+		s.runFullExchange(peer)
+	}
+}
+
+// runDigestExchange runs the digest legs against one peer. done reports
+// the exchange completed (or failed on transport — no point retrying with
+// a heavier protocol); legacy reports the peer answered without digests,
+// meaning it does not speak the protocol and a full exchange is needed.
+func (s *Server) runDigestExchange(peer string) (done, legacy bool) {
+	traceID := telemetry.NewTraceID()
+	span := telemetry.NewSpan(traceID, "", s.addr, "anti-entropy-digest")
+	span.Target, span.Peer = pingPath, peer
+	start := time.Now()
+	span.Start = s.now()
+	extra := make(httpx.Header)
+	extra.Set(telemetry.TraceHeader, traceID)
+	extra.Set(telemetry.ParentHeader, span.ID)
+	extra.Set(glt.HeaderName, s.table.EncodeDigestTo(peer))
+	resp, err := s.client.GetTimeout(peer, pingPath, extra, s.params.MaintenanceTimeout)
+	if err != nil {
+		span.Duration = time.Since(start)
+		span.Err = err.Error()
+		s.tel.record(span)
+		s.log.Printf("dcws %s: anti-entropy with %s: %v", s.Addr(), peer, err)
+		return true, false
+	}
+	p := s.absorbPiggyback(resp.Header)
+	if !p.HasDigests {
+		// The peer merged our digest frame as a plain delta and answered
+		// likewise: a pre-digest build.
+		span.Duration = time.Since(start)
+		span.Status = resp.Status
+		s.tel.record(span)
+		return false, true
+	}
+	s.tel.digestRounds.Inc()
+	// Third leg: ship the stripes where our vector is still ahead of the
+	// peer's (it told us its digests precisely so we can tell).
+	if back := s.table.StillDiverged(p.Digests); len(back) > 0 {
+		s.tel.digestPushbacks.Inc()
+		s.tel.digestShardsSent.Add(int64(len(back)))
+		push := make(httpx.Header)
+		push.Set(telemetry.TraceHeader, traceID)
+		push.Set(telemetry.ParentHeader, span.ID)
+		push.Set(glt.HeaderName, s.table.EncodeShardEntriesTo(peer, back))
+		if resp2, err := s.client.GetTimeout(peer, pingPath, push, s.params.MaintenanceTimeout); err == nil {
+			s.absorb(resp2.Header)
+		}
+	}
+	span.Duration = time.Since(start)
+	span.Status = resp.Status
+	s.tel.record(span)
+	return true, false
+}
+
+// runFullExchange is the legacy anti-entropy round: a ping carrying the
+// whole table and the !g marker, answered by the peer's whole table.
+func (s *Server) runFullExchange(peer string) {
 	traceID := telemetry.NewTraceID()
 	span := telemetry.NewSpan(traceID, "", s.addr, "anti-entropy")
 	span.Target, span.Peer = pingPath, peer

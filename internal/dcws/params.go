@@ -221,6 +221,25 @@ type Params struct {
 	// (tests that drive frames by hand).
 	InvalidateHeartbeat time.Duration
 
+	// Zone is this server's topology label (rack, availability zone,
+	// datacenter — whatever locality the operator cares about). It is
+	// gossiped alongside the load entry, and placement (migration, chain
+	// replication, hedge siblings, link rewriting) prefers same-zone
+	// targets, spilling across zones only when local headroom is
+	// exhausted. Empty disables zone preference.
+	Zone string
+	// CapacitySmoothing is the EWMA weight for the continuously-measured
+	// service capacity: each statistics interval the achievable
+	// throughput implied by the serve-latency histograms is folded into
+	// the calibrated capacity with this weight. The capacity divides the
+	// advertised load, so the gossiped figure is a fraction of capacity
+	// and placement ranks peers by absolute headroom instead of raw
+	// load — what makes least-loaded policies work on heterogeneous
+	// fleets. Default 0.2; negative disables capacity normalization
+	// entirely (raw loads on the wire, the paper's homogeneous-testbed
+	// behaviour).
+	CapacitySmoothing float64
+
 	// SlowTraceThreshold marks a span slow: any span at least this long —
 	// and any span that ended in an error — is copied into the tail-
 	// retention ring, which only such spans compete for, so the evidence
@@ -312,6 +331,7 @@ func DefaultParams() Params {
 		HotReplicateRate:      50,
 		HotReplicaCount:       2,
 		ReplicateTimeout:      10 * time.Second,
+		CapacitySmoothing:     0.2,
 		SlowTraceThreshold:    500 * time.Millisecond,
 		TailRingSize:          256,
 		SLOLatencyTarget:      250 * time.Millisecond,
@@ -463,6 +483,12 @@ func (p Params) withDefaults() Params {
 	}
 	if p.ReplicateTimeout <= 0 {
 		p.ReplicateTimeout = d.ReplicateTimeout
+	}
+	// CapacitySmoothing keeps negative values: they mean "capacity
+	// normalization disabled" (raw loads gossiped, legacy behaviour).
+	// Zone keeps its zero value: empty means "unzoned".
+	if p.CapacitySmoothing == 0 {
+		p.CapacitySmoothing = d.CapacitySmoothing
 	}
 	// LeaseDuration keeps its zero value: zero means "push invalidation
 	// disabled" — the extension is opt-in, like Replicate, because the

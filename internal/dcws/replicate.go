@@ -136,11 +136,12 @@ func (s *Server) chainReplicate(doc string) bool {
 	for _, r := range existing {
 		exclude[r] = true
 	}
-	// Ask for every eligible entry, then apply the placement filters: the
-	// same suspect/staleness rules as migration, so a wobbling peer or a
-	// ghost load entry never joins the chain.
+	// Walk every eligible entry in placement order — most headroom first,
+	// zone-local before remote — then apply the same suspect/staleness
+	// rules as migration, so a wobbling peer or a ghost load entry never
+	// joins the chain.
 	var chain []string
-	for _, e := range s.table.LeastLoadedK(s.table.Len(), exclude) {
+	for _, e := range s.table.RankedByHeadroom(exclude, s.params.Zone) {
 		if len(chain) >= want {
 			break
 		}

@@ -199,6 +199,14 @@ type Server struct {
 	aeLastVer   uint64   // table version at the last cadence decision
 	aeLastPeers []string // peer set at the last cadence decision (sorted)
 
+	// capMu guards the measured service capacity (docs/s); the serve-
+	// histogram totals the per-tick delta is computed against are touched
+	// only by the statistics tick. See capacity.go.
+	capMu        sync.Mutex
+	capacity     float64
+	capLastCount int64
+	capLastSum   time.Duration
+
 	wal      *wal.Log // nil when the durable tier is disabled
 	recovery recoveryStats
 
@@ -433,6 +441,13 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s.slo = newSLOWatcher(s)
+	// Seed the capacity estimate (and the gossiped capacity/zone self
+	// metadata) before the listener opens, so the very first piggybacked
+	// header already carries normalized load.
+	s.calibrateCapacity()
+	if !s.params.CapacityEnabled() && s.params.Zone != "" {
+		s.table.SetSelfInfo(0, s.params.Zone)
+	}
 	s.tel.bindServer(s)
 	return s, nil
 }
@@ -654,7 +669,7 @@ func (s *Server) quantizeLoad(load float64) float64 {
 // cache answers with a version compare.
 func (s *Server) piggybackTo(h httpx.Header, peer string, full bool) {
 	now := s.now()
-	s.table.RefreshSelf(s.quantizeLoad(s.loadMetric(now)), now, s.params.PiggybackRefresh)
+	s.table.RefreshSelf(s.advertisedLoad(now), now, s.params.PiggybackRefresh)
 	h.Set(glt.HeaderName, s.table.EncodePiggybackTo(peer, now, s.params.MaxPiggybackEntries, full))
 }
 
@@ -663,8 +678,23 @@ func (s *Server) piggybackTo(h httpx.Header, peer string, full bool) {
 // always fresh here — constant-size however large the cluster is.
 func (s *Server) piggybackClient(h httpx.Header) {
 	now := s.now()
-	s.table.RefreshSelf(s.quantizeLoad(s.loadMetric(now)), now, s.params.PiggybackRefresh)
+	s.table.RefreshSelf(s.advertisedLoad(now), now, s.params.PiggybackRefresh)
 	h.Set(glt.HeaderName, s.table.EncodeClientHeader())
+}
+
+// absorbPiggyback merges piggybacked load information from an incoming
+// header map and returns the decoded piggyback — sender address, full-
+// exchange flag, and any per-shard digests — so callers that speak the
+// digest protocol can see what the sender asked for.
+func (s *Server) absorbPiggyback(h httpx.Header) glt.Piggyback {
+	var p glt.Piggyback
+	if v := h.Get(glt.HeaderName); v != "" {
+		p = glt.DecodePiggyback(v)
+		s.table.Absorb(p, s.now())
+		s.reconcileDownPeers(p.Entries)
+	}
+	s.absorbHot(h)
+	return p
 }
 
 // absorb merges piggybacked load information from an incoming header map.
@@ -672,14 +702,8 @@ func (s *Server) piggybackClient(h httpx.Header) {
 // plain clients and legacy peers) and whether the sender asked for a
 // full-table anti-entropy response.
 func (s *Server) absorb(h httpx.Header) (from string, full bool) {
-	if v := h.Get(glt.HeaderName); v != "" {
-		p := glt.DecodePiggyback(v)
-		s.table.Absorb(p, s.now())
-		s.reconcileDownPeers(p.Entries)
-		from, full = p.From, p.Full
-	}
-	s.absorbHot(h)
-	return from, full
+	p := s.absorbPiggyback(h)
+	return p.From, p.Full
 }
 
 // reconcileDownPeers checks piggybacked entries against the declared-down

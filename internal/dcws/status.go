@@ -25,6 +25,13 @@ type Status struct {
 	BPS         float64            `json:"bps"`
 	LoadTable   map[string]float64 `json:"load_table"`
 
+	// Zone is this server's topology label; Capacity its measured service
+	// capacity in docs/s (0 when normalization is off). Placement is the
+	// capacity/zone view of every load-table entry, keyed by address.
+	Zone      string                     `json:"zone,omitempty"`
+	Capacity  float64                    `json:"capacity,omitempty"`
+	Placement map[string]PlacementStatus `json:"placement,omitempty"`
+
 	// PeerHealth classifies every tracked peer: "ok", "suspect" (failing
 	// probes or a non-closed breaker; excluded from new migrations), or
 	// "down" (declared down, documents recalled).
@@ -159,8 +166,32 @@ type GLTStatus struct {
 	// AntiEntropyIntervalSeconds is the adaptive interval currently in
 	// force (between 1x and 4x Params.AntiEntropyInterval).
 	AntiEntropyIntervalSeconds float64 `json:"anti_entropy_interval_seconds"`
+	// Digest protocol counters: push-pull digest rounds completed as
+	// requester, digest requests answered as responder, diverged stripes
+	// shipped, third-leg push-backs, and rounds downgraded to the legacy
+	// full exchange against pre-digest peers.
+	DigestRounds     int64 `json:"digest_rounds"`
+	DigestResponses  int64 `json:"digest_responses"`
+	DigestShardsSent int64 `json:"digest_shards_sent"`
+	DigestPushbacks  int64 `json:"digest_pushbacks"`
+	DigestFallbacks  int64 `json:"digest_fallbacks"`
 	// Peers is the per-peer gossip state, keyed by peer address.
 	Peers map[string]GLTPeerStatus `json:"peers,omitempty"`
+}
+
+// PlacementStatus is one server's row in Status.Placement: the
+// capacity-normalized, zone-aware view placement decisions rank by.
+type PlacementStatus struct {
+	// Load is the gossiped load figure — a fraction of capacity when the
+	// sender normalizes, a raw rate otherwise.
+	Load float64 `json:"load"`
+	// Capacity is the sender's advertised service capacity (docs/s);
+	// 0 when the entry carries none (legacy sender or normalization off).
+	Capacity float64 `json:"capacity,omitempty"`
+	// Zone is the sender's advertised topology label.
+	Zone string `json:"zone,omitempty"`
+	// Headroom is capacity × (1 − load), the ranking key.
+	Headroom float64 `json:"headroom"`
 }
 
 // GLTPeerStatus is one peer's row in GLTStatus.Peers.
@@ -244,6 +275,12 @@ type InvalidationStatus struct {
 	// Shrinks counts replica chains partially shrunk after T_home expiry
 	// of a warm document.
 	Shrinks int64 `json:"shrinks"`
+	// Batches / BatchDocs count multi-document invalidation frames pushed
+	// and the documents they carried; Gaps counts sequence gaps co-ops
+	// detected on live channels (each triggers an inventory resync).
+	Batches   int64 `json:"batches"`
+	BatchDocs int64 `json:"batch_docs"`
+	Gaps      int64 `json:"gaps"`
 }
 
 // Status returns the server's current operational snapshot.
@@ -298,6 +335,9 @@ func (s *Server) Status() Status {
 		ValidatePolls:    s.tel.validatePolls.Value(),
 		LeaseExpired:     s.tel.invalLeaseExpired.Value(),
 		Shrinks:          s.tel.replicateShrinks.Value(),
+		Batches:          s.tel.invalBatches.Value(),
+		BatchDocs:        s.tel.invalBatchDocs.Value(),
+		Gaps:             s.tel.invalGaps.Value(),
 	}
 	st.CacheHits, st.CacheMisses = s.rcache.counts()
 	st.QueueDepth = s.httpSrv.QueueDepth()
@@ -315,6 +355,11 @@ func (s *Server) Status() Status {
 		AntiEntropySkipped:         s.tel.aeSkipped.Value(),
 		AntiEntropyForced:          s.tel.aeForced.Value(),
 		AntiEntropyIntervalSeconds: aeInterval.Seconds(),
+		DigestRounds:               s.tel.digestRounds.Value(),
+		DigestResponses:            s.tel.digestResponses.Value(),
+		DigestShardsSent:           s.tel.digestShardsSent.Value(),
+		DigestPushbacks:            s.tel.digestPushbacks.Value(),
+		DigestFallbacks:            s.tel.digestFallbacks.Value(),
 	}
 	for p, g := range s.table.GossipPeers() {
 		row := GLTPeerStatus{Acked: g.Acked, Seen: g.Seen}
@@ -326,8 +371,19 @@ func (s *Server) Status() Status {
 		}
 		st.GLT.Peers[p] = row
 	}
+	st.Zone = s.params.Zone
+	st.Capacity = s.Capacity()
 	for _, e := range s.table.Snapshot() {
 		st.LoadTable[e.Server] = e.Load
+		if st.Placement == nil {
+			st.Placement = make(map[string]PlacementStatus)
+		}
+		st.Placement[e.Server] = PlacementStatus{
+			Load:     e.Load,
+			Capacity: e.Capacity,
+			Zone:     e.Zone,
+			Headroom: e.Headroom(),
+		}
 	}
 	rs := s.res.Stats()
 	st.Retries = rs.Retries.Value()

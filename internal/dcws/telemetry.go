@@ -105,6 +105,24 @@ type serverTelemetry struct {
 	invalLeaseSkips   *telemetry.Counter
 	validatePolls     *telemetry.Counter
 	replicateShrinks  *telemetry.Counter
+
+	// Batched and version-numbered invalidation frames: multi-document
+	// frames sent (and how many docs they carried), sequence gaps a co-op
+	// detected on a live channel, and the inventory resyncs those gaps
+	// triggered.
+	invalBatches   *telemetry.Counter
+	invalBatchDocs *telemetry.Counter
+	invalGaps      *telemetry.Counter
+
+	// Digest anti-entropy: push-pull digest rounds completed by this
+	// requester, digest requests answered as responder, stripes of entries
+	// shipped in either direction, push-back third legs, and rounds that
+	// fell back to the legacy full exchange against a pre-digest peer.
+	digestRounds     *telemetry.Counter
+	digestResponses  *telemetry.Counter
+	digestShardsSent *telemetry.Counter
+	digestPushbacks  *telemetry.Counter
+	digestFallbacks  *telemetry.Counter
 }
 
 func newServerTelemetry(ringSize, tailSize int, slowThreshold time.Duration) *serverTelemetry {
@@ -200,6 +218,24 @@ func newServerTelemetry(ringSize, tailSize int, slowThreshold time.Duration) *se
 		"conditional-GET validation polls issued by the periodic validator")
 	t.replicateShrinks = reg.Counter("dcws_replicate_shrinks_total",
 		"replica chains partially shrunk after T_home expiry of a warm document")
+
+	t.invalBatches = reg.Counter("dcws_invalidate_batches_total",
+		"multi-document invalidation frames pushed (one per subscriber per storm)")
+	t.invalBatchDocs = reg.Counter("dcws_invalidate_batch_docs_total",
+		"documents carried inside batched invalidation frames")
+	t.invalGaps = reg.Counter("dcws_invalidate_gaps_total",
+		"sequence gaps detected on live subscription channels (each forces an inventory resync)")
+
+	t.digestRounds = reg.Counter("dcws_glt_digest_rounds_total",
+		"anti-entropy rounds completed via the per-shard digest protocol")
+	t.digestResponses = reg.Counter("dcws_glt_digest_responses_total",
+		"digest anti-entropy requests answered as the responder")
+	t.digestShardsSent = reg.Counter("dcws_glt_digest_shards_sent_total",
+		"diverged table stripes whose entries were shipped during digest exchanges")
+	t.digestPushbacks = reg.Counter("dcws_glt_digest_pushbacks_total",
+		"third-leg pushes of stripes where this side was fresher than the responder")
+	t.digestFallbacks = reg.Counter("dcws_glt_digest_fallbacks_total",
+		"anti-entropy rounds downgraded to the legacy full exchange (pre-digest peer)")
 	return t
 }
 
@@ -280,6 +316,18 @@ func (t *serverTelemetry) bindServer(s *Server) {
 	reg.GaugeFunc("dcws_httpx_queue_depth",
 		"connections waiting in the socket queue right now",
 		func() float64 { return float64(s.httpSrv.QueueDepth()) })
+	reg.GaugeFunc("dcws_capacity",
+		"measured service capacity in documents per second (0 when normalization is off)",
+		func() float64 { return s.Capacity() })
+	reg.GaugeFunc("dcws_headroom",
+		"spare capacity: capacity times one minus the advertised utilization",
+		func() float64 {
+			e, ok := s.table.Get(s.Addr())
+			if !ok {
+				return 0
+			}
+			return e.Headroom()
+		})
 	reg.GaugeFunc("dcws_documents",
 		"documents in the local document graph",
 		func() float64 { return float64(s.ldg.Len()) })

@@ -10,10 +10,20 @@
 // version. The version drives delta gossip: a server tracks, per peer,
 // the highest version that peer has acknowledged (echoed back in the
 // peer's own header) and piggybacks only entries newer than that, capped
-// and stalest-first, with a periodic full-table anti-entropy exchange as
-// the safety net. Metadata items in the header start with '!' and are
-// skipped by the entry parser, so old decoders interoperate with new
-// encoders.
+// and stalest-first, with a periodic anti-entropy exchange as the safety
+// net. Metadata items in the header start with '!' and are skipped by the
+// entry parser, so old decoders interoperate with new encoders.
+//
+// Two metadata extensions ride on that rule. A '!c' item carries a
+// server's calibrated capacity and zone label alongside its load entry,
+// so placement can rank peers by absolute headroom (capacity x spare
+// fraction) and prefer zone-local targets; entries stay parseable by
+// legacy decoders, which simply skip the item. A '!d' item carries
+// per-shard content digests for push-pull anti-entropy: the requester
+// sends one digest per stripe, the responder ships back only the entries
+// of stripes whose digests differ (plus its own digests for them), and
+// the requester pushes back any stripe still diverged — so the safety
+// net's cost is proportional to divergence, not to cluster size.
 package glt
 
 import (
@@ -45,11 +55,44 @@ const maxPeerStates = 4096
 type Entry struct {
 	// Server is the server's address ("host:port").
 	Server string
-	// Load is the server's load metric (CPS by default; see §5.3).
+	// Load is the server's load metric (CPS by default; see §5.3). When
+	// the server gossips a Capacity, Load is instead its utilization —
+	// the fraction of that capacity in use — so heterogeneous machines
+	// advertise comparable figures.
 	Load float64
 	// Updated is when the load figure was measured, by the measuring
 	// server's clock.
 	Updated time.Time
+	// Capacity is the server's self-calibrated achievable throughput in
+	// the load metric's units (connections/s). Zero means the server
+	// never advertised one (a legacy sender); placement then falls back
+	// to a unit capacity, which reduces headroom ranking to plain
+	// least-load ordering.
+	Capacity float64
+	// Zone is the server's locality/failure-domain label ("" when
+	// unlabeled). Placement prefers same-zone targets and spills across
+	// zones only when local headroom is exhausted.
+	Zone string
+}
+
+// EffectiveCapacity is the capacity used for ranking: the advertised one,
+// or 1 for entries that never gossiped a capacity, so an all-legacy
+// cluster degenerates to the paper's raw least-load ordering.
+func (e Entry) EffectiveCapacity() float64 {
+	if e.Capacity > 0 {
+		return e.Capacity
+	}
+	return 1
+}
+
+// Headroom is the server's absolute spare throughput: capacity times the
+// unused load fraction. With utilization loads it is "how many more
+// connections per second this machine can absorb" — the quantity a
+// migration or chain-replication target should maximize. It goes negative
+// for overloaded (or legacy raw-load) entries, which still orders them
+// correctly: descending headroom then equals ascending load.
+func (e Entry) Headroom() float64 {
+	return e.EffectiveCapacity() * (1 - e.Load)
 }
 
 // entryRec is an Entry plus the table version at which it was written,
@@ -129,12 +172,42 @@ type Piggyback struct {
 	Full bool
 	// Entries is the piggybacked load-entry list.
 	Entries []Entry
+	// Digests is the per-shard digest list of a push-pull anti-entropy
+	// exchange ("!d" item); HasDigests reports whether one was present.
+	// A requester sends digests for every stripe; a responder answers
+	// with digests for (and entries of) only the diverged stripes.
+	Digests    []ShardDigest
+	HasDigests bool
+}
+
+// ShardDigest summarizes the contents of one table stripe for push-pull
+// anti-entropy. Hash is an order-independent XOR of per-entry FNV-64a
+// fingerprints, so two tables agree on a stripe's hash exactly when they
+// hold identical entries for it — stripe membership (shardFor) is the
+// same deterministic function on every node.
+type ShardDigest struct {
+	// Shard is the stripe index.
+	Shard int
+	// Count is how many entries the stripe holds.
+	Count int
+	// MaxMs is the newest entry timestamp in the stripe (Unix
+	// milliseconds; 0 for an empty stripe).
+	MaxMs int64
+	// Hash is the stripe's content fingerprint.
+	Hash uint64
 }
 
 // Table is one server's local copy of the global load information.
 type Table struct {
 	self   string
 	shards []shard
+
+	// selfMu guards the owning server's advertised capacity and zone,
+	// folded into the self entry by UpdateSelf/RefreshSelf. They change
+	// rarely (calibration ticks), never on the request hot path.
+	selfMu       sync.Mutex
+	selfCapacity float64
+	selfZone     string
 
 	// version advances on every accepted entry change, inside the
 	// owning stripe's critical section. It tags records for delta
@@ -149,6 +222,7 @@ type Table struct {
 	encVersion uint64
 	encValid   bool
 	encoded    string
+	encEntries int
 	regens     atomic.Int64 // times the cached full encoding was rebuilt
 
 	// clientMu guards the cached self-entry-only header attached to
@@ -206,6 +280,52 @@ func (t *Table) shardFor(server string) *shard {
 // Self returns the owning server's address.
 func (t *Table) Self() string { return t.self }
 
+// SetSelfInfo records the owning server's calibrated capacity and zone
+// label. Both are folded into every subsequent self entry and travel as
+// a '!c' metadata item next to it, so legacy decoders still parse the
+// plain entry. A change rewrites the self entry in place (same load and
+// wire timestamp semantics as RefreshSelf) so peers pick the new figures
+// up on the next exchange.
+func (t *Table) SetSelfInfo(capacity float64, zone string) {
+	if capacity < 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		capacity = 0
+	}
+	// Store the wire form of the zone, so local shard digests agree with
+	// what peers compute from the decoded header.
+	zone = sanitizeZone(zone)
+	t.selfMu.Lock()
+	changed := t.selfCapacity != capacity || t.selfZone != zone
+	t.selfCapacity, t.selfZone = capacity, zone
+	t.selfMu.Unlock()
+	if !changed {
+		return
+	}
+	sh := t.shardFor(t.self)
+	sh.mu.Lock()
+	cur := sh.entries[t.self]
+	e := cur.e
+	e.Server = t.self
+	e.Capacity, e.Zone = capacity, zone
+	if cur.e.Server != "" {
+		// The wire-visible timestamp must advance when the advertised
+		// content changes, or relays tie on freshest-wins and keep
+		// whichever copy they saw first (see bumpSelfStamp).
+		e.Updated = bumpSelfStamp(cur.e.Updated, cur.e.Updated)
+	}
+	sh.entries[t.self] = entryRec{e: e, ver: t.version.Add(1)}
+	sh.mu.Unlock()
+}
+
+// selfInfo returns the capacity and zone to stamp on a fresh self entry.
+func (t *Table) selfInfo() (float64, string) {
+	t.selfMu.Lock()
+	defer t.selfMu.Unlock()
+	return t.selfCapacity, t.selfZone
+}
+
+// SelfInfo returns the owning server's advertised capacity and zone.
+func (t *Table) SelfInfo() (capacity float64, zone string) { return t.selfInfo() }
+
 // bumpSelfStamp pushes at forward just far enough that the entry's
 // wire-visible (millisecond) timestamp strictly advances past prev when
 // the advertised value changes. Two self advertisements carrying different
@@ -221,6 +341,7 @@ func bumpSelfStamp(prev, at time.Time) time.Time {
 
 // UpdateSelf records the owning server's own load measurement.
 func (t *Table) UpdateSelf(load float64, at time.Time) {
+	capacity, zone := t.selfInfo()
 	sh := t.shardFor(t.self)
 	sh.mu.Lock()
 	cur := sh.entries[t.self]
@@ -231,7 +352,10 @@ func (t *Table) UpdateSelf(load float64, at time.Time) {
 			at = bumpSelfStamp(cur.e.Updated, at)
 		}
 	}
-	sh.entries[t.self] = entryRec{e: Entry{Server: t.self, Load: load, Updated: at}, ver: t.version.Add(1)}
+	sh.entries[t.self] = entryRec{
+		e:   Entry{Server: t.self, Load: load, Updated: at, Capacity: capacity, Zone: zone},
+		ver: t.version.Add(1),
+	}
 	sh.mu.Unlock()
 }
 
@@ -242,6 +366,7 @@ func (t *Table) UpdateSelf(load float64, at time.Time) {
 // every response. maxAge <= 0 forces the refresh. Reports whether the
 // entry changed.
 func (t *Table) RefreshSelf(load float64, now time.Time, maxAge time.Duration) bool {
+	capacity, zone := t.selfInfo()
 	sh := t.shardFor(t.self)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -252,7 +377,10 @@ func (t *Table) RefreshSelf(load float64, now time.Time, maxAge time.Duration) b
 	if cur.e.Server != "" && load != cur.e.Load {
 		now = bumpSelfStamp(cur.e.Updated, now)
 	}
-	sh.entries[t.self] = entryRec{e: Entry{Server: t.self, Load: load, Updated: now}, ver: t.version.Add(1)}
+	sh.entries[t.self] = entryRec{
+		e:   Entry{Server: t.self, Load: load, Updated: now, Capacity: capacity, Zone: zone},
+		ver: t.version.Add(1),
+	}
 	return true
 }
 
@@ -336,10 +464,29 @@ func (t *Table) Servers() []string {
 	return out
 }
 
-// LeastLoaded returns the known server with the lowest load metric,
-// skipping the excluded addresses (§4.2: "the server with the lowest
-// LoadMetric value is selected from the global load table"). Ties break by
-// address for determinism. ok is false when no eligible server exists.
+// headroomLess orders entries for placement: more headroom first, ties by
+// ascending load (two equal-capacity machines at the same headroom are
+// interchangeable, but with mixed capacities the lower utilization is the
+// safer target), then by address for determinism. For capacity-less
+// entries headroom is 1-load, so the order reduces to the paper's
+// ascending-load rule.
+func headroomLess(a, b Entry) bool {
+	ha, hb := a.Headroom(), b.Headroom()
+	if ha != hb {
+		return ha > hb
+	}
+	if a.Load != b.Load {
+		return a.Load < b.Load
+	}
+	return a.Server < b.Server
+}
+
+// LeastLoaded returns the known server with the most headroom, skipping
+// the excluded addresses (§4.2 picked "the server with the lowest
+// LoadMetric value"; with gossiped capacities the same rule runs on
+// headroom = capacity x spare fraction, which degenerates to lowest load
+// when no capacities are advertised). ok is false when no eligible server
+// exists.
 func (t *Table) LeastLoaded(exclude map[string]bool) (Entry, bool) {
 	var best Entry
 	found := false
@@ -351,7 +498,7 @@ func (t *Table) LeastLoaded(exclude map[string]bool) (Entry, bool) {
 			if exclude[e.Server] {
 				continue
 			}
-			if !found || e.Load < best.Load || (e.Load == best.Load && e.Server < best.Server) {
+			if !found || headroomLess(e, best) {
 				best = e
 				found = true
 			}
@@ -361,15 +508,30 @@ func (t *Table) LeastLoaded(exclude map[string]bool) (Entry, bool) {
 	return best, found
 }
 
-// LeastLoadedK returns up to k entries ordered by ascending load (ties by
-// address), skipping the excluded addresses — the chain-replication target
-// selector: the k least-loaded eligible peers become the dissemination
-// chain, ordered so the least-loaded server is the chain head and absorbs
-// the relay work first. k <= 0 returns nil.
+// LeastLoadedK returns up to k entries ordered by descending headroom
+// (ascending load for capacity-less tables; ties by address), skipping
+// the excluded addresses — the chain-replication target selector: the k
+// most-spacious eligible peers become the dissemination chain, ordered so
+// the roomiest server is the chain head and absorbs the relay work first.
+// k <= 0 returns nil.
 func (t *Table) LeastLoadedK(k int, exclude map[string]bool) []Entry {
 	if k <= 0 {
 		return nil
 	}
+	all := t.RankedByHeadroom(exclude, "")
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// RankedByHeadroom returns every non-excluded entry ordered by descending
+// headroom (ties by ascending load, then address). When zone is
+// non-empty, entries in that zone order before all others — the
+// zone-local placement preference: a caller walking the list tries every
+// same-zone candidate before spilling to a cross-zone one, so remote
+// targets are used only when local headroom is exhausted.
+func (t *Table) RankedByHeadroom(exclude map[string]bool, zone string) []Entry {
 	var all []Entry
 	for i := range t.shards {
 		sh := &t.shards[i]
@@ -383,14 +545,14 @@ func (t *Table) LeastLoadedK(k int, exclude map[string]bool) []Entry {
 		sh.mu.RUnlock()
 	}
 	sort.Slice(all, func(i, j int) bool {
-		if all[i].Load != all[j].Load {
-			return all[i].Load < all[j].Load
+		if zone != "" {
+			li, lj := all[i].Zone == zone, all[j].Zone == zone
+			if li != lj {
+				return li
+			}
 		}
-		return all[i].Server < all[j].Server
+		return headroomLess(all[i], all[j])
 	})
-	if len(all) > k {
-		all = all[:k]
-	}
 	return all
 }
 
@@ -581,7 +743,10 @@ func (t *Table) Absorb(p Piggyback, now time.Time) {
 			ps.acked = p.Ack
 		}
 	}
-	if p.Full {
+	if p.Full || p.HasDigests {
+		// A digest-bearing header is an anti-entropy touch: either the
+		// request leg (responder side) or the response leg (requester
+		// side) of the push-pull exchange.
 		ps.lastFull = now
 	}
 	ps.mu.Unlock()
@@ -617,6 +782,45 @@ func appendEntry(buf []byte, e Entry) []byte {
 	return buf
 }
 
+// appendEntryWithMeta serializes one entry, followed — when the entry
+// carries a capacity or zone — by its ",!c=server@capacity@zone" metadata
+// item. The capacity rides as a separate '!'-item rather than a suffix on
+// the entry because a legacy decoder parses everything after the entry's
+// '@' as the timestamp: a suffix would make it drop the whole entry,
+// while an unknown '!' key is skipped cleanly.
+func appendEntryWithMeta(buf []byte, e Entry) []byte {
+	buf = appendEntry(buf, e)
+	if e.Capacity <= 0 && e.Zone == "" {
+		return buf
+	}
+	buf = append(buf, ",!c="...)
+	buf = append(buf, e.Server...)
+	buf = append(buf, '@')
+	buf = strconv.AppendFloat(buf, e.Capacity, 'g', -1, 64)
+	buf = append(buf, '@')
+	buf = append(buf, sanitizeZone(e.Zone)...)
+	return buf
+}
+
+// sanitizeZone strips the characters that would corrupt the header
+// encoding from a zone label (list separators and the entry/meta
+// delimiters). Operators pick zone names; a hostile or fat-fingered one
+// must not wedge every decoder in the cluster.
+func sanitizeZone(zone string) string {
+	if !strings.ContainsAny(zone, ",=@ \t") {
+		return zone
+	}
+	var b strings.Builder
+	for i := 0; i < len(zone); i++ {
+		switch zone[i] {
+		case ',', '=', '@', ' ', '\t':
+		default:
+			b.WriteByte(zone[i])
+		}
+	}
+	return b.String()
+}
+
 func (t *Table) noteEmit(kind *atomic.Int64, entries, bytes int) {
 	kind.Add(1)
 	t.lastEntries.Store(int64(entries))
@@ -640,7 +844,7 @@ func (t *Table) EncodeHeader() string {
 	// the next call rebuilds rather than serving a stale entry.
 	v := t.version.Load()
 	if t.encValid && t.encVersion == v {
-		t.noteEmit(&t.fullEmits, strings.Count(t.encoded, ",")+1, len(t.encoded))
+		t.noteEmit(&t.fullEmits, t.encEntries, len(t.encoded))
 		return t.encoded
 	}
 	entries := t.Snapshot()
@@ -650,12 +854,12 @@ func (t *Table) EncodeHeader() string {
 		if i > 0 {
 			buf = append(buf, ',')
 		}
-		buf = appendEntry(buf, e)
+		buf = appendEntryWithMeta(buf, e)
 	}
 	out := string(buf)
 	*bp = buf
 	encodeBufPool.Put(bp)
-	t.encoded, t.encVersion, t.encValid = out, v, true
+	t.encoded, t.encVersion, t.encValid, t.encEntries = out, v, true, len(entries)
 	t.regens.Add(1)
 	t.noteEmit(&t.fullEmits, len(entries), len(out))
 	return out
@@ -680,7 +884,7 @@ func (t *Table) EncodeClientHeader() string {
 		return out
 	}
 	bp := encodeBufPool.Get().(*[]byte)
-	buf := appendEntry((*bp)[:0], rec.e)
+	buf := appendEntryWithMeta((*bp)[:0], rec.e)
 	out := string(buf)
 	*bp = buf
 	encodeBufPool.Put(bp)
@@ -762,7 +966,7 @@ func (t *Table) EncodePiggybackTo(peer string, now time.Time, max int, full bool
 	}
 	for _, rec := range cands {
 		buf = append(buf, ',')
-		buf = appendEntry(buf, rec.e)
+		buf = appendEntryWithMeta(buf, rec.e)
 	}
 	out := string(buf)
 	*bp = buf
@@ -783,11 +987,312 @@ func (t *Table) EncodePiggybackTo(peer string, now time.Time, max int, full bool
 	return out
 }
 
+// ---- push-pull shard-digest anti-entropy --------------------------------
+//
+// The protocol replaces the full-table safety-net exchange with three
+// legs, each cost-proportional to divergence:
+//
+//	requester: !d=<digest of every non-empty stripe>          (no entries)
+//	responder: !d=<its digests of the diverged stripes>, plus the
+//	           entries of exactly those stripes
+//	requester: entries of the stripes still diverged after absorbing
+//	           the response (the push half of push-pull)
+//
+// Stripe membership (shardFor) is a fixed deterministic hash, so both
+// sides agree which entries each digest covers without exchanging names.
+
+// entryHash fingerprints one entry for shard digests, over its
+// wire-visible values (millisecond timestamp, exact float bits), so a
+// table and a peer that merged the same headers agree on the hash.
+func entryHash(e Entry) uint64 {
+	h := uint64(14695981039346656037)
+	step := func(b byte) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	for i := 0; i < len(e.Server); i++ {
+		step(e.Server[i])
+	}
+	step(0)
+	put64 := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			step(byte(v >> s))
+		}
+	}
+	put64(math.Float64bits(e.Load))
+	put64(uint64(e.Updated.UnixMilli()))
+	put64(math.Float64bits(e.Capacity))
+	for i := 0; i < len(e.Zone); i++ {
+		step(e.Zone[i])
+	}
+	return h
+}
+
+// digestShard computes one stripe's digest. The per-entry hashes are
+// XORed, not chained, so the digest is independent of map iteration
+// order and comparable across nodes.
+func (t *Table) digestShard(i int) ShardDigest {
+	sh := &t.shards[i]
+	d := ShardDigest{Shard: i}
+	sh.mu.RLock()
+	for _, rec := range sh.entries {
+		d.Count++
+		d.Hash ^= entryHash(rec.e)
+		if ms := rec.e.Updated.UnixMilli(); ms > d.MaxMs {
+			d.MaxMs = ms
+		}
+	}
+	sh.mu.RUnlock()
+	return d
+}
+
+// Digests returns a digest for every non-empty stripe, ordered by stripe
+// index — the requester's half of a push-pull anti-entropy exchange.
+func (t *Table) Digests() []ShardDigest {
+	out := make([]ShardDigest, 0, len(t.shards))
+	for i := range t.shards {
+		if d := t.digestShard(i); d.Count > 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// DiffShards returns the stripes whose local content differs from the
+// remote digests, in either direction: a stripe the remote has and we
+// lack diverges exactly like one we have and the remote lacks (an absent
+// remote digest reads as empty). Indexes outside the local stripe range
+// are ignored.
+func (t *Table) DiffShards(remote []ShardDigest) []int {
+	byShard := make(map[int]ShardDigest, len(remote))
+	for _, d := range remote {
+		if d.Shard >= 0 && d.Shard < len(t.shards) {
+			byShard[d.Shard] = d
+		}
+	}
+	var out []int
+	for i := range t.shards {
+		ld := t.digestShard(i)
+		rd := byShard[i]
+		if ld.Hash != rd.Hash || ld.Count != rd.Count {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// appendDigests serializes digests as a '!d' item:
+// shard.count.maxMs.hash quads joined by ';' (count decimal, maxMs and
+// hash hex). An empty list emits the "-" placeholder so the item stays
+// wire-visible — its presence is what tells the requester the responder
+// ran the digest protocol.
+func appendDigests(buf []byte, ds []ShardDigest) []byte {
+	buf = append(buf, "!d="...)
+	if len(ds) == 0 {
+		return append(buf, '-')
+	}
+	for i, d := range ds {
+		if i > 0 {
+			buf = append(buf, ';')
+		}
+		buf = strconv.AppendInt(buf, int64(d.Shard), 10)
+		buf = append(buf, '.')
+		buf = strconv.AppendInt(buf, int64(d.Count), 10)
+		buf = append(buf, '.')
+		buf = strconv.AppendInt(buf, d.MaxMs, 16)
+		buf = append(buf, '.')
+		buf = strconv.AppendUint(buf, d.Hash, 16)
+	}
+	return buf
+}
+
+// peerSeen returns the version last advertised by peer (our ack to it).
+func (t *Table) peerSeen(peer string) uint64 {
+	ps := t.peer(peer)
+	if ps == nil {
+		return 0
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.seen
+}
+
+// appendGossipMeta serializes the standard metadata prefix (!f, !v, !a)
+// shared by the digest-protocol encoders.
+func (t *Table) appendGossipMeta(buf []byte, peer string) []byte {
+	buf = append(buf, "!f="...)
+	buf = append(buf, t.self...)
+	buf = append(buf, ",!v="...)
+	buf = strconv.AppendUint(buf, t.version.Load(), 10)
+	if seen := t.peerSeen(peer); seen > 0 {
+		buf = append(buf, ",!a="...)
+		buf = strconv.AppendUint(buf, seen, 10)
+	}
+	return buf
+}
+
+// EncodeDigestTo serializes the digest-request leg of a push-pull
+// anti-entropy exchange: gossip metadata plus a digest of every non-empty
+// stripe, and no entries. Entries skipped by the advertised version are
+// safe: any content the peer lacks surfaces as a stripe divergence and
+// ships in the response or push-back leg.
+func (t *Table) EncodeDigestTo(peer string) string {
+	bp := encodeBufPool.Get().(*[]byte)
+	buf := t.appendGossipMeta((*bp)[:0], peer)
+	buf = append(buf, ',')
+	buf = appendDigests(buf, t.Digests())
+	out := string(buf)
+	*bp = buf
+	encodeBufPool.Put(bp)
+	t.fullEmits.Add(1)
+	t.lastEntries.Store(0)
+	t.lastBytes.Store(int64(len(out)))
+	return out
+}
+
+// shardEntries collects the entries of the given stripes, excluding the
+// peer's own entry (the peer holds it authoritatively).
+func (t *Table) shardEntries(shardIdx []int, peer string) []Entry {
+	var out []Entry
+	for _, i := range shardIdx {
+		if i < 0 || i >= len(t.shards) {
+			continue
+		}
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for _, rec := range sh.entries {
+			if rec.e.Server != peer {
+				out = append(out, rec.e)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Server < out[j].Server })
+	return out
+}
+
+// EncodeDigestResponse serializes the responder leg: given the
+// requester's digests, it carries the responder's own digests of the
+// diverged stripes plus the entries of exactly those stripes. It returns
+// the header value and how many stripes diverged.
+func (t *Table) EncodeDigestResponse(peer string, remote []ShardDigest) (string, int) {
+	diff := t.DiffShards(remote)
+	local := make([]ShardDigest, 0, len(diff))
+	for _, i := range diff {
+		local = append(local, t.digestShard(i))
+	}
+	entries := t.shardEntries(diff, peer)
+	bp := encodeBufPool.Get().(*[]byte)
+	buf := t.appendGossipMeta((*bp)[:0], peer)
+	buf = append(buf, ',')
+	buf = appendDigests(buf, local)
+	for _, e := range entries {
+		buf = append(buf, ',')
+		buf = appendEntryWithMeta(buf, e)
+	}
+	out := string(buf)
+	*bp = buf
+	encodeBufPool.Put(bp)
+	t.fullEmits.Add(1)
+	t.lastEntries.Store(int64(len(entries)))
+	t.lastBytes.Store(int64(len(out)))
+	return out, len(diff)
+}
+
+// StillDiverged returns the subset of the responder's reported stripes
+// whose local digest still disagrees after the response was absorbed —
+// the stripes the requester must push back.
+func (t *Table) StillDiverged(remote []ShardDigest) []int {
+	var out []int
+	for _, rd := range remote {
+		if rd.Shard < 0 || rd.Shard >= len(t.shards) {
+			continue
+		}
+		ld := t.digestShard(rd.Shard)
+		if ld.Hash != rd.Hash || ld.Count != rd.Count {
+			out = append(out, rd.Shard)
+		}
+	}
+	return out
+}
+
+// EncodeShardEntriesTo serializes the push-back leg: the entries of the
+// given stripes, under the usual gossip metadata, with no digest item.
+func (t *Table) EncodeShardEntriesTo(peer string, shardIdx []int) string {
+	entries := t.shardEntries(shardIdx, peer)
+	bp := encodeBufPool.Get().(*[]byte)
+	buf := t.appendGossipMeta((*bp)[:0], peer)
+	for _, e := range entries {
+		buf = append(buf, ',')
+		buf = appendEntryWithMeta(buf, e)
+	}
+	out := string(buf)
+	*bp = buf
+	encodeBufPool.Put(bp)
+	t.fullEmits.Add(1)
+	t.lastEntries.Store(int64(len(entries)))
+	t.lastBytes.Store(int64(len(out)))
+	return out
+}
+
 // DecodeHeader parses the entry list of a piggyback header value.
 // Malformed items are skipped — extension headers from foreign
 // implementations must never wedge the server.
 func DecodeHeader(v string) []Entry {
 	return DecodePiggyback(v).Entries
+}
+
+// entryMeta is a decoded '!c' item: the capacity and zone advertised for
+// one server, re-associated with its entry after the scan.
+type entryMeta struct {
+	capacity float64
+	zone     string
+}
+
+// decodeEntryMeta parses a '!c' value: server@capacity@zone. The zone may
+// be empty; addresses contain no '@' so the first two separators are
+// unambiguous.
+func decodeEntryMeta(val string) (string, entryMeta, bool) {
+	i := strings.IndexByte(val, '@')
+	if i <= 0 {
+		return "", entryMeta{}, false
+	}
+	server, rest := val[:i], val[i+1:]
+	j := strings.IndexByte(rest, '@')
+	if j < 0 {
+		return "", entryMeta{}, false
+	}
+	capacity, err := strconv.ParseFloat(rest[:j], 64)
+	if err != nil || capacity < 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		return "", entryMeta{}, false
+	}
+	return server, entryMeta{capacity: capacity, zone: rest[j+1:]}, true
+}
+
+// decodeDigests parses a '!d' value: shard.count.maxMs.hash quads (all
+// base-16 except the stripe index) joined by ';'. Malformed quads are
+// skipped.
+func decodeDigests(val string) []ShardDigest {
+	var out []ShardDigest
+	for _, item := range strings.Split(val, ";") {
+		if item == "" {
+			continue
+		}
+		f := strings.Split(item, ".")
+		if len(f) != 4 {
+			continue
+		}
+		shardIdx, err1 := strconv.Atoi(f[0])
+		count, err2 := strconv.Atoi(f[1])
+		maxMs, err3 := strconv.ParseInt(f[2], 16, 64)
+		hash, err4 := strconv.ParseUint(f[3], 16, 64)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil ||
+			shardIdx < 0 || count < 0 {
+			continue
+		}
+		out = append(out, ShardDigest{Shard: shardIdx, Count: count, MaxMs: maxMs, Hash: hash})
+	}
+	return out
 }
 
 // DecodePiggyback parses a piggyback header value: load entries plus the
@@ -799,6 +1304,7 @@ func DecodePiggyback(v string) Piggyback {
 	if v == "" {
 		return p
 	}
+	var meta map[string]entryMeta
 	for _, part := range strings.Split(v, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -826,6 +1332,16 @@ func DecodePiggyback(v string) Piggyback {
 				if val == "1" {
 					p.Full = true
 				}
+			case 'c':
+				if server, m, ok := decodeEntryMeta(val); ok {
+					if meta == nil {
+						meta = make(map[string]entryMeta)
+					}
+					meta[server] = m
+				}
+			case 'd':
+				p.Digests = decodeDigests(val)
+				p.HasDigests = true
 			}
 			continue
 		}
@@ -847,6 +1363,18 @@ func DecodePiggyback(v string) Piggyback {
 			Load:    load,
 			Updated: time.UnixMilli(ms),
 		})
+	}
+	// Re-associate '!c' items with their entries by server name. Items
+	// are emitted adjacent to their entry but order is not relied on, and
+	// an item without a matching entry is dropped — it cannot create a
+	// phantom server.
+	if meta != nil {
+		for i := range p.Entries {
+			if m, ok := meta[p.Entries[i].Server]; ok {
+				p.Entries[i].Capacity = m.capacity
+				p.Entries[i].Zone = m.zone
+			}
+		}
 	}
 	return p
 }

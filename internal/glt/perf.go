@@ -184,3 +184,74 @@ func HeaderSizes(servers, max int) (fullBytes, deltaBytes int) {
 	delta := t.EncodePiggybackTo(benchAddr(1), benchBase, max, false)
 	return len(full), len(delta)
 }
+
+// DigestExchangeSizes measures one anti-entropy exchange between two
+// n-server tables that agree on everything except the entries of
+// `diverged` servers (chosen to land in distinct stripes), under both
+// protocols. fullBytes is the two-leg full-table exchange the digest
+// protocol replaces (requester's !g request plus the responder's full
+// reply); digestBytes is the complete push-pull digest exchange — request
+// digests, shard-targeted response, and any push-back leg — measured
+// against live tables so it includes every byte the wire would carry. It
+// also reports how many stripes the digest protocol identified as
+// diverged.
+func DigestExchangeSizes(servers, diverged int) (digestBytes, fullBytes, divergedShards int) {
+	build := func() (*Table, *Table) {
+		a := seedSharded(benchAddr(0), servers)
+		b := seedSharded(benchAddr(1), servers)
+		// Self entries must carry the same load/stamp the seed gave every
+		// other table's copy, so the two tables start byte-identical.
+		a.UpdateSelf(0.5, benchBase)
+		b.UpdateSelf(1.5, benchBase)
+		// Perturb `diverged` third-party servers on b only, each in a
+		// distinct stripe, newer than a's copies.
+		usedShards := make(map[int]bool)
+		n := 0
+		for i := 2; i < servers && n < diverged; i++ {
+			addr := benchAddr(i)
+			sh := int(shardIndex(b, addr))
+			if usedShards[sh] {
+				continue
+			}
+			usedShards[sh] = true
+			b.Observe(Entry{Server: addr, Load: 40.5, Updated: benchBase.Add(time.Minute)})
+			n++
+		}
+		return a, b
+	}
+
+	// Full-table exchange: a asks with !g, b replies with its whole table.
+	a, b := build()
+	req := a.EncodePiggybackTo(b.Self(), benchBase.Add(2*time.Minute), 0, true)
+	b.Absorb(DecodePiggyback(req), benchBase.Add(2*time.Minute))
+	resp := b.EncodePiggybackTo(a.Self(), benchBase.Add(2*time.Minute), 0, true)
+	a.Absorb(DecodePiggyback(resp), benchBase.Add(2*time.Minute))
+	fullBytes = len(req) + len(resp)
+
+	// Push-pull digest exchange on fresh tables with the same divergence.
+	a, b = build()
+	dreq := a.EncodeDigestTo(b.Self())
+	p := DecodePiggyback(dreq)
+	b.Absorb(p, benchBase.Add(2*time.Minute))
+	dresp, nDiff := b.EncodeDigestResponse(a.Self(), p.Digests)
+	rp := DecodePiggyback(dresp)
+	a.Absorb(rp, benchBase.Add(2*time.Minute))
+	digestBytes = len(dreq) + len(dresp)
+	if back := a.StillDiverged(rp.Digests); len(back) > 0 {
+		push := a.EncodeShardEntriesTo(b.Self(), back)
+		b.Absorb(DecodePiggyback(push), benchBase.Add(2*time.Minute))
+		digestBytes += len(push)
+	}
+	return digestBytes, fullBytes, nDiff
+}
+
+// shardIndex exposes a table's stripe assignment for an address (perf
+// and test helpers only).
+func shardIndex(t *Table, server string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(server); i++ {
+		h ^= uint32(server[i])
+		h *= 16777619
+	}
+	return h % uint32(len(t.shards))
+}

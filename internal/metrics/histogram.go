@@ -86,6 +86,16 @@ func (h *Histogram) Count() int64 {
 	return h.count
 }
 
+// CountSum reports the observation count and the total observed time in
+// one lock acquisition, so interval deltas computed from two calls are
+// consistent with each other (capacity calibration divides one by the
+// other).
+func (h *Histogram) CountSum() (int64, time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count, h.sum
+}
+
 // Mean reports the average observed duration (0 when empty).
 func (h *Histogram) Mean() time.Duration {
 	h.mu.Lock()

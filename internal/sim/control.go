@@ -86,10 +86,16 @@ func (home *simServer) absorbHotReport(coop *simServer) {
 func (s *simServer) statsTick() {
 	w := s.w
 	// The published load metric is CPS by default; BPS suits large-file
-	// workloads (§5.3).
+	// workloads (§5.3). With capacity normalization on, the gossiped (and
+	// locally compared) figure is utilization — load over this machine's
+	// analytic capacity — so the imbalance trigger compares like units
+	// across heterogeneous workstations, exactly as in the live server.
 	load := float64(s.windowConns) / w.params.StatsInterval.Seconds()
 	if w.params.UseBPSMetric {
 		load = float64(s.windowBytes) / w.params.StatsInterval.Seconds()
+	}
+	if s.capacity > 0 {
+		load /= s.capacity
 	}
 	s.table.UpdateSelf(load, w.now)
 
@@ -148,23 +154,28 @@ func (s *simServer) maybeMigrate(selfLoad float64) {
 	s.migrate(doc, coop)
 }
 
-// chooseCoop picks the least-loaded eligible peer under the imbalance
-// trigger (identical logic to dcws.Server.chooseCoop).
+// chooseCoop walks peers in placement-preference order — headroom-ranked,
+// same-zone first — and picks the first one that satisfies the imbalance
+// trigger and the rate gate (identical logic to dcws.Server.chooseCoop).
+// With capacities absent the ranking degenerates to ascending load, which
+// reproduces the legacy least-loaded choice exactly.
 func (s *simServer) chooseCoop(selfLoad float64) (string, bool) {
+	if selfLoad <= 0 {
+		return "", false
+	}
 	exclude := map[string]bool{s.addr: true}
-	for {
-		e, ok := s.table.LeastLoaded(exclude)
-		if !ok {
-			return "", false
+	for _, e := range s.table.RankedByHeadroom(exclude, s.w.params.Zone) {
+		if selfLoad <= e.Load*s.w.params.ImbalanceRatio {
+			continue
 		}
-		if selfLoad <= e.Load*s.w.params.ImbalanceRatio || selfLoad <= 0 {
-			return "", false
+		if s.w.servers[e.Server] == nil {
+			continue
 		}
 		if s.gate.Eligible(e.Server, s.w.now) {
 			return e.Server, true
 		}
-		exclude[e.Server] = true
 	}
+	return "", false
 }
 
 // migrate performs the logical migration: location update, dirty
@@ -329,7 +340,7 @@ func (s *simServer) chainReplicateHot() {
 			exclude[r] = true
 		}
 		var chain []string
-		for _, e := range s.table.LeastLoadedK(s.table.Len(), exclude) {
+		for _, e := range s.table.RankedByHeadroom(exclude, w.params.Zone) {
 			if w.servers[e.Server] == nil {
 				continue
 			}
@@ -409,11 +420,11 @@ func (s *simServer) replicateHot() {
 		for _, r := range reps {
 			exclude[r] = true
 		}
-		e, found := s.table.LeastLoaded(exclude)
-		if !found {
+		ranked := s.table.RankedByHeadroom(exclude, w.params.Zone)
+		if len(ranked) == 0 {
 			continue
 		}
-		s.replicas[name] = append(reps, e.Server)
+		s.replicas[name] = append(reps, ranked[0].Server)
 		d.version++
 		for _, from := range d.linkFrom {
 			if fd, ok := s.docs[from]; ok {

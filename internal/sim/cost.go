@@ -91,6 +91,21 @@ func (c CostModel) Scaled(factor float64) CostModel {
 	return c
 }
 
+// analyticCapacity is the simulated counterpart of the live server's
+// calibrated capacity: the throughput the worker pool sustains on a
+// reference ~8 KiB document. The simulator knows its cost model exactly,
+// so no EWMA tracking is needed — the analytic value IS the achievable
+// rate. Units follow the configured load metric: documents/s for the CPS
+// metric, bytes/s for BPS.
+func (c CostModel) analyticCapacity(workers int, useBPS bool) float64 {
+	const refBytes = 8 << 10
+	cps := float64(workers) / c.serviceTime(refBytes).Seconds()
+	if useBPS {
+		return cps * refBytes
+	}
+	return cps
+}
+
 // serviceTime is the worker occupancy for serving size bytes.
 func (c CostModel) serviceTime(size int64) time.Duration {
 	return c.ConnOverhead + time.Duration(float64(size)/c.WorkerByteRate*float64(time.Second))

@@ -81,6 +81,11 @@ type simServer struct {
 	nicBusy  time.Time
 	waiting  int
 	queueLen int
+	// capacity is the analytic achievable throughput of this workstation
+	// (the live server's calibrated estimate, known exactly here because
+	// the cost model is explicit). Gossiped with the load entry so peers
+	// rank placement targets by headroom; 0 when normalization is off.
+	capacity float64
 
 	// Home-side state (the production decision structures).
 	docs     map[string]*simDoc
@@ -119,7 +124,7 @@ type simServer struct {
 }
 
 func newSimServer(w *World, addr string, params dcws.Params, cost CostModel) *simServer {
-	return &simServer{
+	s := &simServer{
 		w:        w,
 		addr:     addr,
 		cost:     cost,
@@ -135,6 +140,15 @@ func newSimServer(w *World, addr string, params dcws.Params, cost CostModel) *si
 		hotRate:  make(map[string]float64),
 		hosted:   make(map[string]*hostedDoc),
 	}
+	// Mirror the live server's startup calibration: seed the gossiped
+	// capacity/zone self-metadata before the first exchange.
+	if params.CapacityEnabled() {
+		s.capacity = cost.analyticCapacity(params.Workers, params.UseBPSMetric)
+		s.table.SetSelfInfo(s.capacity, params.Zone)
+	} else if params.Zone != "" {
+		s.table.SetSelfInfo(0, params.Zone)
+	}
+	return s
 }
 
 // loadSite installs a data set on this server as its home content.

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"time"
@@ -91,6 +92,16 @@ type Config struct {
 	// documents) — the isolated-servers baseline the federation
 	// experiment compares against.
 	NoCooperation bool
+
+	// HeteroSpread makes the server group heterogeneous: the ratio between
+	// the fastest workstation's capacity and the slowest's. Server 0 keeps
+	// the base cost model and later servers slow down geometrically, so a
+	// spread of 4 over 16 servers steps each successive machine ~9.7%
+	// slower than its neighbour. 0 or 1 keeps the paper's homogeneous
+	// testbed. Capacity-normalized placement (Params.CapacitySmoothing)
+	// is what makes the group usable at high spread: raw-load placement
+	// sends equal work to unequal machines.
+	HeteroSpread float64
 }
 
 // Result reports a run's measurements.
@@ -274,13 +285,32 @@ func mergeParams(p dcws.Params) dcws.Params {
 	if p.HotReplicaCount <= 0 {
 		p.HotReplicaCount = d.HotReplicaCount
 	}
+	if p.CapacitySmoothing == 0 {
+		p.CapacitySmoothing = d.CapacitySmoothing
+	}
 	// HotReplicateRate keeps its zero value: unlike the live server, the
 	// simulator treats 0 as "chain replication off" so the established
 	// scenarios (hotspot, federation, paper figures) keep their exact
 	// behaviour unless a run opts in with an explicit rate.
 	// LeaseDuration likewise keeps its zero value — zero means the paper's
 	// polling validation; a run opts into push invalidation explicitly.
+	// CapacitySmoothing follows the live convention: zero means the
+	// default (normalization on), negative opts back into raw loads.
+	// Zone keeps its zero value (empty = unzoned).
 	return p
+}
+
+// serverCost returns server i's cost model: the shared base model when the
+// group is homogeneous, or a geometrically interpolated slowdown when
+// Config.HeteroSpread asks for a heterogeneous testbed (server 0 fastest,
+// the last HeteroSpread× slower).
+func (w *World) serverCost(i int) CostModel {
+	spread := w.cfg.HeteroSpread
+	if spread <= 1 || w.cfg.Servers <= 1 {
+		return w.cost
+	}
+	exp := float64(i) / float64(w.cfg.Servers-1)
+	return w.cost.Scaled(math.Pow(spread, exp))
 }
 
 // build creates the server topology for the configured mode.
@@ -300,7 +330,7 @@ func (w *World) build() {
 		}
 		for i := 0; i < cfg.Servers; i++ {
 			addr := serverAddr(i)
-			s := newSimServer(w, addr, w.params, w.cost)
+			s := newSimServer(w, addr, w.params, w.serverCost(i))
 			if i < len(sites) {
 				s.loadSite(sites[i])
 			}
@@ -322,7 +352,7 @@ func (w *World) build() {
 	case ModeRRDNS:
 		for i := 0; i < cfg.Servers; i++ {
 			addr := serverAddr(i)
-			s := newSimServer(w, addr, w.params, w.cost)
+			s := newSimServer(w, addr, w.params, w.serverCost(i))
 			s.loadSite(cfg.Site)
 			w.servers[addr] = s
 			w.order = append(w.order, addr)
@@ -338,7 +368,7 @@ func (w *World) build() {
 		w.order = append(w.order, w.router)
 		for i := 0; i < cfg.Servers; i++ {
 			addr := serverAddr(i)
-			s := newSimServer(w, addr, w.params, w.cost)
+			s := newSimServer(w, addr, w.params, w.serverCost(i))
 			s.loadSite(cfg.Site)
 			w.servers[addr] = s
 			w.order = append(w.order, addr)
@@ -358,6 +388,19 @@ func (w *World) build() {
 func (w *World) warmPlace(hs *simServer) {
 	hits := walkCensus(w.cfg.Site, 2000, rand.New(rand.NewSource(w.cfg.Seed+99)))
 	weight := func(name string) float64 { return hits[name] + 1 }
+
+	// On a heterogeneous group the converged placement is capacity-
+	// proportional, not equal-share: the greedy step minimizes projected
+	// completion time (load/capacity), the same headroom order the live
+	// placement walk uses. Homogeneous groups (or capacity normalization
+	// off) keep every speed at 1 and reproduce the old equal split.
+	speed := make(map[string]float64, len(w.order))
+	for _, addr := range w.order {
+		speed[addr] = 1
+		if c := w.servers[addr].capacity; c > 0 {
+			speed[addr] = c
+		}
+	}
 
 	load := make(map[string]float64, len(w.order))
 	for _, addr := range w.order {
@@ -389,9 +432,9 @@ func (w *World) warmPlace(hs *simServer) {
 				continue
 			}
 			switch {
-			case load[addr] < load[best]:
+			case load[addr]/speed[addr] < load[best]/speed[best]:
 				best = addr
-			case load[addr] == load[best] && best == hs.addr:
+			case load[addr]/speed[addr] == load[best]/speed[best] && best == hs.addr:
 				// Ties prefer a co-op over the home server.
 				best = addr
 			}
